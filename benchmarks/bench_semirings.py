@@ -1,0 +1,96 @@
+"""§IV semiring-flexibility ablation: the same traversal/shortest-path
+problems under different algebras, plus the "(R==2) via AND" discussion
+point.
+
+The paper argues semiring parameterisation is what lets one kernel set
+cover Table I.  Shapes shown here:
+
+* BFS as boolean SpMSpV vs distances as tropical SpMV — structural
+  semirings do strictly less value work;
+* APSP by log-many min-plus SpGEMMs vs n Dijkstra runs — the trade the
+  Graphulo thesis needs (few big server ops vs many client ops);
+* the §IV "replace + with AND in EA" proposal, measured: how many of
+  the R = E·A products a 2-detecting multiply could skip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.baselines import dijkstra
+from repro.algorithms.shortestpath import apsp_min_plus, bellman_ford
+from repro.algorithms.traversal import bfs
+from repro.generators import rmat_graph
+from repro.semiring import LOR_LAND, MIN_PLUS
+from repro.sparse import mxm
+
+
+@pytest.fixture(scope="module")
+def weighted():
+    """Weighted RMAT digraph (unit weights replaced by uniform [1, 9])."""
+    a = rmat_graph(8, edge_factor=6, seed=0)
+    rng = np.random.default_rng(1)
+    return a.with_values(rng.uniform(1.0, 9.0, a.nnz))
+
+
+class TestTraversalSemirings:
+    def test_boolean_bfs(self, benchmark, rmat_medium):
+        a, _, _ = rmat_medium
+        d = benchmark(bfs, a, 0)
+        assert d[0] == 0
+
+    def test_tropical_distances(self, benchmark, rmat_medium):
+        """Same reachability question asked with values: min-plus SpMV
+        relaxation on unit weights gives BFS hop counts."""
+        a, _, _ = rmat_medium
+        d = benchmark(bellman_ford, a, 0)
+        hops = bfs(a, 0)
+        finite = np.isfinite(d)
+        assert np.array_equal(d[finite].astype(int), hops[finite])
+
+
+class TestAPSPStrategies:
+    def test_minplus_squaring(self, benchmark, weighted):
+        d = benchmark(apsp_min_plus, weighted)
+        assert d.shape == (weighted.nrows, weighted.nrows)
+
+    def test_dijkstra_per_source(self, benchmark, weighted):
+        def run():
+            return np.vstack([dijkstra(weighted, s)
+                              for s in range(weighted.nrows)])
+
+        d = benchmark(run)
+        assert np.allclose(d, apsp_min_plus(weighted), equal_nan=True)
+
+
+def test_and_multiply_discussion(benchmark, rmat_small, capsys):
+    """§IV: in R = E·A only entries equal to 2 matter; an AND-style
+    multiply could skip the rest.  Count how many products a standard
+    plus-times SpGEMM spends on entries that end below 2."""
+    from repro.schemas import edge_list_from_adjacency, incidence_unoriented
+    from repro.sparse.spgemm import expand_products
+
+    a, e, _ = rmat_small
+    r = benchmark(mxm, e, a)
+    total_products = len(expand_products(e, a)[0])
+    useful = int((r.values == 2).sum())
+    with capsys.disabled():
+        print("\n§IV discussion — wasted work in R = E·A "
+              f"({e.nrows} edges, {a.nnz} adjacency entries):")
+        print(f"  multiply operations performed : {total_products:>10,}")
+        print(f"  output entries equal to 2     : {useful:>10,} "
+              f"({100.0 * useful / max(r.nnz, 1):.1f}% of outputs)")
+        print("  → a 2-detecting ⊗ (the paper's AND proposal) could skip "
+              f"{total_products - useful:,} products, but violates the "
+              "semiring annihilator axiom")
+    assert useful <= r.nnz
+
+
+def test_boolean_closure_vs_counting(benchmark, rmat_small, capsys):
+    """Boolean vs arithmetic squaring: same pattern, cheaper algebra."""
+    a, _, _ = rmat_small
+    counting = benchmark(mxm, a, a)
+    boolean = mxm(a.pattern(True), a.pattern(True), semiring=LOR_LAND)
+    assert counting.nnz == boolean.nnz  # identical sparsity pattern
+    with capsys.disabled():
+        print(f"\nA² pattern: {counting.nnz:,} entries under both "
+              "plus-times and lor-land — structure is semiring-invariant")

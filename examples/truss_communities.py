@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Subgraph detection: k-truss + eigen analysis find a planted clique.
+
+The paper motivates k-truss (Algorithm 1) with planted clique/cluster
+detection (§III-B refs [11], [12]).  This example plants a clique in a
+background G(n, p) graph and shows three kernel-built detectors
+locating it:
+
+1. truss decomposition — the clique survives to the highest k,
+2. eigen-analysis of the degree-centred adjacency matrix,
+3. vertex nomination from a handful of known members.
+
+Run:  python examples/truss_communities.py [--n 120 --clique 14]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.algorithms.cliques import planted_clique_eigen, vertex_nomination
+from repro.algorithms.truss import truss_decomposition
+from repro.generators import planted_clique
+from repro.schemas import edge_list_from_adjacency, incidence_unoriented
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=120)
+    parser.add_argument("--clique", type=int, default=14)
+    parser.add_argument("--p", type=float, default=0.08,
+                        help="background edge probability")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    a, members = planted_clique(args.n, args.clique, p=args.p, seed=args.seed)
+    truth = set(members.tolist())
+    print(f"G({args.n}, {args.p}) + planted {args.clique}-clique on "
+          f"vertices {sorted(truth)}")
+    print(f"graph has {a.nnz // 2} undirected edges")
+
+    print("\n[1] truss decomposition (Algorithm 1, iterated)")
+    e = incidence_unoriented(args.n, edge_list_from_adjacency(a))
+    decomp = truss_decomposition(e)
+    kmax = max(decomp)
+    top = decomp[kmax]
+    surv = set(np.unique(top.indices).tolist())
+    print(f"    maximal truss: k={kmax} with {top.nrows} edges on "
+          f"{len(surv)} vertices")
+    print(f"    clique members among them: {len(surv & truth)}/{args.clique}")
+
+    print("\n[2] eigen-analysis (degree-centred principal eigenvector)")
+    cand = set(planted_clique_eigen(a, args.clique).tolist())
+    print(f"    nominated {sorted(cand)}")
+    print(f"    overlap with planted clique: "
+          f"{len(cand & truth)}/{args.clique}")
+
+    print("\n[3] vertex nomination from 4 known members")
+    cues = members[:4].tolist()
+    noms = vertex_nomination(a, cues, top=args.clique - 4)
+    hits = sum(v in truth for v, _ in noms)
+    print(f"    cues {cues} → nominated {[v for v, _ in noms]}")
+    print(f"    correct nominations: {hits}/{args.clique - 4}")
+
+
+if __name__ == "__main__":
+    main()

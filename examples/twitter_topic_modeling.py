@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Figure 3 reproduction: NMF topic modelling of ~20k tweets.
+
+The paper applied Algorithm 5 (NMF via the Algorithm 4 matrix inverse)
+to ~20,000 tweets with k=5 topics and read off five communities:
+Turkish, dating, an Atlanta acoustic-guitar competition, Spanish, and
+English.  The original data is unavailable, so this example generates a
+synthetic corpus with exactly those five latent topics (see
+``repro.generators.tweets``), fits the paper's NMF, prints the Fig 3-
+style per-topic term lists, and — because the synthetic corpus carries
+ground truth — scores the recovery with purity/NMI.
+
+Run:  python examples/twitter_topic_modeling.py [--docs 20000]
+"""
+
+import argparse
+
+from repro.algorithms.topics import fit_topics, nmi, purity
+from repro.generators import generate_tweets
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--docs", type=int, default=20_000,
+                        help="corpus size (paper: ~20k tweets)")
+    parser.add_argument("--topics", type=int, default=5,
+                        help="number of NMF topics (paper: 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"generating {args.docs} synthetic tweets over 5 latent topics ...")
+    corpus = generate_tweets(n_docs=args.docs, seed=args.seed)
+    doc_term, vocab = corpus.to_matrix()
+    print(f"doc-term matrix: {doc_term.nrows} docs × {doc_term.ncols} terms, "
+          f"{doc_term.nnz} stored entries")
+
+    print(f"\nfitting Algorithm 5 NMF with k={args.topics} "
+          f"(solves via Algorithm 4 Newton-Schulz inverse) ...")
+    model = fit_topics(doc_term, vocab, args.topics, seed=args.seed,
+                       max_iter=40)
+    print(f"converged after {model.result.iterations} iterations, "
+          f"relative error {model.result.errors[-1]:.4f}")
+
+    print("\nrecovered topics (cf. paper Fig 3):")
+    print(model.report(top=8))
+
+    pred = model.doc_topics()
+    print(f"\nrecovery vs generative labels: "
+          f"purity={purity(pred, corpus.labels):.3f}  "
+          f"NMI={nmi(pred, corpus.labels):.3f}")
+    print("(the paper could only eyeball its topics; the synthetic corpus "
+          "makes recovery measurable)")
+
+
+if __name__ == "__main__":
+    main()

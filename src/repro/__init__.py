@@ -1,0 +1,43 @@
+"""Graphulo reproduction: linear-algebra graph kernels for NoSQL databases.
+
+Reproduces Gadepally et al., *"Graphulo: Linear Algebra Graph Kernels
+for NoSQL Databases"* (IPDPSW 2015, arXiv:1508.07372):
+
+* :mod:`repro.semiring` — semiring algebra (tropical, boolean, ...);
+* :mod:`repro.sparse` — the GraphBLAS kernel substrate (SpGEMM,
+  SpM{Sp}V, SpEWiseX, SpRef, SpAsgn, Scale, Apply, Reduce);
+* :mod:`repro.assoc` — D4M associative arrays;
+* :mod:`repro.schemas` — adjacency / incidence / D4M graph schemas;
+* :mod:`repro.dbsim` — a simulated Accumulo (sorted KV tablets,
+  server-side iterators, Graphulo TableMult);
+* :mod:`repro.algorithms` — the paper's algorithms recast in kernel
+  form (k-truss, Jaccard, centrality, NMF, traversal, shortest paths,
+  similarity, prediction, community detection);
+* :mod:`repro.generators` — graphs and the synthetic tweet corpus.
+
+Quickstart::
+
+    from repro.generators import fig1_graph, fig1_edges
+    from repro.schemas import incidence_unoriented
+    from repro.algorithms import ktruss, jaccard
+
+    E = incidence_unoriented(5, fig1_edges())
+    E3 = ktruss(E, k=3)          # paper Algorithm 1
+    J = jaccard(fig1_graph())    # paper Algorithm 2
+"""
+
+from repro import algorithms, assoc, dbsim, generators, schemas, semiring, sparse, util
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algorithms",
+    "assoc",
+    "dbsim",
+    "generators",
+    "schemas",
+    "semiring",
+    "sparse",
+    "util",
+    "__version__",
+]

@@ -1,0 +1,143 @@
+"""Graph algorithms recast as GraphBLAS kernel compositions (paper §III).
+
+One module per Table I algorithm class:
+
+==========================  =====================================
+Class (Table I)             Module
+==========================  =====================================
+Exploration & Traversal     :mod:`repro.algorithms.traversal`
+Subgraph Detection          :mod:`repro.algorithms.truss`,
+                            :mod:`repro.algorithms.cliques`
+Centrality                  :mod:`repro.algorithms.centrality`
+Similarity                  :mod:`repro.algorithms.jaccard`,
+                            :mod:`repro.algorithms.similarity`
+Community Detection         :mod:`repro.algorithms.nmf`,
+                            :mod:`repro.algorithms.topics`,
+                            :mod:`repro.algorithms.community`
+Prediction                  :mod:`repro.algorithms.prediction`
+Shortest Path               :mod:`repro.algorithms.shortestpath`
+==========================  =====================================
+
+:mod:`repro.algorithms.baselines` holds the classical (pointer-chasing)
+implementations the benchmark harness compares against.
+"""
+
+from repro.algorithms.traversal import bfs, bfs_tree, connected_components
+from repro.algorithms.truss import (
+    ktruss,
+    ktruss_recompute,
+    truss_decomposition,
+    edge_support,
+)
+from repro.algorithms.jaccard import jaccard, jaccard_dense
+from repro.algorithms.centrality import (
+    betweenness_batched,
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    katz_centrality,
+    pagerank,
+)
+from repro.algorithms.inverse import newton_schulz_inverse
+from repro.algorithms.nmf import nmf, nmf_reconstruction_error
+from repro.algorithms.topics import TopicModel, fit_topics, purity, nmi
+from repro.algorithms.shortestpath import (
+    apsp_min_plus,
+    astar,
+    bellman_ford,
+    floyd_warshall,
+    johnson,
+)
+from repro.algorithms.similarity import (
+    common_neighbors,
+    cosine_similarity,
+    is_isomorphic,
+    neighbor_matching,
+)
+from repro.algorithms.prediction import (
+    adamic_adar_scores,
+    katz_link_scores,
+    link_prediction,
+    emerging_communities,
+)
+from repro.algorithms.cliques import (
+    bron_kerbosch,
+    max_clique,
+    planted_clique_eigen,
+    vertex_nomination,
+)
+from repro.algorithms.community import (
+    label_propagation,
+    nmf_communities,
+    spectral_bipartition,
+)
+from repro.algorithms.factor import pca, truncated_svd
+from repro.algorithms.walks import (
+    hitting_mass,
+    personalized_pagerank,
+    walk_counts,
+)
+from repro.algorithms.structure import (
+    bfs_multi_source,
+    boruvka_msf,
+    kcore,
+    strongly_connected_components,
+    triangle_count,
+)
+
+__all__ = [
+    "bfs",
+    "bfs_tree",
+    "connected_components",
+    "ktruss",
+    "ktruss_recompute",
+    "truss_decomposition",
+    "edge_support",
+    "jaccard",
+    "jaccard_dense",
+    "betweenness_batched",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "degree_centrality",
+    "eigenvector_centrality",
+    "katz_centrality",
+    "pagerank",
+    "newton_schulz_inverse",
+    "nmf",
+    "nmf_reconstruction_error",
+    "TopicModel",
+    "fit_topics",
+    "purity",
+    "nmi",
+    "apsp_min_plus",
+    "astar",
+    "bellman_ford",
+    "floyd_warshall",
+    "johnson",
+    "common_neighbors",
+    "cosine_similarity",
+    "is_isomorphic",
+    "neighbor_matching",
+    "adamic_adar_scores",
+    "katz_link_scores",
+    "link_prediction",
+    "emerging_communities",
+    "bron_kerbosch",
+    "max_clique",
+    "planted_clique_eigen",
+    "vertex_nomination",
+    "label_propagation",
+    "nmf_communities",
+    "spectral_bipartition",
+    "pca",
+    "truncated_svd",
+    "bfs_multi_source",
+    "boruvka_msf",
+    "kcore",
+    "strongly_connected_components",
+    "triangle_count",
+    "hitting_mass",
+    "personalized_pagerank",
+    "walk_counts",
+]

@@ -1,0 +1,181 @@
+"""Shortest paths (Table I class 7) on the tropical semiring.
+
+The min-plus semiring turns path relaxation into matrix algebra:
+
+* Bellman–Ford — ``d ← min(d, Aᵀ ⊕.⊗ d)`` is one min-plus SpMV per
+  relaxation round;
+* all-pairs — ``D^(2t) = D^(t) ⊕.⊗ D^(t)`` squares the distance matrix
+  ⌈log₂ n⌉ times (the linear-algebra Floyd–Warshall equivalent);
+* Johnson — Bellman–Ford potentials + per-source Dijkstra on the
+  reweighted graph (Dijkstra's priority queue is inherently sequential,
+  so it lives in :mod:`repro.algorithms.baselines`);
+* A* — heuristic-guided point-to-point search (classical form).
+
+Graphs are weighted adjacency matrices with ``A(u, v) = w(u→v)``;
+missing entries mean "no edge" (tropical zero = +inf).  Zero-weight
+edges must be stored explicitly (use a stored 0.0 value).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.semiring.builtin import MIN_PLUS
+from repro.sparse.construct import from_coo
+from repro.sparse.matrix import Matrix
+from repro.sparse.spgemm import mxm
+from repro.sparse.spmv import mxv
+from repro.util.validation import check_index, check_square
+
+_INF = float("inf")
+
+
+def bellman_ford(a: Matrix, source: int) -> np.ndarray:
+    """Single-source shortest distances by min-plus SpMV relaxation.
+
+    Handles negative edge weights; raises ``ValueError`` on a negative
+    cycle reachable from the source (detected by an n-th improving
+    round, the classical certificate).
+    """
+    n = check_square(a, "adjacency matrix")
+    source = check_index(source, n, "source")
+    at = a.T
+    d = np.full(n, _INF)
+    d[source] = 0.0
+    for _ in range(n - 1):
+        relaxed = np.minimum(d, mxv(at, d, semiring=MIN_PLUS))
+        if np.array_equal(relaxed, d, equal_nan=False):
+            return d
+        d = relaxed
+    final = np.minimum(d, mxv(at, d, semiring=MIN_PLUS))
+    if not np.array_equal(final, d):
+        raise ValueError("graph contains a negative cycle reachable from source")
+    return d
+
+
+def _distance_matrix(a: Matrix) -> Matrix:
+    """Adjacency → tropical distance matrix: add explicit 0 diagonal
+    (multiplicative identity of min-plus)."""
+    n = a.nrows
+    diag = from_coo(n, n, np.arange(n), np.arange(n), np.zeros(n))
+    # union-add with MIN keeps any negative self loop, else 0
+    from repro.semiring.builtin import MIN
+
+    return a.ewise_add(diag, op=MIN)
+
+
+def apsp_min_plus(a: Matrix) -> np.ndarray:
+    """All-pairs shortest paths by repeated min-plus squaring:
+    ``D^(1) = A ⊕ I₀``, then ⌈log₂(n−1)⌉ SpGEMM squarings.
+
+    Assumes no negative cycles (distances would diverge); ``O(n³ log n)``
+    work but only ~log n kernel invocations — the formulation the paper's
+    thesis needs, since each squaring is one server-side TableMult.
+    """
+    n = check_square(a, "adjacency matrix")
+    if n == 0:
+        return np.zeros((0, 0))
+    d = _distance_matrix(a)
+    hops = 1
+    while hops < n - 1:
+        d = mxm(d, d, semiring=MIN_PLUS)
+        hops *= 2
+    return d.to_dense(fill=_INF)
+
+
+def floyd_warshall(a: Matrix) -> np.ndarray:
+    """Classical Floyd–Warshall (vectorised over the inner two loops) —
+    the dense APSP baseline for :func:`apsp_min_plus`.
+
+    Raises ``ValueError`` if a negative cycle exists (negative diagonal).
+    """
+    n = check_square(a, "adjacency matrix")
+    d = a.to_dense(fill=_INF)
+    np.fill_diagonal(d, np.minimum(np.diag(d), 0.0))
+    for k in range(n):
+        # d_ij = min(d_ij, d_ik + d_kj): one outer-sum broadcast per pivot
+        via = d[:, k][:, None] + d[k, :][None, :]
+        np.minimum(d, via, out=d)
+    if n and np.diag(d).min() < 0:
+        raise ValueError("graph contains a negative cycle")
+    return d
+
+
+def johnson(a: Matrix) -> np.ndarray:
+    """Johnson's APSP: Bellman–Ford potentials h from a virtual source,
+    reweight ``w'(u,v) = w + h_u − h_v ≥ 0``, then Dijkstra per source.
+
+    Matches Floyd–Warshall output on negative-weight (cycle-free)
+    graphs at ``O(n·m·log n)`` cost; the Bellman–Ford phase runs on the
+    min-plus kernels.
+    """
+    n = check_square(a, "adjacency matrix")
+    if n == 0:
+        return np.zeros((0, 0))
+    # virtual source n with 0-weight edges to all vertices
+    rows, cols, vals = a.to_coo()
+    aug = from_coo(n + 1, n + 1,
+                   np.concatenate([rows, np.full(n, n)]),
+                   np.concatenate([cols, np.arange(n)]),
+                   np.concatenate([vals, np.zeros(n)]))
+    h = bellman_ford(aug, n)[:n]
+    # reweight: w'(u,v) = w(u,v) + h_u − h_v  (all ≥ 0)
+    rw = vals + h[rows] - h[cols]
+    if len(rw) and rw.min() < -1e-9:
+        raise AssertionError("reweighting produced a negative edge")
+    reweighted = from_coo(n, n, rows, cols, np.maximum(rw, 0.0))
+    from repro.algorithms.baselines import dijkstra
+
+    out = np.empty((n, n))
+    for s in range(n):
+        out[s] = dijkstra(reweighted, s) - h[s] + h
+    return out
+
+
+def astar(a: Matrix, source: int, target: int,
+          heuristic: Optional[np.ndarray] = None) -> Tuple[float, list]:
+    """A* point-to-point search with an admissible heuristic vector
+    ``heuristic[v] ≤ dist(v, target)`` (defaults to all-zero ≡ Dijkstra).
+
+    Returns ``(distance, path)``; ``(inf, [])`` when unreachable.
+    Nonnegative edge weights required.
+    """
+    n = check_square(a, "adjacency matrix")
+    source = check_index(source, n, "source")
+    target = check_index(target, n, "target")
+    if a.nnz and a.values.min() < 0:
+        raise ValueError("A* requires nonnegative edge weights")
+    if heuristic is None:
+        h = np.zeros(n)
+    else:
+        h = np.asarray(heuristic, dtype=np.float64)
+        if h.shape != (n,):
+            raise ValueError(f"heuristic must have shape ({n},)")
+    dist = np.full(n, _INF)
+    dist[source] = 0.0
+    parent = np.full(n, -1, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    heap = [(h[source], source)]
+    while heap:
+        _, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        if u == target:
+            break
+        done[u] = True
+        cols, vals = a.row(u)
+        for v, w in zip(cols, vals):
+            nd = dist[u] + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd + h[v], int(v)))
+    if not np.isfinite(dist[target]):
+        return _INF, []
+    path = [int(target)]
+    while path[-1] != source:
+        path.append(int(parent[path[-1]]))
+    return float(dist[target]), path[::-1]

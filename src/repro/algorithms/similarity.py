@@ -1,0 +1,136 @@
+"""Similarity (Table I class 4): neighbour matching, cosine, isomorphism.
+
+Jaccard similarity (the paper's worked §III-C algorithm) lives in
+:mod:`repro.algorithms.jaccard`; this module adds the other Table I
+examples: common-neighbour / cosine matrices as SpGEMM compositions and
+a graph-isomorphism check (spectral invariants + backtracking).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.semiring.builtin import PLUS_MONOID, PLUS_PAIR
+from repro.sparse.matrix import Matrix
+from repro.sparse.reduce import reduce_rows
+from repro.sparse.select import offdiag
+from repro.sparse.spgemm import mxm
+from repro.util.validation import check_square
+
+
+def common_neighbors(a: Matrix) -> Matrix:
+    """``C(i,j) = |N(i) ∩ N(j)|`` for i ≠ j: one SpGEMM on the plus-pair
+    structural semiring (weights ignored) with the diagonal dropped."""
+    check_square(a, "adjacency matrix")
+    return offdiag(mxm(a, a.T, semiring=PLUS_PAIR)).prune()
+
+
+def cosine_similarity(a: Matrix) -> Matrix:
+    """Cosine similarity of adjacency rows:
+    ``S = D^{-1/2} A Aᵀ D^{-1/2}`` with D the diagonal of ``AAᵀ``."""
+    check_square(a, "adjacency matrix")
+    g = mxm(a, a.T)
+    norms = np.sqrt(reduce_rows(a.ewise_mult(a), PLUS_MONOID))
+    s = offdiag(g).prune()
+    rows = s.row_ids()
+    denom = norms[rows] * norms[s.indices]
+    ok = denom > 0
+    vals = np.zeros(s.nnz)
+    vals[ok] = s.values[ok] / denom[ok]
+    return s.with_values(vals).prune()
+
+
+def neighbor_matching(a: Matrix, b: Matrix, iterations: int = 10,
+                      eps: float = 1e-6) -> np.ndarray:
+    """Neighbour-matching similarity between the vertices of two graphs
+    (Table I's "Neighbor Matching"): iterate
+    ``S ← normalize(A · S · Bᵀ + Aᵀ · S · B)`` from the all-ones matrix —
+    vertices are similar when their neighbourhoods are similar.
+
+    Returns a dense ``(n_a, n_b)`` similarity array in [0, 1].
+    """
+    check_square(a, "graph A")
+    check_square(b, "graph B")
+    s = np.ones((a.nrows, b.nrows))
+    from repro.sparse.spmv import mxd
+
+    bt = b.T
+    at = a.T
+    for _ in range(iterations):
+        # A S Bᵀ: rows via sparse-dense products on each side
+        forward = mxd(a, mxd(bt, s.T).T)
+        backward = mxd(at, mxd(b, s.T).T)
+        new = forward + backward
+        norm = np.abs(new).max()
+        if norm == 0:
+            return new
+        new /= norm
+        if np.abs(new - s).max() < eps:
+            return new
+        s = new
+    return s
+
+
+def _invariants(a: Matrix) -> Tuple:
+    """Cheap isomorphism invariants: size, degree sequence, sorted
+    adjacency spectrum (rounded)."""
+    deg = np.sort(reduce_rows(a.pattern(), PLUS_MONOID))
+    spec = np.sort(np.linalg.eigvalsh(a.pattern().to_dense()))
+    return a.nrows, a.nnz, tuple(deg.tolist()), tuple(np.round(spec, 8).tolist())
+
+
+def is_isomorphic(a: Matrix, b: Matrix,
+                  max_nodes: int = 64) -> Tuple[bool, Optional[Dict[int, int]]]:
+    """Graph isomorphism test for undirected simple graphs.
+
+    Invariant screening (degree sequence + spectrum) rejects most
+    non-isomorphic pairs outright; surviving pairs get an exact
+    degree-partitioned backtracking search (exponential worst case,
+    bounded by ``max_nodes``).  Returns ``(answer, mapping-or-None)``.
+    """
+    check_square(a, "graph A")
+    check_square(b, "graph B")
+    if a.nrows != b.nrows or a.nnz != b.nnz:
+        return False, None
+    if _invariants(a) != _invariants(b):
+        return False, None
+    n = a.nrows
+    if n > max_nodes:
+        raise ValueError(
+            f"exact isomorphism search capped at {max_nodes} vertices, got {n}")
+    ad = a.pattern().to_dense().astype(bool)
+    bd = b.pattern().to_dense().astype(bool)
+    deg_a = ad.sum(axis=1)
+    deg_b = bd.sum(axis=1)
+    # order A's vertices by rarity of degree for faster pruning
+    order = np.argsort([-(deg_a == deg_a[i]).sum() for i in range(n)])[::-1]
+    order = sorted(range(n), key=lambda i: (np.sum(deg_a == deg_a[i]), -deg_a[i]))
+    mapping: Dict[int, int] = {}
+    used = np.zeros(n, dtype=bool)
+
+    def backtrack(k: int) -> bool:
+        if k == n:
+            return True
+        u = order[k]
+        for v in range(n):
+            if used[v] or deg_b[v] != deg_a[u]:
+                continue
+            ok = True
+            for w, x in mapping.items():
+                if ad[u, w] != bd[v, x]:
+                    ok = False
+                    break
+            if ok:
+                mapping[u] = v
+                used[v] = True
+                if backtrack(k + 1):
+                    return True
+                del mapping[u]
+                used[v] = False
+        return False
+
+    if backtrack(0):
+        return True, dict(mapping)
+    return False, None

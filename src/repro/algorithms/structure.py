@@ -1,0 +1,177 @@
+"""Further structural kernels: triangles, k-core, SCC, Borůvka MST.
+
+These round out the Table I classes with the other standard
+linear-algebraic graph computations (all are classic GraphBLAS
+showcases):
+
+* triangle counting — one masked plus-pair SpGEMM (``(A ⊕.pair A) ⊙ A``);
+* k-core — iterated degree Reduce + SpRef peeling;
+* strongly connected components — forward × backward boolean closures;
+* minimum spanning forest — Borůvka rounds on (min, second) SpMV.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.semiring.builtin import LOR_LAND, PLUS_MONOID, PLUS_PAIR
+from repro.sparse.matrix import Matrix
+from repro.sparse.reduce import reduce_rows
+from repro.sparse.spgemm import mxm
+from repro.sparse.spmv import mxv, mxv_sparse
+from repro.sparse.vector import Vector
+from repro.util.validation import check_index, check_square
+
+
+def triangle_count(a: Matrix) -> Tuple[int, np.ndarray]:
+    """Triangles of an undirected simple graph.
+
+    ``T = (A ⊕.pair A) ⊙ A`` counts, per edge, its supporting triangles;
+    each triangle contributes to 6 stored positions (3 edges × 2
+    orientations), so the global count is ``Σ T / 6`` and the
+    per-vertex count is the row sum / 2.
+
+    Returns ``(total, per_vertex)``.
+    """
+    check_square(a, "adjacency matrix")
+    p = a.pattern()
+    t = mxm(p, p, semiring=PLUS_PAIR, mask=p)
+    per_vertex = reduce_rows(t, PLUS_MONOID) / 2.0
+    total = int(round(float(per_vertex.sum()) / 3.0))
+    return total, per_vertex.astype(np.int64)
+
+
+def kcore(a: Matrix) -> np.ndarray:
+    """Core number of every vertex (largest k such that the vertex
+    survives in the maximal subgraph of minimum degree k).
+
+    Peeling loop: repeatedly Reduce degrees, remove all vertices below
+    the current k, re-extract the subgraph (SpRef) — each round is one
+    Reduce + one extract, the paper's kernel-composition style.
+    """
+    n = check_square(a, "adjacency matrix")
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.arange(n)
+    sub = a.pattern()
+    k = 0
+    while len(alive):
+        deg = reduce_rows(sub, PLUS_MONOID)
+        peel = np.flatnonzero(deg <= k)
+        if len(peel) == 0:
+            k = int(deg.min())  # jump straight to the next threshold
+            continue
+        core[alive[peel]] = k
+        keep = np.flatnonzero(deg > k)
+        alive = alive[keep]
+        sub = sub.extract(rows=keep, cols=keep)
+    return core
+
+
+def strongly_connected_components(a: Matrix, max_iter: int = None) -> np.ndarray:
+    """SCC labels of a digraph via forward/backward boolean reachability.
+
+    The classic FW–BW idea restricted to full closures: the reachability
+    closure R (boolean squaring) and its transpose identify mutually
+    reachable pairs; labels are the min vertex id of each SCC.
+    ``O(n³ log n)`` bit-work — appropriate at the detection scales the
+    paper targets, with every step a boolean SpGEMM.
+    """
+    n = check_square(a, "adjacency matrix")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    from repro.sparse.construct import identity
+    from repro.sparse.ewise import ewise_add
+
+    closure = ewise_add(a.pattern(True), identity(n, one=True),
+                        op=np.logical_or)
+    rounds = max_iter or int(np.ceil(np.log2(max(n, 2)))) + 1
+    for _ in range(rounds):
+        nxt = ewise_add(closure, mxm(closure, closure, semiring=LOR_LAND),
+                        op=np.logical_or)
+        if nxt.equal(closure):
+            break
+        closure = nxt
+    mutual = closure.ewise_mult(closure.T, op=np.logical_and)
+    # label = min j with mutual(i, j): first stored index per row
+    labels = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        cols, _ = mutual.row(i)
+        labels[i] = cols[0]  # diagonal guarantees non-empty
+    return labels
+
+
+def boruvka_msf(a: Matrix) -> Tuple[np.ndarray, float]:
+    """Minimum spanning forest by Borůvka rounds.
+
+    Each round, every component finds its minimum outgoing edge — for
+    vertices that is one (min, …) reduction over rows restricted to
+    cross-component edges — then components merge.  Returns
+    ``(edges (m,2) array, total weight)``; ties broken by (weight, u, v)
+    for determinism.  The graph must be undirected with positive
+    weights.
+    """
+    n = check_square(a, "adjacency matrix")
+    if a.nnz and a.values.min() <= 0:
+        raise ValueError("Boruvka requires positive edge weights")
+    if not a.equal(a.T):
+        raise ValueError("Boruvka requires an undirected (symmetric) graph")
+    comp = np.arange(n)
+    chosen = set()
+    total = 0.0
+    rows_all = a.row_ids()
+    cols_all = a.indices
+    vals_all = a.values
+    while True:
+        cross = comp[rows_all] != comp[cols_all]
+        if not cross.any():
+            break
+        r, c, v = rows_all[cross], cols_all[cross], vals_all[cross]
+        # per-component minimum outgoing edge: lexsort by (comp, w, u, v)
+        order = np.lexsort((c, r, v, comp[r]))
+        r, c, v = r[order], c[order], v[order]
+        firsts = np.flatnonzero(np.r_[True, np.diff(comp[r]) != 0])
+        merged_any = False
+        for idx in firsts:
+            u, w_vert, w = int(r[idx]), int(c[idx]), float(v[idx])
+            cu, cv = comp[u], comp[w_vert]
+            if cu == cv:
+                continue
+            edge = (min(u, w_vert), max(u, w_vert))
+            if edge not in chosen:
+                chosen.add(edge)
+                total += w
+            comp[comp == max(cu, cv)] = min(cu, cv)
+            merged_any = True
+        if not merged_any:
+            break
+    edges = np.asarray(sorted(chosen), dtype=np.intp).reshape(-1, 2)
+    return edges, total
+
+
+def bfs_multi_source(a: Matrix, sources, directed: bool = False) -> np.ndarray:
+    """BFS hop distances from the *nearest* of several seeds — one
+    shared frontier, the multi-seed variant Graphulo's table BFS exposes
+    (and :func:`repro.dbsim.graphulo.table_bfs` mirrors)."""
+    from repro.semiring.builtin import ANY_PAIR
+
+    n = check_square(a, "adjacency matrix")
+    sources = np.asarray([check_index(s, n, "source") for s in
+                          np.atleast_1d(sources)], dtype=np.intp)
+    if len(sources) == 0:
+        raise ValueError("need at least one source")
+    at = a if not directed else a.T
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[sources] = 0
+    frontier = Vector.sparse_ones(n, sources)
+    level = 0
+    while frontier.nnz:
+        level += 1
+        nxt = mxv_sparse(at, frontier, semiring=ANY_PAIR)
+        fresh = nxt.indices[dist[nxt.indices] < 0]
+        if len(fresh) == 0:
+            break
+        dist[fresh] = level
+        frontier = Vector.sparse_ones(n, fresh)
+    return dist

@@ -1,0 +1,110 @@
+"""Topic modelling on doc×term matrices via NMF — the Fig 3 experiment.
+
+``fit_topics`` runs Algorithm 5 on a document–term count matrix and
+reports, per topic, the dominant terms (rows of H) and per document the
+dominant topic (columns of W) — the structure the paper reads off its
+Twitter run.  ``purity``/``nmi`` score recovered topics against ground
+truth when it exists (our synthetic corpus keeps its labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.nmf import NMFResult, nmf
+from repro.sparse.matrix import Matrix
+from repro.util.rng import SeedLike
+
+
+@dataclass
+class TopicModel:
+    """A fitted topic model over a doc×term matrix."""
+
+    result: NMFResult
+    vocabulary: List[str]
+
+    @property
+    def n_topics(self) -> int:
+        return self.result.w.shape[1]
+
+    def doc_topics(self) -> np.ndarray:
+        """Dominant topic index of every document (argmax of W rows)."""
+        return np.argmax(self.result.w, axis=1)
+
+    def topic_terms(self, topic: int, top: int = 10) -> List[Tuple[str, float]]:
+        """The ``top`` highest-weight terms of one topic (H row)."""
+        if not 0 <= topic < self.n_topics:
+            raise IndexError(f"topic {topic} out of range for {self.n_topics}")
+        h = self.result.h[topic]
+        order = np.argsort(h)[::-1][:top]
+        return [(self.vocabulary[i], float(h[i])) for i in order if h[i] > 0]
+
+    def report(self, top: int = 8) -> str:
+        """Fig 3-style text report: one line of top terms per topic."""
+        lines = []
+        counts = np.bincount(self.doc_topics(), minlength=self.n_topics)
+        for t in range(self.n_topics):
+            terms = ", ".join(w for w, _ in self.topic_terms(t, top=top))
+            lines.append(f"topic {t + 1} ({counts[t]:>6} docs): {terms}")
+        return "\n".join(lines)
+
+
+def fit_topics(doc_term: Matrix, vocabulary: Sequence[str], k: int,
+               solver: str = "newton_schulz", seed: SeedLike = None,
+               max_iter: int = 60, eps: float = 1e-4) -> TopicModel:
+    """Fit a k-topic NMF model to a doc×term count matrix."""
+    if len(vocabulary) != doc_term.ncols:
+        raise ValueError(
+            f"vocabulary size {len(vocabulary)} != term count {doc_term.ncols}")
+    result = nmf(doc_term, k, solver=solver, seed=seed, max_iter=max_iter,
+                 eps=eps)
+    return TopicModel(result=result, vocabulary=list(vocabulary))
+
+
+def purity(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Cluster purity: fraction of documents whose cluster's majority
+    true label matches their own.  1.0 = perfect recovery."""
+    predicted = np.asarray(predicted)
+    truth = np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ValueError("predicted/truth length mismatch")
+    if len(predicted) == 0:
+        return 0.0
+    total = 0
+    for c in np.unique(predicted):
+        members = truth[predicted == c]
+        total += np.bincount(members).max()
+    return total / len(predicted)
+
+
+def nmi(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Normalised mutual information between two labelings (0..1)."""
+    predicted = np.asarray(predicted)
+    truth = np.asarray(truth)
+    if predicted.shape != truth.shape:
+        raise ValueError("predicted/truth length mismatch")
+    n = len(predicted)
+    if n == 0:
+        return 0.0
+    pu, pi = np.unique(predicted, return_inverse=True)
+    tu, ti = np.unique(truth, return_inverse=True)
+    joint = np.zeros((len(pu), len(tu)))
+    np.add.at(joint, (pi, ti), 1.0)
+    joint /= n
+    pp = joint.sum(axis=1)
+    pt = joint.sum(axis=0)
+    nz = joint > 0
+    mi = float(np.sum(joint[nz] * np.log(
+        joint[nz] / (pp[:, None] * pt[None, :])[nz])))
+
+    def entropy(p: np.ndarray) -> float:
+        p = p[p > 0]
+        return float(-np.sum(p * np.log(p)))
+
+    hp, ht = entropy(pp), entropy(pt)
+    if hp == 0.0 or ht == 0.0:
+        return 1.0 if np.array_equal(pi, ti) else 0.0
+    return mi / np.sqrt(hp * ht)

@@ -1,0 +1,127 @@
+"""Exploration & traversal (Table I class 1) in kernel form.
+
+BFS is the canonical GraphBLAS loop: repeated SpMSpV of the (transposed)
+adjacency matrix against a sparse frontier under a structural semiring,
+masking out visited vertices.  Connected components and a BFS parent
+tree fall out of the same loop with different semirings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.semiring.builtin import ANY_PAIR, MIN_SECOND
+from repro.sparse.matrix import Matrix
+from repro.sparse.spmv import mxv, mxv_sparse
+from repro.sparse.vector import Vector
+from repro.util.validation import check_index, check_square
+
+
+def bfs(a: Matrix, source: int, directed: bool = False) -> np.ndarray:
+    """Breadth-first distances from ``source``.
+
+    Returns an int array of hop counts; unreachable vertices get −1.
+    ``a`` is interpreted as ``A(u, v) = edge u→v``; pass
+    ``directed=False`` (default) for symmetric adjacency matrices where
+    the transpose can be skipped.
+
+    Kernel trace per level: one SpMSpV over the ANY-PAIR structural
+    semiring + one complement mask (SpEWiseX with the negated visited
+    set, realised as an index filter).
+    """
+    n = check_square(a, "adjacency matrix")
+    source = check_index(source, n, "source")
+    at = a if not directed else a.T
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = Vector.sparse_ones(n, [source])
+    level = 0
+    while frontier.nnz:
+        level += 1
+        nxt = mxv_sparse(at, frontier, semiring=ANY_PAIR)
+        # mask: keep only undiscovered vertices
+        fresh = nxt.indices[dist[nxt.indices] < 0]
+        if len(fresh) == 0:
+            break
+        dist[fresh] = level
+        frontier = Vector.sparse_ones(n, fresh)
+    return dist
+
+
+def bfs_tree(a: Matrix, source: int,
+             directed: bool = False) -> Tuple[np.ndarray, np.ndarray]:
+    """BFS distances *and* a parent tree.
+
+    Parents come from the (min, second) semiring: frontier values carry
+    the frontier vertex ids, ⊗=second forwards the id across each edge,
+    ⊕=min picks the smallest-id parent deterministically.  The source's
+    parent is itself; unreachable vertices get parent −1.
+    """
+    n = check_square(a, "adjacency matrix")
+    source = check_index(source, n, "source")
+    at = a if not directed else a.T
+    dist = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    parent[source] = source
+    frontier = Vector(n, np.array([source], dtype=np.intp),
+                      np.array([float(source)]))
+    level = 0
+    while frontier.nnz:
+        level += 1
+        nxt = mxv_sparse(at, frontier, semiring=MIN_SECOND)
+        keep = dist[nxt.indices] < 0
+        fresh = nxt.indices[keep]
+        if len(fresh) == 0:
+            break
+        dist[fresh] = level
+        parent[fresh] = nxt.values[keep].astype(np.int64)
+        frontier = Vector(n, fresh, fresh.astype(np.float64), _validate=False)
+    return dist, parent
+
+
+def connected_components(a: Matrix) -> np.ndarray:
+    """Component labels of an undirected graph via min-label propagation.
+
+    Every vertex starts labelled with its own id; each round replaces a
+    vertex's label with the min over itself and its neighbours (one
+    dense SpMV under (min, second)); fixpoint in at most diameter
+    rounds.  Returns the minimum vertex id of each component.
+    """
+    n = check_square(a, "adjacency matrix")
+    labels = np.arange(n, dtype=np.float64)
+    while True:
+        neighbour_min = mxv(a, labels, semiring=MIN_SECOND)
+        new = np.minimum(labels, neighbour_min)
+        if np.array_equal(new, labels):
+            break
+        labels = new
+    return labels.astype(np.int64)
+
+
+def dfs(a: Matrix, source: int, directed: bool = False) -> np.ndarray:
+    """Depth-first preorder from ``source`` (Table I lists DFS).
+
+    DFS's stack discipline is inherently sequential, so this walks CSR
+    rows directly (the "classical baseline on sparse storage" form);
+    neighbours are visited in ascending vertex order.  Returns the
+    preorder vertex sequence (reachable vertices only).
+    """
+    n = check_square(a, "adjacency matrix")
+    source = check_index(source, n, "source")
+    del directed  # row u already lists out-neighbours A(u, ·) either way
+    seen = np.zeros(n, dtype=bool)
+    order = []
+    stack = [source]
+    while stack:
+        v = stack.pop()
+        if seen[v]:
+            continue
+        seen[v] = True
+        order.append(v)
+        cols, _ = a.row(v)
+        # push descending so the smallest neighbour is popped first
+        stack.extend(int(c) for c in cols[::-1] if not seen[c])
+    return np.asarray(order, dtype=np.int64)

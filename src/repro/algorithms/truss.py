@@ -1,0 +1,160 @@
+"""k-truss subgraph detection — the paper's Algorithm 1, verbatim.
+
+A k-truss is a subgraph in which every edge is supported by at least
+k−2 triangles.  The paper's linear-algebraic formulation works on the
+*unoriented incidence matrix* ``E`` (rows = edges):
+
+* support: ``R = E·A`` counts, for edge e=(u,v) and vertex w, the walks
+  from e's endpoints into w; entries equal to **2** mark triangles
+  (w adjacent to both u and v), so ``s = (R == 2)·1`` is the per-edge
+  support vector;
+* removal: dropping the rows ``x`` of under-supported edges and using
+  ``A = EᵀE − diag(EᵀE)`` lets ``R`` be *updated* instead of recomputed:
+  ``R ← R(xᶜ,:) − E·[Eₓᵀ Eₓ − diag(dₓ)]`` (the paper's §IV Discussion
+  efficiency point — benchmarked against :func:`ktruss_recompute`).
+
+Input graphs must be simple (no self loops, no multi-edges); the
+triangle count via the "==2" trick relies on 0/1 entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.semiring import UnaryOp
+from repro.semiring.builtin import PLUS_MONOID
+from repro.sparse.matrix import Matrix
+from repro.sparse.reduce import reduce_cols, reduce_rows
+from repro.sparse.select import offdiag
+from repro.sparse.spgemm import mxm
+
+#: Apply-kernel function mapping 2 → 1 and everything else → 0 (paper §III-B).
+INDICATOR_EQ2 = UnaryOp("eq2", lambda v: (v == 2).astype(np.float64))
+
+
+def _check_incidence(e: Matrix) -> None:
+    if e.nnz and not np.all(e.values == 1):
+        raise ValueError(
+            "k-truss expects an unweighted unoriented incidence matrix "
+            "(all stored values 1)")
+    lens = e.row_lengths
+    if np.any(lens[lens > 0] != 2):
+        raise ValueError("each incidence-matrix row must touch exactly 2 vertices")
+
+
+def edge_support(e: Matrix) -> np.ndarray:
+    """Triangle support of every edge: ``s = ((E·A) == 2)·1``."""
+    _check_incidence(e)
+    a = offdiag(mxm(e.T, e)).prune()
+    r = mxm(e, a)
+    return reduce_rows(r.apply(INDICATOR_EQ2), PLUS_MONOID)
+
+
+def edge_support_masked(a: Matrix) -> Matrix:
+    """Per-edge triangle support via masked SpGEMM on the adjacency
+    matrix: ``S = (A ⊕.pair A) ⊙ mask(A)`` — support of edge (u, v) is
+    the (u, v) entry of A² restricted to A's pattern.
+
+    This is the §IV optimisation in spirit: instead of computing all of
+    ``R = E·A`` and then selecting the 2s, the mask restricts work to
+    positions that are actually edges (Graphulo's production k-truss
+    takes this adjacency-based route).  Returns a matrix on A's pattern
+    whose values are supports; pair it with
+    ``A = EᵀE − diag`` to get the incidence-based vector.
+    """
+    from repro.semiring.builtin import PLUS_PAIR
+
+    if a.nrows != a.ncols:
+        raise ValueError(f"adjacency matrix must be square, got {a.shape}")
+    p = a.pattern()
+    return mxm(p, p, semiring=PLUS_PAIR, mask=p)
+
+
+def ktruss(e: Matrix, k: int) -> Matrix:
+    """Algorithm 1: incidence matrix of the k-truss of ``E``'s graph.
+
+    Uses the incremental support update; every step is a GraphBLAS
+    kernel (SpGEMM, SpRef, Apply, Reduce, eWiseAdd).
+    """
+    if k < 3:
+        raise ValueError(f"k must be >= 3 (every graph is a 2-truss), got {k}")
+    _check_incidence(e)
+
+    # initialization (paper's pseudocode, line for line)
+    d = reduce_cols(e, PLUS_MONOID)                 # d = sum(E)
+    a = offdiag(mxm(e.T, e)).prune()                # A = EᵀE − diag(d)
+    r = mxm(e, a)                                   # R = EA
+    s = reduce_rows(r.apply(INDICATOR_EQ2), PLUS_MONOID)   # s = (R==2)·1
+    x = np.flatnonzero(s < k - 2)                   # x = find(s < k−2)
+
+    while len(x):
+        xc = np.setdiff1d(np.arange(e.nrows), x, assume_unique=True)
+        ex = e.extract(rows=x)                      # Ex = E(x, :)
+        e = e.extract(rows=xc)                      # E = E(xc, :)
+        dx = reduce_cols(ex, PLUS_MONOID)           # dx = sum(Ex)
+        r = r.extract(rows=xc)                      # R = R(xc, :)
+        # R = R − E[ExᵀEx − diag(dx)]
+        update = mxm(e, offdiag(mxm(ex.T, ex)).prune())
+        r = (r - update).prune()
+        s = reduce_rows(r.apply(INDICATOR_EQ2), PLUS_MONOID)
+        x = np.flatnonzero(s < k - 2)
+    return e
+
+
+def ktruss_recompute(e: Matrix, k: int) -> Matrix:
+    """Algorithm 1 without the incremental trick: ``R = E·A`` is fully
+    recomputed from the surviving edges each round (the naive variant
+    the paper's Discussion says the update avoids).  Ablation baseline.
+    """
+    if k < 3:
+        raise ValueError(f"k must be >= 3 (every graph is a 2-truss), got {k}")
+    _check_incidence(e)
+    while True:
+        if e.nrows == 0:
+            return e
+        s = edge_support(e)
+        x = np.flatnonzero(s < k - 2)
+        if len(x) == 0:
+            return e
+        xc = np.setdiff1d(np.arange(e.nrows), x, assume_unique=True)
+        e = e.extract(rows=xc)
+
+
+def truss_decomposition(e: Matrix) -> Dict[int, Matrix]:
+    """Full truss decomposition (paper §III-B): run k=3 on the graph,
+    feed the result to k=4, ... until the incidence matrix is empty.
+
+    Returns ``{k: incidence matrix of the maximal k-truss}`` for every k
+    with a non-empty truss (k ≥ 3).
+    """
+    _check_incidence(e)
+    out: Dict[int, Matrix] = {}
+    k = 3
+    current = e
+    while current.nrows:
+        current = ktruss(current, k)
+        if current.nrows == 0:
+            break
+        out[k] = current
+        k += 1
+    return out
+
+
+def truss_numbers(e: Matrix) -> np.ndarray:
+    """Per-edge truss number: the largest k whose k-truss retains the
+    edge (2 for edges in no triangle).  Edge identity follows ``E``'s
+    row order via the (vertex, vertex) pair it stores.
+    """
+    _check_incidence(e)
+    def edge_keys(mat: Matrix) -> np.ndarray:
+        pairs = mat.indices.reshape(-1, 2)
+        return pairs[:, 0] * mat.ncols + pairs[:, 1]
+
+    numbers = np.full(e.nrows, 2, dtype=np.int64)
+    base_keys = edge_keys(e)
+    for k, ek in truss_decomposition(e).items():
+        still = np.isin(base_keys, edge_keys(ek))
+        numbers[still] = k
+    return numbers

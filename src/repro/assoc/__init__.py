@@ -1,0 +1,28 @@
+"""D4M-style associative arrays (paper §II-A).
+
+An :class:`AssocArray` is a map from (row key, column key) pairs to a
+semiring value set — "a generalization of sparse matrices" whose entries
+always carry their global row and column *labels* and which has no empty
+rows or columns.  Algebra on associative arrays performs key alignment:
+summation unions key sets; multiplication correlates along the shared
+dimension (paper: "addition of two arrays represents a union, and the
+multiplication of two arrays represents a correlation").
+
+Internally each array is a sorted string-key universe pair plus a
+:class:`repro.sparse.Matrix`, matching the paper's methodology of
+encoding associative arrays as sparse matrices for algorithmic work.
+"""
+
+from repro.assoc.keyset import KeyRange, select_keys, to_key_array, union_keys
+from repro.assoc.array import AssocArray
+from repro.assoc.io import read_tsv_triples, write_tsv_triples
+
+__all__ = [
+    "AssocArray",
+    "KeyRange",
+    "select_keys",
+    "to_key_array",
+    "union_keys",
+    "read_tsv_triples",
+    "write_tsv_triples",
+]

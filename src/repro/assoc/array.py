@@ -1,0 +1,277 @@
+"""The AssocArray datatype.
+
+Implements the paper's associative-array semantics (§II-A): entries
+carry global row/column string labels; addition unions key sets;
+multiplication correlates along the shared key dimension; there are no
+empty rows or columns (arrays are *condensed* — their key universes are
+exactly the keys with stored entries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.assoc.keyset import (
+    Selector,
+    lookup,
+    select_keys,
+    to_key_array,
+    union_keys,
+)
+from repro.semiring import BinaryOp, Monoid, Semiring
+from repro.semiring.builtin import PLUS_MONOID
+from repro.sparse.construct import from_coo, zeros
+from repro.sparse.matrix import Matrix
+
+
+class AssocArray:
+    """A 2-D associative array: ``(row key, col key) → value``.
+
+    Normally built via :meth:`from_triples`; the raw constructor expects
+    sorted-unique key universes aligned with a :class:`Matrix`.
+    """
+
+    __slots__ = ("row_keys", "col_keys", "matrix")
+
+    def __init__(self, row_keys, col_keys, matrix: Matrix,
+                 _validate: bool = True):
+        self.row_keys = to_key_array(row_keys)
+        self.col_keys = to_key_array(col_keys)
+        self.matrix = matrix
+        if _validate:
+            if matrix.shape != (len(self.row_keys), len(self.col_keys)):
+                raise ValueError(
+                    f"matrix shape {matrix.shape} != key universe sizes "
+                    f"({len(self.row_keys)}, {len(self.col_keys)})")
+            for name, keys in (("row", self.row_keys), ("col", self.col_keys)):
+                if len(keys) > 1 and np.any(keys[:-1] >= keys[1:]):
+                    raise ValueError(f"{name} keys must be sorted and unique")
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, rows: Iterable, cols: Iterable, values=None,
+                     dup: Optional[Monoid] = None) -> "AssocArray":
+        """Build from parallel (row key, col key[, value]) sequences.
+
+        Values default to 1 (pattern array — the D4M ingest convention);
+        duplicates combine under ``dup`` (default plus, i.e. counting).
+        """
+        rk = to_key_array(rows)
+        ck = to_key_array(cols)
+        if rk.shape != ck.shape:
+            raise ValueError("rows and cols must have equal length")
+        if values is None:
+            vals = np.ones(len(rk), dtype=np.float64)
+        else:
+            vals = np.asarray(values, dtype=np.float64)
+            if vals.shape != rk.shape:
+                raise ValueError("values must align with rows/cols")
+        row_universe = np.unique(rk)
+        col_universe = np.unique(ck)
+        ri = lookup(row_universe, rk)
+        ci = lookup(col_universe, ck)
+        m = from_coo(len(row_universe), len(col_universe), ri, ci, vals,
+                     dup=dup or PLUS_MONOID)
+        return cls(row_universe, col_universe, m, _validate=False).condense()
+
+    @classmethod
+    def empty(cls) -> "AssocArray":
+        return cls(np.empty(0, dtype=str), np.empty(0, dtype=str),
+                   zeros(0, 0), _validate=False)
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    def triples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(row keys, col keys, values)`` of all stored entries."""
+        r, c, v = self.matrix.to_coo()
+        return self.row_keys[r], self.col_keys[c], v
+
+    def to_dict(self) -> dict:
+        """``{(row key, col key): value}`` — small-array test helper."""
+        r, c, v = self.triples()
+        return {(str(a), str(b)): x for a, b, x in zip(r, c, v)}
+
+    def get(self, row: str, col: str, default=0.0):
+        """Value at a key pair, or ``default`` when absent."""
+        try:
+            (ri,) = lookup(self.row_keys, to_key_array([row]))
+            (ci,) = lookup(self.col_keys, to_key_array([col]))
+        except KeyError:
+            return default
+        return self.matrix.get(int(ri), int(ci), default)
+
+    def condense(self) -> "AssocArray":
+        """Drop key-universe entries with no stored entries (paper:
+        associative arrays have no empty rows or columns)."""
+        keep_r = self.matrix.row_lengths > 0
+        seen_c = np.zeros(self.matrix.ncols, dtype=bool)
+        seen_c[self.matrix.indices] = True
+        if keep_r.all() and seen_c.all():
+            return self
+        sub = self.matrix.extract(rows=np.flatnonzero(keep_r),
+                                  cols=np.flatnonzero(seen_c))
+        return AssocArray(self.row_keys[keep_r], self.col_keys[seen_c], sub,
+                          _validate=False)
+
+    # -- key alignment -------------------------------------------------------------
+
+    def _expand_to(self, row_universe: np.ndarray,
+                   col_universe: np.ndarray) -> Matrix:
+        """Re-index this array's matrix into larger key universes."""
+        rmap = lookup(row_universe, self.row_keys)
+        cmap = lookup(col_universe, self.col_keys)
+        r, c, v = self.matrix.to_coo()
+        return from_coo(len(row_universe), len(col_universe),
+                        rmap[r], cmap[c], v)
+
+    # -- algebra ---------------------------------------------------------------------
+
+    def ewise_add(self, other: "AssocArray", op: Optional[BinaryOp] = None) -> "AssocArray":
+        """Union add: key universes union; common keys combine with
+        ``op`` (default plus).  Paper §II-A: "summation ... performs a
+        union of their underlying non-zero keys"."""
+        ru = union_keys(self.row_keys, other.row_keys)
+        cu = union_keys(self.col_keys, other.col_keys)
+        m = self._expand_to(ru, cu).ewise_add(other._expand_to(ru, cu), op=op)
+        return AssocArray(ru, cu, m, _validate=False).condense()
+
+    def ewise_mult(self, other: "AssocArray", op: Optional[BinaryOp] = None) -> "AssocArray":
+        """Intersection multiply on matching key pairs (default times)."""
+        ru = union_keys(self.row_keys, other.row_keys)
+        cu = union_keys(self.col_keys, other.col_keys)
+        m = self._expand_to(ru, cu).ewise_mult(other._expand_to(ru, cu), op=op)
+        return AssocArray(ru, cu, m, _validate=False).condense()
+
+    def matmul(self, other: "AssocArray",
+               semiring: Optional[Semiring] = None) -> "AssocArray":
+        """Key-aligned SpGEMM: correlate ``self``'s columns with
+        ``other``'s rows over the union of the inner key universes."""
+        inner = union_keys(self.col_keys, other.row_keys)
+        a = self._expand_to(self.row_keys, inner)
+        b = other._expand_to(inner, other.col_keys)
+        return AssocArray(self.row_keys, other.col_keys,
+                          a.mxm(b, semiring=semiring),
+                          _validate=False).condense()
+
+    def matmul_catkeys(self, other: "AssocArray", sep: str = ";") -> dict:
+        """D4M's ``CatKeyMul``: matrix multiply that returns, per output
+        key pair, the *list of inner keys* that contributed — provenance
+        for a correlation ("these documents connect word A to word B").
+
+        Returns ``{(row key, col key): "k1;k2;..."}`` with contributing
+        inner keys sorted and joined by ``sep``.  (String-valued, so it
+        returns a dict rather than a numeric AssocArray.)
+        """
+        from repro.sparse.spgemm import grouped_arange
+
+        inner_universe = union_keys(self.col_keys, other.row_keys)
+        a = self._expand_to(self.row_keys, inner_universe)
+        b = other._expand_to(inner_universe, other.col_keys)
+        b_row_len = np.diff(b.indptr)
+        counts = b_row_len[a.indices]
+        out_rows = np.repeat(a.row_ids(), counts)
+        inner = np.repeat(a.indices, counts)          # contributing t
+        gather = grouped_arange(counts, starts=b.indptr[a.indices])
+        out_cols = b.indices[gather]
+        result: dict = {}
+        order = np.lexsort((inner, out_cols, out_rows))
+        for idx in order:
+            key = (str(self.row_keys[out_rows[idx]]),
+                   str(other.col_keys[out_cols[idx]]))
+            name = str(inner_universe[inner[idx]])
+            if key in result:
+                result[key] = result[key] + sep + name
+            else:
+                result[key] = name
+        return result
+
+    def transpose(self) -> "AssocArray":
+        return AssocArray(self.col_keys, self.row_keys, self.matrix.T,
+                          _validate=False)
+
+    @property
+    def T(self) -> "AssocArray":
+        return self.transpose()
+
+    def sum_rows(self, monoid: Optional[Monoid] = None) -> "AssocArray":
+        """Reduce each row to a single column keyed ``"sum"``."""
+        vec = self.matrix.reduce_rows(monoid or PLUS_MONOID)
+        m = from_coo(self.shape[0], 1, np.arange(self.shape[0]),
+                     np.zeros(self.shape[0], dtype=np.intp), vec)
+        return AssocArray(self.row_keys, np.array(["sum"]), m,
+                          _validate=False).condense()
+
+    def sum_cols(self, monoid: Optional[Monoid] = None) -> "AssocArray":
+        """Reduce each column to a single row keyed ``"sum"``."""
+        return self.transpose().sum_rows(monoid).transpose()
+
+    def scale(self, scalar, op: Optional[BinaryOp] = None) -> "AssocArray":
+        return AssocArray(self.row_keys, self.col_keys,
+                          self.matrix.scale(scalar, op=op), _validate=False)
+
+    def apply(self, op) -> "AssocArray":
+        return AssocArray(self.row_keys, self.col_keys, self.matrix.apply(op),
+                          _validate=False)
+
+    # -- selection ----------------------------------------------------------------------
+
+    def extract(self, rows: Selector = None, cols: Selector = None) -> "AssocArray":
+        """Sub-reference by key selectors (exact keys, :class:`KeyRange`,
+        ``"prefix*"`` globs, or ``":"``); result is condensed."""
+        ri = select_keys(self.row_keys, rows)
+        ci = select_keys(self.col_keys, cols)
+        return AssocArray(self.row_keys[ri], self.col_keys[ci],
+                          self.matrix.extract(rows=ri, cols=ci),
+                          _validate=False).condense()
+
+    def __getitem__(self, key) -> "AssocArray":
+        if isinstance(key, tuple) and len(key) == 2:
+            return self.extract(rows=key[0], cols=key[1])
+        return self.extract(rows=key)
+
+    # -- operator sugar --------------------------------------------------------------------
+
+    def __add__(self, other: "AssocArray") -> "AssocArray":
+        return self.ewise_add(other)
+
+    def __mul__(self, other):
+        if isinstance(other, AssocArray):
+            return self.ewise_mult(other)
+        return self.scale(other)
+
+    def __rmul__(self, scalar):
+        return self.scale(scalar)
+
+    def __matmul__(self, other: "AssocArray") -> "AssocArray":
+        return self.matmul(other)
+
+    def equal(self, other: "AssocArray") -> bool:
+        a, b = self.condense(), other.condense()
+        return (np.array_equal(a.row_keys, b.row_keys)
+                and np.array_equal(a.col_keys, b.col_keys)
+                and a.matrix.equal(b.matrix))
+
+    def __repr__(self) -> str:
+        return (f"AssocArray({self.shape[0]} rows × {self.shape[1]} cols, "
+                f"nnz={self.nnz})")
+
+    def pretty(self, max_entries: int = 25) -> str:
+        """Human-readable triple listing (truncated)."""
+        r, c, v = self.triples()
+        lines = [f"{self!r}"]
+        for i in range(min(len(r), max_entries)):
+            lines.append(f"  ({r[i]!s}, {c[i]!s}) -> {v[i]}")
+        if len(r) > max_entries:
+            lines.append(f"  ... {len(r) - max_entries} more")
+        return "\n".join(lines)

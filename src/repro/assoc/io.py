@@ -1,0 +1,58 @@
+"""Triple-file I/O for associative arrays (D4M-style TSV exchange)."""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.assoc.array import AssocArray
+from repro.semiring import Monoid
+
+
+def write_tsv_triples(a: AssocArray, path: str) -> int:
+    """Write ``row<TAB>col<TAB>value`` lines; returns entries written."""
+    rows, cols, vals = a.triples()
+    with open(path, "w", encoding="utf-8") as fh:
+        for r, c, v in zip(rows, cols, vals):
+            fh.write(f"{r}\t{c}\t{v}\n")
+    return len(rows)
+
+
+def read_tsv_triples(path: str, dup: Optional[Monoid] = None) -> AssocArray:
+    """Read an AssocArray from ``row<TAB>col<TAB>value`` lines.
+
+    Missing third column means value 1 (pattern ingest).  Malformed
+    lines raise with the offending line number.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    rows, cols, vals = [], [], []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) == 2:
+                r, c = parts
+                v = 1.0
+            elif len(parts) == 3:
+                r, c = parts[0], parts[1]
+                try:
+                    v = float(parts[2])
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: non-numeric value {parts[2]!r}"
+                    ) from exc
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 2 or 3 tab-separated fields, "
+                    f"got {len(parts)}")
+            rows.append(r)
+            cols.append(c)
+            vals.append(v)
+    if not rows:
+        return AssocArray.empty()
+    return AssocArray.from_triples(rows, cols, np.asarray(vals), dup=dup)

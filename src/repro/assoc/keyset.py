@@ -1,0 +1,98 @@
+"""Sorted string-key universes and D4M-flavoured key selection.
+
+Keys are NumPy unicode arrays kept sorted and unique; selection supports
+exact key lists, lexicographic ranges (:class:`KeyRange`, matching NoSQL
+range scans), and trailing-``*`` prefix globs (D4M's ``"word|*"``
+idiom for exploded column families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+
+def to_key_array(keys: Iterable) -> np.ndarray:
+    """Normalise an iterable of keys to a 1-D unicode array (as given,
+    not deduplicated — callers decide)."""
+    arr = np.asarray(list(keys) if not isinstance(keys, np.ndarray) else keys)
+    if arr.ndim != 1:
+        raise ValueError("keys must be one-dimensional")
+    return arr.astype(str)
+
+
+def sorted_unique(keys: Iterable) -> np.ndarray:
+    """Sorted, duplicate-free key universe."""
+    return np.unique(to_key_array(keys))
+
+
+def union_keys(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Union of two sorted key universes (still sorted unique)."""
+    return np.union1d(a, b)
+
+
+def lookup(universe: np.ndarray, keys: np.ndarray, what: str = "key") -> np.ndarray:
+    """Positions of ``keys`` in the sorted ``universe``; KeyError if absent."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.intp)
+    pos = np.searchsorted(universe, keys)
+    pos_c = np.minimum(pos, len(universe) - 1) if len(universe) else pos
+    if len(universe) == 0 or not np.all(universe[pos_c] == keys):
+        if len(universe):
+            missing = keys[universe[pos_c] != keys]
+        else:
+            missing = keys
+        raise KeyError(f"{what}(s) not present: {missing[:5].tolist()}")
+    return pos_c.astype(np.intp)
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """Lexicographic half-open key range ``[start, stop)``.
+
+    ``start=None`` / ``stop=None`` leave that side unbounded — the same
+    semantics as a NoSQL range scan, which is what makes associative-
+    array sub-referencing cheap on a sorted key-value store.
+    """
+
+    start: Optional[str] = None
+    stop: Optional[str] = None
+
+    def mask(self, universe: np.ndarray) -> np.ndarray:
+        m = np.ones(len(universe), dtype=bool)
+        if self.start is not None:
+            m &= universe >= self.start
+        if self.stop is not None:
+            m &= universe < self.stop
+        return m
+
+
+Selector = Union[None, KeyRange, str, Sequence]
+
+
+def select_keys(universe: np.ndarray, selector: Selector) -> np.ndarray:
+    """Indices into ``universe`` chosen by ``selector``.
+
+    * ``None`` / ``":"`` — everything;
+    * ``KeyRange`` — lexicographic range;
+    * a string ending in ``*`` — prefix glob (``"word|*"``);
+    * any other string — that exact key;
+    * a sequence — those exact keys, in the given order.
+    """
+    if selector is None:
+        return np.arange(len(universe), dtype=np.intp)
+    if isinstance(selector, KeyRange):
+        return np.flatnonzero(selector.mask(universe))
+    if isinstance(selector, str):
+        if selector == ":":
+            return np.arange(len(universe), dtype=np.intp)
+        if selector.endswith("*"):
+            prefix = selector[:-1]
+            # prefix glob == range [prefix, prefix + chr(0x10FFFF))
+            return np.flatnonzero(
+                KeyRange(prefix, prefix + chr(0x10FFFF)).mask(universe))
+        return lookup(universe, to_key_array([selector]))
+    return lookup(universe, to_key_array(selector))

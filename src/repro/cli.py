@@ -1,0 +1,263 @@
+"""Command-line interface: graph analytics over TSV triple files.
+
+The exchange format is the D4M triple TSV (``row<TAB>col[<TAB>value]``)
+read/written by :mod:`repro.assoc.io`; vertices keep their string keys
+end to end.
+
+Subcommands::
+
+    python -m repro info      graph.tsv
+    python -m repro generate  rmat --scale 8 --out graph.tsv
+    python -m repro bfs       graph.tsv --source v00001
+    python -m repro pagerank  graph.tsv --top 10
+    python -m repro ktruss    graph.tsv --k 4 [--out truss.tsv]
+    python -m repro jaccard   graph.tsv --top 10
+    python -m repro topics    --docs 2000 --k 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.assoc import AssocArray, read_tsv_triples, write_tsv_triples
+
+
+def _load(path: str) -> AssocArray:
+    a = read_tsv_triples(path)
+    if a.nnz == 0:
+        raise SystemExit(f"error: {path} holds no triples")
+    return a
+
+
+def _square(a: AssocArray) -> tuple:
+    """Align row and column key universes (graph tables need one vertex
+    set); returns (matrix, key array)."""
+    from repro.assoc.keyset import union_keys
+
+    keys = union_keys(a.row_keys, a.col_keys)
+    m = a._expand_to(keys, keys)
+    return m, keys
+
+
+def cmd_info(args) -> int:
+    a = _load(args.path)
+    m, keys = _square(a)
+    deg = m.pattern().reduce_rows()
+    print(f"{args.path}: {len(keys)} vertices, {m.nnz} stored entries")
+    print(f"degree: min={int(deg.min())} mean={deg.mean():.2f} "
+          f"max={int(deg.max())}")
+    order = np.argsort(-deg)[:5]
+    print("top-degree vertices:",
+          ", ".join(f"{keys[i]}({int(deg[i])})" for i in order))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.generators import erdos_renyi, rmat_graph
+
+    if args.model == "rmat":
+        g = rmat_graph(args.scale, edge_factor=args.edge_factor,
+                       seed=args.seed)
+    else:
+        g = erdos_renyi(1 << args.scale, args.p, seed=args.seed)
+    rows, cols, vals = g.to_coo()
+    width = len(str(g.nrows - 1))
+    a = AssocArray.from_triples(
+        [f"v{u:0{width}d}" for u in rows],
+        [f"v{v:0{width}d}" for v in cols], vals)
+    n = write_tsv_triples(a, args.out)
+    print(f"wrote {n} triples ({g.nrows} vertices) to {args.out}")
+    return 0
+
+
+def cmd_bfs(args) -> int:
+    from repro.algorithms import bfs
+
+    a = _load(args.path)
+    m, keys = _square(a)
+    matches = np.flatnonzero(keys == args.source)
+    if len(matches) == 0:
+        raise SystemExit(f"error: source vertex {args.source!r} not in graph")
+    dist = bfs(m, int(matches[0]))
+    reached = int((dist >= 0).sum())
+    print(f"reached {reached}/{len(keys)} vertices from {args.source}")
+    for hop in range(dist.max() + 1):
+        members = keys[dist == hop]
+        shown = ", ".join(map(str, members[:8]))
+        more = f" (+{len(members) - 8} more)" if len(members) > 8 else ""
+        print(f"  hop {hop}: {shown}{more}")
+    return 0
+
+
+def cmd_pagerank(args) -> int:
+    from repro.algorithms import pagerank
+
+    a = _load(args.path)
+    m, keys = _square(a)
+    pr = pagerank(m, jump=args.jump)
+    order = np.argsort(-pr)[:args.top]
+    print(f"PageRank (jump={args.jump}) top {args.top}:")
+    for i in order:
+        print(f"  {keys[i]:<20} {pr[i]:.6f}")
+    return 0
+
+
+def cmd_ktruss(args) -> int:
+    from repro.algorithms import ktruss
+    from repro.schemas import edge_list_from_adjacency, incidence_unoriented
+    from repro.schemas.adjacency import symmetrize
+
+    a = _load(args.path)
+    m, keys = _square(a)
+    sym = symmetrize(m.pattern())
+    edges = edge_list_from_adjacency(sym)
+    e = incidence_unoriented(len(keys), edges)
+    kept = ktruss(e, args.k)
+    print(f"{args.k}-truss: {kept.nrows}/{e.nrows} edges survive")
+    pairs = kept.indices.reshape(-1, 2)
+    for u, v in pairs[:args.top]:
+        print(f"  {keys[u]} -- {keys[v]}")
+    if len(pairs) > args.top:
+        print(f"  ... {len(pairs) - args.top} more")
+    if args.out:
+        out = AssocArray.from_triples([str(keys[u]) for u, _ in pairs],
+                                      [str(keys[v]) for _, v in pairs],
+                                      np.ones(len(pairs)))
+        write_tsv_triples(out, args.out)
+        print(f"wrote surviving edges to {args.out}")
+    return 0
+
+
+def cmd_jaccard(args) -> int:
+    from repro.algorithms import jaccard
+    from repro.schemas.adjacency import symmetrize
+
+    a = _load(args.path)
+    m, keys = _square(a)
+    j = jaccard(symmetrize(m.pattern()).prune())
+    rows = j.row_ids()
+    entries = [(float(v), int(r), int(c))
+               for r, c, v in zip(rows, j.indices, j.values) if r < c]
+    entries.sort(key=lambda t: (-t[0], t[1], t[2]))
+    print(f"Jaccard: {len(entries)} similar pairs; top {args.top}:")
+    for v, r, c in entries[:args.top]:
+        print(f"  {keys[r]} ~ {keys[c]}  J={v:.4f}")
+    return 0
+
+
+def cmd_triangles(args) -> int:
+    from repro.algorithms import triangle_count
+    from repro.schemas.adjacency import symmetrize
+
+    a = _load(args.path)
+    m, keys = _square(a)
+    total, per_vertex = triangle_count(symmetrize(m.pattern()).prune())
+    print(f"{total} triangles")
+    order = np.argsort(-per_vertex)[:args.top]
+    for i in order:
+        if per_vertex[i] > 0:
+            print(f"  {keys[i]:<20} {per_vertex[i]}")
+    return 0
+
+
+def cmd_components(args) -> int:
+    from repro.algorithms import connected_components
+    from repro.schemas.adjacency import symmetrize
+
+    a = _load(args.path)
+    m, keys = _square(a)
+    labels = connected_components(symmetrize(m.pattern()))
+    unique, counts = np.unique(labels, return_counts=True)
+    print(f"{len(unique)} connected component(s)")
+    order = np.argsort(-counts)[:args.top]
+    for i in order:
+        print(f"  component rooted at {keys[unique[i]]}: {counts[i]} vertices")
+    return 0
+
+
+def cmd_topics(args) -> int:
+    from repro.algorithms.topics import fit_topics, nmi, purity
+    from repro.generators import generate_tweets
+
+    corpus = generate_tweets(n_docs=args.docs, seed=args.seed)
+    dt, vocab = corpus.to_matrix()
+    model = fit_topics(dt, vocab, args.k, seed=args.seed, max_iter=40)
+    print(model.report(top=args.top))
+    pred = model.doc_topics()
+    print(f"purity={purity(pred, corpus.labels):.3f} "
+          f"nmi={nmi(pred, corpus.labels):.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro",
+                                description=__doc__.splitlines()[0])
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("info", help="graph statistics from a triple TSV")
+    s.add_argument("path")
+    s.set_defaults(fn=cmd_info)
+
+    s = sub.add_parser("generate", help="generate a graph to a triple TSV")
+    s.add_argument("model", choices=["rmat", "er"])
+    s.add_argument("--scale", type=int, default=8)
+    s.add_argument("--edge-factor", type=int, default=8)
+    s.add_argument("--p", type=float, default=0.05)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--out", required=True)
+    s.set_defaults(fn=cmd_generate)
+
+    s = sub.add_parser("bfs", help="breadth-first hop levels")
+    s.add_argument("path")
+    s.add_argument("--source", required=True)
+    s.set_defaults(fn=cmd_bfs)
+
+    s = sub.add_parser("pagerank", help="PageRank ranking")
+    s.add_argument("path")
+    s.add_argument("--jump", type=float, default=0.15)
+    s.add_argument("--top", type=int, default=10)
+    s.set_defaults(fn=cmd_pagerank)
+
+    s = sub.add_parser("ktruss", help="k-truss subgraph (Algorithm 1)")
+    s.add_argument("path")
+    s.add_argument("--k", type=int, required=True)
+    s.add_argument("--top", type=int, default=10)
+    s.add_argument("--out")
+    s.set_defaults(fn=cmd_ktruss)
+
+    s = sub.add_parser("jaccard", help="Jaccard similarity (Algorithm 2)")
+    s.add_argument("path")
+    s.add_argument("--top", type=int, default=10)
+    s.set_defaults(fn=cmd_jaccard)
+
+    s = sub.add_parser("triangles", help="triangle counts (masked SpGEMM)")
+    s.add_argument("path")
+    s.add_argument("--top", type=int, default=10)
+    s.set_defaults(fn=cmd_triangles)
+
+    s = sub.add_parser("components", help="connected components")
+    s.add_argument("path")
+    s.add_argument("--top", type=int, default=10)
+    s.set_defaults(fn=cmd_components)
+
+    s = sub.add_parser("topics",
+                       help="NMF topic demo on the synthetic corpus (Fig 3)")
+    s.add_argument("--docs", type=int, default=2000)
+    s.add_argument("--k", type=int, default=5)
+    s.add_argument("--top", type=int, default=8)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(fn=cmd_topics)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Simulated Accumulo: a single-process NoSQL tablet-server substrate.
+
+The paper's thesis is that GraphBLAS kernels can execute *inside* a
+NoSQL database because its sorted key-value storage is isomorphic to
+sparse-triple storage.  Real Apache Accumulo is a distributed Java
+system; this package simulates the parts the thesis depends on, with
+the same architecture:
+
+* :mod:`repro.dbsim.key` — ``Key(row, family, qualifier, visibility,
+  timestamp) → Value`` cells with Accumulo's sort order (timestamps
+  descend);
+* :mod:`repro.dbsim.memtable` / :mod:`repro.dbsim.sstable` — an
+  in-memory write buffer flushed into immutable sorted runs;
+* :mod:`repro.dbsim.iterators` — the server-side
+  ``SortedKVIterator`` framework (seek/next/top contract): merging,
+  versioning, filtering, combining, transforming — the exact extension
+  point Graphulo uses;
+* :mod:`repro.dbsim.tablet` / :mod:`repro.dbsim.server` — tablets with
+  split points hosted across simulated tablet servers, plus an
+  ``Instance`` with table configuration (combiners, splits);
+* :mod:`repro.dbsim.client` — Connector / Scanner / BatchScanner /
+  BatchWriter;
+* :mod:`repro.dbsim.graphulo` — the Graphulo server-side operations:
+  TableMult (SpGEMM through iterators), degree tables, apply/filter,
+  and table-level BFS;
+* :mod:`repro.dbsim.d4m_bridge` — AssocArray ↔ table binding;
+* :mod:`repro.dbsim.stats` — the cost model (seeks, entries
+  read/written) reported by the benchmark harness in lieu of
+  cluster wall-clock numbers.
+"""
+
+from repro.dbsim.key import Cell, Key, Range, decode_number, encode_number
+from repro.dbsim.iterators import (
+    AgeOffIterator,
+    ApplyIterator,
+    ColumnFilterIterator,
+    DeleteFilterIterator,
+    RegexFilterIterator,
+    VisibilityFilterIterator,
+    ListIterator,
+    MergeIterator,
+    PredicateFilterIterator,
+    SortedKVIterator,
+    SummingCombiner,
+    MinCombiner,
+    MaxCombiner,
+    VersioningIterator,
+    drain,
+)
+from repro.dbsim.tablet import Tablet
+from repro.dbsim.server import Instance, TabletServer, TableConfig
+from repro.dbsim.client import BatchScanner, BatchWriter, Connector, Scanner
+from repro.dbsim.graphulo import (
+    apply_to_table,
+    degree_table,
+    filter_table,
+    table_bfs,
+    table_mult,
+)
+from repro.dbsim.graphulo_algorithms import (
+    table_intersect,
+    table_jaccard,
+    table_ktruss,
+    table_pagerank,
+)
+from repro.dbsim.d4m_bridge import assoc_to_table, table_to_assoc
+from repro.dbsim.stats import OpStats
+from repro.dbsim.visibility import (
+    PUBLIC,
+    Authorizations,
+    VisibilityError,
+    check_expression,
+    parse_visibility,
+)
+
+__all__ = [
+    "Cell",
+    "Key",
+    "Range",
+    "decode_number",
+    "encode_number",
+    "AgeOffIterator",
+    "ApplyIterator",
+    "ColumnFilterIterator",
+    "DeleteFilterIterator",
+    "RegexFilterIterator",
+    "VisibilityFilterIterator",
+    "ListIterator",
+    "MergeIterator",
+    "PredicateFilterIterator",
+    "SortedKVIterator",
+    "SummingCombiner",
+    "MinCombiner",
+    "MaxCombiner",
+    "VersioningIterator",
+    "drain",
+    "Tablet",
+    "Instance",
+    "TabletServer",
+    "TableConfig",
+    "BatchScanner",
+    "BatchWriter",
+    "Connector",
+    "Scanner",
+    "apply_to_table",
+    "degree_table",
+    "filter_table",
+    "table_bfs",
+    "table_intersect",
+    "table_jaccard",
+    "table_ktruss",
+    "table_mult",
+    "table_pagerank",
+    "assoc_to_table",
+    "table_to_assoc",
+    "OpStats",
+    "PUBLIC",
+    "Authorizations",
+    "VisibilityError",
+    "check_expression",
+    "parse_visibility",
+]

@@ -1,0 +1,197 @@
+"""Client API: Connector, Scanner, BatchScanner, BatchWriter.
+
+Mirrors the Accumulo client library shape the D4M/Graphulo stack
+programs against: a Connector locates tablets through the Instance, a
+Scanner streams one range in key order, a BatchScanner handles many
+ranges, and a BatchWriter buffers mutations and routes them to the
+owning tablets on flush.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.dbsim.iterators import Columns, VisibilityFilterIterator
+from repro.dbsim.key import Cell, Key, Range, encode_number
+from repro.dbsim.server import Instance, TableConfig
+from repro.dbsim.tablet import IteratorFactory
+from repro.dbsim.visibility import PUBLIC, Authorizations, check_expression
+
+
+class Connector:
+    """Entry point: table ops + scanner/writer factories."""
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+
+    # -- table operations (subset of Accumulo's TableOperations) ----------
+
+    def create_table(self, name: str, config: Optional[TableConfig] = None,
+                     splits: Sequence[str] = ()) -> None:
+        self.instance.create_table(name, config, splits)
+
+    def delete_table(self, name: str) -> None:
+        self.instance.delete_table(name)
+
+    def table_exists(self, name: str) -> bool:
+        return self.instance.table_exists(name)
+
+    def add_split(self, name: str, split_row: str) -> None:
+        self.instance.add_split(name, split_row)
+
+    def flush(self, name: str) -> None:
+        self.instance.flush_table(name)
+
+    def compact(self, name: str) -> None:
+        self.instance.compact_table(name)
+
+    # -- data-path factories ------------------------------------------------
+
+    def scanner(self, table: str,
+                scan_iterators: Sequence[IteratorFactory] = (),
+                authorizations: Authorizations = None) -> "Scanner":
+        return Scanner(self, table, scan_iterators,
+                       authorizations=authorizations)
+
+    def batch_scanner(self, table: str,
+                      scan_iterators: Sequence[IteratorFactory] = (),
+                      authorizations: Authorizations = None) -> "BatchScanner":
+        return BatchScanner(self, table, scan_iterators,
+                            authorizations=authorizations)
+
+    def batch_writer(self, table: str, buffer_size: int = 10_000) -> "BatchWriter":
+        return BatchWriter(self, table, buffer_size)
+
+
+class Scanner:
+    """Single-range scan in key order across all overlapping tablets."""
+
+    def __init__(self, conn: Connector, table: str,
+                 scan_iterators: Sequence[IteratorFactory] = (),
+                 authorizations: Authorizations = None):
+        self._conn = conn
+        self._table = table
+        auths = PUBLIC if authorizations is None else authorizations
+        # visibility filtering runs server-side, before user scan iterators
+        self._scan_iterators = (
+            (lambda src: VisibilityFilterIterator(src, auths)),
+        ) + tuple(scan_iterators)
+        self.range = Range()
+        self.columns: Columns = None
+
+    def set_range(self, rng: Range) -> "Scanner":
+        self.range = rng
+        return self
+
+    def fetch_column(self, family: str, qualifier: Optional[str] = None) -> "Scanner":
+        cols = list(self.columns or [])
+        cols.append((family, qualifier))
+        self.columns = cols
+        return self
+
+    def __iter__(self) -> Iterator[Cell]:
+        inst = self._conn.instance
+        config = inst.config(self._table)
+        # tablets are kept in extent order, so concatenation preserves
+        # global key order
+        for tablet in inst.tablets_for_range(self._table, self.range):
+            it = tablet.scan_iterator(self.range, config.table_iterators,
+                                      self._scan_iterators)
+            it.seek(self.range, self.columns)
+            while it.has_top():
+                yield it.top()
+                it.advance()
+
+
+class BatchScanner:
+    """Multi-range scan (results in key order per range, ranges in the
+    order given — the simulation is deterministic where Accumulo is not)."""
+
+    def __init__(self, conn: Connector, table: str,
+                 scan_iterators: Sequence[IteratorFactory] = (),
+                 authorizations: Authorizations = None):
+        self._conn = conn
+        self._table = table
+        self._scan_iterators = tuple(scan_iterators)
+        self._authorizations = authorizations
+        self.ranges: List[Range] = []
+        self.columns: Columns = None
+
+    def set_ranges(self, ranges: Iterable[Range]) -> "BatchScanner":
+        self.ranges = list(ranges)
+        if not self.ranges:
+            raise ValueError("BatchScanner needs at least one range")
+        return self
+
+    def __iter__(self) -> Iterator[Cell]:
+        for rng in self.ranges:
+            scanner = Scanner(self._conn, self._table, self._scan_iterators,
+                              authorizations=self._authorizations)
+            scanner.range = rng
+            scanner.columns = self.columns
+            yield from scanner
+
+
+class BatchWriter:
+    """Buffered writer routing mutations to owning tablets.
+
+    Usable as a context manager; ``close()``/``__exit__`` flushes.
+    Values may be numbers (encoded) or strings.
+    """
+
+    def __init__(self, conn: Connector, table: str, buffer_size: int = 10_000):
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self._conn = conn
+        self._table = table
+        self._buffer: List[Cell] = []
+        self._buffer_size = buffer_size
+        self._closed = False
+
+    def put(self, row: str, family: str = "", qualifier: str = "",
+            value="1", visibility: str = "", timestamp: int = 0) -> None:
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        check_expression(visibility)  # reject bad labels at write time
+        if isinstance(value, (int, float)):
+            value = encode_number(value)
+        self._buffer.append(Cell(Key(row, family, qualifier, visibility,
+                                     timestamp), value))
+        if len(self._buffer) >= self._buffer_size:
+            self.flush()
+
+    def delete(self, row: str, family: str = "", qualifier: str = "",
+               visibility: str = "") -> None:
+        """Queue a tombstone for the addressed cell (all versions)."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        check_expression(visibility)
+        self._buffer.append(Cell(Key(row, family, qualifier, visibility,
+                                     0, True), ""))
+        if len(self._buffer) >= self._buffer_size:
+            self.flush()
+
+    def put_cell(self, cell: Cell) -> None:
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        self._buffer.append(cell)
+        if len(self._buffer) >= self._buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        inst = self._conn.instance
+        for cell in self._buffer:
+            tablet = inst.locate(self._table, cell.key.row)
+            tablet.write(cell.key, cell.value)
+        self._buffer.clear()
+
+    def close(self) -> None:
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    def __enter__(self) -> "BatchWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

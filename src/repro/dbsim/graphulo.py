@@ -1,0 +1,219 @@
+"""Graphulo server-side operations.
+
+These are the database-resident forms of the GraphBLAS kernels — the
+paper's stated goal ("use Accumulo server components such as iterators
+to perform graph analytics"):
+
+* :func:`table_mult` — SpGEMM as Graphulo's TableMult: stream the rows
+  of stored-transpose ``AT`` and of ``B`` through a two-table iterator,
+  emit partial products to the result table, and let the result table's
+  *summing combiner* perform ⊕ — the multiply never materialises a
+  client-side matrix;
+* :func:`degree_table` — maintain the D4M schema's Tdeg (one Reduce);
+* :func:`apply_to_table` / :func:`filter_table` — server-side Apply /
+  value filters via the iterator stack;
+* :func:`table_bfs` — k-hop BFS by repeated BatchScanner row fetches of
+  the frontier (Graphulo's adjacency-table BFS).
+
+All take a :class:`~repro.dbsim.client.Connector`; result tables are
+created on demand with the right combiner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.dbsim.client import Connector
+from repro.dbsim.iterators import (
+    ApplyIterator,
+    MaxCombiner,
+    MinCombiner,
+    PredicateFilterIterator,
+    SummingCombiner,
+)
+from repro.dbsim.key import Cell, Range, decode_number
+from repro.dbsim.server import TableConfig
+from repro.dbsim.stats import OpStats
+
+#: name → combiner factory for result tables (the ⊕ of the semiring).
+COMBINERS = {
+    "sum": SummingCombiner,
+    "min": MinCombiner,
+    "max": MaxCombiner,
+}
+
+
+def create_combiner_table(conn: Connector, name: str, combiner: str = "sum",
+                          splits: Sequence[str] = ()) -> None:
+    """Create a table whose versions of a cell fold with ``combiner`` —
+    the Accumulo idiom for accumulating writes (⊕ on collision)."""
+    if combiner not in COMBINERS:
+        raise ValueError(f"combiner must be one of {sorted(COMBINERS)}, "
+                         f"got {combiner!r}")
+    config = TableConfig(
+        max_versions=2 ** 31,  # combiner consumes all versions
+        table_iterators=(COMBINERS[combiner],),
+    )
+    conn.create_table(name, config, splits=splits)
+
+
+def table_mult(conn: Connector, table_at: str, table_b: str, out: str,
+               mul: Callable[[float, float], float] = lambda a, b: a * b,
+               combiner: str = "sum", authorizations=None) -> OpStats:
+    """Graphulo TableMult: ``C = Aᵀ ⊕.⊗ B`` with ``AT`` stored row-wise
+    (Accumulo can only iterate rows, hence the stored transpose — the
+    same reason the D4M schema keeps TedgeT).
+
+    Streams both tables' rows in sorted order; on a shared inner row
+    ``t`` emits ``(u, v) → A(t,u) ⊗ B(t,v)`` into ``out``, whose
+    combiner applies ⊕ across colliding partial products.  Returns the
+    instance-wide stats delta for the whole operation (the cost model).
+    """
+    inst = conn.instance
+    before = inst.total_stats().snapshot()
+    if not conn.table_exists(out):
+        create_combiner_table(conn, out, combiner=combiner)
+
+    # Two sorted row streams, advanced in lockstep (the TwoTableIterator).
+    a_cells = iter(conn.scanner(table_at, authorizations=authorizations))
+    b_cells = iter(conn.scanner(table_b, authorizations=authorizations))
+
+    def next_row(stream) -> Optional[Tuple[str, list]]:
+        """Pull one whole row (sorted cells share contiguous row keys)."""
+        head = stream["head"]
+        if head is None:
+            return None
+        row = head.key.row
+        cells = [head]
+        stream["head"] = None
+        for cell in stream["iter"]:
+            if cell.key.row != row:
+                stream["head"] = cell
+                break
+            cells.append(cell)
+        return row, cells
+
+    sa = {"iter": a_cells, "head": next(a_cells, None)}
+    sb = {"iter": b_cells, "head": next(b_cells, None)}
+    ra = next_row(sa)
+    rb = next_row(sb)
+    with conn.batch_writer(out) as writer:
+        while ra is not None and rb is not None:
+            if ra[0] < rb[0]:
+                ra = next_row(sa)
+            elif rb[0] < ra[0]:
+                rb = next_row(sb)
+            else:
+                for ca in ra[1]:
+                    av = decode_number(ca.value)
+                    for cb in rb[1]:
+                        prod = mul(av, decode_number(cb.value))
+                        writer.put(ca.key.qualifier, "", cb.key.qualifier,
+                                   prod)
+                ra = next_row(sa)
+                rb = next_row(sb)
+    conn.compact(out)  # make the combined result durable/canonical
+    return inst.total_stats().delta(before)
+
+
+def degree_table(conn: Connector, table: str, out: str,
+                 count_entries: bool = False, authorizations=None) -> OpStats:
+    """Build/refresh a degree table: ``out[row, "", "deg"] = Σ_cols v``
+    (or the entry count with ``count_entries=True``) — the D4M Tdeg."""
+    inst = conn.instance
+    before = inst.total_stats().snapshot()
+    if not conn.table_exists(out):
+        create_combiner_table(conn, out, combiner="sum")
+    with conn.batch_writer(out) as writer:
+        for cell in conn.scanner(table, authorizations=authorizations):
+            v = 1.0 if count_entries else decode_number(cell.value)
+            writer.put(cell.key.row, "", "deg", v)
+    conn.compact(out)
+    return inst.total_stats().delta(before)
+
+
+def apply_to_table(conn: Connector, table: str, out: str,
+                   fn: Callable[[float], float],
+                   drop_zero: bool = True, authorizations=None) -> OpStats:
+    """Server-side Apply: scan ``table`` through an ApplyIterator and
+    write the transformed cells to ``out``."""
+    inst = conn.instance
+    before = inst.total_stats().snapshot()
+    if not conn.table_exists(out):
+        conn.create_table(out)
+    scanner = conn.scanner(
+        table, scan_iterators=(lambda src: ApplyIterator(src, fn, drop_zero),),
+        authorizations=authorizations)
+    with conn.batch_writer(out) as writer:
+        for cell in scanner:
+            writer.put_cell(cell)
+    conn.flush(out)
+    return inst.total_stats().delta(before)
+
+
+def filter_table(conn: Connector, table: str, out: str,
+                 predicate: Callable[[Cell], bool],
+                 authorizations=None) -> OpStats:
+    """Server-side value/key filter into a new table."""
+    inst = conn.instance
+    before = inst.total_stats().snapshot()
+    if not conn.table_exists(out):
+        conn.create_table(out)
+    scanner = conn.scanner(
+        table,
+        scan_iterators=(lambda src: PredicateFilterIterator(src, predicate),),
+        authorizations=authorizations)
+    with conn.batch_writer(out) as writer:
+        for cell in scanner:
+            writer.put_cell(cell)
+    conn.flush(out)
+    return inst.total_stats().delta(before)
+
+
+def table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
+              hops: int, min_degree: Optional[float] = None,
+              degree_table_name: Optional[str] = None,
+              authorizations=None) -> Dict[str, int]:
+    """k-hop BFS over an adjacency table (row = source vertex, column
+    qualifier = destination vertex).
+
+    Per hop: one BatchScanner fetch of the frontier's rows; neighbours
+    become the next frontier.  With ``min_degree`` and a degree table,
+    high-volume "supernode" rows below the threshold are skipped — the
+    Graphulo degree-filtered BFS.  Returns ``vertex → hop discovered``
+    (seeds at 0).
+    """
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    if min_degree is not None and degree_table_name is None:
+        raise ValueError("min_degree filtering requires degree_table_name")
+    dist: Dict[str, int] = {}
+    frontier: Set[str] = set()
+    for s in seeds:
+        dist[s] = 0
+        frontier.add(s)
+    if not frontier:
+        raise ValueError("need at least one seed vertex")
+
+    def degree_of(vertex: str) -> float:
+        scanner = conn.scanner(degree_table_name)
+        scanner.set_range(Range.exact_row(vertex))
+        for cell in scanner:
+            return decode_number(cell.value)
+        return 0.0
+
+    for hop in range(1, hops + 1):
+        if min_degree is not None:
+            frontier = {v for v in frontier if degree_of(v) >= min_degree}
+        if not frontier:
+            break
+        bs = conn.batch_scanner(edge_table, authorizations=authorizations)
+        bs.set_ranges([Range.exact_row(v) for v in sorted(frontier)])
+        nxt: Set[str] = set()
+        for cell in bs:
+            dst = cell.key.qualifier
+            if dst not in dist:
+                dist[dst] = hop
+                nxt.add(dst)
+        frontier = nxt
+    return dist

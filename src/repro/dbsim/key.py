@@ -1,0 +1,126 @@
+"""Accumulo-style keys, cells, and ranges.
+
+A cell is ``Key(row, family, qualifier, visibility, timestamp) → value``
+with the Accumulo sort order: lexicographic on (row, family, qualifier,
+visibility), then timestamp *descending* (newest version first).  All
+key components and values are strings — the D4M convention the paper
+builds on (numbers are encoded with :func:`encode_number`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+def encode_number(x: float) -> str:
+    """Encode a number as a value string (integral floats lose the .0)."""
+    f = float(x)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def decode_number(s: str) -> float:
+    """Parse a value string back to a float (raises ValueError if not
+    numeric)."""
+    return float(s)
+
+
+@dataclass(frozen=True, order=False)
+class Key:
+    """An immutable Accumulo key.
+
+    ``delete=True`` marks a tombstone: it suppresses every version of
+    the same logical cell with an equal or older timestamp, and is
+    dropped (along with what it hides) at major compaction.
+    """
+
+    row: str
+    family: str = ""
+    qualifier: str = ""
+    visibility: str = ""
+    timestamp: int = 0
+    delete: bool = False
+
+    def sort_tuple(self) -> Tuple[str, str, str, str, int, int]:
+        # timestamp negated: newer versions sort first; a delete sorts
+        # before a put at the same timestamp (Accumulo's tie-break)
+        return (self.row, self.family, self.qualifier, self.visibility,
+                -self.timestamp, 0 if self.delete else 1)
+
+    def __lt__(self, other: "Key") -> bool:
+        return self.sort_tuple() < other.sort_tuple()
+
+    def __le__(self, other: "Key") -> bool:
+        return self.sort_tuple() <= other.sort_tuple()
+
+    def same_cell(self, other: "Key") -> bool:
+        """True when the keys address the same logical cell (all
+        components except timestamp equal) — the versioning boundary."""
+        return (self.row == other.row and self.family == other.family
+                and self.qualifier == other.qualifier
+                and self.visibility == other.visibility)
+
+    def cell_id(self) -> Tuple[str, str, str, str]:
+        return (self.row, self.family, self.qualifier, self.visibility)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A key-value pair."""
+
+    key: Key
+    value: str
+
+    def triple(self) -> Tuple[str, str, str]:
+        """(row, qualifier, value) — the sparse-matrix view of a cell."""
+        return (self.key.row, self.key.qualifier, self.value)
+
+
+#: Sentinel strings bounding all real keys (rows are non-empty text).
+_MIN = ""
+_MAX = "\U0010FFFF" * 4
+
+
+@dataclass(frozen=True)
+class Range:
+    """A row-range ``[start_row, stop_row)`` (half open; ``None`` =
+    unbounded on that side) — the unit of a NoSQL range scan and of
+    tablet assignment."""
+
+    start_row: Optional[str] = None
+    stop_row: Optional[str] = None
+
+    @classmethod
+    def exact_row(cls, row: str) -> "Range":
+        return cls(row, row + "\0")
+
+    @classmethod
+    def prefix(cls, prefix: str) -> "Range":
+        return cls(prefix, prefix + chr(0x10FFFF))
+
+    def contains_row(self, row: str) -> bool:
+        if self.start_row is not None and row < self.start_row:
+            return False
+        if self.stop_row is not None and row >= self.stop_row:
+            return False
+        return True
+
+    def clip(self, other: "Range") -> Optional["Range"]:
+        """Intersection with another range, or None when disjoint."""
+        lo = self.start_row if other.start_row is None else (
+            other.start_row if self.start_row is None
+            else max(self.start_row, other.start_row))
+        hi = self.stop_row if other.stop_row is None else (
+            other.stop_row if self.stop_row is None
+            else min(self.stop_row, other.stop_row))
+        if lo is not None and hi is not None and lo >= hi:
+            return None
+        return Range(lo, hi)
+
+    def effective_start(self) -> str:
+        return _MIN if self.start_row is None else self.start_row
+
+    def effective_stop(self) -> str:
+        return _MAX if self.stop_row is None else self.stop_row

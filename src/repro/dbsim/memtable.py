@@ -1,0 +1,51 @@
+"""In-memory write buffer (Accumulo's in-memory map).
+
+Writes append; reads see a sorted snapshot.  Sorting is deferred and
+cached — the common pattern is a burst of BatchWriter mutations followed
+by scans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dbsim.iterators import ListIterator
+from repro.dbsim.key import Cell
+from repro.dbsim.stats import OpStats
+
+
+class MemTable:
+    """Append-only buffer with lazily-sorted snapshots."""
+
+    def __init__(self):
+        self._cells: List[Cell] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough memory footprint used by the flush policy."""
+        return sum(len(c.key.row) + len(c.key.family) + len(c.key.qualifier)
+                   + len(c.value) + 24 for c in self._cells)
+
+    def write(self, cell: Cell) -> None:
+        if self._cells and not (self._cells[-1].key < cell.key):
+            self._sorted = False
+        self._cells.append(cell)
+
+    def snapshot(self) -> List[Cell]:
+        """Sorted view of current contents (stable: later duplicates of
+        a timestamp keep insertion order after their key)."""
+        if not self._sorted:
+            self._cells.sort(key=lambda c: c.key.sort_tuple())
+            self._sorted = True
+        return list(self._cells)
+
+    def iterator(self, stats: Optional[OpStats] = None) -> ListIterator:
+        return ListIterator(self.snapshot(), stats=stats)
+
+    def clear(self) -> None:
+        self._cells.clear()
+        self._sorted = True

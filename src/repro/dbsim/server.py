@@ -1,0 +1,174 @@
+"""Tablet servers and the Instance (the simulation's master + ZooKeeper).
+
+An :class:`Instance` owns table configurations (iterator stacks, split
+points, versioning policy) and assigns tablets round-robin across a
+fleet of :class:`TabletServer`\\ s.  Splitting a table redistributes the
+new tablets, so scans and Graphulo ops exercise the same
+locate-tablet → per-server scan flow a real client library performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dbsim.key import Range
+from repro.dbsim.stats import OpStats
+from repro.dbsim.tablet import IteratorFactory, Tablet
+
+
+@dataclass
+class TableConfig:
+    """Per-table configuration: versioning, iterator stack, flush policy."""
+
+    max_versions: int = 1
+    table_iterators: Tuple[IteratorFactory, ...] = ()
+    flush_bytes: int = 1 << 20
+
+
+class TabletServer:
+    """Hosts tablets; all per-tablet I/O lands in this server's stats."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.stats = OpStats()
+        #: (table, tablet) pairs hosted here
+        self.tablets: List[Tuple[str, Tablet]] = []
+
+    def host(self, table: str, tablet: Tablet) -> None:
+        tablet.stats = self.stats
+        self.tablets.append((table, tablet))
+
+    def unhost(self, table: str, tablet: Tablet) -> None:
+        self.tablets.remove((table, tablet))
+
+    def crash(self) -> None:
+        """Simulated process failure: every hosted tablet loses its
+        memtable; sorted runs and WALs are durable."""
+        for _, tablet in self.tablets:
+            tablet.crash()
+
+    def recover(self) -> None:
+        """Replay each hosted tablet's WAL (Accumulo's log recovery)."""
+        for _, tablet in self.tablets:
+            tablet.recover()
+
+    def __repr__(self) -> str:
+        return f"TabletServer({self.name}, tablets={len(self.tablets)})"
+
+
+class Instance:
+    """The database: tables, their tablets, and the server fleet."""
+
+    def __init__(self, n_servers: int = 3):
+        if n_servers < 1:
+            raise ValueError(f"need at least one tablet server, got {n_servers}")
+        self.servers = [TabletServer(f"tserver{i}") for i in range(n_servers)]
+        self._tables: Dict[str, TableConfig] = {}
+        #: per table: tablets sorted by extent start (None first)
+        self._tablets: Dict[str, List[Tablet]] = {}
+        self._rr = 0  # round-robin assignment cursor
+
+    # -- table lifecycle -----------------------------------------------------
+
+    def table_exists(self, name: str) -> bool:
+        return name in self._tables
+
+    def list_tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def create_table(self, name: str, config: Optional[TableConfig] = None,
+                     splits: Sequence[str] = ()) -> None:
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        config = config or TableConfig()
+        self._tables[name] = config
+        tablet = Tablet(Range(), config.max_versions, config.flush_bytes)
+        self._tablets[name] = [tablet]
+        self._assign(name, tablet)
+        for split in splits:
+            self.add_split(name, split)
+
+    def delete_table(self, name: str) -> None:
+        self._require(name)
+        for tablet in self._tablets[name]:
+            for server in self.servers:
+                if (name, tablet) in server.tablets:
+                    server.unhost(name, tablet)
+        del self._tablets[name]
+        del self._tables[name]
+
+    def config(self, name: str) -> TableConfig:
+        self._require(name)
+        return self._tables[name]
+
+    def _require(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no such table: {name!r}")
+
+    def _assign(self, table: str, tablet: Tablet) -> None:
+        server = self.servers[self._rr % len(self.servers)]
+        self._rr += 1
+        server.host(table, tablet)
+
+    # -- tablet management ------------------------------------------------------
+
+    def tablets(self, name: str) -> List[Tablet]:
+        self._require(name)
+        return list(self._tablets[name])
+
+    def add_split(self, name: str, split_row: str) -> None:
+        """Split the tablet containing ``split_row`` (no-op if it is
+        already a split point)."""
+        self._require(name)
+        tablet = self.locate(name, split_row)
+        if tablet.extent.start_row == split_row:
+            return
+        left, right = tablet.split(split_row)
+        tablets = self._tablets[name]
+        idx = tablets.index(tablet)
+        tablets[idx:idx + 1] = [left, right]
+        for server in self.servers:
+            if (name, tablet) in server.tablets:
+                server.unhost(name, tablet)
+        self._assign(name, left)
+        self._assign(name, right)
+
+    def splits(self, name: str) -> List[str]:
+        self._require(name)
+        return [t.extent.start_row for t in self._tablets[name]
+                if t.extent.start_row is not None]
+
+    def locate(self, name: str, row: str) -> Tablet:
+        """Find the tablet whose extent contains ``row``."""
+        self._require(name)
+        for tablet in self._tablets[name]:
+            if tablet.extent.contains_row(row):
+                return tablet
+        raise AssertionError(f"no tablet covers row {row!r}")  # pragma: no cover
+
+    def tablets_for_range(self, name: str, rng: Range) -> List[Tablet]:
+        self._require(name)
+        return [t for t in self._tablets[name] if t.extent.clip(rng) is not None]
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def flush_table(self, name: str) -> None:
+        for tablet in self.tablets(name):
+            tablet.flush()
+
+    def compact_table(self, name: str) -> None:
+        config = self.config(name)
+        for tablet in self.tablets(name):
+            tablet.compact(config.table_iterators)
+
+    # -- observability ------------------------------------------------------------------
+
+    def total_stats(self) -> OpStats:
+        out = OpStats()
+        for server in self.servers:
+            out = out.merge(server.stats)
+        return out
+
+    def table_entry_estimate(self, name: str) -> int:
+        return sum(t.entry_estimate() for t in self.tablets(name))

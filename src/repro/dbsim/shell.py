@@ -1,0 +1,197 @@
+"""An Accumulo-shell-style command processor for the simulated database.
+
+Mirrors the subset of the real ``accumulo shell`` used in graph
+workflows: table lifecycle, inserts/deletes (with visibility labels),
+ranged scans (with authorizations), flush/compact, and size estimates.
+Commands are processed one line at a time — scriptable in tests and
+usable interactively via :func:`repl`.
+
+>>> sh = Shell(Connector(Instance()))
+>>> sh.execute("createtable t")
+'created table t'
+>>> sh.execute("insert r f q 5")
+'inserted 1 cell into t'
+>>> sh.execute("scan")
+'r f:q []\\t5'
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional
+
+from repro.dbsim.client import Connector
+from repro.dbsim.key import Range
+from repro.dbsim.visibility import Authorizations
+
+
+class ShellError(ValueError):
+    """Raised for malformed or out-of-context shell commands."""
+
+
+class Shell:
+    """Stateful command processor bound to one Connector."""
+
+    def __init__(self, conn: Connector):
+        self.conn = conn
+        self.current: Optional[str] = None
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "createtable": self._createtable,
+            "deletetable": self._deletetable,
+            "tables": self._tables,
+            "table": self._table,
+            "insert": self._insert,
+            "delete": self._delete,
+            "scan": self._scan,
+            "flush": self._flush,
+            "compact": self._compact,
+            "addsplits": self._addsplits,
+            "du": self._du,
+            "help": self._help,
+        }
+
+    # -- dispatch ---------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its printable output."""
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        cmd, args = parts[0], parts[1:]
+        handler = self._commands.get(cmd)
+        if handler is None:
+            raise ShellError(f"unknown command {cmd!r}; try 'help'")
+        return handler(args)
+
+    def _need_table(self) -> str:
+        if self.current is None:
+            raise ShellError("no table selected; use 'table <name>' or "
+                             "'createtable <name>'")
+        return self.current
+
+    @staticmethod
+    def _flag(args: List[str], name: str) -> Optional[str]:
+        """Pop ``name value`` from args; returns value or None."""
+        if name in args:
+            i = args.index(name)
+            if i + 1 >= len(args):
+                raise ShellError(f"flag {name} needs a value")
+            value = args[i + 1]
+            del args[i:i + 2]
+            return value
+        return None
+
+    # -- table lifecycle -----------------------------------------------------
+
+    def _createtable(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: createtable <name>")
+        self.conn.create_table(args[0])
+        self.current = args[0]
+        return f"created table {args[0]}"
+
+    def _deletetable(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: deletetable <name>")
+        self.conn.delete_table(args[0])
+        if self.current == args[0]:
+            self.current = None
+        return f"deleted table {args[0]}"
+
+    def _tables(self, args: List[str]) -> str:
+        return "\n".join(self.conn.instance.list_tables())
+
+    def _table(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: table <name>")
+        if not self.conn.table_exists(args[0]):
+            raise ShellError(f"no such table {args[0]!r}")
+        self.current = args[0]
+        return f"using table {args[0]}"
+
+    # -- data path ----------------------------------------------------------------
+
+    def _insert(self, args: List[str]) -> str:
+        vis = self._flag(args, "-l") or ""
+        if len(args) != 4:
+            raise ShellError("usage: insert <row> <family> <qualifier> "
+                             "<value> [-l visibility]")
+        table = self._need_table()
+        row, fam, qual, value = args
+        with self.conn.batch_writer(table) as w:
+            w.put(row, fam, qual, value, visibility=vis)
+        return f"inserted 1 cell into {table}"
+
+    def _delete(self, args: List[str]) -> str:
+        vis = self._flag(args, "-l") or ""
+        if len(args) != 3:
+            raise ShellError("usage: delete <row> <family> <qualifier> "
+                             "[-l visibility]")
+        table = self._need_table()
+        with self.conn.batch_writer(table) as w:
+            w.delete(args[0], args[1], args[2], visibility=vis)
+        return f"deleted 1 cell from {table}"
+
+    def _scan(self, args: List[str]) -> str:
+        begin = self._flag(args, "-b")
+        end = self._flag(args, "-e")
+        auths = self._flag(args, "-s")
+        if args:
+            raise ShellError("usage: scan [-b begin] [-e end] [-s a,b,...]")
+        table = self._need_table()
+        authorizations = Authorizations(auths.split(",")) if auths else None
+        scanner = self.conn.scanner(table, authorizations=authorizations)
+        scanner.set_range(Range(begin, end))
+        lines = []
+        for cell in scanner:
+            k = cell.key
+            lines.append(f"{k.row} {k.family}:{k.qualifier} "
+                         f"[{k.visibility}]\t{cell.value}")
+        return "\n".join(lines)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def _flush(self, args: List[str]) -> str:
+        table = args[0] if args else self._need_table()
+        self.conn.flush(table)
+        return f"flushed {table}"
+
+    def _compact(self, args: List[str]) -> str:
+        table = args[0] if args else self._need_table()
+        self.conn.compact(table)
+        return f"compacted {table}"
+
+    def _addsplits(self, args: List[str]) -> str:
+        if not args:
+            raise ShellError("usage: addsplits <row> [<row> ...]")
+        table = self._need_table()
+        for row in args:
+            self.conn.add_split(table, row)
+        return f"added {len(args)} split(s) to {table}"
+
+    def _du(self, args: List[str]) -> str:
+        table = args[0] if args else self._need_table()
+        est = self.conn.instance.table_entry_estimate(table)
+        tablets = len(self.conn.instance.tablets(table))
+        return f"{table}: ~{est} stored entries across {tablets} tablet(s)"
+
+    def _help(self, args: List[str]) -> str:
+        return "commands: " + ", ".join(sorted(self._commands))
+
+
+def repl(conn: Connector) -> None:  # pragma: no cover - interactive
+    """Minimal interactive loop (``python -c "...; repl(conn)"``)."""
+    sh = Shell(conn)
+    while True:
+        try:
+            line = input(f"{sh.current or '(no table)'}> ")
+        except EOFError:
+            break
+        if line.strip() in ("exit", "quit"):
+            break
+        try:
+            out = sh.execute(line)
+            if out:
+                print(out)
+        except (ShellError, KeyError, ValueError) as exc:
+            print(f"error: {exc}")

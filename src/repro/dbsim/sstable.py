@@ -1,0 +1,51 @@
+"""Immutable sorted runs (the simulation's RFiles).
+
+An SSTable is a frozen sorted cell list with first/last key metadata so
+tablets can skip runs wholly outside a scan range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dbsim.iterators import ListIterator
+from repro.dbsim.key import Cell, Range
+from repro.dbsim.stats import OpStats
+
+
+class SSTable:
+    """Immutable sorted cell run."""
+
+    def __init__(self, cells: Sequence[Cell]):
+        cells = list(cells)
+        for a, b in zip(cells, cells[1:]):
+            if b.key < a.key:
+                raise ValueError("SSTable cells must be pre-sorted")
+        self._cells = cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def first_row(self) -> Optional[str]:
+        return self._cells[0].key.row if self._cells else None
+
+    @property
+    def last_row(self) -> Optional[str]:
+        return self._cells[-1].key.row if self._cells else None
+
+    def overlaps(self, rng: Range) -> bool:
+        """Can this run contain cells inside ``rng``? (metadata check)"""
+        if not self._cells:
+            return False
+        if rng.stop_row is not None and self.first_row >= rng.stop_row:
+            return False
+        if rng.start_row is not None and self.last_row < rng.start_row:
+            return False
+        return True
+
+    def iterator(self, stats: Optional[OpStats] = None) -> ListIterator:
+        return ListIterator(self._cells, stats=stats)
+
+    def cells(self) -> List[Cell]:
+        return list(self._cells)

@@ -1,0 +1,50 @@
+"""Operation cost counters — the simulation's stand-in for cluster time.
+
+Wall-clock on a laptop says little about a distributed Accumulo, so the
+benchmark harness reports *work* counters instead: iterator seeks,
+entries read through iterator stacks, entries written, and flushes.
+These scale the same way the real system's I/O does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OpStats:
+    """Mutable counter block shared down an iterator stack / server."""
+
+    seeks: int = 0
+    entries_read: int = 0
+    entries_written: int = 0
+    flushes: int = 0
+    compactions: int = 0
+
+    def snapshot(self) -> "OpStats":
+        return OpStats(self.seeks, self.entries_read, self.entries_written,
+                       self.flushes, self.compactions)
+
+    def delta(self, before: "OpStats") -> "OpStats":
+        """Counters accumulated since ``before`` (a prior snapshot)."""
+        return OpStats(
+            self.seeks - before.seeks,
+            self.entries_read - before.entries_read,
+            self.entries_written - before.entries_written,
+            self.flushes - before.flushes,
+            self.compactions - before.compactions,
+        )
+
+    def merge(self, other: "OpStats") -> "OpStats":
+        return OpStats(
+            self.seeks + other.seeks,
+            self.entries_read + other.entries_read,
+            self.entries_written + other.entries_written,
+            self.flushes + other.flushes,
+            self.compactions + other.compactions,
+        )
+
+    def __str__(self) -> str:
+        return (f"seeks={self.seeks} read={self.entries_read} "
+                f"written={self.entries_written} flushes={self.flushes} "
+                f"compactions={self.compactions}")

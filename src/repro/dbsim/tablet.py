@@ -1,0 +1,197 @@
+"""Tablets: the unit of storage and of server-side iteration.
+
+A tablet owns a row-range *extent*, a memtable, and a stack of immutable
+sorted runs.  Scans build the canonical Accumulo stack:
+
+    memtable + sstables → MergeIterator → VersioningIterator →
+    table-configured iterators (combiners/filters) → scan-time iterators
+
+Minor compactions (flush) move the memtable into a new run when it
+exceeds ``flush_bytes``; full compactions merge all runs through the
+table's iterator stack, making combiner results durable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.dbsim.iterators import (
+    Columns,
+    DeleteFilterIterator,
+    MergeIterator,
+    SortedKVIterator,
+    VersioningIterator,
+    drain,
+)
+from repro.dbsim.key import Cell, Key, Range
+from repro.dbsim.memtable import MemTable
+from repro.dbsim.sstable import SSTable
+from repro.dbsim.stats import OpStats
+
+#: A table-configured iterator layer: callable wrapping a source iterator.
+IteratorFactory = Callable[[SortedKVIterator], SortedKVIterator]
+
+
+class Tablet:
+    """One tablet of one table: extent + memtable + sorted runs."""
+
+    def __init__(self, extent: Range, max_versions: int = 1,
+                 flush_bytes: int = 1 << 20,
+                 stats: Optional[OpStats] = None):
+        self.extent = extent
+        self.max_versions = max_versions
+        self.flush_bytes = flush_bytes
+        self.stats = stats if stats is not None else OpStats()
+        self.memtable = MemTable()
+        self.sstables: List[SSTable] = []
+        self._clock = 0  # per-tablet logical timestamps: last write wins
+        #: write-ahead log: durable record of unflushed mutations
+        self.wal: List[Cell] = []
+
+    # -- writes -------------------------------------------------------------
+
+    def write(self, key: Key, value: str) -> None:
+        """Insert one cell (timestamp 0 is replaced by a fresh logical
+        tick so later writes version-sort first).  Appended to the WAL
+        before the memtable — the durability contract crash recovery
+        replays."""
+        if not self.extent.contains_row(key.row):
+            raise ValueError(
+                f"row {key.row!r} outside tablet extent "
+                f"[{self.extent.start_row!r}, {self.extent.stop_row!r})")
+        if key.timestamp == 0:
+            self._clock += 1
+            key = Key(key.row, key.family, key.qualifier, key.visibility,
+                      self._clock, key.delete)
+        cell = Cell(key, value)
+        self.wal.append(cell)
+        self.memtable.write(cell)
+        self.stats.entries_written += 1
+        if self.memtable.approximate_bytes >= self.flush_bytes:
+            self.flush()
+
+    def delete(self, key: Key) -> None:
+        """Write a tombstone hiding all versions of the cell at or
+        before this mutation."""
+        self.write(Key(key.row, key.family, key.qualifier, key.visibility,
+                       key.timestamp, True), "")
+
+    def flush(self) -> None:
+        """Minor compaction: memtable → new immutable run; the WAL
+        entries it covered are no longer needed."""
+        if len(self.memtable) == 0:
+            return
+        self.sstables.append(SSTable(self.memtable.snapshot()))
+        self.memtable.clear()
+        self.wal.clear()
+        self.stats.flushes += 1
+
+    # -- failure simulation ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose in-memory state (memtable); sorted runs and the WAL are
+        durable and survive."""
+        self.memtable.clear()
+
+    def recover(self) -> None:
+        """Replay the WAL into a fresh memtable (idempotent: replayed
+        cells carry their original timestamps, so re-application cannot
+        reorder versions)."""
+        for cell in self.wal:
+            self.memtable.write(cell)
+
+    # -- reads ---------------------------------------------------------------
+
+    def _storage_iterator(self, rng: Range) -> SortedKVIterator:
+        children: List[SortedKVIterator] = [self.memtable.iterator(self.stats)]
+        children.extend(t.iterator(self.stats) for t in self.sstables
+                        if t.overlaps(rng))
+        return MergeIterator(children)
+
+    def scan_iterator(self, rng: Range,
+                      table_iterators: Sequence[IteratorFactory] = (),
+                      scan_iterators: Sequence[IteratorFactory] = ()) -> SortedKVIterator:
+        """Build the full stack, clipped to this tablet's extent.
+
+        The returned iterator is *unseeked*; callers seek it (the
+        clipped range is pre-applied by construction here).
+        """
+        clipped = self.extent.clip(rng)
+        if clipped is None:
+            # empty stream
+            from repro.dbsim.iterators import ListIterator
+
+            return ListIterator([])
+        stack: SortedKVIterator = self._storage_iterator(clipped)
+        stack = DeleteFilterIterator(stack)
+        stack = VersioningIterator(stack, self.max_versions)
+        for factory in table_iterators:
+            stack = factory(stack)
+        for factory in scan_iterators:
+            stack = factory(stack)
+        return _ClippedIterator(stack, clipped)
+
+    def scan(self, rng: Range = Range(), columns: Columns = None,
+             table_iterators: Sequence[IteratorFactory] = (),
+             scan_iterators: Sequence[IteratorFactory] = ()) -> List[Cell]:
+        """Convenience: run the stack to completion and return cells."""
+        it = self.scan_iterator(rng, table_iterators, scan_iterators)
+        return drain(it, rng, columns)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def compact(self, table_iterators: Sequence[IteratorFactory] = ()) -> None:
+        """Major compaction: rewrite all data through the table stack
+        (versioning + combiners become durable; single run remains)."""
+        cells = self.scan(Range(), None, table_iterators)
+        self.memtable.clear()
+        self.wal.clear()
+        self.sstables = [SSTable(cells)] if cells else []
+        self.stats.compactions += 1
+
+    def split(self, split_row: str) -> Tuple["Tablet", "Tablet"]:
+        """Split into two tablets at ``split_row`` (goes to the right
+        child, matching Accumulo's exclusive-end split semantics)."""
+        if not self.extent.contains_row(split_row):
+            raise ValueError(f"split row {split_row!r} outside extent")
+        self.flush()
+        left = Tablet(Range(self.extent.start_row, split_row),
+                      self.max_versions, self.flush_bytes, self.stats)
+        right = Tablet(Range(split_row, self.extent.stop_row),
+                       self.max_versions, self.flush_bytes, self.stats)
+        left._clock = right._clock = self._clock
+        for run in self.sstables:
+            lcells = [c for c in run.cells() if c.key.row < split_row]
+            rcells = [c for c in run.cells() if c.key.row >= split_row]
+            if lcells:
+                left.sstables.append(SSTable(lcells))
+            if rcells:
+                right.sstables.append(SSTable(rcells))
+        return left, right
+
+    def entry_estimate(self) -> int:
+        """Stored-entry count across memtable and runs (pre-versioning)."""
+        return len(self.memtable) + sum(len(t) for t in self.sstables)
+
+
+class _ClippedIterator(SortedKVIterator):
+    """Restrict a stack's seeks to a pre-clipped range."""
+
+    def __init__(self, source: SortedKVIterator, clip: Range):
+        self._source = source
+        self._clip = clip
+
+    def seek(self, rng: Range, columns: Columns = None) -> None:
+        clipped = self._clip.clip(rng)
+        if clipped is None:
+            clipped = Range("", "")  # empty: no row satisfies row < ""
+        self._source.seek(clipped, columns)
+
+    def has_top(self) -> bool:
+        return self._source.has_top()
+
+    def top(self) -> Cell:
+        return self._source.top()
+
+    def advance(self) -> None:
+        self._source.advance()

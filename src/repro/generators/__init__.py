@@ -1,0 +1,39 @@
+"""Graph and corpus generators used by examples, tests, and benchmarks."""
+
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    fig1_edges,
+    fig1_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.generators.random import (
+    erdos_renyi,
+    planted_clique,
+    planted_partition,
+)
+from repro.generators.kronecker import kronecker_graph, rmat_edges, rmat_graph
+from repro.generators.smallworld import barabasi_albert, watts_strogatz
+from repro.generators.tweets import TweetCorpus, generate_tweets
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "fig1_edges",
+    "fig1_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "erdos_renyi",
+    "planted_clique",
+    "planted_partition",
+    "kronecker_graph",
+    "rmat_edges",
+    "rmat_graph",
+    "barabasi_albert",
+    "watts_strogatz",
+    "TweetCorpus",
+    "generate_tweets",
+]

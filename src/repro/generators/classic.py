@@ -1,0 +1,76 @@
+"""Deterministic small graphs, including the paper's Figure 1 example.
+
+All constructors return undirected adjacency matrices (symmetric,
+unweighted) and/or edge lists with vertices numbered from 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.construct import from_edges
+from repro.sparse.matrix import Matrix
+
+
+def fig1_edges() -> np.ndarray:
+    """Edge list of the paper's Figure 1 five-vertex graph, in the
+    paper's edge order (e1..e6), zero-indexed.
+
+    Reading off the incidence matrix printed in §III-B:
+    e1=(v1,v2), e2=(v2,v3), e3=(v1,v4), e4=(v3,v4), e5=(v1,v3),
+    e6=(v2,v5).
+    """
+    return np.array([(0, 1), (1, 2), (0, 3), (2, 3), (0, 2), (1, 4)],
+                    dtype=np.intp)
+
+
+def fig1_graph() -> Matrix:
+    """Adjacency matrix of the Figure 1 graph (5 vertices, 6 edges)."""
+    return from_edges(5, fig1_edges(), undirected=True)
+
+
+def _undirected(n: int, pairs) -> Matrix:
+    return from_edges(n, np.asarray(pairs, dtype=np.intp), undirected=True)
+
+
+def path_graph(n: int) -> Matrix:
+    """Path 0–1–…–(n−1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    i = np.arange(n - 1)
+    return _undirected(n, np.column_stack([i, i + 1]))
+
+
+def cycle_graph(n: int) -> Matrix:
+    """Cycle on n ≥ 3 vertices."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    i = np.arange(n)
+    return _undirected(n, np.column_stack([i, (i + 1) % n]))
+
+
+def complete_graph(n: int) -> Matrix:
+    """K_n."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    i, j = np.triu_indices(n, k=1)
+    return _undirected(n, np.column_stack([i, j]))
+
+
+def star_graph(n: int) -> Matrix:
+    """Star: hub 0 joined to spokes 1..n−1."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    spokes = np.arange(1, n)
+    return _undirected(n, np.column_stack([np.zeros(n - 1, dtype=np.intp),
+                                           spokes]))
+
+
+def grid_graph(rows: int, cols: int) -> Matrix:
+    """rows×cols 4-neighbour grid (vertex ``r * cols + c``)."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid needs positive dims, got {rows}x{cols}")
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    return _undirected(rows * cols, np.vstack([horiz, vert]))

@@ -1,0 +1,100 @@
+"""Kronecker / R-MAT power-law graph generators (Graph500 style).
+
+The paper's motivating workloads are "big data" graphs with heavy-tailed
+degree distributions; these generators provide the scalable synthetic
+stand-ins used throughout the benchmark harness.
+
+Two flavours:
+
+* :func:`kronecker_graph` — exact Kronecker power ``B^{⊗k}`` of a small
+  seed matrix, built with the :func:`repro.sparse.kron` kernel.
+* :func:`rmat_edges` — stochastic R-MAT edge sampling (recursive
+  quadrant descent with probabilities a, b, c, d), the practical
+  generator for large instances.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse.construct import from_dense, from_edges
+from repro.sparse.kron import kron
+from repro.sparse.matrix import Matrix
+from repro.util.rng import SeedLike, default_rng
+
+#: Graph500 default R-MAT quadrant probabilities.
+DEFAULT_RMAT = (0.57, 0.19, 0.19, 0.05)
+
+
+def kronecker_graph(seed_matrix, k: int) -> Matrix:
+    """k-fold Kronecker power of a small seed adjacency matrix.
+
+    The result has ``n0**k`` vertices where ``n0`` is the seed order.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    b = seed_matrix if isinstance(seed_matrix, Matrix) else from_dense(
+        np.asarray(seed_matrix, dtype=np.float64))
+    out = b
+    for _ in range(k - 1):
+        out = kron(out, b)
+    return out
+
+
+def rmat_edges(scale: int, edge_factor: int = 16,
+               probs: Tuple[float, float, float, float] = DEFAULT_RMAT,
+               seed: SeedLike = None) -> np.ndarray:
+    """Sample ``edge_factor * 2**scale`` R-MAT edge pairs on
+    ``2**scale`` vertices (directed pairs; may contain duplicates and
+    self loops, like the Graph500 kernel-0 output).
+
+    Vectorised: all edges descend the ``scale`` levels simultaneously —
+    one (m,) random draw per level instead of per-edge recursion.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    a, b, c, d = probs
+    total = a + b + c + d
+    if not np.isclose(total, 1.0):
+        raise ValueError(f"R-MAT probabilities must sum to 1, got {total}")
+    rng = default_rng(seed)
+    m = edge_factor << scale
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # quadrant thresholds: [a, a+b, a+b+c, 1]
+        right = (r >= a) & (r < a + b)         # top-right: col bit set
+        down = (r >= a + b) & (r < a + b + c)  # bottom-left: row bit set
+        both = r >= a + b + c                  # bottom-right: both bits
+        bit = np.int64(1) << (scale - 1 - level)
+        rows += bit * (down | both)
+        cols += bit * (right | both)
+    return np.column_stack([rows, cols]).astype(np.intp)
+
+
+def rmat_graph(scale: int, edge_factor: int = 16,
+               probs: Tuple[float, float, float, float] = DEFAULT_RMAT,
+               seed: SeedLike = None, undirected: bool = True,
+               simple: bool = True) -> Matrix:
+    """R-MAT adjacency matrix.
+
+    With ``simple=True`` (default) self loops are dropped and multi-edges
+    collapsed to weight 1, producing a simple graph suitable for the
+    k-truss / Jaccard algorithms (both assume unweighted simple graphs).
+    """
+    edges = rmat_edges(scale, edge_factor=edge_factor, probs=probs, seed=seed)
+    n = 1 << scale
+    if simple:
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        lo = np.minimum(edges[:, 0], edges[:, 1])
+        hi = np.maximum(edges[:, 0], edges[:, 1])
+        key = lo * n + hi
+        _, first = np.unique(key, return_index=True)
+        edges = np.column_stack([lo[first], hi[first]])
+    a = from_edges(n, edges, undirected=undirected)
+    if simple:
+        a = a.pattern()
+    return a

@@ -1,0 +1,71 @@
+"""Random graph models: Erdős–Rényi, planted clique, planted partition.
+
+Planted clique/cluster are the subgraph-detection workloads the paper
+cites (§III-B refs [11], [12]); k-truss benchmarks use them because the
+planted structure is exactly what truss decomposition should surface.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.sparse.construct import from_edges
+from repro.sparse.matrix import Matrix
+from repro.util.rng import SeedLike, default_rng
+
+
+def _pairs_from_upper_mask(mask: np.ndarray) -> np.ndarray:
+    i, j = np.nonzero(mask)
+    return np.column_stack([i, j]).astype(np.intp)
+
+
+def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> Matrix:
+    """G(n, p): each of the n·(n−1)/2 undirected edges present w.p. p."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = default_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    return from_edges(n, _pairs_from_upper_mask(upper), undirected=True)
+
+
+def planted_clique(n: int, clique_size: int, p: float = 0.1,
+                   seed: SeedLike = None) -> Tuple[Matrix, np.ndarray]:
+    """G(n, p) with a clique planted on a random vertex subset.
+
+    Returns ``(adjacency, clique_vertices)``.
+    """
+    if clique_size > n:
+        raise ValueError(f"clique_size {clique_size} > n {n}")
+    rng = default_rng(seed)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    members = rng.choice(n, size=clique_size, replace=False)
+    mi = np.sort(members)
+    block = np.zeros((n, n), dtype=bool)
+    block[np.ix_(mi, mi)] = True
+    upper |= np.triu(block, k=1)
+    a = from_edges(n, _pairs_from_upper_mask(upper), undirected=True)
+    return a, np.sort(members)
+
+
+def planted_partition(sizes: Sequence[int], p_in: float, p_out: float,
+                      seed: SeedLike = None) -> Tuple[Matrix, np.ndarray]:
+    """Stochastic block model with within-community probability ``p_in``
+    and between-community probability ``p_out``.
+
+    Returns ``(adjacency, labels)`` where ``labels[v]`` is v's community.
+    """
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    sizes = np.asarray(sizes, dtype=np.intp)
+    if len(sizes) == 0 or np.any(sizes <= 0):
+        raise ValueError("sizes must be a non-empty list of positive ints")
+    n = int(sizes.sum())
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    rng = default_rng(seed)
+    prob = np.where(labels[:, None] == labels[None, :], p_in, p_out)
+    upper = np.triu(rng.random((n, n)) < prob, k=1)
+    return (from_edges(n, _pairs_from_upper_mask(upper), undirected=True),
+            labels)

@@ -1,0 +1,76 @@
+"""Preferential-attachment and small-world generators.
+
+Barabási–Albert gives the power-law degree tails of the paper's
+motivating "big data" graphs through a growth process (complementing
+the R-MAT recursion); Watts–Strogatz gives high clustering with short
+paths — the regime where triangle-based detection (k-truss, Jaccard) is
+most interesting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparse.construct import from_edges
+from repro.sparse.matrix import Matrix
+from repro.util.rng import SeedLike, default_rng
+
+
+def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> Matrix:
+    """BA preferential attachment: each new vertex attaches ``m`` edges
+    to existing vertices chosen proportionally to degree.
+
+    Uses the repeated-endpoints trick (sampling from the flat list of
+    edge endpoints is exactly degree-proportional sampling).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if n <= m:
+        raise ValueError(f"need n > m, got n={n}, m={m}")
+    rng = default_rng(seed)
+    # start from a star on m+1 vertices so every vertex has degree ≥ 1
+    edges: List[Tuple[int, int]] = [(i, m) for i in range(m)]
+    endpoints: List[int] = [v for e in edges for v in e]
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(int(endpoints[rng.integers(len(endpoints))]))
+        for t in targets:
+            edges.append((new, t))
+            endpoints.extend((new, t))
+    return from_edges(n, np.asarray(edges, dtype=np.intp), undirected=True)
+
+
+def watts_strogatz(n: int, k: int, p: float, seed: SeedLike = None) -> Matrix:
+    """WS small-world: ring lattice with ``k`` nearest neighbours per
+    vertex (k even), each edge rewired with probability ``p``."""
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"k must be a positive even integer, got {k}")
+    if k >= n:
+        raise ValueError(f"need k < n, got k={k}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = default_rng(seed)
+    existing = set()
+    for u in range(n):
+        for d in range(1, k // 2 + 1):
+            v = (u + d) % n
+            existing.add((min(u, v), max(u, v)))
+    edges = sorted(existing)
+    out = set(existing)
+    for (u, v) in edges:
+        if rng.random() < p:
+            out.discard((u, v))
+            # rewire u's far endpoint to a uniform non-neighbour
+            for _ in range(4 * n):
+                w = int(rng.integers(n))
+                cand = (min(u, w), max(u, w))
+                if w != u and cand not in out:
+                    out.add(cand)
+                    break
+            else:  # saturated neighbourhood: keep the original edge
+                out.add((u, v))
+    return from_edges(n, np.asarray(sorted(out), dtype=np.intp),
+                      undirected=True)

@@ -1,0 +1,25 @@
+"""Process-parallel drivers for embarrassingly parallel sweeps.
+
+The paper's execution model parallelises across tablet servers; on one
+machine the analogous resource is cores.  Per the HPC guidance, only
+the *outer* loops are parallelised — per-source centrality sweeps and
+parameter sweeps — while the inner kernels stay vectorised NumPy.  Work
+is distributed with ``concurrent.futures.ProcessPoolExecutor``;
+:class:`repro.sparse.Matrix` pickles cheaply (slots + ndarrays).
+"""
+
+from repro.parallel.pool import (
+    chunk_evenly,
+    parallel_betweenness,
+    parallel_closeness,
+    parallel_map,
+    parallel_sssp_matrix,
+)
+
+__all__ = [
+    "chunk_evenly",
+    "parallel_betweenness",
+    "parallel_closeness",
+    "parallel_map",
+    "parallel_sssp_matrix",
+]

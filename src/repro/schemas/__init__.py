@@ -1,0 +1,55 @@
+"""Graph schemas (paper §II-B): adjacency, incidence, and D4M.
+
+These convert between edge lists, adjacency matrices, (un)oriented
+incidence matrices, and the exploded D4M four-table schema — the common
+frames of reference the paper uses to put heterogeneous data into
+sparse-linear-algebra form.
+"""
+
+from repro.schemas.adjacency import (
+    degrees,
+    in_degrees,
+    is_symmetric,
+    normalize_columns,
+    out_degrees,
+    symmetrize,
+)
+from repro.schemas.incidence import (
+    adjacency_from_incidence,
+    edge_list_from_adjacency,
+    incidence_from_edges,
+    incidence_oriented,
+    incidence_unoriented,
+)
+from repro.schemas.d4m import D4MTables, col2type, explode_records
+from repro.schemas.hypergraph import (
+    bipartite_expansion,
+    edge_overlap,
+    edge_sizes,
+    hyper_incidence,
+    vertex_cooccurrence,
+    vertex_degrees,
+)
+
+__all__ = [
+    "degrees",
+    "in_degrees",
+    "is_symmetric",
+    "normalize_columns",
+    "out_degrees",
+    "symmetrize",
+    "adjacency_from_incidence",
+    "edge_list_from_adjacency",
+    "incidence_from_edges",
+    "incidence_oriented",
+    "incidence_unoriented",
+    "D4MTables",
+    "col2type",
+    "explode_records",
+    "bipartite_expansion",
+    "edge_overlap",
+    "edge_sizes",
+    "hyper_incidence",
+    "vertex_cooccurrence",
+    "vertex_degrees",
+]

@@ -1,0 +1,67 @@
+"""Adjacency-matrix schema helpers (paper §II-B1).
+
+Rows/columns are vertices; values are (weighted) edge multiplicities;
+``A(i, i)`` counts self loops.  Directed graphs store ``A(i, j)`` for an
+edge i→j, so out-degree is the row reduction and in-degree the column
+reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semiring.builtin import MAX, PLUS_MONOID
+from repro.sparse.matrix import Matrix
+from repro.sparse.reduce import reduce_cols, reduce_rows
+from repro.util.validation import check_square
+
+
+def out_degrees(a: Matrix, weighted: bool = True) -> np.ndarray:
+    """Row reduction: number (or total weight) of outgoing edges."""
+    check_square(a, "adjacency matrix")
+    m = a if weighted else a.pattern()
+    return reduce_rows(m, PLUS_MONOID)
+
+
+def in_degrees(a: Matrix, weighted: bool = True) -> np.ndarray:
+    """Column reduction: number (or total weight) of incoming edges."""
+    check_square(a, "adjacency matrix")
+    m = a if weighted else a.pattern()
+    return reduce_cols(m, PLUS_MONOID)
+
+
+def degrees(a: Matrix, weighted: bool = True) -> np.ndarray:
+    """Degrees of an *undirected* adjacency matrix (= row reduction)."""
+    if not is_symmetric(a):
+        raise ValueError("degrees() expects a symmetric adjacency matrix; "
+                         "use out_degrees/in_degrees for directed graphs")
+    return out_degrees(a, weighted=weighted)
+
+
+def is_symmetric(a: Matrix) -> bool:
+    """True when ``A == Aᵀ`` on stored values."""
+    if a.nrows != a.ncols:
+        return False
+    return a.equal(a.T)
+
+
+def symmetrize(a: Matrix) -> Matrix:
+    """``max(A, Aᵀ)`` over union support — the standard way to view a
+    directed adjacency matrix as undirected without double-counting."""
+    check_square(a, "adjacency matrix")
+    return a.ewise_add(a.T, op=MAX)
+
+
+def normalize_columns(a: Matrix) -> Matrix:
+    """``A · D⁻¹`` column-stochastic scaling (D = diag of column sums).
+
+    This is the PageRank transition matrix building block from §III-A
+    (there written ``AᵀD⁻¹`` with D the *out*-degree diagonal; apply to
+    ``Aᵀ`` accordingly).  Columns with zero sum are left untouched
+    (dangling vertices are handled by the PageRank jump term).
+    """
+    colsum = reduce_cols(a, PLUS_MONOID)
+    inv = np.ones_like(np.asarray(colsum, dtype=np.float64))
+    nz = colsum != 0
+    inv[nz] = 1.0 / colsum[nz]
+    return a.with_values(a.values * inv[a.indices])

@@ -1,0 +1,130 @@
+"""The D4M 2.0 schema (paper §II-B3): Tedge, TedgeT, Tdeg, Traw.
+
+Dense records are *exploded*: each ``field=value`` pair of a record
+becomes a column named ``"field|value"`` with entry 1 in the record's
+row.  ``Tedge`` holds the exploded incidence array, ``TedgeT`` its
+transpose (NoSQL stores can only index rows, so the transpose is stored
+explicitly), ``Tdeg`` the column degree counts (accumulated at ingest —
+in a real Accumulo this is a summing-combiner table), and ``Traw`` the
+raw records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.assoc.array import AssocArray
+
+
+DEGREE_COL = "Degree"
+
+
+def col2type(a: AssocArray, sep: str = "|") -> Dict[str, AssocArray]:
+    """Split an exploded array by column *type*: ``{field: sub-array}``
+    where each sub-array keeps only that field's ``field|value`` columns
+    with the prefix stripped — the D4M ``col2type`` pivot that recovers
+    per-field views from a Tedge table.
+    """
+    groups: Dict[str, list] = {}
+    for idx, key in enumerate(a.col_keys):
+        key = str(key)
+        if sep not in key:
+            raise ValueError(f"column key {key!r} has no {sep!r} separator")
+        field, value = key.split(sep, 1)
+        groups.setdefault(field, []).append((idx, value))
+    out: Dict[str, AssocArray] = {}
+    for field, pairs in groups.items():
+        idxs = [i for i, _ in pairs]
+        values = [v for _, v in pairs]
+        sub = a.matrix.extract(cols=idxs)
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        sub = sub.extract(cols=order)
+        out[field] = AssocArray(a.row_keys, [values[i] for i in order], sub,
+                                _validate=False).condense()
+    return out
+
+
+def explode_records(records: Sequence[Mapping[str, object]],
+                    row_prefix: str = "r",
+                    sep: str = "|") -> Tuple[List[str], List[str]]:
+    """Explode dense records into (row key, exploded column key) pairs.
+
+    Record *i* becomes row ``f"{row_prefix}{i:08d}"``; each field/value
+    pair becomes the column ``f"{field}{sep}{value}"``.  Multi-valued
+    fields (list/tuple/set values) emit one column per element.
+    """
+    rows: List[str] = []
+    cols: List[str] = []
+    for i, rec in enumerate(records):
+        rkey = f"{row_prefix}{i:08d}"
+        for fname, fval in rec.items():
+            values = fval if isinstance(fval, (list, tuple, set, frozenset)) \
+                else (fval,)
+            for v in values:
+                rows.append(rkey)
+                cols.append(f"{fname}{sep}{v}")
+    return rows, cols
+
+
+@dataclass
+class D4MTables:
+    """The four-array D4M schema over one dataset."""
+
+    tedge: AssocArray
+    tedge_t: AssocArray
+    tdeg: AssocArray
+    traw: Dict[str, Mapping[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping[str, object]],
+                     row_prefix: str = "r", sep: str = "|") -> "D4MTables":
+        """Ingest dense records into the exploded four-table schema."""
+        rows, cols = explode_records(records, row_prefix=row_prefix, sep=sep)
+        if not rows:
+            empty = AssocArray.empty()
+            return cls(empty, empty, empty, {})
+        tedge = AssocArray.from_triples(rows, cols)
+        tdeg = tedge.sum_cols().transpose()  # rows = column keys, col = "sum"
+        # rename the reduction column to the schema's Degree column
+        tdeg = AssocArray(tdeg.row_keys, np.array([DEGREE_COL]), tdeg.matrix,
+                          _validate=False)
+        traw = {f"{row_prefix}{i:08d}": rec for i, rec in enumerate(records)}
+        return cls(tedge, tedge.transpose(), tdeg, traw)
+
+    def degree(self, column_key: str) -> float:
+        """Degree (entry count) of one exploded column, 0 when absent."""
+        return float(self.tdeg.get(column_key, DEGREE_COL, default=0.0))
+
+    def correlate(self, sel_a=None, sel_b=None) -> AssocArray:
+        """Column–column correlation ``TedgeᵀTedge`` restricted to two
+        column selectors — the paper's "multiplication of two arrays
+        represents a correlation" operation (e.g. word co-occurrence
+        when columns are ``word|*``)."""
+        left = self.tedge.extract(cols=sel_a)
+        right = self.tedge.extract(cols=sel_b)
+        return left.transpose().matmul(right)
+
+    def facet(self, sel_a, sel_b) -> AssocArray:
+        """Facet search (D4M idiom): rows matching selector A, projected
+        onto columns of selector B — e.g. which ``lang|*`` values occur
+        among records containing ``word|hi``.  One TedgeT row scan plus
+        one correlation row."""
+        rows = []
+        for key_idx in self.tedge_t.extract(rows=sel_a).row_keys:
+            rows.extend(self.records_matching(str(key_idx)))
+        if not rows:
+            return AssocArray.empty()
+        sub = self.tedge.extract(rows=sorted(set(rows)), cols=sel_b)
+        return sub.sum_cols()
+
+    def records_matching(self, column_key: str) -> List[str]:
+        """Row keys of records that contain an exploded column —
+        one TedgeT row scan, the D4M fast-lookup pattern."""
+        try:
+            sub = self.tedge_t.extract(rows=[column_key])
+        except KeyError:
+            return []
+        return [str(k) for k in sub.col_keys]

@@ -1,0 +1,106 @@
+"""Incidence-matrix schema (paper §II-B2) and the E↔A relations.
+
+Rows are edges, columns are vertices.  The *unoriented* incidence matrix
+``E`` has a 1 in each of the (two) vertex columns of an edge — the form
+Algorithm 1 (k-truss) consumes.  The *oriented* form carries ``+|e|`` at
+the head and ``−|e|`` at the tail, representing direction by sign as the
+paper describes.
+
+The central identity (paper §III-B):
+
+    ``A = EᵀE − diag(EᵀE)``
+
+relates the unoriented incidence matrix of a simple graph back to its
+adjacency matrix; ``diag(EᵀE)`` is the degree diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.construct import from_coo
+from repro.sparse.matrix import Matrix
+from repro.sparse.select import offdiag, triu
+from repro.sparse.spgemm import mxm
+
+
+def _edges_array(edges) -> np.ndarray:
+    edges = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                       dtype=np.intp)
+    if edges.size == 0:
+        return edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array of vertex pairs")
+    return edges
+
+
+def incidence_unoriented(n: int, edges, weights=None) -> Matrix:
+    """Unoriented incidence matrix: ``E(e, u) = E(e, v) = w_e`` for edge
+    ``e = (u, v)``.  Self loops are rejected (a loop row would need a
+    single column with multiplicity 2, which breaks ``A = EᵀE − diag``).
+    """
+    edges = _edges_array(edges)
+    if len(edges) and np.any(edges[:, 0] == edges[:, 1]):
+        raise ValueError("unoriented incidence matrix cannot encode self loops")
+    m = len(edges)
+    if weights is None:
+        w = np.ones(m, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (m,):
+            raise ValueError("weights must align with edges")
+    rows = np.repeat(np.arange(m, dtype=np.intp), 2)
+    cols = edges.reshape(-1)
+    vals = np.repeat(w, 2)
+    return from_coo(m, n, rows, cols, vals)
+
+
+def incidence_oriented(n: int, edges, weights=None) -> Matrix:
+    """Oriented incidence matrix per the paper's convention:
+    ``+|e|`` where the edge goes *into* a vertex, ``−|e|`` where it
+    leaves — edge ``(u, v)`` leaves u and enters v."""
+    edges = _edges_array(edges)
+    if len(edges) and np.any(edges[:, 0] == edges[:, 1]):
+        raise ValueError("oriented incidence matrix cannot encode self loops")
+    m = len(edges)
+    if weights is None:
+        w = np.ones(m, dtype=np.float64)
+    else:
+        w = np.abs(np.asarray(weights, dtype=np.float64))
+        if w.shape != (m,):
+            raise ValueError("weights must align with edges")
+    rows = np.repeat(np.arange(m, dtype=np.intp), 2)
+    cols = edges.reshape(-1)
+    vals = np.empty(2 * m, dtype=np.float64)
+    vals[0::2] = -w  # leaves u
+    vals[1::2] = +w  # enters v
+    return from_coo(m, n, rows, cols, vals)
+
+
+def incidence_from_edges(n: int, edges, oriented: bool = False,
+                         weights=None) -> Matrix:
+    """Dispatch to the (un)oriented constructor."""
+    if oriented:
+        return incidence_oriented(n, edges, weights=weights)
+    return incidence_unoriented(n, edges, weights=weights)
+
+
+def adjacency_from_incidence(e: Matrix) -> Matrix:
+    """``A = EᵀE − diag(EᵀE)`` (paper §III-B) for unoriented ``E``.
+
+    Realised with SpGEMM + the diagonal-dropping select; the result is
+    symmetric with ``A(i, j)`` = number of edges joining i and j.
+    """
+    ete = mxm(e.T, e)
+    return offdiag(ete).prune()
+
+
+def edge_list_from_adjacency(a: Matrix) -> np.ndarray:
+    """Recover an ``(m, 2)`` edge list from a symmetric adjacency matrix.
+
+    Takes the strictly-upper triangle (each undirected edge once);
+    multiplicities/weights are ignored — one row per stored entry.  Self
+    loops are dropped.
+    """
+    u = triu(a, 1)
+    return np.column_stack([u.row_ids(), u.indices])

@@ -1,0 +1,111 @@
+"""Semiring algebra: unary/binary operators, monoids, and semirings.
+
+The GraphBLAS design (and this paper's Section I) parameterises every
+kernel by a semiring ``(V, ⊕, ⊗, 0, 1)``: SpGEMM/SpMV replace scalar
+``+``/``*`` with the semiring's add-monoid and multiply operator.  The
+paper leans on this to get, e.g., BFS from the boolean semiring and
+shortest paths from the tropical (min-plus) semiring.
+
+This package provides the operator classes plus a registry of the
+standard instances used throughout :mod:`repro.sparse` and
+:mod:`repro.algorithms`.
+"""
+
+from repro.semiring.ops import BinaryOp, Monoid, Semiring, UnaryOp
+from repro.semiring.builtin import (
+    # unary ops
+    ABS,
+    IDENTITY,
+    AINV,
+    MINV,
+    ONE,
+    # binary ops
+    ANY,
+    DIV,
+    FIRST,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MIN,
+    MINUS,
+    PAIR,
+    PLUS,
+    SECOND,
+    TIMES,
+    EQ,
+    # monoids
+    LAND_MONOID,
+    LOR_MONOID,
+    MAX_MONOID,
+    MIN_MONOID,
+    PLUS_MONOID,
+    TIMES_MONOID,
+    ANY_MONOID,
+    # semirings
+    ANY_PAIR,
+    LOR_LAND,
+    MAX_MIN,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_FIRST,
+    MIN_MAX,
+    MIN_PLUS,
+    MIN_SECOND,
+    MIN_TIMES,
+    PLUS_LAND,
+    PLUS_MIN,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    get_semiring,
+    list_semirings,
+)
+
+__all__ = [
+    "BinaryOp",
+    "Monoid",
+    "Semiring",
+    "UnaryOp",
+    "ABS",
+    "IDENTITY",
+    "AINV",
+    "MINV",
+    "ONE",
+    "ANY",
+    "DIV",
+    "FIRST",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "MAX",
+    "MIN",
+    "MINUS",
+    "PAIR",
+    "PLUS",
+    "SECOND",
+    "TIMES",
+    "EQ",
+    "LAND_MONOID",
+    "LOR_MONOID",
+    "MAX_MONOID",
+    "MIN_MONOID",
+    "PLUS_MONOID",
+    "TIMES_MONOID",
+    "ANY_MONOID",
+    "ANY_PAIR",
+    "LOR_LAND",
+    "MAX_MIN",
+    "MAX_PLUS",
+    "MAX_TIMES",
+    "MIN_FIRST",
+    "MIN_MAX",
+    "MIN_PLUS",
+    "MIN_SECOND",
+    "MIN_TIMES",
+    "PLUS_LAND",
+    "PLUS_MIN",
+    "PLUS_PAIR",
+    "PLUS_TIMES",
+    "get_semiring",
+    "list_semirings",
+]

@@ -1,0 +1,205 @@
+"""Operator classes: UnaryOp, BinaryOp, Monoid, Semiring.
+
+Each operator wraps a vectorised NumPy callable so kernels stay free of
+Python-level per-entry loops.  Binary operators preferentially carry a
+true ``numpy.ufunc`` — that unlocks ``ufunc.reduceat`` for the segmented
+reductions at the heart of SpGEMM/SpMV.  Operators built from plain
+Python callables are promoted with ``numpy.frompyfunc`` (object-dtype
+internally, cast back on the way out), so user-defined algebra still
+works, just slower.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+class UnaryOp:
+    """A named elementwise function of one argument.
+
+    ``fn`` must accept and return NumPy arrays (elementwise).  Used by the
+    GraphBLAS ``Apply`` kernel — e.g. the paper's k-truss support count
+    applies ``x == 2 ? 1 : 0`` to every entry of ``R = EA``.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable):
+        if not callable(fn):
+            raise TypeError(f"fn for UnaryOp {name!r} must be callable")
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, x):
+        return self.fn(np.asarray(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name})"
+
+
+class BinaryOp:
+    """A named elementwise function of two arguments.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reprs and the registry.
+    fn:
+        Vectorised callable ``(x, y) -> z``.  If it is a ``numpy.ufunc``
+        it is used directly; otherwise it is assumed to be array-capable.
+    ufunc:
+        Optional true ufunc enabling ``reduceat``.  Defaults to ``fn``
+        when ``fn`` already is one.
+    commutative / associative:
+        Declared algebraic properties (checked by the property-based
+        tests, trusted by the kernels).
+    """
+
+    __slots__ = ("name", "fn", "ufunc", "commutative", "associative")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable,
+        ufunc: Optional[np.ufunc] = None,
+        commutative: bool = False,
+        associative: bool = False,
+    ):
+        if not callable(fn):
+            raise TypeError(f"fn for BinaryOp {name!r} must be callable")
+        self.name = name
+        self.fn = fn
+        if ufunc is None and isinstance(fn, np.ufunc):
+            ufunc = fn
+        self.ufunc = ufunc
+        self.commutative = commutative
+        self.associative = associative
+
+    @classmethod
+    def from_python(
+        cls,
+        name: str,
+        fn: Callable,
+        commutative: bool = False,
+        associative: bool = False,
+    ) -> "BinaryOp":
+        """Promote a scalar Python function to a (slow) vectorised op."""
+        ufunc = np.frompyfunc(fn, 2, 1)
+
+        def vectorised(x, y, _uf=ufunc):
+            out = _uf(np.asarray(x), np.asarray(y))
+            return np.asarray(out, dtype=np.result_type(x, y))
+
+        return cls(name, vectorised, ufunc=ufunc, commutative=commutative,
+                   associative=associative)
+
+    def __call__(self, x, y):
+        return self.fn(np.asarray(x), np.asarray(y))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+class Monoid(BinaryOp):
+    """An associative, commutative BinaryOp with an identity element.
+
+    Monoids drive reductions: the GraphBLAS ``Reduce`` kernel and the
+    ⊕-accumulation inside SpGEMM/SpMV.  ``identity`` doubles as the
+    implicit value of absent sparse entries under this algebra (0 for
+    plus, +inf for min, ...).
+    """
+
+    __slots__ = ("identity", "terminal")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable,
+        identity,
+        ufunc: Optional[np.ufunc] = None,
+        terminal=None,
+    ):
+        super().__init__(name, fn, ufunc=ufunc, commutative=True, associative=True)
+        self.identity = identity
+        #: absorbing element, if any (e.g. True for LOR) — lets kernels
+        #: short-circuit; purely an optimisation hint.
+        self.terminal = terminal
+
+    @classmethod
+    def from_binaryop(cls, op: BinaryOp, identity, terminal=None) -> "Monoid":
+        return cls(op.name, op.fn, identity, ufunc=op.ufunc, terminal=terminal)
+
+    def reduce(self, values: np.ndarray, axis=None):
+        """Fold ``values`` with ⊕ along ``axis`` (all axes when None)."""
+        values = np.asarray(values)
+        if values.size == 0:
+            if axis is None:
+                return self.identity
+            shape = list(values.shape)
+            del shape[axis if axis >= 0 else axis + values.ndim]
+            return np.full(shape, self.identity, dtype=values.dtype)
+        if self.ufunc is not None and self.ufunc.nin == 2:
+            out = self.ufunc.reduce(values, axis=axis)
+            if values.dtype != object:
+                return out
+            return np.asarray(out, dtype=values.dtype) if axis is not None else out
+        raise TypeError(f"monoid {self.name} has no reducible ufunc")
+
+    def reduceat(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Segmented reduce: fold each slice ``values[starts[i]:starts[i+1]]``.
+
+        Segments must be non-empty (callers guarantee this by only
+        emitting segment starts for keys that occur).  This is the single
+        hottest operation in the library — it is what makes semiring
+        SpGEMM vectorisable.
+        """
+        values = np.asarray(values)
+        starts = np.asarray(starts, dtype=np.intp)
+        if starts.size == 0:
+            return values[:0]
+        if self.ufunc is None or self.ufunc.nin != 2:
+            raise TypeError(f"monoid {self.name} has no reducible ufunc")
+        out = self.ufunc.reduceat(values, starts)
+        if out.dtype == object and values.dtype != object:
+            out = np.asarray(out, dtype=values.dtype)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name}, identity={self.identity!r})"
+
+
+class Semiring:
+    """``(V, ⊕, ⊗, 0, 1)``: an add monoid paired with a multiply op.
+
+    ``zero`` is the add identity / multiply annihilator — the implicit
+    value of missing sparse entries.  ``one`` is the multiply identity,
+    used to build identity matrices under the semiring.
+    """
+
+    __slots__ = ("name", "add", "mul", "one")
+
+    def __init__(self, name: str, add: Monoid, mul: BinaryOp, one=1):
+        if not isinstance(add, Monoid):
+            raise TypeError(f"add for semiring {name!r} must be a Monoid")
+        if not isinstance(mul, BinaryOp):
+            raise TypeError(f"mul for semiring {name!r} must be a BinaryOp")
+        self.name = name
+        self.add = add
+        self.mul = mul
+        self.one = one
+
+    @property
+    def zero(self):
+        """Additive identity / multiplicative annihilator."""
+        return self.add.identity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Semiring) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Semiring", self.name))

@@ -1,0 +1,38 @@
+"""Apply and Scale kernels (elementwise transforms of stored entries).
+
+GraphBLAS ``Apply`` maps a unary function over every stored entry;
+``Scale`` is SpEWiseX with a scalar (paper's kernel list).  Because the
+function only sees *stored* entries, an op that sends the semiring zero
+to itself preserves semantics — otherwise callers must prune afterwards
+(helper provided).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.semiring import BinaryOp, UnaryOp
+from repro.semiring.builtin import TIMES
+from repro.sparse.matrix import Matrix
+
+
+def apply(a: Matrix, op: UnaryOp) -> Matrix:
+    """``C(i,j) = op(A(i,j))`` on the stored pattern of A."""
+    if not isinstance(op, UnaryOp):
+        raise TypeError(f"op must be a UnaryOp, got {type(op).__name__}")
+    return a.with_values(np.asarray(op(a.values)))
+
+
+def scale(a: Matrix, scalar, op: Optional[BinaryOp] = None) -> Matrix:
+    """``C(i,j) = A(i,j) ⊗ scalar`` (GraphBLAS Scale; default ⊗=times)."""
+    op = op or TIMES
+    if a.nnz == 0:
+        return a.copy()
+    return a.with_values(np.asarray(op(a.values, scalar)))
+
+
+def prune(a: Matrix, zero=0.0) -> Matrix:
+    """Drop stored entries equal to ``zero`` (alias of ``Matrix.prune``)."""
+    return a.prune(zero)

@@ -1,0 +1,108 @@
+"""Matrix exchange I/O: numeric-triple TSV and MatrixMarket coordinate.
+
+Complements :mod:`repro.assoc.io` (string-keyed triples) with the two
+formats graph-processing pipelines actually trade in: 0-indexed
+``i<TAB>j<TAB>v`` TSV and 1-indexed MatrixMarket ``%%MatrixMarket
+matrix coordinate real general`` files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.semiring import Monoid
+from repro.sparse.construct import from_coo
+from repro.sparse.matrix import Matrix
+
+
+def write_tsv_matrix(m: Matrix, path: str) -> int:
+    """Write 0-indexed ``i<TAB>j<TAB>v`` lines; returns entries written."""
+    rows, cols, vals = m.to_coo()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# shape {m.nrows} {m.ncols}\n")
+        for i, j, v in zip(rows, cols, vals):
+            fh.write(f"{i}\t{j}\t{v}\n")
+    return m.nnz
+
+
+def read_tsv_matrix(path: str, dup: Optional[Monoid] = None) -> Matrix:
+    """Read a matrix written by :func:`write_tsv_matrix`.
+
+    The ``# shape R C`` header is required (it preserves empty trailing
+    rows/columns that triples alone cannot represent).
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    rows, cols, vals = [], [], []
+    shape = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 3 and parts[0] == "shape":
+                    shape = (int(parts[1]), int(parts[2]))
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 3 tab-separated fields")
+            rows.append(int(parts[0]))
+            cols.append(int(parts[1]))
+            vals.append(float(parts[2]))
+    if shape is None:
+        raise ValueError(f"{path}: missing '# shape R C' header")
+    return from_coo(shape[0], shape[1], np.asarray(rows, dtype=np.intp),
+                    np.asarray(cols, dtype=np.intp), np.asarray(vals),
+                    dup=dup)
+
+
+def write_matrix_market(m: Matrix, path: str, comment: str = "") -> int:
+    """Write MatrixMarket coordinate format (1-indexed, real, general)."""
+    rows, cols, vals = m.to_coo()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{m.nrows} {m.ncols} {m.nnz}\n")
+        for i, j, v in zip(rows, cols, vals):
+            fh.write(f"{i + 1} {j + 1} {v}\n")
+    return m.nnz
+
+
+def read_matrix_market(path: str, dup: Optional[Monoid] = None) -> Matrix:
+    """Read a MatrixMarket coordinate file (real or integer, general)."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path}: not a MatrixMarket file")
+        fields = header.lower().split()
+        if "coordinate" not in fields:
+            raise ValueError(f"{path}: only coordinate format is supported")
+        if not ({"real", "integer"} & set(fields)):
+            raise ValueError(f"{path}: only real/integer values supported")
+        if "general" not in fields:
+            raise ValueError(f"{path}: only 'general' symmetry supported")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        nrows, ncols, nnz = map(int, line.split())
+        rows = np.empty(nnz, dtype=np.intp)
+        cols = np.empty(nnz, dtype=np.intp)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            if len(parts) != 3:
+                raise ValueError(f"{path}: truncated at entry {k + 1}/{nnz}")
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2])
+    return from_coo(nrows, ncols, rows, cols, vals, dup=dup)

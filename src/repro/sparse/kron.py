@@ -1,0 +1,35 @@
+"""Kronecker product of sparse matrices (powers the Graph500-style
+Kronecker graph generator in :mod:`repro.generators.kronecker`)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.semiring import BinaryOp
+from repro.semiring.builtin import PLUS_MONOID, TIMES
+from repro.sparse.construct import _coo_to_csr
+from repro.sparse.matrix import Matrix
+
+
+def kron(a: Matrix, b: Matrix, op: Optional[BinaryOp] = None) -> Matrix:
+    """``C = A ⊗_kron B`` with values combined by ``op`` (default times).
+
+    ``C`` has shape ``(a.nrows * b.nrows, a.ncols * b.ncols)`` and one
+    entry per pair of stored entries, at
+    ``(ia * b.nrows + ib, ja * b.ncols + jb)``.
+    """
+    op = op or TIMES
+    ar, ac, av = a.to_coo()
+    br, bc, bv = b.to_coo()
+    na, nb = a.nnz, b.nnz
+    if na == 0 or nb == 0:
+        from repro.sparse.construct import zeros
+
+        return zeros(a.nrows * b.nrows, a.ncols * b.ncols)
+    rows = (np.repeat(ar, nb) * b.nrows + np.tile(br, na)).astype(np.intp)
+    cols = (np.repeat(ac, nb) * b.ncols + np.tile(bc, na)).astype(np.intp)
+    vals = np.asarray(op(np.repeat(av, nb), np.tile(bv, na)))
+    return _coo_to_csr(a.nrows * b.nrows, a.ncols * b.ncols, rows, cols, vals,
+                       PLUS_MONOID)

@@ -1,0 +1,64 @@
+"""Reduce kernel: fold rows, columns, or the whole matrix with a monoid.
+
+Degree centrality (paper §III-A) is exactly ``reduce_rows(PLUS)`` /
+``reduce_cols(PLUS)`` on the adjacency matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.semiring import Monoid
+from repro.semiring.builtin import PLUS_MONOID
+from repro.sparse.matrix import Matrix
+from repro.sparse.vector import Vector
+
+
+def reduce_rows(a: Matrix, monoid: Optional[Monoid] = None,
+                dense: bool = True) -> Union[np.ndarray, Vector]:
+    """``y[i] = ⊕_j A(i, j)`` over stored entries.
+
+    Dense output fills empty rows with the monoid identity; sparse
+    output omits them.
+    """
+    monoid = monoid or PLUS_MONOID
+    lens = a.row_lengths
+    nonempty = np.flatnonzero(lens)
+    if len(nonempty):
+        vals = monoid.reduceat(a.values, a.indptr[nonempty])
+    else:
+        vals = a.values[:0]
+    if dense:
+        out = np.full(a.nrows, monoid.identity,
+                      dtype=np.result_type(a.dtype if a.nnz else np.float64,
+                                           type(monoid.identity)))
+        out[nonempty] = vals
+        return out
+    return Vector(a.nrows, nonempty, vals, _validate=False)
+
+
+def reduce_cols(a: Matrix, monoid: Optional[Monoid] = None,
+                dense: bool = True) -> Union[np.ndarray, Vector]:
+    """``y[j] = ⊕_i A(i, j)`` (scatter-reduce; no transpose built)."""
+    monoid = monoid or PLUS_MONOID
+    if monoid.ufunc is None:
+        raise TypeError(f"monoid {monoid.name} has no ufunc for scatter")
+    out = np.full(a.ncols, monoid.identity,
+                  dtype=np.result_type(a.dtype if a.nnz else np.float64,
+                                       type(monoid.identity)))
+    if a.nnz:
+        monoid.ufunc.at(out, a.indices, a.values)
+    if dense:
+        return out
+    seen = np.zeros(a.ncols, dtype=bool)
+    seen[a.indices] = True
+    idx = np.flatnonzero(seen)
+    return Vector(a.ncols, idx, out[idx], _validate=False)
+
+
+def reduce_scalar(a: Matrix, monoid: Optional[Monoid] = None):
+    """``⊕`` over every stored entry (identity when empty)."""
+    monoid = monoid or PLUS_MONOID
+    return monoid.reduce(a.values)

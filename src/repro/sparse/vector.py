@@ -1,0 +1,151 @@
+"""Sparse vector container (for SpMSpV frontiers and reductions)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.semiring import Monoid
+from repro.semiring.builtin import PLUS_MONOID
+
+
+class Vector:
+    """Sparse vector: sorted unique ``indices`` with aligned ``values``.
+
+    BFS and Bellman–Ford keep their frontier / distance updates in this
+    form so SpMSpV touches only the active part of the graph.
+    """
+
+    __slots__ = ("n", "indices", "values")
+
+    def __init__(self, n: int, indices, values, _validate: bool = True):
+        self.n = int(n)
+        self.indices = np.asarray(indices, dtype=np.intp)
+        self.values = np.asarray(values)
+        if _validate:
+            self._check_canonical()
+
+    def _check_canonical(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"negative length {self.n}")
+        if self.indices.shape != self.values.shape or self.indices.ndim != 1:
+            raise ValueError("indices/values must be aligned 1-D arrays")
+        if len(self.indices):
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise ValueError("index out of range")
+            if np.any(np.diff(self.indices) <= 0):
+                raise ValueError("indices must be strictly increasing")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, n: int, indices, values, dup: Optional[Monoid] = None) -> "Vector":
+        """Build from possibly unsorted/duplicated COO, combining dups with
+        ``dup`` (default: plus monoid)."""
+        dup = dup or PLUS_MONOID
+        indices = np.asarray(indices, dtype=np.intp)
+        values = np.asarray(values)
+        if indices.size == 0:
+            return cls(n, indices, values, _validate=True)
+        order = np.argsort(indices, kind="stable")
+        si, sv = indices[order], values[order]
+        starts = np.flatnonzero(np.r_[True, np.diff(si) != 0])
+        out_idx = si[starts]
+        out_val = dup.reduceat(sv, starts)
+        v = cls(n, out_idx, out_val, _validate=False)
+        v._check_canonical()
+        return v
+
+    @classmethod
+    def from_dense(cls, dense, zero=0.0) -> "Vector":
+        """Sparsify a dense array, treating ``zero`` as absent."""
+        dense = np.asarray(dense)
+        if np.isnan(zero) if isinstance(zero, float) else False:  # pragma: no cover
+            keep = ~np.isnan(dense)
+        else:
+            keep = dense != zero
+        idx = np.flatnonzero(keep)
+        return cls(len(dense), idx, dense[idx], _validate=False)
+
+    @classmethod
+    def sparse_ones(cls, n: int, indices, one=1.0) -> "Vector":
+        indices = np.unique(np.asarray(indices, dtype=np.intp))
+        return cls(n, indices, np.full(len(indices), one), _validate=True)
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def shape(self) -> Tuple[int]:
+        return (self.n,)
+
+    def to_dense(self, fill=0.0) -> np.ndarray:
+        dtype = np.result_type(self.values.dtype, type(fill)) if self.nnz else np.float64
+        out = np.full(self.n, fill, dtype=dtype)
+        out[self.indices] = self.values
+        return out
+
+    def copy(self) -> "Vector":
+        return Vector(self.n, self.indices.copy(), self.values.copy(),
+                      _validate=False)
+
+    def get(self, i: int, default=0.0):
+        k = np.searchsorted(self.indices, i)
+        if k < self.nnz and self.indices[k] == i:
+            return self.values[k]
+        return default
+
+    # -- algebra -----------------------------------------------------------------
+
+    def ewise_add(self, other: "Vector", op=None) -> "Vector":
+        """Union combine (default plus)."""
+        from repro.semiring.builtin import PLUS
+
+        op = op or PLUS
+        if self.n != other.n:
+            raise ValueError(f"length mismatch {self.n} vs {other.n}")
+        common, ia, ib = np.intersect1d(self.indices, other.indices,
+                                        assume_unique=True, return_indices=True)
+        only_a = np.setdiff1d(np.arange(self.nnz), ia, assume_unique=True)
+        only_b = np.setdiff1d(np.arange(other.nnz), ib, assume_unique=True)
+        idx = np.concatenate([common, self.indices[only_a], other.indices[only_b]])
+        if len(common):
+            both = op(self.values[ia], other.values[ib])
+        else:
+            both = self.values[:0]
+        vals = np.concatenate([np.asarray(both),
+                               self.values[only_a], other.values[only_b]])
+        order = np.argsort(idx, kind="stable")
+        return Vector(self.n, idx[order], vals[order], _validate=False)
+
+    def ewise_mult(self, other: "Vector", op=None) -> "Vector":
+        """Intersection combine (default times)."""
+        from repro.semiring.builtin import TIMES
+
+        op = op or TIMES
+        if self.n != other.n:
+            raise ValueError(f"length mismatch {self.n} vs {other.n}")
+        common, ia, ib = np.intersect1d(self.indices, other.indices,
+                                        assume_unique=True, return_indices=True)
+        vals = np.asarray(op(self.values[ia], other.values[ib])) if len(common) \
+            else self.values[:0]
+        return Vector(self.n, common, vals, _validate=False)
+
+    def reduce(self, monoid: Optional[Monoid] = None):
+        monoid = monoid or PLUS_MONOID
+        return monoid.reduce(self.values)
+
+    def select_complement(self, universe_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Indices NOT in this vector's support (dense complement)."""
+        mask = np.ones(self.n, dtype=bool)
+        mask[self.indices] = False
+        if universe_mask is not None:
+            mask &= universe_mask
+        return np.flatnonzero(mask)
+
+    def __repr__(self) -> str:
+        return f"Vector(n={self.n}, nnz={self.nnz}, dtype={self.values.dtype})"

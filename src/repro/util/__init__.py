@@ -1,0 +1,25 @@
+"""Shared utilities: validation, deterministic RNG, timing, formatting."""
+
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.validation import (
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_same_shape,
+    check_square,
+    check_type,
+)
+from repro.util.timing import Timer, timed
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "check_index",
+    "check_nonnegative",
+    "check_positive",
+    "check_same_shape",
+    "check_square",
+    "check_type",
+    "Timer",
+    "timed",
+]

@@ -1,0 +1,55 @@
+"""Lightweight timing utilities for examples and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Tuple
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    >>> t = Timer()
+    >>> with t.section("spgemm"):
+    ...     pass
+    >>> "spgemm" in t.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> str:
+        """Render a fixed-width text table of accumulated sections."""
+        lines = [f"{'section':<32}{'calls':>8}{'total (s)':>12}{'mean (ms)':>12}"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            total = self.totals[name]
+            n = self.counts[name]
+            lines.append(f"{name:<32}{n:>8}{total:>12.4f}{1e3 * total / n:>12.3f}")
+        return "\n".join(lines)
+
+
+def timed(fn: Callable, *args, repeat: int = 1, **kwargs) -> Tuple[object, float]:
+    """Call ``fn`` ``repeat`` times; return (last result, best wall time)."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best

@@ -1,0 +1,56 @@
+"""Argument validation helpers used across the library.
+
+Kernels validate at the public boundary and then trust their inputs
+internally, keeping hot loops free of per-entry checks (per the
+"optimize the bottleneck, keep the rest legible" workflow).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+
+def check_type(value: Any, types, name: str) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expect = " or ".join(t.__name__ for t in types)
+        else:
+            expect = types.__name__
+        raise TypeError(f"{name} must be {expect}, got {type(value).__name__}")
+
+
+def check_positive(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_index(i: int, n: int, name: str = "index") -> int:
+    """Normalise and bounds-check an integer index, supporting negatives."""
+    i = int(i)
+    if i < 0:
+        i += n
+    if not 0 <= i < n:
+        raise IndexError(f"{name} {i} out of range for dimension {n}")
+    return i
+
+
+def check_same_shape(a, b, what: str = "operands") -> Tuple[int, int]:
+    """Raise ``ValueError`` unless two shaped objects match; return shape."""
+    if a.shape != b.shape:
+        raise ValueError(f"{what} have mismatched shapes {a.shape} vs {b.shape}")
+    return a.shape
+
+
+def check_square(a, what: str = "matrix") -> int:
+    """Raise ``ValueError`` unless ``a`` is square; return its order."""
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"{what} must be square, got shape {a.shape}")
+    return a.shape[0]

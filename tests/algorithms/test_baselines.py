@@ -1,0 +1,97 @@
+"""Classical baselines vs networkx (they serve as oracles elsewhere, so
+they get their own oracle checks here)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.baselines import (
+    bfs_classic,
+    connected_components_classic,
+    dijkstra,
+    jaccard_classic,
+    ktruss_classic,
+    pagerank_classic,
+    triangle_support_classic,
+)
+from repro.generators import erdos_renyi
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_dense
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestBfsClassic:
+    def test_vs_networkx(self):
+        a = erdos_renyi(30, 0.1, seed=1)
+        d = bfs_classic(a, 0)
+        ref = nx.single_source_shortest_path_length(nx_of(a), 0)
+        assert all(d[v] == ref.get(v, -1) for v in range(30))
+
+
+class TestDijkstra:
+    def test_vs_networkx_weighted(self, rng):
+        dense = np.where(rng.random((20, 20)) < 0.2,
+                         rng.uniform(0.5, 4.0, (20, 20)), 0.0)
+        np.fill_diagonal(dense, 0.0)
+        a = from_dense(dense)
+        g = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+        ref = nx.single_source_dijkstra_path_length(g, 0)
+        d = dijkstra(a, 0)
+        for v in range(20):
+            assert d[v] == pytest.approx(ref.get(v, np.inf))
+
+
+class TestPagerankClassic:
+    def test_vs_kernel_pagerank(self):
+        from repro.algorithms.centrality import pagerank
+
+        a = erdos_renyi(15, 0.3, seed=2)
+        assert np.allclose(pagerank_classic(a), pagerank(a), atol=1e-9)
+
+
+class TestTriangleSupport:
+    def test_vs_kernel_support(self, fig1_inc):
+        from repro.algorithms.truss import edge_support
+        from repro.generators.classic import fig1_edges
+
+        classic = triangle_support_classic(fig1_edges(), 5)
+        assert np.array_equal(classic, edge_support(fig1_inc).astype(int))
+
+
+class TestKtrussClassic:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_vs_networkx(self, k):
+        a = erdos_renyi(20, 0.3, seed=3)
+        edges = edge_list_from_adjacency(a)
+        surviving = ktruss_classic(edges, 20, k)
+        ours = {frozenset(map(int, e)) for e in surviving}
+        ref = {frozenset(e) for e in nx.k_truss(nx_of(a), k).edges()}
+        assert ours == ref
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            ktruss_classic(np.zeros((0, 2), dtype=int), 3, 2)
+
+
+class TestJaccardClassic:
+    def test_vs_networkx(self):
+        a = erdos_renyi(15, 0.3, seed=4)
+        ours = jaccard_classic(a)
+        g = nx_of(a)
+        pairs = [(u, v) for u in range(15) for v in range(u + 1, 15)]
+        for u, v, ref in nx.jaccard_coefficient(g, pairs):
+            assert ours.get((u, v), 0.0) == pytest.approx(ref)
+
+
+class TestComponentsClassic:
+    def test_vs_networkx(self):
+        a = erdos_renyi(30, 0.05, seed=5)
+        labels = connected_components_classic(a)
+        for comp in nx.connected_components(nx_of(a)):
+            assert {labels[v] for v in comp} == {min(comp)}

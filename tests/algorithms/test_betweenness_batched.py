@@ -1,0 +1,54 @@
+"""Batched (multi-source block) betweenness vs the per-source version."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.centrality import (
+    betweenness_batched,
+    betweenness_centrality,
+)
+from repro.generators import (
+    barabasi_albert,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.sparse import from_edges
+
+
+class TestBatchedBetweenness:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("batch", [1, 5, 32])
+    def test_matches_per_source(self, seed, batch):
+        a = erdos_renyi(24, 0.2, seed=seed)
+        assert np.allclose(betweenness_batched(a, batch_size=batch),
+                           betweenness_centrality(a))
+
+    @pytest.mark.parametrize("graph", [path_graph(7), star_graph(8),
+                                       cycle_graph(9)],
+                             ids=["path", "star", "cycle"])
+    def test_structured(self, graph):
+        assert np.allclose(betweenness_batched(graph, batch_size=4),
+                           betweenness_centrality(graph))
+
+    def test_directed(self):
+        a = from_edges(5, [(0, 1), (1, 2), (2, 3), (0, 3), (3, 4)])
+        assert np.allclose(
+            betweenness_batched(a, batch_size=2, directed=True),
+            betweenness_centrality(a, directed=True))
+
+    def test_normalized(self):
+        a = barabasi_albert(20, 2, seed=1)
+        assert np.allclose(
+            betweenness_batched(a, batch_size=8, normalized=True),
+            betweenness_centrality(a, normalized=True))
+
+    def test_disconnected(self):
+        a = from_edges(6, [(0, 1), (1, 2), (3, 4)], undirected=True)
+        assert np.allclose(betweenness_batched(a, batch_size=3),
+                           betweenness_centrality(a))
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            betweenness_batched(cycle_graph(4), batch_size=0)

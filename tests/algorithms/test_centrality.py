@@ -1,0 +1,163 @@
+"""Centrality family vs networkx oracles + analytic cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.centrality import (
+    betweenness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+    katz_centrality,
+    pagerank,
+)
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_edges, zeros
+
+
+def nx_of(a, directed=False):
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    rows = a.row_ids()
+    g.add_weighted_edges_from(
+        (int(u), int(v), float(w)) for u, v, w in zip(rows, a.indices, a.values))
+    return g
+
+
+class TestDegree:
+    def test_modes(self):
+        a = from_edges(3, [(0, 1), (0, 2), (2, 1)])
+        assert degree_centrality(a, "out").tolist() == [2, 0, 1]
+        assert degree_centrality(a, "in").tolist() == [0, 2, 1]
+        assert degree_centrality(a, "total").tolist() == [2, 2, 2]
+
+    def test_weighted(self):
+        a = from_edges(2, [(0, 1)], weights=[5.0])
+        assert degree_centrality(a, "out", weighted=True)[0] == 5.0
+        assert degree_centrality(a, "out", weighted=False)[0] == 1.0
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            degree_centrality(star_graph(3), "sideways")
+
+
+class TestEigenvector:
+    @pytest.mark.parametrize("graph", [star_graph(8), cycle_graph(7),
+                                       complete_graph(5)],
+                             ids=["star", "cycle", "complete"])
+    def test_matches_networkx(self, graph):
+        ours = eigenvector_centrality(graph, tol=1e-14, seed=1)
+        ref = nx.eigenvector_centrality_numpy(nx_of(graph))
+        ref = np.abs(np.array([ref[i] for i in range(graph.nrows)]))
+        ref /= np.linalg.norm(ref)
+        assert np.allclose(ours, ref, atol=1e-5)
+
+    def test_random_graph(self):
+        a = erdos_renyi(40, 0.2, seed=3)
+        ours = eigenvector_centrality(a, tol=1e-14, seed=1)
+        ref = nx.eigenvector_centrality_numpy(nx_of(a))
+        ref = np.abs(np.array([ref[i] for i in range(40)]))
+        ref /= np.linalg.norm(ref)
+        assert np.allclose(ours, ref, atol=1e-4)
+
+    def test_star_hub_dominates(self):
+        x = eigenvector_centrality(star_graph(9), seed=2)
+        assert np.argmax(x) == 0
+
+    def test_empty_graph(self):
+        x = eigenvector_centrality(zeros(4, 4))
+        assert (x == 0).all()
+
+
+class TestKatz:
+    def test_matches_series_sum(self):
+        """x = Σ_{k≥1} α^{k-1} A^k 1 (our accumulation) — check against
+        explicit truncated series."""
+        a = cycle_graph(6)
+        alpha = 0.2
+        ours = katz_centrality(a, alpha=alpha, tol=1e-14)
+        dense = a.to_dense()
+        acc = np.zeros(6)
+        d = np.ones(6)
+        for k in range(200):
+            d = dense @ d
+            acc += alpha ** k * d
+        assert np.allclose(ours, acc, rtol=1e-8)
+
+    def test_diverges_raises(self):
+        a = complete_graph(6)  # lambda_max = 5
+        with pytest.raises(RuntimeError):
+            katz_centrality(a, alpha=0.5, max_iter=500)
+
+    def test_alpha_positive(self):
+        with pytest.raises(ValueError):
+            katz_centrality(cycle_graph(4), alpha=0.0)
+
+    def test_symmetric_graph_uniform(self):
+        x = katz_centrality(cycle_graph(8), alpha=0.3)
+        assert np.allclose(x, x[0])
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx_undirected(self, seed):
+        a = erdos_renyi(30, 0.2, seed=seed)
+        ours = pagerank(a, jump=0.15)
+        ref = nx.pagerank(nx_of(a), alpha=0.85, tol=1e-12)
+        assert np.allclose(ours, [ref[i] for i in range(30)], atol=1e-8)
+
+    def test_matches_networkx_directed_with_dangling(self):
+        a = from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 2)])  # 4 dangles
+        ours = pagerank(a, jump=0.15)
+        ref = nx.pagerank(nx_of(a, directed=True), alpha=0.85, tol=1e-12,
+                          max_iter=5000)
+        assert np.allclose(ours, [ref[i] for i in range(5)], atol=1e-8)
+
+    def test_sums_to_one(self):
+        a = rmat_graph(6, edge_factor=4, seed=5)
+        assert pagerank(a).sum() == pytest.approx(1.0)
+
+    def test_jump_validated(self):
+        with pytest.raises(ValueError):
+            pagerank(cycle_graph(4), jump=1.0)
+
+    def test_uniform_on_regular_graph(self):
+        pr = pagerank(cycle_graph(10))
+        assert np.allclose(pr, 0.1)
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("graph,ident", [
+        (path_graph(6), "path"), (star_graph(7), "star"),
+        (cycle_graph(8), "cycle")])
+    def test_structured_vs_networkx(self, graph, ident):
+        ours = betweenness_centrality(graph)
+        ref = nx.betweenness_centrality(nx_of(graph), normalized=False)
+        assert np.allclose(ours, [ref[i] for i in range(graph.nrows)])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_vs_networkx(self, seed):
+        a = erdos_renyi(20, 0.25, seed=seed)
+        ours = betweenness_centrality(a)
+        ref = nx.betweenness_centrality(nx_of(a), normalized=False)
+        assert np.allclose(ours, [ref[i] for i in range(20)], atol=1e-9)
+
+    def test_normalized(self):
+        a = star_graph(6)
+        ours = betweenness_centrality(a, normalized=True)
+        ref = nx.betweenness_centrality(nx_of(a), normalized=True)
+        assert np.allclose(ours, [ref[i] for i in range(6)])
+
+    def test_subset_sources_approximation(self):
+        a = erdos_renyi(15, 0.3, seed=9)
+        full = betweenness_centrality(a)
+        approx = betweenness_centrality(a, sources=np.arange(15))
+        assert np.allclose(full, approx)

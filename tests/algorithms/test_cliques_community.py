@@ -1,0 +1,156 @@
+"""Subgraph detection (cliques, nomination) and community detection."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.cliques import (
+    bron_kerbosch,
+    max_clique,
+    planted_clique_eigen,
+    vertex_nomination,
+)
+from repro.algorithms.community import (
+    label_propagation,
+    nmf_communities,
+    spectral_bipartition,
+)
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    planted_clique,
+    planted_partition,
+    star_graph,
+)
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import zeros
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestBronKerbosch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        a = erdos_renyi(18, 0.3, seed=seed)
+        ours = {frozenset(c) for c in bron_kerbosch(a)}
+        ref = {frozenset(c) for c in nx.find_cliques(nx_of(a))}
+        assert ours == ref
+
+    def test_complete_graph_single_clique(self):
+        cliques = bron_kerbosch(complete_graph(5))
+        assert cliques == [set(range(5))]
+
+    def test_empty_graph_singletons(self):
+        cliques = bron_kerbosch(zeros(3, 3))
+        assert sorted(map(sorted, cliques)) == [[0], [1], [2]]
+
+    def test_max_clique_planted(self):
+        a, members = planted_clique(35, 9, p=0.1, seed=2)
+        mc = max_clique(a)
+        assert set(members.tolist()) <= mc
+        assert len(mc) >= 9
+
+    def test_max_clique_empty(self):
+        from repro.sparse import zeros as z
+
+        assert max_clique(z(0, 0)) == set()
+
+
+class TestPlantedCliqueEigen:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovers_most_of_clique(self, seed):
+        n, k = 80, 15
+        a, members = planted_clique(n, k, p=0.1, seed=seed)
+        cand = planted_clique_eigen(a, k)
+        overlap = len(set(cand.tolist()) & set(members.tolist()))
+        assert overlap >= int(0.8 * k)
+
+    def test_size_validated(self):
+        a, _ = planted_clique(10, 3, seed=1)
+        with pytest.raises(ValueError):
+            planted_clique_eigen(a, 0)
+        with pytest.raises(ValueError):
+            planted_clique_eigen(a, 11)
+
+
+class TestVertexNomination:
+    def test_clique_members_nominated_from_cues(self):
+        a, members = planted_clique(60, 12, p=0.06, seed=3)
+        cues = members[:4].tolist()
+        noms = [v for v, _ in vertex_nomination(a, cues, top=8)]
+        hidden = set(members.tolist()) - set(cues)
+        hits = len(set(noms) & hidden)
+        assert hits >= 6
+
+    def test_cues_never_nominated(self):
+        a = complete_graph(6)
+        noms = [v for v, _ in vertex_nomination(a, [0, 1], top=10)]
+        assert 0 not in noms and 1 not in noms
+
+    def test_validation(self):
+        a = cycle_graph(5)
+        with pytest.raises(ValueError):
+            vertex_nomination(a, [])
+        with pytest.raises(IndexError):
+            vertex_nomination(a, [99])
+        with pytest.raises(ValueError):
+            vertex_nomination(a, [0], mix=2.0)
+
+
+class TestSpectralBipartition:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovers_planted_partition(self, seed):
+        a, labels = planted_partition([15, 15], 0.5, 0.03, seed=seed)
+        pred, _ = spectral_bipartition(a)
+        agree = max((pred == labels).mean(), (pred != labels).mean())
+        assert agree > 0.9
+
+    def test_two_cliques_exact(self):
+        from repro.sparse import from_edges
+
+        edges = ([(u, v) for u in range(4) for v in range(u + 1, 4)] +
+                 [(u, v) for u in range(4, 8) for v in range(u + 1, 8)] +
+                 [(0, 4)])
+        a = from_edges(8, edges, undirected=True)
+        pred, fiedler = spectral_bipartition(a)
+        assert len(set(pred[:4])) == 1 and len(set(pred[4:])) == 1
+        assert pred[0] != pred[4]
+
+    def test_tiny_graph(self):
+        pred, f = spectral_bipartition(zeros(1, 1))
+        assert pred.tolist() == [0]
+
+
+class TestNMFCommunities:
+    def test_two_blocks(self):
+        a, labels = planted_partition([12, 12], 0.8, 0.05, seed=5)
+        pred = nmf_communities(a, 2, seed=1)
+        agree = max((pred == labels).mean(), (pred != labels).mean())
+        assert agree > 0.85
+
+
+class TestLabelPropagation:
+    def test_two_cliques_split(self):
+        from repro.sparse import from_edges
+
+        edges = ([(u, v) for u in range(5) for v in range(u + 1, 5)] +
+                 [(u, v) for u in range(5, 10) for v in range(u + 1, 10)])
+        a = from_edges(10, edges, undirected=True)
+        labels = label_propagation(a)
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_isolated_vertices_keep_labels(self):
+        labels = label_propagation(zeros(4, 4))
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_star_converges(self):
+        labels = label_propagation(star_graph(7), max_iter=50)
+        assert len(labels) == 7

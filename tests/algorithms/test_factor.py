@@ -1,0 +1,101 @@
+"""Truncated SVD / PCA via kernel products vs numpy dense references."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.factor import pca, truncated_svd
+from repro.sparse import from_dense, zeros
+
+
+def low_rank(rng, m, n, r, noise=1e-3):
+    u = rng.standard_normal((m, r))
+    v = rng.standard_normal((r, n))
+    s = np.geomspace(10.0, 1.0, r)
+    dense = (u * s) @ v + noise * rng.standard_normal((m, n))
+    # sparsify a bit so the kernel path matters
+    dense[np.abs(dense) < 0.05] = 0.0
+    return dense
+
+
+class TestTruncatedSVD:
+    def test_singular_values_match_numpy(self, rng):
+        dense = low_rank(rng, 40, 30, 5)
+        a = from_dense(dense)
+        res = truncated_svd(a, 5, seed=1)
+        ref = np.linalg.svd(dense, compute_uv=False)[:5]
+        assert np.allclose(res.s, ref, rtol=1e-4)
+
+    def test_reconstruction_captures_low_rank(self, rng):
+        dense = low_rank(rng, 50, 35, 4, noise=1e-6)
+        a = from_dense(dense)
+        res = truncated_svd(a, 4, seed=2)
+        approx = (res.u * res.s) @ res.vt
+        rel = np.linalg.norm(approx - dense) / np.linalg.norm(dense)
+        assert rel < 1e-3
+
+    def test_factors_orthonormal(self, rng):
+        dense = low_rank(rng, 30, 30, 6)
+        res = truncated_svd(from_dense(dense), 6, seed=3)
+        assert np.allclose(res.u.T @ res.u, np.eye(6), atol=1e-8)
+        assert np.allclose(res.vt @ res.vt.T, np.eye(6), atol=1e-8)
+
+    def test_rectangular_both_ways(self, rng):
+        for shape in [(20, 50), (50, 20)]:
+            dense = low_rank(rng, *shape, 3)
+            res = truncated_svd(from_dense(dense), 3, seed=4)
+            ref = np.linalg.svd(dense, compute_uv=False)[:3]
+            assert np.allclose(res.s, ref, rtol=1e-3)
+
+    def test_validation(self, rng):
+        a = from_dense(low_rank(rng, 10, 8, 2))
+        with pytest.raises(ValueError):
+            truncated_svd(a, 0)
+        with pytest.raises(ValueError):
+            truncated_svd(a, 9)
+        with pytest.raises(ValueError):
+            truncated_svd(a, 2, n_iter=-1)
+
+    def test_deterministic(self, rng):
+        a = from_dense(low_rank(rng, 20, 20, 3))
+        r1 = truncated_svd(a, 3, seed=7)
+        r2 = truncated_svd(a, 3, seed=7)
+        assert np.array_equal(r1.s, r2.s)
+
+
+class TestPCA:
+    def test_matches_numpy_eig_of_covariance(self, rng):
+        dense = low_rank(rng, 60, 12, 4)
+        a = from_dense(dense)
+        res = pca(a, 3, seed=1)
+        centred = dense - dense.mean(axis=0)
+        cov = centred.T @ centred / (len(dense) - 1)
+        vals, vecs = np.linalg.eigh(cov)
+        ref_var = vals[::-1][:3]
+        assert np.allclose(res.explained_variance, ref_var, rtol=1e-4)
+        # directions match up to sign
+        for i in range(3):
+            dot = abs(res.components[i] @ vecs[:, ::-1][:, i])
+            assert dot == pytest.approx(1.0, abs=1e-4)
+
+    def test_scores_are_centred_projections(self, rng):
+        dense = low_rank(rng, 30, 10, 3)
+        a = from_dense(dense)
+        res = pca(a, 2, seed=2)
+        centred = dense - dense.mean(axis=0)
+        assert np.allclose(res.scores, centred @ res.components.T, atol=1e-8)
+
+    def test_mean_is_column_mean(self, rng):
+        dense = low_rank(rng, 25, 8, 2)
+        res = pca(from_dense(dense), 2, seed=3)
+        assert np.allclose(res.mean, dense.mean(axis=0))
+
+    def test_variance_sorted_descending(self, rng):
+        dense = low_rank(rng, 40, 15, 6)
+        res = pca(from_dense(dense), 5, seed=4)
+        assert (np.diff(res.explained_variance) <= 1e-12).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pca(zeros(1, 5), 1)
+        with pytest.raises(ValueError):
+            pca(zeros(5, 5), 6)

@@ -1,0 +1,146 @@
+"""Algorithm 4 (Newton–Schulz inverse) and Algorithms 3/5 (NMF)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.inverse import (
+    newton_schulz_inverse,
+    newton_schulz_inverse_dense,
+)
+from repro.algorithms.nmf import nmf, nmf_reconstruction_error
+from repro.sparse import from_dense, zeros
+
+
+def spd(rng, n, cond=10.0):
+    """Random symmetric positive-definite matrix (Gram-like, what
+    Algorithm 5 actually inverts)."""
+    q = rng.random((n, n))
+    return q @ q.T + cond * np.eye(n)
+
+
+class TestNewtonSchulzDense:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12, 30])
+    def test_spd_matches_numpy(self, rng, n):
+        a = spd(rng, n)
+        x, iters = newton_schulz_inverse_dense(a)
+        assert np.allclose(x, np.linalg.inv(a), atol=1e-8)
+        assert iters >= 1
+
+    def test_nonsymmetric_diagonally_dominant(self, rng):
+        a = rng.random((8, 8)) + 8 * np.eye(8)
+        x, _ = newton_schulz_inverse_dense(a)
+        assert np.allclose(a @ x, np.eye(8), atol=1e-8)
+
+    def test_general_nonsingular(self, rng):
+        """Ben-Israel seeding converges for any nonsingular matrix."""
+        for _ in range(5):
+            a = rng.random((6, 6)) - 0.5
+            if abs(np.linalg.det(a)) < 1e-3:
+                continue
+            x, _ = newton_schulz_inverse_dense(a, max_iter=2000)
+            assert np.allclose(x @ a, np.eye(6), atol=1e-6)
+
+    def test_singular_raises(self):
+        a = np.ones((3, 3))
+        with pytest.raises(RuntimeError):
+            newton_schulz_inverse_dense(a, max_iter=100)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(ValueError):
+            newton_schulz_inverse_dense(np.zeros((2, 2)))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            newton_schulz_inverse_dense(np.ones((2, 3)))
+
+    def test_identity_one_step(self):
+        x, iters = newton_schulz_inverse_dense(np.eye(4))
+        assert np.allclose(x, np.eye(4))
+
+
+class TestNewtonSchulzSparse:
+    def test_matches_dense_version(self, rng):
+        a = spd(rng, 10)
+        xs, _ = newton_schulz_inverse(from_dense(a), eps=1e-12)
+        assert np.allclose(xs.to_dense(), np.linalg.inv(a), atol=1e-7)
+
+    def test_kernel_only_trace(self, rng):
+        """The sparse variant uses only Matrix kernels — spot-check the
+        result satisfies A·X ≈ I."""
+        a = from_dense(spd(rng, 6))
+        x, _ = newton_schulz_inverse(a)
+        prod = a.mxm(x).to_dense()
+        assert np.allclose(prod, np.eye(6), atol=1e-8)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            newton_schulz_inverse(zeros(3, 3))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            newton_schulz_inverse(zeros(2, 3))
+
+
+class TestNMF:
+    def factorable(self, rng, m=30, n=20, k=4, noise=0.01):
+        """Low-rank non-negative matrix with known structure."""
+        w = rng.random((m, k)) * (rng.random((m, k)) < 0.5)
+        h = rng.random((k, n))
+        a = w @ h + noise * rng.random((m, n))
+        return from_dense(a)
+
+    def test_reconstruction_improves(self, rng):
+        a = self.factorable(rng)
+        res = nmf(a, 4, seed=1, max_iter=60)
+        assert res.errors[-1] < res.errors[0]
+        assert res.errors[-1] < 0.25
+
+    def test_factors_nonnegative(self, rng):
+        a = self.factorable(rng)
+        res = nmf(a, 4, seed=2)
+        assert (res.w >= 0).all() and (res.h >= 0).all()
+
+    def test_shapes(self, rng):
+        a = self.factorable(rng, m=12, n=9, k=3)
+        res = nmf(a, 3, seed=3)
+        assert res.w.shape == (12, 3) and res.h.shape == (3, 9)
+
+    def test_newton_schulz_matches_lstsq_quality(self, rng):
+        """§IV ablation: the kernel-only inverse path must not degrade
+        the factorisation materially."""
+        a = self.factorable(rng)
+        e_ns = nmf_reconstruction_error(a, nmf(a, 4, seed=4,
+                                               solver="newton_schulz"))
+        e_ls = nmf_reconstruction_error(a, nmf(a, 4, seed=4, solver="lstsq"))
+        assert abs(e_ns - e_ls) < 0.05
+
+    def test_rank_one_exact(self, rng):
+        w = rng.random((10, 1)) + 0.1
+        h = rng.random((1, 8)) + 0.1
+        a = from_dense(w @ h)
+        res = nmf(a, 1, seed=5, eps=1e-8, max_iter=200)
+        assert nmf_reconstruction_error(a, res) < 1e-3
+
+    def test_errors_monotone_ish(self, rng):
+        """ALS is not strictly monotone with clamping, but the error
+        must trend down (final < 1.1 × min)."""
+        a = self.factorable(rng)
+        res = nmf(a, 4, seed=6, max_iter=50)
+        assert res.errors[-1] <= 1.1 * res.errors.min()
+
+    def test_validation(self, rng):
+        a = self.factorable(rng, m=5, n=4)
+        with pytest.raises(ValueError):
+            nmf(a, 0)
+        with pytest.raises(ValueError):
+            nmf(a, 99)
+        with pytest.raises(ValueError):
+            nmf(a, 2, solver="qr")
+        with pytest.raises(ValueError):
+            nmf(zeros(0, 4), 1)
+
+    def test_deterministic_given_seed(self, rng):
+        a = self.factorable(rng)
+        r1 = nmf(a, 3, seed=7)
+        r2 = nmf(a, 3, seed=7)
+        assert np.array_equal(r1.w, r2.w) and np.array_equal(r1.h, r2.h)

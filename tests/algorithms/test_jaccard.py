@@ -1,0 +1,102 @@
+"""Jaccard: networkx oracle, dense-naive agreement, validation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.jaccard import jaccard, jaccard_dense, jaccard_pair
+from repro.algorithms.baselines import jaccard_classic
+from repro.generators import complete_graph, erdos_renyi, star_graph
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_dense, from_edges
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        a = erdos_renyi(22, 0.25, seed=seed)
+        j = jaccard(a)
+        g = nx_of(a)
+        pairs = [(u, v) for u in range(22) for v in range(u + 1, 22)]
+        ref = dict(((u, v), c) for u, v, c in
+                   nx.jaccard_coefficient(g, pairs))
+        for (u, v), c in ref.items():
+            assert j.get(u, v) == pytest.approx(c), (u, v)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_against_classic_baseline(self, seed):
+        a = erdos_renyi(18, 0.3, seed=seed + 100)
+        j = jaccard(a)
+        ref = jaccard_classic(a)
+        ours = {(int(i), int(jj)): v for i, jj, v in
+                zip(j.row_ids(), j.indices, j.values) if i < jj}
+        assert set(ours) == set(ref)
+        for k, v in ref.items():
+            assert ours[k] == pytest.approx(v)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_triangular_equals_dense_naive(self, seed):
+        """Algorithm 2 == the A²AND./A²OR formulation it optimises."""
+        a = erdos_renyi(15, 0.3, seed=seed + 50)
+        tri = jaccard(a).to_dense()
+        dense = jaccard_dense(a)
+        assert np.allclose(tri, dense)
+
+
+class TestStructuredGraphs:
+    def test_complete_graph(self):
+        """In K_n any two vertices share n−2 neighbours of n total."""
+        n = 6
+        j = jaccard(complete_graph(n))
+        expect = (n - 2) / n
+        vals = j.values
+        assert np.allclose(vals, expect)
+
+    def test_star_leaves_identical(self):
+        """All leaves of a star have Jaccard 1 with each other."""
+        j = jaccard(star_graph(5))
+        for u in range(1, 5):
+            for v in range(u + 1, 5):
+                assert j.get(u, v) == pytest.approx(1.0)
+
+    def test_star_hub_leaf_zero(self):
+        """Hub and leaf share no neighbours → no stored entry."""
+        j = jaccard(star_graph(5))
+        assert j.get(0, 1) == 0.0
+
+    def test_values_in_unit_interval(self):
+        a = erdos_renyi(30, 0.4, seed=9)
+        j = jaccard(a)
+        assert (j.values > 0).all() and (j.values <= 1).all()
+
+
+class TestPairAndValidation:
+    def test_pair_oracle(self, fig1_adj):
+        assert jaccard_pair(fig1_adj, 1, 3) == pytest.approx(2 / 3)
+        assert jaccard_pair(fig1_adj, 0, 1) == pytest.approx(1 / 5)
+
+    def test_isolated_pair_zero(self):
+        a = from_edges(4, [(0, 1)], undirected=True)
+        assert jaccard_pair(a, 2, 3) == 0.0
+
+    def test_weighted_rejected(self):
+        a = from_edges(3, [(0, 1)], weights=[2.0], undirected=True)
+        with pytest.raises(ValueError, match="unweighted"):
+            jaccard(a)
+
+    def test_self_loop_rejected(self):
+        a = from_dense(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="self loops"):
+            jaccard(a)
+
+    def test_directed_rejected(self):
+        a = from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="undirected"):
+            jaccard(a)

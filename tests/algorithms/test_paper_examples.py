@@ -1,0 +1,179 @@
+"""The paper's §III-B and Fig 2 worked examples, matrix by matrix.
+
+These tests pin the implementation to the numbers printed in the paper:
+the Fig 1 incidence matrix E, the A = EᵀE − diag(d) decomposition, the
+support computation R = EA and s = (R==2)·1, the k=3 truss result, and
+every Jaccard coefficient in Fig 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.jaccard import jaccard
+from repro.algorithms.truss import INDICATOR_EQ2, edge_support, ktruss
+from repro.semiring.builtin import PLUS_MONOID
+from repro.sparse import mxm
+from repro.sparse.reduce import reduce_cols, reduce_rows
+from repro.sparse.select import offdiag
+
+E_PAPER = np.array([
+    [1, 1, 0, 0, 0],
+    [0, 1, 1, 0, 0],
+    [1, 0, 0, 1, 0],
+    [0, 0, 1, 1, 0],
+    [1, 0, 1, 0, 0],
+    [0, 1, 0, 0, 1],
+], dtype=float)
+
+ETE_PAPER = np.array([
+    [3, 1, 1, 1, 0],
+    [1, 3, 1, 0, 1],
+    [1, 1, 3, 1, 0],
+    [1, 0, 1, 2, 0],
+    [0, 1, 0, 0, 1],
+], dtype=float)
+
+R_PAPER = np.array([
+    [1, 1, 2, 1, 1],
+    [2, 1, 1, 1, 1],
+    [1, 1, 2, 1, 0],
+    [2, 1, 1, 1, 0],
+    [1, 2, 1, 2, 0],
+    [1, 1, 1, 0, 1],
+], dtype=float)
+
+R_AFTER_PAPER = np.array([
+    [1, 1, 2, 1, 0],
+    [2, 1, 1, 1, 0],
+    [1, 1, 2, 1, 0],
+    [2, 1, 1, 1, 0],
+    [1, 2, 1, 2, 0],
+], dtype=float)
+
+
+class TestSectionIIIBWalkthrough:
+    def test_incidence_matrix(self, fig1_inc):
+        assert np.array_equal(fig1_inc.to_dense(), E_PAPER)
+
+    def test_ete_matches_printed_sum(self, fig1_inc):
+        """The paper prints EᵀE as A + diag(3,3,3,2,1)."""
+        ete = mxm(fig1_inc.T, fig1_inc)
+        assert np.array_equal(ete.to_dense(), ETE_PAPER)
+
+    def test_degree_diagonal(self, fig1_inc):
+        d = reduce_cols(fig1_inc, PLUS_MONOID)
+        assert d.tolist() == [3, 3, 3, 2, 1]
+        ete = mxm(fig1_inc.T, fig1_inc)
+        assert np.array_equal(ete.diag(), d)
+
+    def test_adjacency_from_identity(self, fig1_inc, fig1_adj):
+        ete = mxm(fig1_inc.T, fig1_inc)
+        assert offdiag(ete).prune().equal(fig1_adj)
+
+    def test_r_equals_ea(self, fig1_inc, fig1_adj):
+        r = mxm(fig1_inc, fig1_adj)
+        assert np.array_equal(r.to_dense(), R_PAPER)
+
+    def test_support_vector(self, fig1_inc):
+        """R has one 2 in rows e1..e4, two in e5, none in e6 (the
+        paper's printed s omits one entry — 6 edges give 6 supports)."""
+        s = edge_support(fig1_inc)
+        assert s.tolist() == [1, 1, 1, 1, 2, 0]
+
+    def test_eq2_indicator_pattern(self, fig1_inc, fig1_adj):
+        r = mxm(fig1_inc, fig1_adj)
+        ind = r.apply(INDICATOR_EQ2)
+        expected = (R_PAPER == 2).astype(float)
+        assert np.array_equal(ind.prune().to_dense(), expected)
+
+    def test_x_is_edge_six(self, fig1_inc):
+        s = edge_support(fig1_inc)
+        assert np.flatnonzero(s < 1).tolist() == [5]  # x = {6}, 1-indexed
+
+    def test_three_truss_is_first_five_edges(self, fig1_inc):
+        e3 = ktruss(fig1_inc, 3)
+        assert np.array_equal(e3.to_dense(), E_PAPER[:5])
+
+    def test_r_update_after_removal(self, fig1_inc, fig1_adj):
+        """After deleting e6, R(xᶜ,:) − E[EₓᵀEₓ − diag(dₓ)] equals the
+        paper's printed 5×5 update, and the 2-pattern is unchanged."""
+        e_kept = fig1_inc.extract(rows=[0, 1, 2, 3, 4])
+        ex = fig1_inc.extract(rows=[5])
+        r = mxm(fig1_inc, fig1_adj).extract(rows=[0, 1, 2, 3, 4])
+        update = mxm(e_kept, offdiag(mxm(ex.T, ex)).prune())
+        r_new = (r - update).prune()
+        assert np.array_equal(r_new.to_dense(), R_AFTER_PAPER)
+
+    def test_four_truss_is_empty(self, fig1_inc):
+        assert ktruss(fig1_inc, 4).nrows == 0
+
+
+class TestFig2Jaccard:
+    #: Fig 2's final matrix (1-indexed in the paper): J12=1/5, J13=1/2,
+    #: J14=1/4, J15=1/3, J23=1/5, J24=2/3, J34=1/4, J35=1/3.
+    EXPECTED = {
+        (0, 1): 1 / 5, (0, 2): 1 / 2, (0, 3): 1 / 4, (0, 4): 1 / 3,
+        (1, 2): 1 / 5, (1, 3): 2 / 3, (2, 3): 1 / 4, (2, 4): 1 / 3,
+    }
+
+    def test_all_coefficients(self, fig1_adj):
+        j = jaccard(fig1_adj)
+        for (a, b), v in self.EXPECTED.items():
+            assert j.get(a, b) == pytest.approx(v), (a, b)
+
+    def test_symmetry(self, fig1_adj):
+        j = jaccard(fig1_adj)
+        assert j.equal(j.T)
+
+    def test_no_other_entries(self, fig1_adj):
+        j = jaccard(fig1_adj)
+        assert j.nnz == 2 * len(self.EXPECTED)
+        assert np.allclose(j.diag(), 0.0)
+
+    def test_intermediate_u_squared(self, fig1_adj):
+        """Fig 2 prints U² explicitly."""
+        from repro.sparse import triu
+
+        u = triu(fig1_adj, 1)
+        u2 = mxm(u, u)
+        expected = np.zeros((5, 5))
+        expected[0, 2] = expected[0, 3] = expected[0, 4] = 1
+        expected[1, 3] = 1
+        assert np.array_equal(u2.to_dense(), expected)
+
+    def test_intermediate_uut_utu(self, fig1_adj):
+        from repro.sparse import triu
+
+        u = triu(fig1_adj, 1)
+        uut = mxm(u, u.T).to_dense()
+        utu = mxm(u.T, u).to_dense()
+        assert np.array_equal(uut, np.array([
+            [3, 1, 1, 0, 0],
+            [1, 2, 0, 0, 0],
+            [1, 0, 1, 0, 0],
+            [0, 0, 0, 0, 0],
+            [0, 0, 0, 0, 0]], dtype=float))
+        assert np.array_equal(utu, np.array([
+            [0, 0, 0, 0, 0],
+            [0, 1, 1, 1, 0],
+            [0, 1, 2, 1, 1],
+            [0, 1, 1, 2, 0],
+            [0, 0, 1, 0, 1]], dtype=float))
+
+    def test_numerator_matrix(self, fig1_adj):
+        """Fig 2's pre-division J (common-neighbour counts, strictly
+        upper): rows as printed."""
+        from repro.sparse import triu
+        from repro.sparse.select import offdiag as od
+
+        u = triu(fig1_adj, 1)
+        j = mxm(u, u).ewise_add(triu(mxm(u, u.T))).ewise_add(
+            triu(mxm(u.T, u)))
+        j = od(j).prune()
+        expected = np.array([
+            [0, 1, 2, 1, 1],
+            [0, 0, 1, 2, 0],
+            [0, 0, 0, 1, 1],
+            [0, 0, 0, 0, 0],
+            [0, 0, 0, 0, 0]], dtype=float)
+        assert np.array_equal(j.to_dense(), expected)

@@ -1,0 +1,154 @@
+"""Shortest-path family: tropical kernels vs networkx/scipy oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse.csgraph as csgraph
+
+from repro.algorithms.baselines import dijkstra
+from repro.algorithms.shortestpath import (
+    apsp_min_plus,
+    astar,
+    bellman_ford,
+    floyd_warshall,
+    johnson,
+)
+from repro.generators import grid_graph
+from repro.sparse import from_coo, from_dense, zeros
+
+
+def random_digraph(rng, n, density=0.2, low=0.5, high=6.0, negative=False):
+    dense = np.where(rng.random((n, n)) < density,
+                     rng.uniform(low, high, (n, n)), 0.0)
+    np.fill_diagonal(dense, 0.0)
+    if negative:
+        # sprinkle a few negative edges but keep it cycle-safe via DAG-ish
+        # structure: negatives only go from lower to higher index
+        neg = (rng.random((n, n)) < 0.05) & (np.triu(np.ones((n, n)), 1) > 0)
+        dense = np.where(neg, -rng.uniform(0.1, 1.0, (n, n)), dense)
+    return from_dense(dense), dense
+
+
+def scipy_apsp(dense):
+    g = np.where(dense != 0, dense, 0.0)
+    return csgraph.shortest_path(g, method="FW", directed=True)
+
+
+class TestBellmanFord:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_vs_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        a, dense = random_digraph(rng, 25)
+        ref = csgraph.shortest_path(dense, method="BF", directed=True,
+                                    indices=0)
+        assert np.allclose(bellman_ford(a, 0), ref, equal_nan=True)
+
+    def test_negative_weights_ok(self):
+        rng = np.random.default_rng(3)
+        a, dense = random_digraph(rng, 15, negative=True)
+        ref = csgraph.shortest_path(dense, method="BF", directed=True,
+                                    indices=0)
+        assert np.allclose(bellman_ford(a, 0), ref)
+
+    def test_negative_cycle_detected(self):
+        a = from_coo(3, 3, [0, 1, 2], [1, 2, 0], [1.0, -3.0, 1.0])
+        with pytest.raises(ValueError, match="negative cycle"):
+            bellman_ford(a, 0)
+
+    def test_unreachable_inf(self):
+        a = from_coo(3, 3, [0], [1], [2.0])
+        d = bellman_ford(a, 0)
+        assert d[1] == 2.0 and np.isinf(d[2])
+
+    def test_explicit_zero_weight_edge(self):
+        """Tropical semiring: a 0-weight edge must be a *stored* 0."""
+        a = from_coo(2, 2, [0], [1], [0.0])
+        assert bellman_ford(a, 0).tolist() == [0.0, 0.0]
+
+
+class TestAPSP:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_min_plus_squaring_vs_scipy(self, seed):
+        rng = np.random.default_rng(seed + 10)
+        a, dense = random_digraph(rng, 18)
+        assert np.allclose(apsp_min_plus(a), scipy_apsp(dense))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_floyd_warshall_vs_scipy(self, seed):
+        rng = np.random.default_rng(seed + 20)
+        a, dense = random_digraph(rng, 18)
+        assert np.allclose(floyd_warshall(a), scipy_apsp(dense))
+
+    def test_all_three_agree(self):
+        rng = np.random.default_rng(42)
+        a, dense = random_digraph(rng, 15)
+        fw = floyd_warshall(a)
+        assert np.allclose(apsp_min_plus(a), fw)
+        assert np.allclose(johnson(a), fw)
+
+    def test_johnson_negative_weights(self):
+        rng = np.random.default_rng(5)
+        a, dense = random_digraph(rng, 12, negative=True)
+        assert np.allclose(johnson(a), floyd_warshall(a))
+
+    def test_floyd_warshall_negative_cycle(self):
+        a = from_coo(2, 2, [0, 1], [1, 0], [1.0, -3.0])
+        with pytest.raises(ValueError, match="negative cycle"):
+            floyd_warshall(a)
+
+    def test_empty_graph(self):
+        assert apsp_min_plus(zeros(0, 0)).shape == (0, 0)
+        d = apsp_min_plus(zeros(3, 3))
+        assert np.isinf(d[0, 1]) and d[0, 0] == 0.0
+
+
+class TestDijkstraBaseline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_vs_bellman_ford(self, seed):
+        rng = np.random.default_rng(seed + 30)
+        a, _ = random_digraph(rng, 20)
+        assert np.allclose(dijkstra(a, 0), bellman_ford(a, 0))
+
+    def test_rejects_negative(self):
+        a = from_coo(2, 2, [0], [1], [-1.0])
+        with pytest.raises(ValueError):
+            dijkstra(a, 0)
+
+
+class TestAStar:
+    def test_grid_with_manhattan_heuristic(self):
+        rows, cols = 6, 7
+        a = grid_graph(rows, cols)
+        target = rows * cols - 1
+        tr, tc = divmod(target, cols)
+        coords = np.array([divmod(v, cols) for v in range(rows * cols)])
+        h = (np.abs(coords[:, 0] - tr) + np.abs(coords[:, 1] - tc)).astype(float)
+        dist, path = astar(a, 0, target, heuristic=h)
+        assert dist == (rows - 1) + (cols - 1)
+        assert path[0] == 0 and path[-1] == target
+        # path is connected
+        for u, v in zip(path, path[1:]):
+            assert a.get(u, v) != 0.0
+
+    def test_zero_heuristic_is_dijkstra(self):
+        rng = np.random.default_rng(8)
+        a, _ = random_digraph(rng, 20)
+        ref = dijkstra(a, 0)
+        for t in (3, 7, 15):
+            d, _ = astar(a, 0, t)
+            assert d == pytest.approx(ref[t]) or (np.isinf(d) and np.isinf(ref[t]))
+
+    def test_unreachable(self):
+        a = from_coo(3, 3, [0], [1], [1.0])
+        d, path = astar(a, 0, 2)
+        assert np.isinf(d) and path == []
+
+    def test_rejects_negative(self):
+        a = from_coo(2, 2, [0], [1], [-1.0])
+        with pytest.raises(ValueError):
+            astar(a, 0, 1)
+
+    def test_heuristic_shape_checked(self):
+        a = grid_graph(2, 2)
+        with pytest.raises(ValueError):
+            astar(a, 0, 3, heuristic=np.zeros(2))

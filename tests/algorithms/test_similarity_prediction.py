@@ -1,0 +1,172 @@
+"""Similarity and prediction classes (Table I rows 4 and 6)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.prediction import (
+    adamic_adar_scores,
+    emerging_communities,
+    katz_link_scores,
+    link_prediction,
+)
+from repro.algorithms.similarity import (
+    common_neighbors,
+    cosine_similarity,
+    is_isomorphic,
+    neighbor_matching,
+)
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_edges
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestCommonNeighborsCosine:
+    def test_common_neighbors_vs_networkx(self):
+        a = erdos_renyi(20, 0.25, seed=1)
+        cn = common_neighbors(a)
+        g = nx_of(a)
+        for u in range(20):
+            for v in range(u + 1, 20):
+                ref = len(list(nx.common_neighbors(g, u, v)))
+                assert cn.get(u, v) == ref
+
+    def test_cosine_range_and_symmetry(self):
+        a = erdos_renyi(20, 0.3, seed=2)
+        s = cosine_similarity(a)
+        assert (s.values > 0).all() and (s.values <= 1 + 1e-12).all()
+        assert s.equal(s.T)
+
+    def test_cosine_identical_neighbourhoods(self):
+        s = cosine_similarity(star_graph(5))
+        assert s.get(1, 2) == pytest.approx(1.0)
+
+
+class TestIsomorphism:
+    def test_iso_pairs(self):
+        ok, mapping = is_isomorphic(cycle_graph(6), cycle_graph(6))
+        assert ok and len(mapping) == 6
+
+    def test_mapping_is_valid(self):
+        a = erdos_renyi(10, 0.4, seed=3)
+        # relabel vertices with a permutation
+        perm = np.random.default_rng(4).permutation(10)
+        edges = edge_list_from_adjacency(a)
+        b = from_edges(10, [(perm[u], perm[v]) for u, v in edges],
+                       undirected=True)
+        ok, mapping = is_isomorphic(a, b)
+        assert ok
+        ad, bd = a.to_dense(), b.to_dense()
+        for u in range(10):
+            for v in range(10):
+                assert ad[u, v] == bd[mapping[u], mapping[v]]
+
+    def test_non_iso_same_degree_sequence(self):
+        # C6 vs two triangles: both 2-regular on 6 vertices
+        two_triangles = from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+            undirected=True)
+        ok, _ = is_isomorphic(cycle_graph(6), two_triangles)
+        assert not ok
+
+    def test_different_sizes(self):
+        ok, _ = is_isomorphic(cycle_graph(5), cycle_graph(6))
+        assert not ok
+
+    def test_path_vs_star(self):
+        ok, _ = is_isomorphic(path_graph(4), star_graph(4))
+        assert not ok
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            is_isomorphic(cycle_graph(100), cycle_graph(100), max_nodes=50)
+
+
+class TestNeighborMatching:
+    def test_self_similarity_symmetric_output(self):
+        a = cycle_graph(5)
+        s = neighbor_matching(a, a)
+        assert s.shape == (5, 5)
+        # regular graph: all vertices equally similar
+        assert np.allclose(s, s[0, 0])
+
+    def test_hub_matches_hub(self):
+        s = neighbor_matching(star_graph(5), star_graph(6), iterations=20)
+        # hub of A (0) should be most similar to hub of B (0)
+        assert np.argmax(s[0]) == 0
+
+
+class TestLinkPrediction:
+    def test_common_neighbors_on_cycle(self):
+        preds = link_prediction(cycle_graph(6), method="common_neighbors",
+                                top=10)
+        # 2-hop pairs have exactly one common neighbour
+        assert all(v == 1.0 for _, _, v in preds)
+        assert (0, 2, 1.0) in preds
+
+    def test_no_edges_predicted(self):
+        a = erdos_renyi(15, 0.3, seed=5)
+        dense = a.to_dense()
+        for method in ("common_neighbors", "jaccard", "adamic_adar",
+                       "katz", "preferential_attachment"):
+            for i, j, _ in link_prediction(a, method=method, top=20):
+                assert dense[i, j] == 0 and i < j
+
+    def test_adamic_adar_vs_networkx(self):
+        a = erdos_renyi(18, 0.25, seed=6)
+        aa = adamic_adar_scores(a)
+        g = nx_of(a)
+        pairs = [(u, v) for u in range(18) for v in range(u + 1, 18)]
+        for u, v, ref in nx.adamic_adar_index(g, pairs):
+            assert aa.get(u, v) == pytest.approx(ref), (u, v)
+
+    def test_katz_scores_positive_and_symmetric(self):
+        k = katz_link_scores(cycle_graph(7), beta=0.1, hops=3)
+        assert (k.values > 0).all()
+        assert k.equal(k.T)
+
+    def test_katz_validation(self):
+        with pytest.raises(ValueError):
+            katz_link_scores(cycle_graph(4), beta=1.5)
+        with pytest.raises(ValueError):
+            katz_link_scores(cycle_graph(4), hops=0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            link_prediction(cycle_graph(4), method="astrology")
+
+    def test_jaccard_complete_graph_no_candidates(self):
+        assert link_prediction(complete_graph(5), method="jaccard") == []
+
+
+class TestEmergingCommunities:
+    def test_detects_forming_clique(self):
+        before = cycle_graph(9)
+        # add a clique on {0,1,2,3} in the "after" snapshot
+        extra = [(0, 2), (0, 3), (1, 3)]
+        edges = edge_list_from_adjacency(before).tolist() + extra
+        after = from_edges(9, edges, undirected=True)
+        top = emerging_communities(before, after, top=4)
+        assert {v for v, _ in top} <= {0, 1, 2, 3}
+        assert len(top) == 4
+
+    def test_no_growth_no_output(self):
+        a = cycle_graph(6)
+        assert emerging_communities(a, a) == []
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            emerging_communities(cycle_graph(5), cycle_graph(6))

@@ -1,0 +1,177 @@
+"""Triangles, k-core, SCC, Borůvka MSF, multi-source BFS vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.structure import (
+    bfs_multi_source,
+    boruvka_msf,
+    kcore,
+    strongly_connected_components,
+    triangle_count,
+)
+from repro.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    fig1_graph,
+    path_graph,
+    star_graph,
+)
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_dense, from_edges, zeros
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_vs_networkx(self, seed):
+        a = erdos_renyi(30, 0.2, seed=seed)
+        total, per_vertex = triangle_count(a)
+        ref = nx.triangles(nx_of(a))
+        assert per_vertex.tolist() == [ref[v] for v in range(30)]
+        assert total == sum(ref.values()) // 3
+
+    def test_complete_graph(self):
+        total, per_vertex = triangle_count(complete_graph(6))
+        assert total == 20  # C(6,3)
+        assert (per_vertex == 10).all()  # C(5,2)
+
+    def test_fig1(self):
+        total, per_vertex = triangle_count(fig1_graph())
+        assert total == 2  # {1,2,3} and {1,3,4}
+        assert per_vertex.tolist() == [2, 1, 2, 1, 0]
+
+    def test_triangle_free(self):
+        total, per_vertex = triangle_count(cycle_graph(8))
+        assert total == 0 and (per_vertex == 0).all()
+
+
+class TestKCore:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_vs_networkx(self, seed):
+        a = erdos_renyi(25, 0.2, seed=seed)
+        ref = nx.core_number(nx_of(a))
+        assert kcore(a).tolist() == [ref[v] for v in range(25)]
+
+    def test_complete(self):
+        assert (kcore(complete_graph(5)) == 4).all()
+
+    def test_star(self):
+        c = kcore(star_graph(6))
+        assert (c == 1).all()
+
+    def test_isolated_vertices(self):
+        assert (kcore(zeros(4, 4)) == 0).all()
+
+    def test_ba_graph(self):
+        a = barabasi_albert(60, 3, seed=1)
+        ref = nx.core_number(nx_of(a))
+        assert kcore(a).tolist() == [ref[v] for v in range(60)]
+
+
+class TestSCC:
+    def test_simple_cycle_plus_tail(self):
+        a = from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        labels = strongly_connected_components(a)
+        assert labels[0] == labels[1] == labels[2] == 0
+        assert labels[3] == 3 and labels[4] == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_vs_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((15, 15)) < 0.12).astype(float)
+        np.fill_diagonal(dense, 0.0)
+        a = from_dense(dense)
+        labels = strongly_connected_components(a)
+        g = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+        for comp in nx.strongly_connected_components(g):
+            assert {labels[v] for v in comp} == {min(comp)}
+
+    def test_dag_all_singletons(self):
+        a = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert strongly_connected_components(a).tolist() == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert strongly_connected_components(zeros(0, 0)).size == 0
+
+
+class TestBoruvka:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_weight_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 20
+        upper = np.triu(np.where(rng.random((n, n)) < 0.3,
+                                 rng.uniform(1, 10, (n, n)), 0.0), 1)
+        dense = upper + upper.T
+        a = from_dense(dense)
+        edges, total = boruvka_msf(a)
+        g = nx.from_numpy_array(dense)
+        ref = nx.minimum_spanning_tree(g).size(weight="weight")
+        assert total == pytest.approx(ref)
+
+    def test_forest_on_disconnected(self):
+        a = from_edges(5, [(0, 1), (2, 3)], weights=[2.0, 3.0],
+                       undirected=True)
+        edges, total = boruvka_msf(a)
+        assert total == 5.0 and len(edges) == 2
+
+    def test_tree_edge_count(self):
+        a = erdos_renyi(25, 0.3, seed=1)
+        w = a.with_values(np.arange(1.0, a.nnz + 1.0))
+        w = w.ewise_add(w.T, op=np.maximum)  # symmetric positive weights
+        edges, _ = boruvka_msf(w)
+        n_comp = len(set(
+            __import__("repro.algorithms.traversal",
+                       fromlist=["connected_components"])
+            .connected_components(a).tolist()))
+        assert len(edges) == 25 - n_comp
+
+    def test_rejects_directed_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            boruvka_msf(from_edges(3, [(0, 1)]))
+        a = from_edges(3, [(0, 1)], weights=[-1.0], undirected=True)
+        with pytest.raises(ValueError):
+            boruvka_msf(a)
+
+
+class TestMultiSourceBFS:
+    def test_nearest_seed_distance(self):
+        a = path_graph(10)
+        d = bfs_multi_source(a, [0, 9])
+        assert d.tolist() == [0, 1, 2, 3, 4, 4, 3, 2, 1, 0]
+
+    def test_single_source_matches_bfs(self):
+        from repro.algorithms.traversal import bfs
+
+        a = erdos_renyi(25, 0.1, seed=2)
+        assert np.array_equal(bfs_multi_source(a, [3]), bfs(a, 3))
+
+    def test_matches_table_bfs(self):
+        """Matrix multi-source == Graphulo table BFS."""
+        from repro.dbsim import Connector, table_bfs
+        from repro.dbsim.server import Instance
+
+        a = fig1_graph()
+        conn = Connector(Instance())
+        conn.create_table("edges")
+        rows, cols, _ = a.to_coo()
+        with conn.batch_writer("edges") as w:
+            for u, v in zip(rows, cols):
+                w.put(f"v{u}", "", f"v{v}", 1)
+        d = bfs_multi_source(a, [3, 4])
+        td = table_bfs(conn, "edges", ["v3", "v4"], hops=5)
+        for v in range(5):
+            assert td.get(f"v{v}", -1) == d[v]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bfs_multi_source(cycle_graph(4), [])

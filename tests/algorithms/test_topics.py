@@ -1,0 +1,95 @@
+"""Topic modelling (Fig 3) and clustering metrics."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.topics import TopicModel, fit_topics, nmi, purity
+from repro.generators import generate_tweets
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    corpus = generate_tweets(n_docs=600, seed=11)
+    dt, vocab = corpus.to_matrix()
+    model = fit_topics(dt, vocab, 5, seed=3, max_iter=40)
+    return corpus, model
+
+
+class TestFitTopics:
+    def test_recovers_five_topics(self, fitted):
+        corpus, model = fitted
+        assert purity(model.doc_topics(), corpus.labels) > 0.9
+
+    def test_nmi_high(self, fitted):
+        corpus, model = fitted
+        assert nmi(model.doc_topics(), corpus.labels) > 0.8
+
+    def test_topic_terms_come_from_right_vocab(self, fitted):
+        """Each recovered topic's top terms should be dominated by one
+        generating vocabulary (the Fig 3 reading)."""
+        from repro.generators.tweets import TOPIC_VOCABS
+
+        corpus, model = fitted
+        for t in range(5):
+            terms = [w for w, _ in model.topic_terms(t, top=6)]
+            best = max(TOPIC_VOCABS,
+                       key=lambda name: sum(w in TOPIC_VOCABS[name]
+                                            for w in terms))
+            frac = sum(w in TOPIC_VOCABS[best] for w in terms) / len(terms)
+            assert frac >= 0.5, (t, terms)
+
+    def test_report_shape(self, fitted):
+        _, model = fitted
+        report = model.report(top=4)
+        assert report.count("\n") == 4  # 5 lines
+        assert "topic 1" in report
+
+    def test_topic_index_bounds(self, fitted):
+        _, model = fitted
+        with pytest.raises(IndexError):
+            model.topic_terms(9)
+
+    def test_vocab_size_checked(self, fitted):
+        corpus, _ = fitted
+        dt, vocab = corpus.to_matrix()
+        with pytest.raises(ValueError):
+            fit_topics(dt, vocab[:-1], 3)
+
+
+class TestMetrics:
+    def test_purity_perfect(self):
+        t = np.array([0, 0, 1, 1])
+        assert purity(t, t) == 1.0
+        assert purity(np.array([1, 1, 0, 0]), t) == 1.0  # label-invariant
+
+    def test_purity_random_half(self):
+        pred = np.array([0, 1, 0, 1])
+        truth = np.array([0, 0, 1, 1])
+        assert purity(pred, truth) == 0.5
+
+    def test_purity_empty(self):
+        assert purity(np.array([]), np.array([])) == 0.0
+
+    def test_purity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            purity(np.array([0]), np.array([0, 1]))
+
+    def test_nmi_perfect_and_permuted(self):
+        t = np.array([0, 0, 1, 1, 2, 2])
+        assert nmi(t, t) == pytest.approx(1.0)
+        assert nmi((t + 1) % 3, t) == pytest.approx(1.0)
+
+    def test_nmi_independent_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 4000)
+        b = rng.integers(0, 4, 4000)
+        assert nmi(a, b) < 0.05
+
+    def test_nmi_degenerate_single_cluster(self):
+        pred = np.zeros(4, dtype=int)
+        truth = np.array([0, 1, 0, 1])
+        assert nmi(pred, truth) == 0.0
+
+    def test_nmi_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nmi(np.array([0]), np.array([0, 1]))

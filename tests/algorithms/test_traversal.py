@@ -1,0 +1,132 @@
+"""BFS / DFS / connected components vs networkx and classic baselines."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.baselines import bfs_classic, connected_components_classic
+from repro.algorithms.traversal import bfs, bfs_tree, connected_components, dfs
+from repro.generators import (
+    cycle_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_edges, zeros
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_vs_networkx(self, seed):
+        a = erdos_renyi(40, 0.08, seed=seed)
+        d = bfs(a, 0)
+        ref = nx.single_source_shortest_path_length(nx_of(a), 0)
+        for v in range(40):
+            assert d[v] == ref.get(v, -1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_classic(self, seed):
+        a = rmat_graph(7, edge_factor=4, seed=seed)
+        assert np.array_equal(bfs(a, 3), bfs_classic(a, 3))
+
+    def test_unreachable_marked(self):
+        a = from_edges(4, [(0, 1)], undirected=True)
+        d = bfs(a, 0)
+        assert d.tolist() == [0, 1, -1, -1]
+
+    def test_directed(self):
+        a = from_edges(3, [(0, 1), (1, 2)])
+        assert bfs(a, 0, directed=True).tolist() == [0, 1, 2]
+        assert bfs(a, 2, directed=True).tolist() == [-1, -1, 0]
+
+    def test_source_bounds(self):
+        with pytest.raises(IndexError):
+            bfs(cycle_graph(4), 9)
+
+    def test_negative_source_wraps(self):
+        d = bfs(path_graph(4), -1)
+        assert d.tolist() == [3, 2, 1, 0]
+
+    def test_single_vertex(self):
+        assert bfs(zeros(1, 1), 0).tolist() == [0]
+
+
+class TestBFSTree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parents_consistent_with_distances(self, seed):
+        a = erdos_renyi(30, 0.1, seed=seed)
+        dist, parent = bfs_tree(a, 0)
+        assert np.array_equal(dist, bfs(a, 0))
+        for v in range(30):
+            if dist[v] > 0:
+                p = parent[v]
+                assert dist[p] == dist[v] - 1
+                assert a.get(p, v) != 0.0
+            elif dist[v] == 0:
+                assert parent[v] == v
+            else:
+                assert parent[v] == -1
+
+    def test_min_parent_deterministic(self):
+        a = star_graph(4)  # vertices 1..3 all reached from 0
+        _, parent = bfs_tree(a, 1)  # 1 → 0 → {2, 3}
+        assert parent.tolist() == [1, 1, 0, 0]
+
+
+class TestDFS:
+    def test_preorder_on_path(self):
+        order = dfs(path_graph(5), 0)
+        assert order.tolist() == [0, 1, 2, 3, 4]
+
+    def test_visits_reachable_only(self):
+        a = from_edges(5, [(0, 1), (2, 3)], undirected=True)
+        assert set(dfs(a, 0).tolist()) == {0, 1}
+
+    def test_smallest_neighbour_first(self):
+        a = star_graph(4)
+        assert dfs(a, 0).tolist() == [0, 1, 2, 3]
+
+    def test_directed(self):
+        a = from_edges(3, [(0, 1), (2, 0)])
+        assert dfs(a, 0, directed=True).tolist() == [0, 1]
+
+    def test_matches_networkx_node_set(self):
+        a = erdos_renyi(25, 0.1, seed=2)
+        ours = set(dfs(a, 0).tolist())
+        ref = set(nx.dfs_preorder_nodes(nx_of(a), 0))
+        assert ours == ref
+
+
+class TestConnectedComponents:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_vs_networkx(self, seed):
+        a = erdos_renyi(40, 0.05, seed=seed)
+        labels = connected_components(a)
+        comps = list(nx.connected_components(nx_of(a)))
+        # same partition: labels agree exactly with min-vertex of each comp
+        for comp in comps:
+            ids = {labels[v] for v in comp}
+            assert ids == {min(comp)}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_union_find_baseline(self, seed):
+        a = rmat_graph(6, edge_factor=2, seed=seed)
+        assert np.array_equal(connected_components(a),
+                              connected_components_classic(a))
+
+    def test_fully_disconnected(self):
+        labels = connected_components(zeros(5, 5))
+        assert labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_fully_connected(self):
+        assert (connected_components(grid_graph(3, 3)) == 0).all()

@@ -1,0 +1,141 @@
+"""k-truss beyond the paper example: networkx oracle, properties,
+incremental-vs-recompute agreement."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.truss import (
+    edge_support,
+    ktruss,
+    ktruss_recompute,
+    truss_decomposition,
+    truss_numbers,
+)
+from repro.generators import complete_graph, erdos_renyi, planted_clique
+from repro.schemas import (
+    adjacency_from_incidence,
+    edge_list_from_adjacency,
+    incidence_unoriented,
+)
+
+
+def incidence_of(a):
+    return incidence_unoriented(a.nrows, edge_list_from_adjacency(a))
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_random_graphs(self, seed, k):
+        a = erdos_renyi(25, 0.25, seed=seed)
+        e = incidence_of(a)
+        ours = ktruss(e, k)
+        ref = nx.k_truss(nx_of(a), k)
+        ours_edges = {frozenset(map(int, row))
+                      for row in ours.indices.reshape(-1, 2)} if ours.nrows \
+            else set()
+        ref_edges = {frozenset(e) for e in ref.edges()}
+        assert ours_edges == ref_edges
+
+    def test_planted_clique_survives(self):
+        a, members = planted_clique(40, 8, p=0.05, seed=1)
+        e = incidence_of(a)
+        e7 = ktruss(e, 7)  # an 8-clique is a maximal ... 8-truss ⊇ 7-truss
+        surviving = set(np.unique(e7.indices).tolist())
+        assert set(members.tolist()) <= surviving
+
+
+class TestProperties:
+    def test_complete_graph_is_n_truss(self):
+        e = incidence_of(complete_graph(6))
+        assert ktruss(e, 6).nrows == e.nrows  # K6: every edge in 4 triangles
+        assert ktruss(e, 7).nrows == 0
+
+    def test_truss_nesting(self):
+        """k-truss ⊆ (k−1)-truss (paper §III-B)."""
+        a = erdos_renyi(30, 0.3, seed=7)
+        e = incidence_of(a)
+        prev = {frozenset(map(int, r)) for r in e.indices.reshape(-1, 2)}
+        for k in (3, 4, 5, 6):
+            ek = ktruss(e, k)
+            cur = {frozenset(map(int, r))
+                   for r in ek.indices.reshape(-1, 2)} if ek.nrows else set()
+            assert cur <= prev
+            prev = cur
+
+    def test_every_graph_is_a_2truss(self):
+        """k=2 support threshold is 0 — but the API starts at 3."""
+        with pytest.raises(ValueError):
+            ktruss(incidence_of(erdos_renyi(10, 0.2, seed=1)), 2)
+
+    def test_triangle_free_graph_has_empty_3truss(self):
+        from repro.generators import cycle_graph
+
+        e = incidence_of(cycle_graph(8))
+        assert ktruss(e, 3).nrows == 0
+
+    def test_result_is_a_valid_ktruss(self):
+        """Fixpoint check: every surviving edge has support ≥ k−2."""
+        a = erdos_renyi(30, 0.3, seed=11)
+        e3 = ktruss(incidence_of(a), 4)
+        if e3.nrows:
+            assert (edge_support(e3) >= 2).all()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_equals_recompute(self, seed):
+        """§IV Discussion: the update trick must not change results."""
+        a = erdos_renyi(24, 0.3, seed=seed)
+        e = incidence_of(a)
+        for k in (3, 4):
+            assert ktruss(e, k).equal(ktruss_recompute(e, k))
+
+
+class TestDecomposition:
+    def test_keys_are_contiguous_from_3(self):
+        a = erdos_renyi(25, 0.35, seed=3)
+        decomp = truss_decomposition(incidence_of(a))
+        ks = sorted(decomp)
+        assert ks == list(range(3, 3 + len(ks)))
+
+    def test_matches_direct_ktruss(self):
+        a = erdos_renyi(25, 0.35, seed=4)
+        e = incidence_of(a)
+        decomp = truss_decomposition(e)
+        for k, ek in decomp.items():
+            assert ek.equal(ktruss(e, k))
+
+    def test_truss_numbers_vs_networkx(self):
+        a = erdos_renyi(20, 0.35, seed=5)
+        e = incidence_of(a)
+        numbers = truss_numbers(e)
+        g = nx_of(a)
+        pairs = e.indices.reshape(-1, 2)
+        for k in (3, 4, 5):
+            ref = {frozenset(t) for t in nx.k_truss(g, k).edges()}
+            ours = {frozenset(map(int, pairs[i]))
+                    for i in range(len(pairs)) if numbers[i] >= k}
+            assert ours == ref
+
+    def test_empty_graph(self):
+        e = incidence_unoriented(5, [])
+        assert truss_decomposition(e) == {}
+
+
+class TestValidation:
+    def test_weighted_incidence_rejected(self):
+        e = incidence_unoriented(3, [(0, 1)], weights=[2.0])
+        with pytest.raises(ValueError, match="unweighted"):
+            ktruss(e, 3)
+
+    def test_support_on_paper_graph(self, fig1_inc):
+        assert edge_support(fig1_inc).tolist() == [1, 1, 1, 1, 2, 0]

@@ -1,0 +1,107 @@
+"""Personalized PageRank and walk statistics vs networkx/numpy."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.walks import hitting_mass, personalized_pagerank, walk_counts
+from repro.generators import cycle_graph, erdos_renyi, fig1_graph, star_graph
+from repro.schemas import edge_list_from_adjacency
+from repro.sparse import from_edges, zeros
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestPersonalizedPageRank:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        a = erdos_renyi(20, 0.25, seed=seed)
+        seeds = {2: 1.0, 7: 2.0}
+        ours = personalized_pagerank(a, personalization=seeds)
+        ref = nx.pagerank(nx_of(a), alpha=0.85, tol=1e-12,
+                          personalization=seeds)
+        assert np.allclose(ours, [ref.get(i, 0) for i in range(20)],
+                           atol=1e-8)
+
+    def test_uniform_equals_classic(self):
+        from repro.algorithms.centrality import pagerank
+
+        a = fig1_graph()
+        assert np.allclose(personalized_pagerank(a), pagerank(a), atol=1e-10)
+
+    def test_seed_list_form(self):
+        a = cycle_graph(8)
+        by_list = personalized_pagerank(a, personalization=[0, 4])
+        by_dict = personalized_pagerank(a, personalization={0: 1.0, 4: 1.0})
+        assert np.allclose(by_list, by_dict)
+
+    def test_mass_concentrates_near_seeds(self):
+        a = cycle_graph(20)
+        pr = personalized_pagerank(a, personalization=[0], jump=0.3)
+        assert pr[0] == pr.max()
+        assert pr[10] == pr.min()
+
+    def test_sums_to_one(self):
+        a = star_graph(9)
+        assert personalized_pagerank(a, [3]).sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        a = cycle_graph(4)
+        with pytest.raises(ValueError):
+            personalized_pagerank(a, jump=1.0)
+        with pytest.raises(ValueError):
+            personalized_pagerank(a, personalization={0: 0.0})
+        with pytest.raises(IndexError):
+            personalized_pagerank(a, personalization=[99])
+
+
+class TestWalkCounts:
+    def test_matches_matrix_power(self, rng):
+        a = erdos_renyi(12, 0.3, seed=1)
+        dense = a.to_dense()
+        x = walk_counts(a, 3, start=0)
+        ref = np.linalg.matrix_power(dense, 3)[0]
+        assert np.allclose(x, ref)
+
+    def test_length_zero_is_indicator(self):
+        a = cycle_graph(5)
+        x = walk_counts(a, 0, start=2)
+        assert x.tolist() == [0, 0, 1, 0, 0]
+
+    def test_all_starts_total(self):
+        a = cycle_graph(6)
+        x = walk_counts(a, 2)
+        assert np.allclose(x, (np.ones(6) @ np.linalg.matrix_power(
+            a.to_dense(), 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            walk_counts(cycle_graph(4), -1)
+
+
+class TestHittingMass:
+    def test_starts_at_uniform_share(self):
+        a = cycle_graph(10)
+        m = hitting_mass(a, [0, 1], steps=0)
+        assert m.tolist() == [pytest.approx(0.2)]
+
+    def test_mass_conserved(self):
+        a = erdos_renyi(15, 0.3, seed=2)
+        m = hitting_mass(a, list(range(15)), steps=5)
+        assert np.allclose(m, 1.0)  # all vertices = whole distribution
+
+    def test_regular_graph_stationary(self):
+        a = cycle_graph(8)
+        m = hitting_mass(a, [0], steps=10)
+        assert np.allclose(m, 1 / 8)  # uniform is stationary on cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hitting_mass(cycle_graph(4), [0], steps=-1)
+        with pytest.raises(IndexError):
+            hitting_mass(cycle_graph(4), [9], steps=1)

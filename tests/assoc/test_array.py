@@ -1,0 +1,193 @@
+"""AssocArray semantics: key-aligned algebra per paper §II-A."""
+
+import numpy as np
+import pytest
+
+from repro.assoc import AssocArray, KeyRange
+from repro.semiring import MAX, MAX_MONOID, MIN_PLUS
+from repro.semiring.builtin import ONE
+
+
+def simple():
+    return AssocArray.from_triples(
+        ["r1", "r1", "r2"], ["cA", "cB", "cA"], [1.0, 2.0, 3.0])
+
+
+class TestConstruction:
+    def test_from_triples(self):
+        a = simple()
+        assert a.shape == (2, 2) and a.nnz == 3
+        assert a.get("r1", "cB") == 2.0
+
+    def test_duplicates_accumulate(self):
+        a = AssocArray.from_triples(["r", "r"], ["c", "c"], [1.0, 4.0])
+        assert a.get("r", "c") == 5.0
+
+    def test_duplicates_custom_monoid(self):
+        a = AssocArray.from_triples(["r", "r"], ["c", "c"], [1.0, 4.0],
+                                    dup=MAX_MONOID)
+        assert a.get("r", "c") == 4.0
+
+    def test_default_values_count(self):
+        a = AssocArray.from_triples(["r", "r"], ["c", "c"])
+        assert a.get("r", "c") == 2.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AssocArray.from_triples(["a"], ["b", "c"])
+
+    def test_keys_sorted_validation(self):
+        from repro.sparse import zeros
+
+        with pytest.raises(ValueError, match="sorted"):
+            AssocArray(["b", "a"], ["c"], zeros(2, 1))
+
+    def test_shape_validation(self):
+        from repro.sparse import zeros
+
+        with pytest.raises(ValueError, match="universe"):
+            AssocArray(["a"], ["c"], zeros(2, 1))
+
+    def test_empty(self):
+        e = AssocArray.empty()
+        assert e.shape == (0, 0) and e.nnz == 0
+
+    def test_numeric_keys_stringified(self):
+        a = AssocArray.from_triples([1, 2], [10, 20], [1.0, 2.0])
+        assert a.get("1", "10") == 1.0
+
+
+class TestCondense:
+    def test_no_empty_rows_or_cols(self):
+        """Paper: associative arrays do not have empty rows/columns."""
+        a = simple()
+        b = AssocArray.from_triples(["r1"], ["cB"], [-2.0])
+        s = a + b  # r1/cB becomes 0 → pruned... value 0 stays stored
+        # intersect instead: multiply by pattern that misses r2
+        m = a.ewise_mult(AssocArray.from_triples(["r1"], ["cA"], [1.0]))
+        assert m.row_keys.tolist() == ["r1"]
+        assert m.col_keys.tolist() == ["cA"]
+
+
+class TestAlgebra:
+    def test_union_add(self):
+        a = simple()
+        b = AssocArray.from_triples(["r2", "r3"], ["cA", "cC"], [10.0, 5.0])
+        s = a + b
+        assert s.to_dict() == {
+            ("r1", "cA"): 1.0, ("r1", "cB"): 2.0,
+            ("r2", "cA"): 13.0, ("r3", "cC"): 5.0}
+
+    def test_add_custom_op(self):
+        a = AssocArray.from_triples(["r"], ["c"], [2.0])
+        b = AssocArray.from_triples(["r"], ["c"], [7.0])
+        assert a.ewise_add(b, op=MAX).get("r", "c") == 7.0
+
+    def test_intersection_mult(self):
+        a = simple()
+        b = AssocArray.from_triples(["r1", "r9"], ["cA", "cZ"], [4.0, 1.0])
+        m = a * b
+        assert m.to_dict() == {("r1", "cA"): 4.0}
+
+    def test_matmul_correlation(self):
+        a = simple()
+        g = a.T @ a
+        assert g.get("cA", "cA") == 10.0  # 1² + 3²
+        assert g.get("cA", "cB") == 2.0
+
+    def test_matmul_disjoint_inner_keys_empty(self):
+        a = AssocArray.from_triples(["r"], ["x"], [1.0])
+        b = AssocArray.from_triples(["y"], ["c"], [1.0])
+        assert (a @ b).nnz == 0
+
+    def test_matmul_semiring(self):
+        a = AssocArray.from_triples(["u", "u"], ["m1", "m2"], [1.0, 5.0])
+        b = AssocArray.from_triples(["m1", "m2"], ["v", "v"], [2.0, 1.0])
+        c = a.matmul(b, semiring=MIN_PLUS)
+        assert c.get("u", "v") == 3.0  # min(1+2, 5+1)
+
+    def test_transpose(self):
+        a = simple()
+        assert a.T.get("cA", "r2") == 3.0
+        assert a.T.T.equal(a)
+
+    def test_scale_and_apply(self):
+        a = simple()
+        assert a.scale(2.0).get("r2", "cA") == 6.0
+        assert (a.apply(ONE).matrix.values == 1.0).all()
+
+    def test_sum_rows_cols(self):
+        a = simple()
+        sr = a.sum_rows()
+        assert sr.get("r1", "sum") == 3.0 and sr.get("r2", "sum") == 3.0
+        sc = a.sum_cols()
+        assert sc.get("sum", "cA") == 4.0 and sc.get("sum", "cB") == 2.0
+
+
+class TestCatKeyMul:
+    def test_provenance_keys(self):
+        """D4M CatKeyMul: values are the contributing inner keys."""
+        a = AssocArray.from_triples(["d1", "d1", "d2"],
+                                    ["w_hi", "w_yo", "w_hi"], [1, 1, 1])
+        prov = a.T.matmul_catkeys(a)
+        assert prov[("w_hi", "w_hi")] == "d1;d2"
+        assert prov[("w_hi", "w_yo")] == "d1"
+
+    def test_custom_separator(self):
+        a = AssocArray.from_triples(["d1", "d2"], ["x", "x"], [1, 1])
+        prov = a.T.matmul_catkeys(a, sep="|")
+        assert prov[("x", "x")] == "d1|d2"
+
+    def test_support_matches_numeric_matmul(self):
+        a = AssocArray.from_triples(["r1", "r1", "r2"], ["a", "b", "a"],
+                                    [2.0, 3.0, 4.0])
+        numeric = a.T @ a
+        prov = a.T.matmul_catkeys(a)
+        assert set(prov) == set(numeric.to_dict())
+
+    def test_disjoint_inner_empty(self):
+        a = AssocArray.from_triples(["r"], ["x"], [1.0])
+        b = AssocArray.from_triples(["y"], ["c"], [1.0])
+        assert a.matmul_catkeys(b) == {}
+
+
+class TestSelection:
+    def test_extract_exact(self):
+        a = simple()
+        e = a.extract(rows=["r1"])
+        assert e.to_dict() == {("r1", "cA"): 1.0, ("r1", "cB"): 2.0}
+
+    def test_extract_range_and_glob(self):
+        a = simple()
+        assert a.extract(rows=KeyRange("r2", None)).row_keys.tolist() == ["r2"]
+        assert a.extract(cols="c*").nnz == 3
+
+    def test_getitem_sugar(self):
+        a = simple()
+        assert a["r1", "cA"].get("r1", "cA") == 1.0
+        assert a["r2"].nnz == 1
+
+    def test_get_absent_default(self):
+        a = simple()
+        assert a.get("r2", "cB") == 0.0
+        assert a.get("zz", "cB", default=-1) == -1
+
+
+class TestMisc:
+    def test_equal(self):
+        assert simple().equal(simple())
+        assert not simple().equal(simple().scale(2.0))
+
+    def test_triples_roundtrip(self):
+        a = simple()
+        r, c, v = a.triples()
+        b = AssocArray.from_triples(r, c, v)
+        assert a.equal(b)
+
+    def test_pretty_truncation(self):
+        a = simple()
+        text = a.pretty(max_entries=1)
+        assert "more" in text
+
+    def test_repr(self):
+        assert "nnz=3" in repr(simple())

@@ -1,0 +1,48 @@
+"""TSV triple I/O."""
+
+import numpy as np
+import pytest
+
+from repro.assoc import AssocArray, read_tsv_triples, write_tsv_triples
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        a = AssocArray.from_triples(["r1", "r2"], ["c1", "c2"], [1.5, 2.0])
+        path = tmp_path / "t.tsv"
+        n = write_tsv_triples(a, str(path))
+        assert n == 2
+        b = read_tsv_triples(str(path))
+        assert a.equal(b)
+
+    def test_two_column_pattern(self, tmp_path):
+        p = tmp_path / "p.tsv"
+        p.write_text("r1\tc1\nr1\tc1\n")
+        a = read_tsv_triples(str(p))
+        assert a.get("r1", "c1") == 2.0  # pattern lines count
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "b.tsv"
+        p.write_text("r\tc\t3\n\n\n")
+        assert read_tsv_triples(str(p)).get("r", "c") == 3.0
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "e.tsv"
+        p.write_text("")
+        assert read_tsv_triples(str(p)).nnz == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_tsv_triples(str(tmp_path / "nope.tsv"))
+
+    def test_malformed_field_count(self, tmp_path):
+        p = tmp_path / "m.tsv"
+        p.write_text("a\tb\tc\td\n")
+        with pytest.raises(ValueError, match=":1:"):
+            read_tsv_triples(str(p))
+
+    def test_non_numeric_value(self, tmp_path):
+        p = tmp_path / "n.tsv"
+        p.write_text("a\tb\txyz\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_tsv_triples(str(p))

@@ -1,0 +1,85 @@
+"""Key universes and D4M-flavoured selectors."""
+
+import numpy as np
+import pytest
+
+from repro.assoc.keyset import (
+    KeyRange,
+    lookup,
+    select_keys,
+    sorted_unique,
+    to_key_array,
+    union_keys,
+)
+
+
+class TestKeyArrays:
+    def test_to_key_array_stringifies(self):
+        arr = to_key_array([1, "b", 2.5])
+        assert arr.tolist() == ["1", "b", "2.5"]
+
+    def test_to_key_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            to_key_array(np.zeros((2, 2)))
+
+    def test_sorted_unique(self):
+        assert sorted_unique(["b", "a", "b"]).tolist() == ["a", "b"]
+
+    def test_union(self):
+        u = union_keys(np.array(["a", "c"]), np.array(["b", "c"]))
+        assert u.tolist() == ["a", "b", "c"]
+
+    def test_lookup(self):
+        uni = np.array(["a", "b", "d"])
+        pos = lookup(uni, np.array(["d", "a"]))
+        assert pos.tolist() == [2, 0]
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError, match="not present"):
+            lookup(np.array(["a", "b"]), np.array(["z"]))
+
+    def test_lookup_empty_universe(self):
+        with pytest.raises(KeyError):
+            lookup(np.array([], dtype=str), np.array(["a"]))
+
+
+class TestKeyRange:
+    def test_half_open(self):
+        uni = np.array(["a", "b", "c", "d"])
+        mask = KeyRange("b", "d").mask(uni)
+        assert uni[mask].tolist() == ["b", "c"]
+
+    def test_unbounded_sides(self):
+        uni = np.array(["a", "b", "c"])
+        assert KeyRange(None, "b").mask(uni).tolist() == [True, False, False]
+        assert KeyRange("b", None).mask(uni).tolist() == [False, True, True]
+        assert KeyRange().mask(uni).all()
+
+
+class TestSelectKeys:
+    uni = np.array(["app|1", "app|2", "word|hi", "word|yo"])
+
+    def test_none_and_colon(self):
+        assert select_keys(self.uni, None).tolist() == [0, 1, 2, 3]
+        assert select_keys(self.uni, ":").tolist() == [0, 1, 2, 3]
+
+    def test_exact_key(self):
+        assert select_keys(self.uni, "word|hi").tolist() == [2]
+
+    def test_prefix_glob(self):
+        assert select_keys(self.uni, "word|*").tolist() == [2, 3]
+
+    def test_list_preserves_order(self):
+        out = select_keys(self.uni, ["word|yo", "app|1"])
+        assert out.tolist() == [3, 0]
+
+    def test_range(self):
+        out = select_keys(self.uni, KeyRange("app|", "app|~"))
+        assert out.tolist() == [0, 1]
+
+    def test_missing_exact_raises(self):
+        with pytest.raises(KeyError):
+            select_keys(self.uni, "nope")
+
+    def test_empty_glob(self):
+        assert select_keys(self.uni, "zzz*").size == 0

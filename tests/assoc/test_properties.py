@@ -1,0 +1,124 @@
+"""Property-based tests of associative-array algebra (paper §II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assoc import AssocArray
+from repro.semiring import MAX, MIN
+
+keys = st.sampled_from(["a", "b", "c", "d", "e"])
+triple = st.tuples(keys, keys, st.integers(1, 9))
+
+
+def build(triples):
+    if not triples:
+        return AssocArray.empty()
+    r, c, v = zip(*triples)
+    return AssocArray.from_triples(list(r), list(c),
+                                   np.asarray(v, dtype=float))
+
+
+@given(ta=st.lists(triple, max_size=12), tb=st.lists(triple, max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_union_add_commutative(ta, tb):
+    a, b = build(ta), build(tb)
+    assert a.ewise_add(b).equal(b.ewise_add(a))
+
+
+@given(ta=st.lists(triple, max_size=10), tb=st.lists(triple, max_size=10),
+       tc=st.lists(triple, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_union_add_associative(ta, tb, tc):
+    a, b, c = build(ta), build(tb), build(tc)
+    lhs = a.ewise_add(b).ewise_add(c)
+    rhs = a.ewise_add(b.ewise_add(c))
+    assert lhs.equal(rhs)
+
+
+@given(ta=st.lists(triple, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_add_empty_is_identity(ta):
+    a = build(ta)
+    assert a.ewise_add(AssocArray.empty()).equal(a)
+
+
+@given(ta=st.lists(triple, max_size=12), tb=st.lists(triple, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_union_support_is_key_union(ta, tb):
+    a, b = build(ta), build(tb)
+    s = a.ewise_add(b)
+    sa, sb = set(a.to_dict()), set(b.to_dict())
+    assert set(s.to_dict()) == sa | sb
+
+
+@given(ta=st.lists(triple, max_size=12), tb=st.lists(triple, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_intersection_support(ta, tb):
+    a, b = build(ta), build(tb)
+    m = a.ewise_mult(b)
+    assert set(m.to_dict()) == set(a.to_dict()) & set(b.to_dict())
+
+
+@given(ta=st.lists(triple, max_size=12), tb=st.lists(triple, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_min_max_add_bounds(ta, tb):
+    """min-combine ≤ max-combine entrywise on the union support."""
+    a, b = build(ta), build(tb)
+    lo = a.ewise_add(b, op=MIN).to_dict()
+    hi = a.ewise_add(b, op=MAX).to_dict()
+    assert set(lo) == set(hi)
+    assert all(lo[k] <= hi[k] for k in lo)
+
+
+@given(ta=st.lists(triple, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(ta):
+    a = build(ta)
+    assert a.T.T.equal(a)
+
+
+@given(ta=st.lists(triple, max_size=10), tb=st.lists(triple, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_matmul_transpose_law(ta, tb):
+    """(A·B)ᵀ == Bᵀ·Aᵀ under key alignment."""
+    a, b = build(ta), build(tb)
+    lhs = a.matmul(b).T
+    rhs = b.T.matmul(a.T)
+    assert lhs.equal(rhs)
+
+
+@given(ta=st.lists(triple, max_size=8), tb=st.lists(triple, max_size=8),
+       tc=st.lists(triple, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_matmul_distributes_over_add(ta, tb, tc):
+    """A·(B + C) == A·B + A·C — paper: multiplication is a correlation,
+    and correlations distribute over unions."""
+    a, b, c = build(ta), build(tb), build(tc)
+    lhs = a.matmul(b.ewise_add(c))
+    rhs = a.matmul(b).ewise_add(a.matmul(c))
+    # values match; supports can differ by exact-zero cancellation (none
+    # here: all values positive), so exact equality is required
+    assert lhs.equal(rhs)
+
+
+@given(ta=st.lists(triple, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_condensed_no_empty_lines(ta):
+    """Paper §II-A: associative arrays have no empty rows or columns."""
+    a = build(ta)
+    if a.nnz == 0:
+        return
+    assert (a.matrix.row_lengths > 0).all()
+    seen = np.zeros(a.matrix.ncols, dtype=bool)
+    seen[a.matrix.indices] = True
+    assert seen.all()
+
+
+@given(ta=st.lists(triple, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_triples_roundtrip(ta):
+    a = build(ta)
+    r, c, v = a.triples()
+    assert build(list(zip(r, c, v))).equal(a)

@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's Fig 1 graph, RNG, and random-graph helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.classic import fig1_edges, fig1_graph
+from repro.schemas.incidence import incidence_unoriented
+from repro.sparse.construct import from_dense
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1_adj():
+    """Adjacency matrix of the paper's Figure 1 five-vertex graph."""
+    return fig1_graph()
+
+
+@pytest.fixture
+def fig1_inc():
+    """Unoriented incidence matrix of the Figure 1 graph, in the
+    paper's edge order e1..e6."""
+    return incidence_unoriented(5, fig1_edges())
+
+
+@pytest.fixture
+def random_sparse(rng):
+    """Factory for random sparse matrices (dense mirror returned too)."""
+
+    def make(m, n, density=0.3, low=1, high=5, seed=None):
+        r = np.random.default_rng(seed) if seed is not None else rng
+        dense = np.where(r.random((m, n)) < density,
+                         r.integers(low, high, (m, n)).astype(float), 0.0)
+        return from_dense(dense), dense
+
+    return make
+
+
+def random_symmetric(rng, n, density=0.3):
+    """Random simple undirected 0/1 adjacency matrix + dense mirror."""
+    upper = np.triu((rng.random((n, n)) < density).astype(float), k=1)
+    dense = upper + upper.T
+    return from_dense(dense), dense

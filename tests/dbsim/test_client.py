@@ -1,0 +1,107 @@
+"""Connector / Scanner / BatchScanner / BatchWriter."""
+
+import pytest
+
+from repro.dbsim.client import Connector
+from repro.dbsim.key import Range
+from repro.dbsim.server import Instance
+
+
+@pytest.fixture
+def conn():
+    c = Connector(Instance(n_servers=2))
+    c.create_table("t", splits=["m"])
+    with c.batch_writer("t") as w:
+        for r, q, v in [("a", "c1", 1), ("a", "c2", 2), ("m", "c1", 3),
+                        ("z", "c9", 4)]:
+            w.put(r, "", q, v)
+    return c
+
+
+class TestScanner:
+    def test_full_scan_sorted_across_tablets(self, conn):
+        out = [(c.key.row, c.key.qualifier, c.value)
+               for c in conn.scanner("t")]
+        assert out == [("a", "c1", "1"), ("a", "c2", "2"), ("m", "c1", "3"),
+                       ("z", "c9", "4")]
+
+    def test_range_scan(self, conn):
+        s = conn.scanner("t").set_range(Range("a", "m"))
+        assert [c.key.row for c in s] == ["a", "a"]
+
+    def test_exact_row(self, conn):
+        s = conn.scanner("t").set_range(Range.exact_row("m"))
+        assert [c.value for c in s] == ["3"]
+
+    def test_fetch_column(self, conn):
+        s = conn.scanner("t").fetch_column("", "c1")
+        assert [c.value for c in s] == ["1", "3"]
+
+    def test_scan_iterators_applied(self, conn):
+        from repro.dbsim.iterators import ApplyIterator
+
+        s = conn.scanner("t", scan_iterators=(
+            lambda src: ApplyIterator(src, lambda v: v * 10),))
+        assert [c.value for c in s] == ["10", "20", "30", "40"]
+
+
+class TestBatchScanner:
+    def test_multiple_ranges(self, conn):
+        bs = conn.batch_scanner("t").set_ranges(
+            [Range.exact_row("z"), Range.exact_row("a")])
+        out = [c.key.row for c in bs]
+        assert out == ["z", "a", "a"]  # ranges in given order
+
+    def test_requires_ranges(self, conn):
+        with pytest.raises(ValueError):
+            conn.batch_scanner("t").set_ranges([])
+
+
+class TestBatchWriter:
+    def test_routes_to_correct_tablet(self, conn):
+        inst = conn.instance
+        left = inst.locate("t", "a")
+        right = inst.locate("t", "z")
+        assert len(left.scan()) == 2
+        assert len(right.scan()) == 2
+
+    def test_buffer_flush_threshold(self, conn):
+        w = conn.batch_writer("t", buffer_size=2)
+        w.put("q1", "", "c", 1)
+        assert len(w._buffer) == 1
+        w.put("q2", "", "c", 1)  # triggers flush
+        assert len(w._buffer) == 0
+        w.close()
+
+    def test_write_after_close_rejected(self, conn):
+        w = conn.batch_writer("t")
+        w.close()
+        with pytest.raises(RuntimeError):
+            w.put("x", "", "c", 1)
+
+    def test_numeric_values_encoded(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("num", "", "c", 2.5)
+        s = conn.scanner("t").set_range(Range.exact_row("num"))
+        assert [c.value for c in s] == ["2.5"]
+
+    def test_buffer_size_validated(self, conn):
+        with pytest.raises(ValueError):
+            conn.batch_writer("t", buffer_size=0)
+
+
+class TestTableOps:
+    def test_create_delete_exists(self):
+        conn = Connector(Instance())
+        conn.create_table("x")
+        assert conn.table_exists("x")
+        conn.delete_table("x")
+        assert not conn.table_exists("x")
+
+    def test_flush_compact(self, conn):
+        conn.flush("t")
+        total_runs = sum(len(t.sstables) for t in conn.instance.tablets("t"))
+        assert total_runs >= 1
+        conn.compact("t")
+        for t in conn.instance.tablets("t"):
+            assert len(t.sstables) <= 1

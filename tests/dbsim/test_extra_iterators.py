@@ -1,0 +1,73 @@
+"""Regex and AgeOff filter iterators."""
+
+import pytest
+
+from repro.dbsim import AgeOffIterator, Connector, RegexFilterIterator
+from repro.dbsim.iterators import ListIterator, drain
+from repro.dbsim.key import Cell, Key, Range
+from repro.dbsim.server import Instance
+
+
+def cells(*specs):
+    out = [Cell(Key(r, "", q, "", ts), v) for (r, q, v, ts) in specs]
+    return sorted(out, key=lambda c: c.key.sort_tuple())
+
+
+class TestRegexFilter:
+    DATA = cells(("user|alice", "age", "30", 1),
+                 ("user|bob", "age", "25", 1),
+                 ("word|hi", "count", "7", 1))
+
+    def test_row_regex(self):
+        it = RegexFilterIterator(ListIterator(self.DATA), row=r"^user\|")
+        assert [c.key.row for c in drain(it)] == ["user|alice", "user|bob"]
+
+    def test_qualifier_regex(self):
+        it = RegexFilterIterator(ListIterator(self.DATA), qualifier="count")
+        assert [c.value for c in drain(it)] == ["7"]
+
+    def test_value_regex(self):
+        it = RegexFilterIterator(ListIterator(self.DATA), value=r"^2")
+        assert [c.key.row for c in drain(it)] == ["user|bob"]
+
+    def test_combined(self):
+        it = RegexFilterIterator(ListIterator(self.DATA),
+                                 row="user", value="30")
+        assert [c.key.row for c in drain(it)] == ["user|alice"]
+
+    def test_none_matches_all(self):
+        it = RegexFilterIterator(ListIterator(self.DATA))
+        assert len(drain(it)) == 3
+
+    def test_as_scan_iterator(self):
+        conn = Connector(Instance())
+        conn.create_table("t")
+        with conn.batch_writer("t") as w:
+            w.put("apple", "", "q", 1)
+            w.put("banana", "", "q", 2)
+        s = conn.scanner("t", scan_iterators=(
+            lambda src: RegexFilterIterator(src, row="^a"),))
+        assert [c.key.row for c in s] == ["apple"]
+
+
+class TestAgeOff:
+    def test_drops_old_timestamps(self):
+        data = cells(("a", "q", "old", 1), ("b", "q", "new", 9))
+        it = AgeOffIterator(ListIterator(data), cutoff=5)
+        assert [c.value for c in drain(it)] == ["new"]
+
+    def test_cutoff_inclusive(self):
+        data = cells(("a", "q", "exact", 5))
+        it = AgeOffIterator(ListIterator(data), cutoff=5)
+        assert drain(it) == []
+
+    def test_compaction_makes_ageoff_permanent(self):
+        conn = Connector(Instance())
+        conn.create_table("t")
+        tablet = conn.instance.locate("t", "a")
+        tablet.write(Key("a", "", "q", "", 1), "old")
+        tablet.write(Key("b", "", "q", "", 9), "new")
+        tablet.compact(table_iterators=(
+            lambda src: AgeOffIterator(src, cutoff=5),))
+        assert tablet.entry_estimate() == 1
+        assert [c.value for c in tablet.scan()] == ["new"]

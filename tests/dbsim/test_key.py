@@ -1,0 +1,88 @@
+"""Key ordering, cells, ranges, and number encoding."""
+
+import pytest
+
+from repro.dbsim.key import Cell, Key, Range, decode_number, encode_number
+
+
+class TestKeyOrdering:
+    def test_row_major(self):
+        assert Key("a") < Key("b")
+        assert Key("a", "f2") > Key("a", "f1")
+        assert Key("a", "f", "q1") < Key("a", "f", "q2")
+
+    def test_timestamps_descend(self):
+        """Newest version sorts first — Accumulo's convention."""
+        newer = Key("r", "f", "q", "", 10)
+        older = Key("r", "f", "q", "", 5)
+        assert newer < older
+
+    def test_same_cell(self):
+        a = Key("r", "f", "q", "", 1)
+        b = Key("r", "f", "q", "", 9)
+        c = Key("r", "f", "q2", "", 1)
+        assert a.same_cell(b)
+        assert not a.same_cell(c)
+
+    def test_cell_id_excludes_timestamp(self):
+        assert Key("r", "f", "q", "v", 1).cell_id() == ("r", "f", "q", "v")
+
+    def test_le(self):
+        assert Key("a") <= Key("a")
+
+
+class TestCell:
+    def test_triple_view(self):
+        c = Cell(Key("row1", "", "col1"), "5")
+        assert c.triple() == ("row1", "col1", "5")
+
+
+class TestRange:
+    def test_half_open(self):
+        r = Range("b", "d")
+        assert not r.contains_row("a")
+        assert r.contains_row("b")
+        assert r.contains_row("c")
+        assert not r.contains_row("d")
+
+    def test_unbounded(self):
+        assert Range().contains_row("anything")
+        assert Range(None, "m").contains_row("a")
+        assert not Range(None, "m").contains_row("z")
+
+    def test_exact_row(self):
+        r = Range.exact_row("abc")
+        assert r.contains_row("abc")
+        assert not r.contains_row("abcd")
+        assert not r.contains_row("abb")
+
+    def test_prefix(self):
+        r = Range.prefix("v1")
+        assert r.contains_row("v1") and r.contains_row("v1zzz")
+        assert not r.contains_row("v2")
+
+    def test_clip_overlap(self):
+        out = Range("b", "f").clip(Range("d", "z"))
+        assert out == Range("d", "f")
+
+    def test_clip_disjoint_none(self):
+        assert Range("a", "b").clip(Range("c", "d")) is None
+
+    def test_clip_with_unbounded(self):
+        assert Range(None, "m").clip(Range("d", None)) == Range("d", "m")
+        assert Range().clip(Range("a", "b")) == Range("a", "b")
+
+
+class TestNumberEncoding:
+    @pytest.mark.parametrize("x,s", [(1.0, "1"), (2.5, "2.5"), (-3.0, "-3"),
+                                     (0.0, "0")])
+    def test_encode(self, x, s):
+        assert encode_number(x) == s
+
+    @pytest.mark.parametrize("x", [1.0, -2.5, 1e-9, 12345.678, 0.0])
+    def test_roundtrip(self, x):
+        assert decode_number(encode_number(x)) == x
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_number("abc")

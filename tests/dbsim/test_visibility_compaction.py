@@ -1,0 +1,82 @@
+"""Interplay of combiners, visibility, deletes, and compaction.
+
+These are the corner cases a multi-tenant accumulating table lives on:
+the combiner must fold only within one (row, qual, *visibility*) cell,
+compaction must preserve per-compartment sums, and tombstones must not
+leak across compartments.
+"""
+
+import pytest
+
+from repro.dbsim import Authorizations, Connector
+from repro.dbsim.graphulo import create_combiner_table
+from repro.dbsim.key import decode_number
+from repro.dbsim.server import Instance
+
+
+@pytest.fixture
+def conn():
+    c = Connector(Instance())
+    create_combiner_table(c, "t")
+    return c
+
+
+def values_for(conn, auths=None):
+    return {(c.key.row, c.key.qualifier, c.key.visibility):
+            decode_number(c.value)
+            for c in conn.scanner("t", authorizations=auths)}
+
+
+class TestCombinerVisibilityIsolation:
+    def test_sums_do_not_cross_compartments(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 1, visibility="red")
+            w.put("r", "", "q", 10, visibility="blue")
+            w.put("r", "", "q", 1, visibility="red")
+        both = Authorizations(["red", "blue"])
+        got = values_for(conn, both)
+        assert got[("r", "q", "red")] == 2.0
+        assert got[("r", "q", "blue")] == 10.0
+
+    def test_compaction_preserves_per_compartment_sums(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 3, visibility="red")
+            w.put("r", "", "q", 4, visibility="red")
+            w.put("r", "", "q", 7, visibility="blue")
+        conn.compact("t")
+        both = Authorizations(["red", "blue"])
+        got = values_for(conn, both)
+        assert got[("r", "q", "red")] == 7.0
+        assert got[("r", "q", "blue")] == 7.0
+        # compaction physically kept one entry per compartment
+        assert conn.instance.table_entry_estimate("t") == 2
+
+    def test_post_compaction_accumulation_continues(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 5, visibility="red")
+        conn.compact("t")
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 2, visibility="red")
+        got = values_for(conn, Authorizations(["red"]))
+        assert got[("r", "q", "red")] == 7.0
+
+
+class TestDeleteVisibilityIsolation:
+    def test_delete_targets_one_compartment(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 1, visibility="red")
+            w.put("r", "", "q", 2, visibility="blue")
+        with conn.batch_writer("t") as w:
+            w.delete("r", "", "q", visibility="red")
+        both = Authorizations(["red", "blue"])
+        got = values_for(conn, both)
+        assert ("r", "q", "red") not in got
+        assert got[("r", "q", "blue")] == 2.0
+
+    def test_delete_then_compact_drops_storage(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 1, visibility="red")
+        with conn.batch_writer("t") as w:
+            w.delete("r", "", "q", visibility="red")
+        conn.compact("t")
+        assert conn.instance.table_entry_estimate("t") == 0

@@ -1,0 +1,204 @@
+"""Graph and corpus generators: structure, determinism, distributions."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    fig1_edges,
+    fig1_graph,
+    generate_tweets,
+    grid_graph,
+    kronecker_graph,
+    path_graph,
+    planted_clique,
+    planted_partition,
+    rmat_edges,
+    rmat_graph,
+    star_graph,
+)
+from repro.schemas import degrees, is_symmetric
+
+
+class TestClassic:
+    def test_fig1_matches_paper_adjacency(self):
+        a = fig1_graph()
+        expected = np.array([
+            [0, 1, 1, 1, 0],
+            [1, 0, 1, 0, 1],
+            [1, 1, 0, 1, 0],
+            [1, 0, 1, 0, 0],
+            [0, 1, 0, 0, 0],
+        ], dtype=float)
+        assert np.array_equal(a.to_dense(), expected)
+
+    def test_fig1_edge_order(self):
+        assert fig1_edges().tolist() == [[0, 1], [1, 2], [0, 3], [2, 3],
+                                         [0, 2], [1, 4]]
+
+    def test_path(self):
+        a = path_graph(4)
+        assert degrees(a).tolist() == [1, 2, 2, 1]
+
+    def test_cycle(self):
+        a = cycle_graph(5)
+        assert (degrees(a) == 2).all()
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        a = complete_graph(5)
+        assert (degrees(a) == 4).all() and a.nnz == 20
+
+    def test_star(self):
+        a = star_graph(6)
+        d = degrees(a)
+        assert d[0] == 5 and (d[1:] == 1).all()
+
+    def test_grid(self):
+        a = grid_graph(3, 4)
+        assert a.nrows == 12
+        d = degrees(a)
+        assert d.min() == 2 and d.max() == 4
+        assert d.sum() == 2 * (3 * 3 + 2 * 4)  # 2 * #edges
+
+    def test_single_vertex(self):
+        assert path_graph(1).nnz == 0
+        assert star_graph(1).nnz == 0
+
+    @pytest.mark.parametrize("fn", [path_graph, complete_graph, star_graph])
+    def test_invalid_n(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+
+class TestRandom:
+    def test_erdos_renyi_symmetric_simple(self):
+        a = erdos_renyi(40, 0.2, seed=1)
+        assert is_symmetric(a)
+        assert a.diag().sum() == 0.0
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(30, 0.3, seed=5).equal(erdos_renyi(30, 0.3, seed=5))
+
+    def test_erdos_renyi_density(self):
+        a = erdos_renyi(100, 0.3, seed=2)
+        frac = a.nnz / (100 * 99)
+        assert 0.25 < frac < 0.35
+
+    def test_erdos_renyi_p_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_planted_clique_contains_clique(self):
+        a, members = planted_clique(50, 10, p=0.05, seed=3)
+        dense = a.to_dense()
+        block = dense[np.ix_(members, members)]
+        off = block[~np.eye(len(members), dtype=bool)]
+        assert (off == 1).all()
+
+    def test_planted_clique_size_check(self):
+        with pytest.raises(ValueError):
+            planted_clique(5, 10)
+
+    def test_planted_partition_labels(self):
+        a, labels = planted_partition([10, 15], 0.9, 0.05, seed=4)
+        assert labels.tolist() == [0] * 10 + [1] * 15
+        assert is_symmetric(a)
+
+    def test_planted_partition_validation(self):
+        with pytest.raises(ValueError):
+            planted_partition([], 0.5, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition([5], 2.0, 0.1)
+
+
+class TestKronecker:
+    def test_exact_power_matches_numpy(self):
+        seed = np.array([[0, 1], [1, 1]], dtype=float)
+        g = kronecker_graph(seed, 3)
+        ref = np.kron(np.kron(seed, seed), seed)
+        assert np.array_equal(g.to_dense(), ref)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            kronecker_graph(np.eye(2), 0)
+
+    def test_rmat_shape_and_bounds(self):
+        e = rmat_edges(6, edge_factor=8, seed=1)
+        assert e.shape == (8 << 6, 2)
+        assert e.min() >= 0 and e.max() < 64
+
+    def test_rmat_deterministic(self):
+        assert np.array_equal(rmat_edges(5, seed=9), rmat_edges(5, seed=9))
+
+    def test_rmat_probs_validated(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            rmat_edges(4, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rmat_graph_simple_symmetric(self):
+        a = rmat_graph(6, edge_factor=8, seed=2)
+        assert is_symmetric(a)
+        assert a.diag().sum() == 0
+        assert (a.values == 1.0).all()
+
+    def test_rmat_skew(self):
+        """R-MAT should give a heavy-tailed degree distribution: the max
+        degree far exceeds the mean."""
+        a = rmat_graph(9, edge_factor=8, seed=3)
+        d = degrees(a)
+        assert d.max() > 4 * max(d.mean(), 1.0)
+
+
+class TestTweets:
+    def test_size_and_labels(self):
+        c = generate_tweets(n_docs=500, seed=1)
+        assert c.n_docs == 500
+        assert len(c.labels) == 500
+        assert set(c.labels.tolist()) <= set(range(5))
+
+    def test_deterministic(self):
+        a = generate_tweets(n_docs=100, seed=7)
+        b = generate_tweets(n_docs=100, seed=7)
+        assert a.docs == b.docs and np.array_equal(a.labels, b.labels)
+
+    def test_doc_lengths(self):
+        c = generate_tweets(n_docs=200, doc_len_range=(3, 5), seed=2)
+        assert all(3 <= len(d) <= 5 for d in c.docs)
+
+    def test_topic_words_dominate(self):
+        from repro.generators.tweets import TOPIC_VOCABS
+
+        c = generate_tweets(n_docs=300, background_rate=0.1, seed=3)
+        hits = 0
+        total = 0
+        for doc, lab in zip(c.docs, c.labels):
+            vocab = set(TOPIC_VOCABS[c.topic_names[lab]])
+            hits += sum(w in vocab for w in doc)
+            total += len(doc)
+        assert hits / total > 0.8
+
+    def test_to_matrix_counts(self):
+        c = generate_tweets(n_docs=50, seed=4)
+        m, vocab = c.to_matrix()
+        assert m.nrows == 50 and m.ncols == len(vocab)
+        assert m.reduce_scalar() == sum(len(d) for d in c.docs)
+
+    def test_to_assoc_exploded_columns(self):
+        c = generate_tweets(n_docs=20, seed=5)
+        a = c.to_assoc()
+        assert all(k.startswith("word|") for k in a.col_keys)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_tweets(n_docs=0)
+        with pytest.raises(ValueError):
+            generate_tweets(doc_len_range=(5, 2))
+        with pytest.raises(ValueError):
+            generate_tweets(background_rate=1.0)
+        with pytest.raises(ValueError):
+            generate_tweets(topic_weights=[1.0])

@@ -1,0 +1,74 @@
+"""Barabási–Albert and Watts–Strogatz generators."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.traversal import connected_components
+from repro.generators import barabasi_albert, watts_strogatz
+from repro.schemas import degrees, is_symmetric
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=1)
+        # star seed contributes m edges; each later vertex adds m
+        expected_edges = 3 + (100 - 4) * 3
+        assert g.nnz == 2 * expected_edges
+
+    def test_simple_symmetric_connected(self):
+        g = barabasi_albert(80, 2, seed=2)
+        assert is_symmetric(g)
+        assert g.diag().sum() == 0
+        assert (g.values == 1).all()  # no multi-edges
+        assert (connected_components(g) == 0).all()
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(400, 2, seed=3)
+        d = degrees(g)
+        assert d.max() > 6 * d.mean()
+
+    def test_deterministic(self):
+        assert barabasi_albert(50, 2, seed=7).equal(
+            barabasi_albert(50, 2, seed=7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        d = degrees(g)
+        assert (d == 4).all()
+        assert g.get(0, 1) == 1 and g.get(0, 2) == 1 and g.get(0, 3) == 0
+
+    def test_edge_count_preserved_under_rewiring(self):
+        for p in (0.0, 0.3, 1.0):
+            g = watts_strogatz(40, 4, p, seed=2)
+            assert g.nnz == 2 * 40 * 2  # n·k/2 undirected edges
+
+    def test_rewiring_shortens_paths(self):
+        """Small-world effect: diameter drops with rewiring."""
+        from repro.algorithms.traversal import bfs
+
+        ring = watts_strogatz(60, 4, 0.0, seed=3)
+        small = watts_strogatz(60, 4, 0.3, seed=3)
+        ecc_ring = bfs(ring, 0).max()
+        ecc_small = bfs(small, 0).max()
+        assert ecc_small < ecc_ring
+
+    def test_simple_symmetric(self):
+        g = watts_strogatz(30, 6, 0.5, seed=4)
+        assert is_symmetric(g)
+        assert g.diag().sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)  # odd k
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)   # k >= n
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 2, 1.5)

@@ -1,0 +1,68 @@
+"""Adjacency-schema helpers."""
+
+import numpy as np
+import pytest
+
+from repro.schemas import (
+    degrees,
+    in_degrees,
+    is_symmetric,
+    normalize_columns,
+    out_degrees,
+    symmetrize,
+)
+from repro.sparse import from_dense, from_edges, zeros
+
+
+class TestDegrees:
+    def test_directed_in_out(self):
+        a = from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert out_degrees(a).tolist() == [2.0, 1.0, 0.0]
+        assert in_degrees(a).tolist() == [0.0, 1.0, 2.0]
+
+    def test_weighted_vs_unweighted(self):
+        a = from_edges(2, [(0, 1)], weights=[5.0])
+        assert out_degrees(a).tolist() == [5.0, 0.0]
+        assert out_degrees(a, weighted=False).tolist() == [1.0, 0.0]
+
+    def test_undirected_degrees(self, fig1_adj):
+        assert degrees(fig1_adj).tolist() == [3.0, 3.0, 3.0, 2.0, 1.0]
+
+    def test_degrees_rejects_directed(self):
+        a = from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError, match="symmetric"):
+            degrees(a)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            out_degrees(zeros(2, 3))
+
+
+class TestSymmetry:
+    def test_is_symmetric(self, fig1_adj):
+        assert is_symmetric(fig1_adj)
+        assert not is_symmetric(from_edges(3, [(0, 1)]))
+        assert not is_symmetric(zeros(2, 3))
+
+    def test_symmetrize(self):
+        a = from_edges(3, [(0, 1)], weights=[4.0])
+        s = symmetrize(a)
+        assert s.get(0, 1) == 4.0 and s.get(1, 0) == 4.0
+
+    def test_symmetrize_max_no_double_count(self):
+        a = from_dense([[0.0, 2.0], [3.0, 0.0]])
+        s = symmetrize(a)
+        assert s.get(0, 1) == 3.0 and s.get(1, 0) == 3.0
+
+
+class TestNormalize:
+    def test_columns_stochastic(self, fig1_adj):
+        m = normalize_columns(fig1_adj)
+        sums = m.reduce_cols()
+        assert np.allclose(sums, 1.0)
+
+    def test_zero_column_untouched(self):
+        a = from_edges(3, [(0, 1)])
+        m = normalize_columns(a)
+        assert m.get(0, 1) == 1.0  # column 1 sums to 1
+        assert m.reduce_cols()[0] == 0.0  # empty column stays empty

@@ -1,0 +1,115 @@
+"""D4M 2.0 schema: explode, degree table, correlation."""
+
+import numpy as np
+import pytest
+
+from repro.schemas import D4MTables, explode_records
+from repro.schemas.d4m import DEGREE_COL
+
+RECORDS = [
+    {"user": "alice", "word": ["hi", "yo"], "lang": "en"},
+    {"user": "bob", "word": "hi", "lang": "en"},
+    {"user": "carol", "word": ["hola"], "lang": "es"},
+]
+
+
+class TestExplode:
+    def test_explodes_field_value_pairs(self):
+        rows, cols = explode_records(RECORDS)
+        assert ("r00000000", "word|hi") in zip(rows, cols)
+        assert ("r00000000", "word|yo") in zip(rows, cols)
+        assert ("r00000002", "lang|es") in zip(rows, cols)
+
+    def test_row_keys_sortable_by_record(self):
+        rows, _ = explode_records(RECORDS)
+        assert sorted(set(rows)) == ["r00000000", "r00000001", "r00000002"]
+
+    def test_custom_separator_prefix(self):
+        rows, cols = explode_records([{"a": 1}], row_prefix="x", sep=":")
+        assert rows == ["x00000000"] and cols == ["a:1"]
+
+    def test_empty(self):
+        assert explode_records([]) == ([], [])
+
+
+class TestD4MTables:
+    def test_tedge_tedgeT_are_transposes(self):
+        t = D4MTables.from_records(RECORDS)
+        assert t.tedge.transpose().equal(t.tedge_t)
+
+    def test_degree_counts(self):
+        t = D4MTables.from_records(RECORDS)
+        assert t.degree("word|hi") == 2.0
+        assert t.degree("lang|en") == 2.0
+        assert t.degree("word|hola") == 1.0
+        assert t.degree("nope|x") == 0.0
+
+    def test_tdeg_column_name(self):
+        t = D4MTables.from_records(RECORDS)
+        assert t.tdeg.col_keys.tolist() == [DEGREE_COL]
+
+    def test_traw_preserves_records(self):
+        t = D4MTables.from_records(RECORDS)
+        assert t.traw["r00000001"]["user"] == "bob"
+
+    def test_records_matching(self):
+        t = D4MTables.from_records(RECORDS)
+        assert t.records_matching("lang|en") == ["r00000000", "r00000001"]
+        assert t.records_matching("nope|x") == []
+
+    def test_correlate_words(self):
+        """TedgeᵀTedge = co-occurrence: paper's 'multiplication is a
+        correlation'."""
+        t = D4MTables.from_records(RECORDS)
+        corr = t.correlate("word|*", "word|*")
+        assert corr.get("word|hi", "word|yo") == 1.0
+        assert corr.get("word|hi", "word|hi") == 2.0
+        assert corr.get("word|hi", "word|hola") == 0.0
+
+    def test_correlate_across_families(self):
+        t = D4MTables.from_records(RECORDS)
+        corr = t.correlate("lang|*", "word|*")
+        assert corr.get("lang|en", "word|hi") == 2.0
+        assert corr.get("lang|es", "word|hola") == 1.0
+
+    def test_empty_records(self):
+        t = D4MTables.from_records([])
+        assert t.tedge.nnz == 0 and t.traw == {}
+
+    def test_facet(self):
+        t = D4MTables.from_records(RECORDS)
+        langs = t.facet("word|hi", "lang|*")
+        assert langs.get("sum", "lang|en") == 2.0
+        assert langs.get("sum", "lang|es") == 0.0
+
+    def test_facet_no_match(self):
+        t = D4MTables.from_records(RECORDS)
+        assert t.facet("word|zzz*", "lang|*").nnz == 0
+
+
+class TestCol2Type:
+    def test_splits_by_field(self):
+        from repro.schemas import col2type
+
+        t = D4MTables.from_records(RECORDS)
+        views = col2type(t.tedge)
+        assert set(views) == {"user", "word", "lang"}
+        assert views["lang"].col_keys.tolist() == ["en", "es"]
+        assert views["word"].get("r00000000", "hi") == 1.0
+        assert views["word"].get("r00000002", "hola") == 1.0
+
+    def test_totals_preserved(self):
+        from repro.schemas import col2type
+
+        t = D4MTables.from_records(RECORDS)
+        views = col2type(t.tedge)
+        total = sum(v.matrix.reduce_scalar() for v in views.values())
+        assert total == t.tedge.matrix.reduce_scalar()
+
+    def test_missing_separator_raises(self):
+        from repro.assoc import AssocArray
+        from repro.schemas import col2type
+
+        a = AssocArray.from_triples(["r"], ["plain"], [1.0])
+        with pytest.raises(ValueError, match="separator"):
+            col2type(a)

@@ -1,0 +1,93 @@
+"""Hypergraph incidence schema (paper §II-B2's generality claim)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.traversal import bfs
+from repro.schemas.hypergraph import (
+    bipartite_expansion,
+    edge_overlap,
+    edge_sizes,
+    hyper_incidence,
+    vertex_cooccurrence,
+    vertex_degrees,
+)
+
+#: 6 vertices, 3 hyperedges: {0,1,2}, {2,3}, {3,4,5}
+H = [[0, 1, 2], [2, 3], [3, 4, 5]]
+
+
+class TestIncidence:
+    def test_shape_and_entries(self):
+        e = hyper_incidence(6, H)
+        assert e.shape == (3, 6)
+        assert e.get(0, 1) == 1.0 and e.get(1, 3) == 1.0
+        assert e.get(0, 4) == 0.0
+
+    def test_weights_per_edge(self):
+        e = hyper_incidence(3, [[0, 1], [1, 2]], weights=[2.0, 5.0])
+        assert e.get(0, 0) == 2.0 and e.get(1, 2) == 5.0
+
+    def test_pairwise_edges_match_simple_incidence(self):
+        from repro.generators.classic import fig1_edges
+        from repro.schemas.incidence import incidence_unoriented
+
+        pairs = [list(p) for p in fig1_edges()]
+        assert hyper_incidence(5, pairs).equal(
+            incidence_unoriented(5, fig1_edges()))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="repeats"):
+            hyper_incidence(3, [[0, 0, 1]])
+        with pytest.raises(ValueError, match="empty"):
+            hyper_incidence(3, [[]])
+        with pytest.raises(ValueError, match="out of range"):
+            hyper_incidence(2, [[0, 5]])
+        with pytest.raises(ValueError, match="align"):
+            hyper_incidence(3, [[0, 1]], weights=[1.0, 2.0])
+
+
+class TestDerivedMatrices:
+    def test_cooccurrence_counts_shared_hyperedges(self):
+        c = vertex_cooccurrence(hyper_incidence(6, H))
+        assert c.get(0, 1) == 1.0       # together in edge 0
+        assert c.get(2, 3) == 1.0       # together in edge 1
+        assert c.get(0, 4) == 0.0       # never share an edge
+        assert c.equal(c.T)
+        assert np.allclose(c.diag(), 0.0)
+
+    def test_cooccurrence_multiplicity(self):
+        c = vertex_cooccurrence(hyper_incidence(3, [[0, 1], [0, 1, 2]]))
+        assert c.get(0, 1) == 2.0
+
+    def test_edge_overlap(self):
+        o = edge_overlap(hyper_incidence(6, H))
+        assert o.get(0, 1) == 1.0       # share vertex 2
+        assert o.get(1, 2) == 1.0       # share vertex 3
+        assert o.get(0, 2) == 0.0
+
+    def test_degrees_and_sizes(self):
+        e = hyper_incidence(6, H)
+        assert vertex_degrees(e).tolist() == [1, 1, 2, 2, 1, 1]
+        assert edge_sizes(e).tolist() == [3, 2, 3]
+
+
+class TestBipartiteExpansion:
+    def test_structure(self):
+        g, n = bipartite_expansion(hyper_incidence(6, H))
+        assert n == 6 and g.shape == (9, 9)
+        # vertex 0 connects only to hyperedge-node 6 (= edge 0)
+        cols, _ = g.row(0)
+        assert cols.tolist() == [6]
+        # no vertex-vertex or edge-edge connections
+        rows = g.row_ids()
+        assert all((r < n) != (c < n) for r, c in zip(rows, g.indices))
+
+    def test_bfs_gives_hypergraph_distance(self):
+        """0 → {0,1,2} → 2 → {2,3} → 3: hypergraph distance 2 hops ==
+        expansion distance 4."""
+        g, n = bipartite_expansion(hyper_incidence(6, H))
+        d = bfs(g, 0)
+        assert d[3] == 4
+        assert d[5] == 6  # three hyperedge hops
+        assert d[1] == 2  # same hyperedge

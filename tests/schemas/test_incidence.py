@@ -1,0 +1,93 @@
+"""Incidence schema and the A = EᵀE − diag identity (paper §III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.generators.classic import fig1_edges
+from repro.generators.random import erdos_renyi
+from repro.schemas import (
+    adjacency_from_incidence,
+    edge_list_from_adjacency,
+    incidence_from_edges,
+    incidence_oriented,
+    incidence_unoriented,
+)
+
+
+class TestUnoriented:
+    def test_paper_fig1_matrix(self, fig1_inc):
+        expected = np.array([
+            [1, 1, 0, 0, 0],
+            [0, 1, 1, 0, 0],
+            [1, 0, 0, 1, 0],
+            [0, 0, 1, 1, 0],
+            [1, 0, 1, 0, 0],
+            [0, 1, 0, 0, 1],
+        ], dtype=float)
+        assert np.array_equal(fig1_inc.to_dense(), expected)
+
+    def test_two_entries_per_row(self, fig1_inc):
+        assert (fig1_inc.row_lengths == 2).all()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            incidence_unoriented(3, [(1, 1)])
+
+    def test_weights(self):
+        e = incidence_unoriented(3, [(0, 2)], weights=[2.5])
+        assert e.get(0, 0) == 2.5 and e.get(0, 2) == 2.5
+
+    def test_empty(self):
+        e = incidence_unoriented(4, [])
+        assert e.shape == (0, 4)
+
+
+class TestOriented:
+    def test_signs_follow_paper_convention(self):
+        """+|e| into the head, −|e| out of the tail."""
+        e = incidence_oriented(3, [(0, 2)])
+        assert e.get(0, 0) == -1.0 and e.get(0, 2) == 1.0
+
+    def test_rows_sum_to_zero(self):
+        e = incidence_oriented(5, [(0, 1), (3, 2), (4, 1)])
+        assert np.allclose(e.reduce_rows(), 0.0)
+
+    def test_dispatch(self):
+        eo = incidence_from_edges(3, [(0, 1)], oriented=True)
+        eu = incidence_from_edges(3, [(0, 1)], oriented=False)
+        assert eo.values.min() == -1.0 and eu.values.min() == 1.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            incidence_oriented(2, [(0, 0)])
+
+
+class TestAdjacencyIdentity:
+    def test_fig1(self, fig1_adj, fig1_inc):
+        assert adjacency_from_incidence(fig1_inc).equal(fig1_adj)
+
+    def test_random_graphs(self):
+        """A = EᵀE − diag(EᵀE) on random simple graphs."""
+        for seed in range(5):
+            a = erdos_renyi(20, 0.2, seed=seed)
+            edges = edge_list_from_adjacency(a)
+            e = incidence_unoriented(20, edges)
+            assert adjacency_from_incidence(e).equal(a.prune())
+
+    def test_diag_of_ete_is_degree(self, fig1_inc, fig1_adj):
+        from repro.sparse import mxm
+
+        ete = mxm(fig1_inc.T, fig1_inc)
+        assert np.allclose(ete.diag(), fig1_adj.reduce_rows())
+
+
+class TestEdgeList:
+    def test_roundtrip(self, fig1_adj):
+        edges = edge_list_from_adjacency(fig1_adj)
+        assert len(edges) == 6
+        rebuilt = incidence_unoriented(5, edges)
+        assert adjacency_from_incidence(rebuilt).equal(fig1_adj)
+
+    def test_each_edge_once(self, fig1_adj):
+        edges = edge_list_from_adjacency(fig1_adj)
+        assert all(u < v for u, v in edges)

@@ -1,0 +1,138 @@
+"""Built-in operator/semiring behaviour + property-based algebra laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring import (
+    ABS,
+    AINV,
+    ANY_PAIR,
+    DIV,
+    FIRST,
+    IDENTITY,
+    LAND_MONOID,
+    LOR_LAND,
+    LOR_MONOID,
+    MAX_MIN,
+    MAX_MONOID,
+    MIN_MONOID,
+    MIN_PLUS,
+    MINV,
+    ONE,
+    PAIR,
+    PLUS_MONOID,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    SECOND,
+    TIMES_MONOID,
+    get_semiring,
+    list_semirings,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+ALL_MONOIDS = [PLUS_MONOID, TIMES_MONOID, MIN_MONOID, MAX_MONOID]
+ALL_SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_MIN, LOR_LAND, PLUS_PAIR, ANY_PAIR]
+
+
+class TestUnaryBuiltins:
+    def test_identity(self):
+        x = np.array([1.0, -2.0])
+        assert np.array_equal(IDENTITY(x), x)
+
+    def test_ainv_abs(self):
+        x = np.array([1.0, -2.0])
+        assert np.array_equal(AINV(x), [-1.0, 2.0])
+        assert np.array_equal(ABS(x), [1.0, 2.0])
+
+    def test_one(self):
+        assert np.array_equal(ONE(np.array([5.0, -3.0])), [1.0, 1.0])
+
+    def test_minv(self):
+        assert np.allclose(MINV(np.array([2.0, 4.0])), [0.5, 0.25])
+
+    def test_minv_zero_is_inf(self):
+        assert np.isinf(MINV(np.array([0.0]))[0])
+
+
+class TestBinaryBuiltins:
+    def test_first_second(self):
+        x, y = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        assert np.array_equal(FIRST(x, y), x)
+        assert np.array_equal(SECOND(x, y), y)
+
+    def test_pair_is_one(self):
+        out = PAIR(np.array([5.0, 0.0]), np.array([7.0, 2.0]))
+        assert np.array_equal(out, [1.0, 1.0])
+
+    def test_div_by_zero_does_not_raise(self):
+        out = DIV(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(out[0])
+
+
+class TestMonoidIdentities:
+    @pytest.mark.parametrize("monoid", ALL_MONOIDS, ids=lambda m: m.name)
+    @given(x=finite)
+    @settings(max_examples=25, deadline=None)
+    def test_identity_is_neutral(self, monoid, x):
+        assert monoid(np.array([x]), np.array([monoid.identity]))[0] == x
+
+    def test_bool_monoid_identities(self):
+        assert LOR_MONOID(np.array([True]), np.array([False]))[0]
+        assert not LAND_MONOID(np.array([False]), np.array([True]))[0]
+
+
+class TestAlgebraLaws:
+    @pytest.mark.parametrize("monoid", ALL_MONOIDS, ids=lambda m: m.name)
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=50, deadline=None)
+    def test_monoid_commutative_associative(self, monoid, a, b, c):
+        A, B, C = (np.array([v]) for v in (a, b, c))
+        assert monoid(A, B)[0] == monoid(B, A)[0]
+        lhs = monoid(monoid(A, B), C)[0]
+        rhs = monoid(A, monoid(B, C))[0]
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-6)
+
+    @pytest.mark.parametrize("sr", [MIN_PLUS, MAX_MIN, LOR_LAND],
+                             ids=lambda s: s.name)
+    @given(a=finite, b=finite, c=finite)
+    @settings(max_examples=50, deadline=None)
+    def test_distributivity_exact_semirings(self, sr, a, b, c):
+        """⊗ distributes over ⊕ (exact for min/max/bool algebras)."""
+        if sr is LOR_LAND:
+            a, b, c = bool(a > 0), bool(b > 0), bool(c > 0)
+        A, B, C = (np.array([v]) for v in (a, b, c))
+        lhs = sr.mul(A, sr.add(B, C))[0]
+        rhs = sr.add(sr.mul(A, B), sr.mul(A, C))[0]
+        assert lhs == rhs
+
+    @pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=lambda s: s.name)
+    @given(a=finite)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_annihilates(self, sr, a):
+        """x ⊗ 0 == 0 (the property implicit-sparse storage relies on)."""
+        if sr is LOR_LAND:
+            a = bool(a > 0)
+        if sr.mul.name in ("pair",):
+            pytest.skip("pair ignores operand values by design")
+        out = sr.mul(np.array([a]), np.array([sr.zero]))[0]
+        # mul may produce nan for inf*0 in tropical: min-plus uses +,
+        # where a + inf = inf == zero. Check against zero.
+        assert out == sr.zero or (np.isnan(out) and np.isnan(sr.zero))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_semiring("min_plus") is MIN_PLUS
+
+    def test_unknown_raises_with_names(self):
+        with pytest.raises(KeyError, match="plus_times"):
+            get_semiring("nope")
+
+    def test_list_sorted(self):
+        names = list_semirings()
+        assert names == sorted(names)
+        assert "lor_land" in names

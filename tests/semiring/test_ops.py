@@ -1,0 +1,107 @@
+"""Unit tests for the operator classes (UnaryOp/BinaryOp/Monoid/Semiring)."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import (
+    BinaryOp,
+    Monoid,
+    Semiring,
+    UnaryOp,
+    MIN_PLUS,
+    PLUS_MONOID,
+    MIN_MONOID,
+    PLUS,
+    TIMES,
+)
+
+
+class TestUnaryOp:
+    def test_applies_elementwise(self):
+        op = UnaryOp("sq", lambda x: x * x)
+        assert np.array_equal(op(np.array([1.0, 2.0, 3.0])), [1.0, 4.0, 9.0])
+
+    def test_scalar_input_promoted(self):
+        op = UnaryOp("neg", np.negative)
+        assert op(3.0) == -3.0
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            UnaryOp("bad", 42)
+
+
+class TestBinaryOp:
+    def test_ufunc_detected(self):
+        assert PLUS.ufunc is np.add
+        assert TIMES.ufunc is np.multiply
+
+    def test_call(self):
+        assert np.array_equal(PLUS(np.array([1, 2]), np.array([3, 4])), [4, 6])
+
+    def test_from_python_roundtrip(self):
+        op = BinaryOp.from_python("mymax", lambda a, b: a if a > b else b)
+        out = op(np.array([1.0, 5.0]), np.array([2.0, 3.0]))
+        assert np.array_equal(out, [2.0, 5.0])
+        assert out.dtype == np.float64
+
+    def test_from_python_supports_reduceat(self):
+        op = BinaryOp.from_python("add2", lambda a, b: a + b)
+        m = Monoid.from_binaryop(op, identity=0.0)
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        out = m.reduceat(vals, np.array([0, 2]))
+        assert np.allclose(out, [3.0, 7.0])
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            BinaryOp("bad", None)
+
+
+class TestMonoid:
+    def test_reduce_all(self):
+        assert PLUS_MONOID.reduce(np.array([1.0, 2.0, 3.0])) == 6.0
+        assert MIN_MONOID.reduce(np.array([3.0, 1.0, 2.0])) == 1.0
+
+    def test_reduce_empty_returns_identity(self):
+        assert PLUS_MONOID.reduce(np.array([])) == 0.0
+        assert MIN_MONOID.reduce(np.array([])) == float("inf")
+
+    def test_reduce_axis(self):
+        arr = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(PLUS_MONOID.reduce(arr, axis=0), [4.0, 6.0])
+        assert np.array_equal(PLUS_MONOID.reduce(arr, axis=1), [3.0, 7.0])
+
+    def test_reduce_empty_axis_shape(self):
+        arr = np.zeros((0, 3))
+        out = PLUS_MONOID.reduce(arr, axis=0)
+        assert out.shape == (3,)
+
+    def test_reduceat_segments(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        out = PLUS_MONOID.reduceat(vals, np.array([0, 2, 3]))
+        assert np.array_equal(out, [3.0, 3.0, 9.0])
+
+    def test_reduceat_empty_starts(self):
+        out = PLUS_MONOID.reduceat(np.array([1.0]), np.array([], dtype=int))
+        assert len(out) == 0
+
+    def test_monoid_is_commutative_associative_flags(self):
+        assert PLUS_MONOID.commutative and PLUS_MONOID.associative
+
+
+class TestSemiring:
+    def test_zero_and_one(self):
+        assert MIN_PLUS.zero == float("inf")
+        assert MIN_PLUS.one == 0.0
+
+    def test_requires_monoid_add(self):
+        with pytest.raises(TypeError):
+            Semiring("bad", PLUS, TIMES)  # PLUS is a BinaryOp, not Monoid
+
+    def test_requires_binop_mul(self):
+        with pytest.raises(TypeError):
+            Semiring("bad", PLUS_MONOID, lambda a, b: a)
+
+    def test_equality_by_name(self):
+        s1 = Semiring("x", PLUS_MONOID, TIMES)
+        s2 = Semiring("x", MIN_MONOID, PLUS)
+        assert s1 == s2 and hash(s1) == hash(s2)

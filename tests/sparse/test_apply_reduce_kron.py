@@ -1,0 +1,114 @@
+"""Apply / Scale / Reduce / Kron kernels."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import (
+    ABS,
+    AINV,
+    MAX_MONOID,
+    MIN,
+    MIN_MONOID,
+    PLUS_MONOID,
+    UnaryOp,
+)
+from repro.sparse import (
+    apply,
+    from_dense,
+    kron,
+    reduce_cols,
+    reduce_rows,
+    reduce_scalar,
+    scale,
+    zeros,
+)
+
+
+class TestApply:
+    def test_unary_on_stored_entries_only(self):
+        a = from_dense([[0.0, -2.0], [3.0, 0.0]])
+        out = apply(a, ABS)
+        assert out.get(0, 1) == 2.0 and out.get(0, 0) == 0.0
+        assert out.nnz == a.nnz  # pattern unchanged
+
+    def test_eq2_indicator(self):
+        """Paper §III-B: map 2 → 1 and everything else → 0."""
+        ind = UnaryOp("eq2", lambda v: (v == 2).astype(float))
+        a = from_dense([[2.0, 1.0, 2.0]])
+        out = apply(a, ind)
+        assert out.values.tolist() == [1.0, 0.0, 1.0]
+
+    def test_requires_unaryop(self):
+        with pytest.raises(TypeError):
+            apply(from_dense([[1.0]]), lambda v: v)
+
+
+class TestScale:
+    def test_default_times(self, random_sparse):
+        a, da = random_sparse(4, 5, seed=81)
+        assert np.allclose(scale(a, 3.0).to_dense(), 3.0 * da)
+
+    def test_custom_op(self):
+        a = from_dense([[5.0, 1.0]])
+        out = scale(a, 3.0, op=MIN)
+        assert out.values.tolist() == [3.0, 1.0]
+
+    def test_empty(self):
+        assert scale(zeros(2, 2), 5.0).nnz == 0
+
+
+class TestReduce:
+    def test_rows_matches_numpy(self, random_sparse):
+        a, da = random_sparse(6, 7, seed=82)
+        assert np.allclose(reduce_rows(a), da.sum(axis=1))
+
+    def test_cols_matches_numpy(self, random_sparse):
+        a, da = random_sparse(6, 7, seed=83)
+        assert np.allclose(reduce_cols(a), da.sum(axis=0))
+
+    def test_scalar(self, random_sparse):
+        a, da = random_sparse(5, 5, seed=84)
+        assert reduce_scalar(a) == pytest.approx(da.sum())
+
+    def test_empty_rows_identity(self):
+        a = from_dense([[0.0, 0.0], [1.0, 2.0]])
+        assert reduce_rows(a, MIN_MONOID).tolist() == [np.inf, 1.0]
+        assert reduce_rows(a, MAX_MONOID)[0] == -np.inf
+
+    def test_min_max_monoids(self, random_sparse):
+        a, da = random_sparse(5, 6, seed=85)
+        mask = da != 0
+        ref_min = np.where(mask.any(axis=1),
+                           np.where(mask, da, np.inf).min(axis=1), np.inf)
+        assert np.allclose(reduce_rows(a, MIN_MONOID), ref_min)
+
+    def test_sparse_output(self):
+        a = from_dense([[0.0, 0.0], [1.0, 2.0]])
+        v = reduce_rows(a, PLUS_MONOID, dense=False)
+        assert v.indices.tolist() == [1] and v.values.tolist() == [3.0]
+        vc = reduce_cols(a, PLUS_MONOID, dense=False)
+        assert vc.indices.tolist() == [0, 1]
+
+    def test_empty_matrix_scalar_identity(self):
+        assert reduce_scalar(zeros(3, 3)) == 0.0
+        assert reduce_scalar(zeros(3, 3), MIN_MONOID) == np.inf
+
+
+class TestKron:
+    def test_matches_numpy(self, random_sparse):
+        a, da = random_sparse(3, 4, seed=86)
+        b, db = random_sparse(2, 3, seed=87)
+        assert np.allclose(kron(a, b).to_dense(), np.kron(da, db))
+
+    def test_empty_operand(self, random_sparse):
+        a, _ = random_sparse(3, 3, seed=88)
+        out = kron(a, zeros(2, 2))
+        assert out.shape == (6, 6) and out.nnz == 0
+
+    def test_kron_with_identity(self, random_sparse):
+        from repro.sparse import identity
+
+        a, da = random_sparse(3, 3, seed=89)
+        out = kron(identity(2), a)
+        ref = np.kron(np.eye(2), da)
+        assert np.allclose(out.to_dense(), ref)

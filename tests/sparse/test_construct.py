@@ -1,0 +1,108 @@
+"""Constructors: COO ingestion/dedup, dense, edges, identity, diag."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import MAX_MONOID, MIN_MONOID
+from repro.sparse import diag_matrix, from_coo, from_dense, from_edges, zeros
+
+
+class TestFromCoo:
+    def test_basic(self):
+        m = from_coo(2, 3, [0, 1], [2, 0], [5.0, 7.0])
+        assert m.get(0, 2) == 5.0 and m.get(1, 0) == 7.0
+
+    def test_duplicates_sum_by_default(self):
+        m = from_coo(2, 2, [0, 0, 0], [1, 1, 1], [1.0, 2.0, 3.0])
+        assert m.get(0, 1) == 6.0 and m.nnz == 1
+
+    def test_duplicates_custom_monoid(self):
+        m = from_coo(1, 1, [0, 0], [0, 0], [5.0, 2.0], dup=MIN_MONOID)
+        assert m.get(0, 0) == 2.0
+        m = from_coo(1, 1, [0, 0], [0, 0], [5.0, 2.0], dup=MAX_MONOID)
+        assert m.get(0, 0) == 5.0
+
+    def test_unsorted_input(self):
+        m = from_coo(3, 3, [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert m.get(2, 0) == 1.0 and m.get(0, 2) == 2.0
+
+    def test_default_values_are_ones(self):
+        m = from_coo(2, 2, [0, 1], [1, 0])
+        assert (m.values == 1.0).all()
+
+    def test_empty(self):
+        m = from_coo(4, 5, [], [])
+        assert m.shape == (4, 5) and m.nnz == 0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError, match="row index"):
+            from_coo(2, 2, [5], [0], [1.0])
+        with pytest.raises(ValueError, match="col index"):
+            from_coo(2, 2, [0], [5], [1.0])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            from_coo(2, 2, [0, 1], [0], [1.0])
+        with pytest.raises(ValueError):
+            from_coo(2, 2, [0], [0], [1.0, 2.0])
+
+
+class TestFromDense:
+    def test_roundtrip(self, rng):
+        dense = np.where(rng.random((6, 7)) < 0.4, rng.random((6, 7)), 0.0)
+        assert np.array_equal(from_dense(dense).to_dense(), dense)
+
+    def test_custom_zero(self):
+        dense = np.array([[np.inf, 3.0], [np.inf, np.inf]])
+        m = from_dense(dense, zero=np.inf)
+        assert m.nnz == 1 and m.get(0, 1) == 3.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            from_dense(np.arange(4))
+
+
+class TestFromEdges:
+    def test_directed(self):
+        m = from_edges(3, [(0, 1), (2, 0)])
+        assert m.get(0, 1) == 1.0 and m.get(2, 0) == 1.0 and m.get(1, 0) == 0.0
+
+    def test_undirected_mirrors(self):
+        m = from_edges(3, [(0, 1)], undirected=True)
+        assert m.get(0, 1) == 1.0 and m.get(1, 0) == 1.0
+
+    def test_undirected_self_loop_not_doubled(self):
+        m = from_edges(2, [(0, 0)], undirected=True)
+        assert m.get(0, 0) == 1.0
+
+    def test_parallel_edges_accumulate(self):
+        """Paper §II-B1: A(i,j) counts edges from v_i to v_j."""
+        m = from_edges(2, [(0, 1), (0, 1)])
+        assert m.get(0, 1) == 2.0
+
+    def test_weights(self):
+        m = from_edges(2, [(0, 1)], weights=[2.5])
+        assert m.get(0, 1) == 2.5
+
+    def test_empty_edges(self):
+        m = from_edges(3, [])
+        assert m.nnz == 0 and m.shape == (3, 3)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(3, [(0, 1, 2)])
+
+
+class TestDiagZeros:
+    def test_diag_matrix(self):
+        d = diag_matrix([1.0, 0.0, 3.0])
+        assert d.nnz == 2
+        assert np.array_equal(d.to_dense(), np.diag([1.0, 0.0, 3.0]))
+
+    def test_diag_requires_1d(self):
+        with pytest.raises(ValueError):
+            diag_matrix(np.eye(2))
+
+    def test_zeros(self):
+        z = zeros(2, 3)
+        assert z.shape == (2, 3) and z.nnz == 0

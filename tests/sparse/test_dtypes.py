@@ -1,0 +1,78 @@
+"""Value-dtype behaviour across kernels (bool patterns, ints, floats)."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import LOR_LAND
+from repro.sparse import from_coo, from_dense, mxm, mxv, reduce_rows
+
+
+class TestBooleanMatrices:
+    def test_pattern_true_makes_bool(self):
+        m = from_dense([[0.0, 2.0], [3.0, 0.0]]).pattern(True)
+        assert m.dtype == np.bool_
+        assert m.values.all()
+
+    def test_bool_mxm_lor_land(self):
+        d = np.array([[True, False], [True, True]])
+        a = from_dense(d.astype(float)).pattern(True)
+        out = mxm(a, a, semiring=LOR_LAND)
+        ref = d @ d
+        assert np.array_equal(out.to_dense(fill=False).astype(bool), ref)
+
+    def test_bool_to_dense_fill(self):
+        a = from_coo(2, 2, [0], [1], np.array([True]))
+        d = a.to_dense(fill=False)
+        assert d.dtype == np.bool_
+        assert d[0, 1] and not d[0, 0]
+
+    def test_bool_reduce_lor(self):
+        from repro.semiring import LOR_MONOID
+
+        a = from_coo(2, 2, [0, 0], [0, 1], np.array([True, False]))
+        out = reduce_rows(a, LOR_MONOID)
+        assert out.tolist() == [True, False]
+
+
+class TestIntegerValues:
+    def test_int_values_preserved(self):
+        a = from_coo(2, 2, [0, 1], [1, 0], np.array([3, 5], dtype=np.int64))
+        assert a.dtype == np.int64
+        assert a.get(0, 1) == 3
+
+    def test_int_mxm_stays_exact(self):
+        d = np.array([[2, 0], [1, 3]], dtype=np.int64)
+        a = from_dense(d)
+        out = mxm(a, a)
+        assert np.array_equal(out.to_dense().astype(np.int64), d @ d)
+
+    def test_int_scale_promotes(self):
+        a = from_coo(1, 1, [0], [0], np.array([3], dtype=np.int64))
+        out = a.scale(0.5)
+        assert out.get(0, 0) == 1.5
+
+    def test_astype(self):
+        a = from_coo(1, 2, [0], [1], np.array([2.9]))
+        assert a.astype(np.int64).get(0, 1) == 2
+
+    def test_int_mxv(self):
+        d = np.array([[1, 2], [0, 3]], dtype=np.int64)
+        a = from_dense(d)
+        x = np.array([1, 1], dtype=np.int64)
+        assert mxv(a, x).tolist() == [3, 3]
+
+
+class TestMixedOperations:
+    def test_ewise_int_float(self):
+        ai = from_coo(1, 2, [0, 0], [0, 1], np.array([1, 2], dtype=np.int64))
+        af = from_coo(1, 2, [0, 0], [0, 1], np.array([0.5, 0.5]))
+        out = ai.ewise_add(af)
+        assert out.values.tolist() == [1.5, 2.5]
+
+    def test_tropical_needs_float_inf(self):
+        """Min-plus zero is +inf: int matrices densify to float."""
+        from repro.semiring import MIN_PLUS
+
+        a = from_coo(2, 2, [0], [1], np.array([3], dtype=np.int64))
+        out = mxv(a, np.array([0.0, 0.0]), semiring=MIN_PLUS)
+        assert np.isinf(out[1]) and out[0] == 3.0

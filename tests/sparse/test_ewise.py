@@ -1,0 +1,78 @@
+"""SpEWiseX (intersection) and eWiseAdd (union) semantics."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import MAX, MIN, MINUS
+from repro.sparse import ewise_add, ewise_mult, from_dense, zeros
+
+
+class TestEwiseMult:
+    def test_matches_numpy(self, random_sparse):
+        a, da = random_sparse(6, 7, seed=41)
+        b, db = random_sparse(6, 7, seed=42)
+        assert np.allclose(ewise_mult(a, b).to_dense(), da * db)
+
+    def test_intersection_support_only(self):
+        a = from_dense([[1.0, 2.0, 0.0]])
+        b = from_dense([[0.0, 3.0, 4.0]])
+        out = ewise_mult(a, b)
+        assert out.nnz == 1 and out.get(0, 1) == 6.0
+
+    def test_custom_op(self):
+        a = from_dense([[5.0]])
+        b = from_dense([[2.0]])
+        assert ewise_mult(a, b, op=MIN).get(0, 0) == 2.0
+        assert ewise_mult(a, b, op=MAX).get(0, 0) == 5.0
+
+    def test_disjoint_supports_empty(self):
+        a = from_dense([[1.0, 0.0]])
+        b = from_dense([[0.0, 1.0]])
+        assert ewise_mult(a, b).nnz == 0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            ewise_mult(zeros(2, 2), zeros(2, 3))
+
+    def test_empty_operands(self):
+        out = ewise_mult(zeros(3, 3), zeros(3, 3))
+        assert out.nnz == 0
+
+
+class TestEwiseAdd:
+    def test_matches_numpy(self, random_sparse):
+        a, da = random_sparse(6, 7, seed=43)
+        b, db = random_sparse(6, 7, seed=44)
+        assert np.allclose(ewise_add(a, b).to_dense(), da + db)
+
+    def test_union_semantics(self):
+        """Paper §II-A: summation performs a union of non-zero keys."""
+        a = from_dense([[1.0, 0.0]])
+        b = from_dense([[0.0, 2.0]])
+        out = ewise_add(a, b)
+        assert out.nnz == 2
+        assert out.get(0, 0) == 1.0 and out.get(0, 1) == 2.0
+
+    def test_noncommutative_op_order(self):
+        a = from_dense([[5.0]])
+        b = from_dense([[2.0]])
+        assert ewise_add(a, b, op=MINUS).get(0, 0) == 3.0
+
+    def test_one_side_empty(self, random_sparse):
+        a, da = random_sparse(4, 4, seed=45)
+        out = ewise_add(a, zeros(4, 4))
+        assert np.allclose(out.to_dense(), da)
+        out = ewise_add(zeros(4, 4), a)
+        assert np.allclose(out.to_dense(), da)
+
+    def test_min_union_keeps_singletons(self):
+        """min over a union keeps present-in-one values as-is (no
+        phantom zero participates) — crucial for tropical updates."""
+        a = from_dense([[9.0, 0.0]])
+        b = from_dense([[4.0, 7.0]])
+        out = ewise_add(a, b, op=MIN)
+        assert out.get(0, 0) == 4.0 and out.get(0, 1) == 7.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            ewise_add(zeros(2, 2), zeros(3, 2))

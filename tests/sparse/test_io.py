@@ -1,0 +1,84 @@
+"""Matrix TSV and MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+import scipy.io
+
+from repro.sparse import (
+    from_dense,
+    read_matrix_market,
+    read_tsv_matrix,
+    write_matrix_market,
+    write_tsv_matrix,
+    zeros,
+)
+
+
+class TestTsvMatrix:
+    def test_roundtrip(self, random_sparse, tmp_path):
+        m, dense = random_sparse(7, 9, seed=1)
+        path = str(tmp_path / "m.tsv")
+        n = write_tsv_matrix(m, path)
+        assert n == m.nnz
+        back = read_tsv_matrix(path)
+        assert back.equal(m)
+        assert back.shape == (7, 9)
+
+    def test_empty_matrix_keeps_shape(self, tmp_path):
+        path = str(tmp_path / "z.tsv")
+        write_tsv_matrix(zeros(3, 5), path)
+        back = read_tsv_matrix(path)
+        assert back.shape == (3, 5) and back.nnz == 0
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "bad.tsv"
+        p.write_text("0\t0\t1.0\n")
+        with pytest.raises(ValueError, match="shape"):
+            read_tsv_matrix(str(p))
+
+    def test_bad_field_count(self, tmp_path):
+        p = tmp_path / "bad.tsv"
+        p.write_text("# shape 1 1\n0\t0\n")
+        with pytest.raises(ValueError, match="3 tab"):
+            read_tsv_matrix(str(p))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_tsv_matrix(str(tmp_path / "nope.tsv"))
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, random_sparse, tmp_path):
+        m, _ = random_sparse(6, 8, seed=2)
+        path = str(tmp_path / "m.mtx")
+        write_matrix_market(m, path, comment="test matrix")
+        assert read_matrix_market(path).equal(m)
+
+    def test_scipy_can_read_ours(self, random_sparse, tmp_path):
+        m, dense = random_sparse(5, 5, seed=3)
+        path = str(tmp_path / "ours.mtx")
+        write_matrix_market(m, path)
+        ref = scipy.io.mmread(path).toarray()
+        assert np.allclose(ref, dense)
+
+    def test_we_can_read_scipy(self, random_sparse, tmp_path):
+        import scipy.sparse as sp
+
+        _, dense = random_sparse(6, 4, seed=4)
+        path = str(tmp_path / "theirs.mtx")
+        scipy.io.mmwrite(path, sp.coo_matrix(dense))
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_rejects_non_mm(self, tmp_path):
+        p = tmp_path / "x.mtx"
+        p.write_text("hello\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(str(p))
+
+    def test_rejects_truncated(self, tmp_path):
+        p = tmp_path / "x.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_matrix_market(str(p))

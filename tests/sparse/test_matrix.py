@@ -1,0 +1,167 @@
+"""Matrix container: canonical-form invariants, accessors, structure ops."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import Matrix, from_coo, from_dense, identity, zeros
+
+
+class TestCanonicalValidation:
+    def test_valid_construction(self):
+        m = Matrix(2, 3, [0, 1, 2], [1, 0], [5.0, 7.0])
+        assert m.shape == (2, 3) and m.nnz == 2
+
+    def test_indptr_length_checked(self):
+        with pytest.raises(ValueError, match="indptr"):
+            Matrix(2, 2, [0, 1], [0], [1.0])
+
+    def test_indptr_must_span(self):
+        with pytest.raises(ValueError):
+            Matrix(1, 2, [0, 2], [0], [1.0])
+
+    def test_column_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Matrix(1, 2, [0, 1], [5], [1.0])
+
+    def test_unsorted_columns_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Matrix(1, 3, [0, 2], [2, 0], [1.0, 1.0])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Matrix(1, 3, [0, 2], [1, 1], [1.0, 1.0])
+
+    def test_row_boundary_reset_allowed(self):
+        # col index may decrease across a row boundary
+        m = Matrix(2, 3, [0, 2, 3], [0, 2, 0], [1.0, 2.0, 3.0])
+        assert m.nnz == 3
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix(-1, 2, [0], [], [])
+
+    def test_values_alignment_checked(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Matrix(1, 2, [0, 1], [0], [1.0, 2.0])
+
+
+class TestAccessors:
+    def test_row(self):
+        m = from_dense([[0, 1, 2], [3, 0, 0]])
+        cols, vals = m.row(0)
+        assert cols.tolist() == [1, 2] and vals.tolist() == [1.0, 2.0]
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            from_dense([[1.0]]).row(3)
+
+    def test_get_present_and_absent(self):
+        m = from_dense([[0, 5], [0, 0]])
+        assert m.get(0, 1) == 5.0
+        assert m.get(1, 0) == 0.0
+        assert m.get(1, 0, default=-1) == -1
+
+    def test_get_col_out_of_range(self):
+        with pytest.raises(IndexError):
+            from_dense([[1.0]]).get(0, 2)
+
+    def test_to_dense_fill(self):
+        m = from_dense([[0, 2], [0, 0]])
+        d = m.to_dense(fill=np.inf)
+        assert d[0, 1] == 2.0 and np.isinf(d[0, 0])
+
+    def test_to_coo_roundtrip(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        r, c, v = from_dense(dense).to_coo()
+        rebuilt = from_coo(2, 2, r, c, v)
+        assert np.array_equal(rebuilt.to_dense(), dense)
+
+    def test_row_lengths_and_ids(self):
+        m = from_dense([[1, 1], [0, 0], [1, 0]])
+        assert m.row_lengths.tolist() == [2, 0, 1]
+        assert m.row_ids().tolist() == [0, 0, 2]
+
+    def test_iter_entries(self):
+        m = from_dense([[0, 3], [4, 0]])
+        assert list(m.iter_entries()) == [(0, 1, 3.0), (1, 0, 4.0)]
+
+
+class TestStructureOps:
+    def test_transpose_matches_numpy(self, random_sparse):
+        m, dense = random_sparse(7, 5, seed=1)
+        assert np.array_equal(m.T.to_dense(), dense.T)
+
+    def test_transpose_empty(self):
+        z = zeros(3, 4)
+        assert z.T.shape == (4, 3) and z.T.nnz == 0
+
+    def test_double_transpose_identity(self, random_sparse):
+        m, dense = random_sparse(6, 6, seed=2)
+        assert np.array_equal(m.T.T.to_dense(), dense)
+
+    def test_pattern(self):
+        m = from_dense([[0, 5], [3, 0]])
+        p = m.pattern()
+        assert np.array_equal(p.to_dense(), [[0, 1], [1, 0]])
+
+    def test_prune_drops_explicit_zeros(self):
+        m = Matrix(1, 3, [0, 3], [0, 1, 2], [1.0, 0.0, 2.0])
+        p = m.prune()
+        assert p.nnz == 2 and p.get(0, 1) == 0.0
+
+    def test_prune_noop_returns_self(self):
+        m = from_dense([[1.0, 2.0]])
+        assert m.prune() is m
+
+    def test_with_values_requires_alignment(self):
+        m = from_dense([[1, 2]])
+        with pytest.raises(ValueError):
+            m.with_values(np.array([1.0]))
+
+    def test_identity(self):
+        i = identity(3)
+        assert np.array_equal(i.to_dense(), np.eye(3))
+
+    def test_identity_custom_one(self):
+        i = identity(2, one=0.0)  # min-plus identity matrix
+        assert i.nnz == 2 and (i.values == 0.0).all()
+
+
+class TestOperatorSugar:
+    def test_matmul_add_sub_mul(self, random_sparse):
+        a, da = random_sparse(4, 4, seed=3)
+        b, db = random_sparse(4, 4, seed=4)
+        assert np.allclose((a @ b).to_dense(), da @ db)
+        assert np.allclose((a + b).to_dense(), da + db)
+        assert np.allclose((a - b).to_dense(), da - db)
+        assert np.allclose((a * b).to_dense(), da * db)
+        assert np.allclose((2.0 * a).to_dense(), 2 * da)
+
+    def test_matmul_vector(self, random_sparse):
+        a, da = random_sparse(4, 6, seed=5)
+        x = np.arange(6, dtype=float)
+        assert np.allclose(a @ x, da @ x)
+
+
+class TestEqual:
+    def test_equal_true(self):
+        a = from_dense([[1, 0], [0, 2]])
+        b = from_dense([[1, 0], [0, 2]])
+        assert a.equal(b)
+
+    def test_equal_ignores_explicit_zeros(self):
+        a = Matrix(1, 2, [0, 2], [0, 1], [1.0, 0.0])
+        b = Matrix(1, 2, [0, 1], [0], [1.0])
+        assert a.equal(b)
+
+    def test_equal_shape_mismatch(self):
+        assert not from_dense([[1.0]]).equal(from_dense([[1.0, 0.0]]))
+
+    def test_equal_with_tolerance(self):
+        a = from_dense([[1.0]])
+        b = from_dense([[1.0 + 1e-12]])
+        assert not a.equal(b)
+        assert a.equal(b, atol=1e-9)
+
+    def test_repr(self):
+        assert "nnz=1" in repr(from_dense([[3.0]]))

@@ -1,0 +1,130 @@
+"""Property-based tests: kernels vs dense references on random inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.semiring import LOR_LAND, MIN_PLUS, PLUS_TIMES
+from repro.sparse import (
+    ewise_add,
+    ewise_mult,
+    from_dense,
+    mxm,
+    mxv,
+    triu,
+    tril,
+)
+from repro.sparse.spgemm import mxm_dense_reference
+
+
+def sparse_dense(max_dim=8):
+    """Strategy: dense float arrays with many exact zeros."""
+    dims = st.tuples(st.integers(1, max_dim), st.integers(1, max_dim))
+    return dims.flatmap(lambda s: arrays(
+        np.float64, s,
+        elements=st.sampled_from([0.0, 0.0, 0.0, 1.0, 2.0, -1.5, 3.0])))
+
+
+@given(d=sparse_dense())
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_dense(d):
+    assert np.array_equal(from_dense(d).to_dense(), d)
+
+
+@given(d=sparse_dense())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(d):
+    m = from_dense(d)
+    assert np.array_equal(m.T.T.to_dense(), d)
+    assert np.array_equal(m.T.to_dense(), d.T)
+
+
+@given(d=sparse_dense())
+@settings(max_examples=60, deadline=None)
+def test_triangular_partition(d):
+    m = from_dense(d)
+    lower = tril(m, -1).to_dense()
+    upper = triu(m, 0).to_dense()
+    assert np.array_equal(lower + upper, d)
+
+
+square = st.integers(1, 7).flatmap(lambda n: arrays(
+    np.float64, (n, n),
+    elements=st.sampled_from([0.0, 0.0, 1.0, 2.0, 5.0])))
+
+
+@given(da=square, db=square)
+@settings(max_examples=60, deadline=None)
+def test_spgemm_matches_numpy(da, db):
+    if da.shape[1] != db.shape[0]:
+        db = np.zeros((da.shape[1], da.shape[1]))
+    assert np.allclose(mxm(from_dense(da), from_dense(db)).to_dense(),
+                       da @ db)
+
+
+@given(da=square)
+@settings(max_examples=40, deadline=None)
+def test_spgemm_min_plus_matches_reference(da):
+    a = from_dense(da)
+    ours = mxm(a, a, semiring=MIN_PLUS).to_dense(fill=np.inf)
+    ref = mxm_dense_reference(a, a, semiring=MIN_PLUS)
+    assert np.allclose(ours, ref)
+
+
+@given(da=square, db=square)
+@settings(max_examples=60, deadline=None)
+def test_ewise_union_intersection_laws(da, db):
+    if da.shape != db.shape:
+        db = np.zeros_like(da)
+    a, b = from_dense(da), from_dense(db)
+    assert np.allclose(ewise_add(a, b).to_dense(), da + db)
+    assert np.allclose(ewise_mult(a, b).to_dense(), da * db)
+    # commutativity
+    assert ewise_add(a, b).equal(ewise_add(b, a))
+    assert ewise_mult(a, b).equal(ewise_mult(b, a))
+
+
+@given(da=square)
+@settings(max_examples=40, deadline=None)
+def test_mxv_linear(da):
+    a = from_dense(da)
+    n = da.shape[1]
+    x = np.arange(1.0, n + 1)
+    y = np.ones(n)
+    lhs = mxv(a, x + y)
+    rhs = mxv(a, x) + mxv(a, y)
+    assert np.allclose(lhs, rhs)
+
+
+@given(da=square, db=square, dc=square)
+@settings(max_examples=30, deadline=None)
+def test_spgemm_associative(da, db, dc):
+    n = da.shape[0]
+    if db.shape != (n, n):
+        db = np.zeros((n, n))
+    if dc.shape != (n, n):
+        dc = np.zeros((n, n))
+    a, b, c = from_dense(da), from_dense(db), from_dense(dc)
+    lhs = mxm(mxm(a, b), c)
+    rhs = mxm(a, mxm(b, c))
+    assert np.allclose(lhs.to_dense(), rhs.to_dense())
+
+
+@given(da=square)
+@settings(max_examples=30, deadline=None)
+def test_boolean_mxm_idempotent_on_reachability_closure(da):
+    """Closing A under boolean products reaches a fixpoint (transitive
+    closure) — iterating one more step changes nothing."""
+    pattern = (da != 0)
+    a = from_dense(pattern.astype(float)).pattern(True)
+    closure = a
+    for _ in range(da.shape[0]):
+        nxt = ewise_add(closure, mxm(closure, closure, semiring=LOR_LAND),
+                        op=np.logical_or)
+        if nxt.equal(closure):
+            break
+        closure = nxt
+    again = ewise_add(closure, mxm(closure, closure, semiring=LOR_LAND),
+                      op=np.logical_or)
+    assert again.equal(closure)

@@ -1,0 +1,141 @@
+"""SpRef / SpAsgn / triangular / diagonal selections."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    assign,
+    diag,
+    extract,
+    from_dense,
+    offdiag,
+    select_values,
+    tril,
+    triu,
+    zeros,
+)
+
+
+class TestExtract:
+    def test_matches_numpy_ix(self, random_sparse):
+        a, da = random_sparse(8, 9, seed=51)
+        rows = [5, 1, 1, 7]
+        cols = [0, 3, 8]
+        out = extract(a, rows=rows, cols=cols)
+        assert np.allclose(out.to_dense(), da[np.ix_(rows, cols)])
+
+    def test_none_selects_all(self, random_sparse):
+        a, da = random_sparse(4, 5, seed=52)
+        assert np.allclose(extract(a).to_dense(), da)
+
+    def test_slice_selector(self, random_sparse):
+        a, da = random_sparse(6, 6, seed=53)
+        out = extract(a, rows=slice(1, 4))
+        assert np.allclose(out.to_dense(), da[1:4])
+
+    def test_negative_indices(self, random_sparse):
+        a, da = random_sparse(5, 5, seed=54)
+        out = extract(a, rows=[-1], cols=[-2])
+        assert np.allclose(out.to_dense(), da[[-1]][:, [-2]])
+
+    def test_empty_selection(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=55)
+        out = extract(a, rows=[])
+        assert out.shape == (0, 4)
+
+    def test_duplicate_cols_rejected(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=56)
+        with pytest.raises(ValueError, match="duplicate"):
+            extract(a, cols=[1, 1])
+
+    def test_out_of_range(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=57)
+        with pytest.raises(IndexError):
+            extract(a, rows=[9])
+
+
+class TestAssign:
+    def test_matches_numpy(self, random_sparse):
+        c, dc = random_sparse(6, 6, seed=61)
+        b, db = random_sparse(2, 3, seed=62)
+        out = assign(c, b, rows=[1, 4], cols=[0, 2, 5])
+        ref = dc.copy()
+        ref[np.ix_([1, 4], [0, 2, 5])] = db
+        assert np.allclose(out.to_dense(), ref)
+
+    def test_region_cleared_even_for_b_zeros(self):
+        """GraphBLAS replace semantics: old entries in the addressed
+        region vanish even where B stores nothing."""
+        c = from_dense([[7.0, 7.0], [7.0, 7.0]])
+        b = zeros(1, 2)
+        out = assign(c, b, rows=[0], cols=[0, 1])
+        assert np.allclose(out.to_dense(), [[0.0, 0.0], [7.0, 7.0]])
+
+    def test_whole_matrix_replacement(self, random_sparse):
+        c, _ = random_sparse(3, 3, seed=63)
+        b, db = random_sparse(3, 3, seed=64)
+        out = assign(c, b)
+        assert np.allclose(out.to_dense(), db)
+
+    def test_shape_mismatch(self, random_sparse):
+        c, _ = random_sparse(4, 4, seed=65)
+        with pytest.raises(ValueError, match="region"):
+            assign(c, zeros(2, 2), rows=[0], cols=[1])
+
+    def test_duplicate_selectors_rejected(self, random_sparse):
+        c, _ = random_sparse(4, 4, seed=66)
+        with pytest.raises(ValueError, match="duplicate"):
+            assign(c, zeros(2, 1), rows=[1, 1], cols=[0])
+
+
+class TestTriangular:
+    def test_triu_tril_match_numpy(self, random_sparse):
+        a, da = random_sparse(7, 7, seed=71)
+        for k in (-2, -1, 0, 1, 2):
+            assert np.allclose(triu(a, k).to_dense(), np.triu(da, k))
+            assert np.allclose(tril(a, k).to_dense(), np.tril(da, k))
+
+    def test_split_recombines(self, random_sparse):
+        """A == tril(A,-1) + diag + triu(A,1) — Algorithm 2's L+U split."""
+        a, da = random_sparse(6, 6, seed=72)
+        recombined = tril(a, -1).ewise_add(triu(a, 0))
+        assert np.allclose(recombined.to_dense(), da)
+
+    def test_rectangular(self, random_sparse):
+        a, da = random_sparse(3, 6, seed=73)
+        assert np.allclose(triu(a, 1).to_dense(), np.triu(da, 1))
+
+
+class TestDiag:
+    def test_diag_extraction(self):
+        a = from_dense([[1.0, 2.0], [0.0, 5.0]])
+        assert diag(a).tolist() == [1.0, 5.0]
+
+    def test_diag_rectangular(self):
+        a = from_dense([[1.0, 0.0, 3.0], [0.0, 2.0, 0.0]])
+        assert diag(a).tolist() == [1.0, 2.0]
+
+    def test_offdiag_drops_diagonal(self, random_sparse):
+        a, da = random_sparse(5, 5, seed=74)
+        out = offdiag(a)
+        ref = da.copy()
+        np.fill_diagonal(ref, 0.0)
+        assert np.allclose(out.to_dense(), ref)
+
+
+class TestSelectValues:
+    def test_predicate(self):
+        a = from_dense([[1.0, 2.0, 3.0]])
+        out = select_values(a, lambda v: v >= 2)
+        assert out.nnz == 2 and out.get(0, 0) == 0.0
+
+    def test_eq2_pattern(self):
+        """The k-truss (R == 2) selection."""
+        a = from_dense([[2.0, 1.0], [3.0, 2.0]])
+        out = select_values(a, lambda v: v == 2)
+        assert out.nnz == 2
+
+    def test_bad_predicate_shape(self):
+        a = from_dense([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            select_values(a, lambda v: np.array([True]))

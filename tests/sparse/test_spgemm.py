@@ -1,0 +1,135 @@
+"""SpGEMM: correctness against numpy/scipy for multiple semirings, masks,
+and the grouped-arange expansion helper."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.semiring import (
+    LOR_LAND,
+    MAX_MIN,
+    MAX_PLUS,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+)
+from repro.sparse import from_dense, mxm, zeros
+from repro.sparse.spgemm import grouped_arange, mxm_dense_reference
+
+
+class TestGroupedArange:
+    def test_basic(self):
+        out = grouped_arange(np.array([2, 0, 3]), np.array([5, 9, 1]))
+        assert out.tolist() == [5, 6, 1, 2, 3]
+
+    def test_no_starts(self):
+        assert grouped_arange(np.array([3, 2])).tolist() == [0, 1, 2, 0, 1]
+
+    def test_empty(self):
+        assert grouped_arange(np.array([], dtype=int)).size == 0
+
+    def test_all_zero_counts(self):
+        assert grouped_arange(np.array([0, 0])).size == 0
+
+
+class TestArithmetic:
+    def test_matches_scipy(self, rng):
+        for _ in range(10):
+            m, k, n = rng.integers(1, 15, 3)
+            a = sp.random(m, k, density=0.3, random_state=rng.integers(1 << 30))
+            b = sp.random(k, n, density=0.3, random_state=rng.integers(1 << 30))
+            ours = mxm(from_dense(a.toarray()), from_dense(b.toarray()))
+            ref = (a @ b).toarray()
+            assert np.allclose(ours.to_dense(), ref)
+
+    def test_empty_result(self):
+        a = from_dense([[1.0, 0.0]])
+        b = from_dense([[0.0], [1.0]])
+        out = mxm(a, b)
+        # product hits only implicit zeros in B's first row
+        assert np.allclose(out.to_dense(), [[0.0]])
+
+    def test_empty_operands(self):
+        out = mxm(zeros(3, 4), zeros(4, 2))
+        assert out.shape == (3, 2) and out.nnz == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            mxm(zeros(2, 3), zeros(4, 2))
+
+    def test_identity_preserved(self, random_sparse):
+        from repro.sparse import identity
+
+        a, da = random_sparse(5, 5, seed=11)
+        assert mxm(a, identity(5)).equal(a.prune())
+        assert mxm(identity(5), a).equal(a.prune())
+
+
+class TestSemirings:
+    @pytest.mark.parametrize("sr,zero", [
+        (MIN_PLUS, np.inf), (MAX_PLUS, -np.inf),
+        (MAX_MIN, -np.inf),
+    ], ids=lambda x: str(x))
+    def test_tropical_family_vs_dense_loop(self, rng, sr, zero):
+        for _ in range(5):
+            m, k, n = rng.integers(1, 10, 3)
+            a = np.where(rng.random((m, k)) < 0.5, rng.random((m, k)) * 9, 0.0)
+            b = np.where(rng.random((k, n)) < 0.5, rng.random((k, n)) * 9, 0.0)
+            sa, sb = from_dense(a), from_dense(b)
+            ours = mxm(sa, sb, semiring=sr).to_dense(fill=zero)
+            ref = mxm_dense_reference(sa, sb, semiring=sr)
+            assert np.allclose(ours, ref)
+
+    def test_boolean_reachability(self, rng):
+        d = (rng.random((8, 8)) < 0.3)
+        a = from_dense(d.astype(float)).pattern(True)
+        ours = mxm(a, a, semiring=LOR_LAND)
+        ref = (d.astype(int) @ d.astype(int)) > 0
+        assert np.array_equal(ours.to_dense(fill=False).astype(bool), ref)
+
+    def test_plus_pair_counts_intersections(self, rng):
+        """plus_pair SpGEMM of A·Aᵀ counts common neighbours — the
+        structural count k-truss style algorithms use."""
+        d = (rng.random((7, 7)) < 0.4).astype(float)
+        a = from_dense(d)
+        ours = mxm(a, a.T, semiring=PLUS_PAIR)
+        ref = (d > 0).astype(float) @ (d > 0).astype(float).T
+        assert np.allclose(ours.to_dense(), ref)
+
+    def test_min_plus_is_one_hop_relaxation(self):
+        inf = np.inf
+        d = np.array([[inf, 1.0, inf], [inf, inf, 2.0], [inf, inf, inf]])
+        a = from_dense(d, zero=inf)
+        two_hop = mxm(a, a, semiring=MIN_PLUS)
+        assert two_hop.get(0, 2, default=inf) == 3.0
+
+
+class TestMask:
+    def test_structural_mask_filters_output(self, random_sparse):
+        a, da = random_sparse(6, 6, seed=21)
+        b, db = random_sparse(6, 6, seed=22)
+        mask, dm = random_sparse(6, 6, seed=23)
+        out = mxm(a, b, mask=mask)
+        ref = np.where(dm != 0, da @ db, 0.0)
+        assert np.allclose(out.to_dense(), ref)
+
+    def test_empty_mask_empty_output(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=24)
+        out = mxm(a, a, mask=zeros(4, 4))
+        assert out.nnz == 0
+
+    def test_mask_shape_checked(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=25)
+        with pytest.raises(ValueError, match="mask"):
+            mxm(a, a, mask=zeros(3, 3))
+
+
+class TestDenseReference:
+    def test_matches_numpy_arithmetic(self, random_sparse):
+        a, da = random_sparse(5, 6, seed=31)
+        b, db = random_sparse(6, 4, seed=32)
+        assert np.allclose(mxm_dense_reference(a, b, PLUS_TIMES), da @ db)
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            mxm_dense_reference(zeros(2, 3), zeros(4, 4))

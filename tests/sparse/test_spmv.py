@@ -1,0 +1,115 @@
+"""SpMV / vxm / SpMSpV / sparse×dense against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import LOR_LAND, MIN_PLUS, PLUS_TIMES
+from repro.sparse import Vector, from_dense, mxd, mxv, mxv_sparse, vxm, zeros
+
+
+class TestMxv:
+    def test_matches_numpy(self, random_sparse, rng):
+        for _ in range(8):
+            m, n = rng.integers(1, 12, 2)
+            a, da = random_sparse(m, n)
+            x = rng.random(n)
+            assert np.allclose(mxv(a, x), da @ x)
+
+    def test_empty_rows_get_zero(self):
+        a = from_dense([[0.0, 0.0], [1.0, 2.0]])
+        y = mxv(a, np.ones(2))
+        assert y.tolist() == [0.0, 3.0]
+
+    def test_min_plus_empty_rows_get_inf(self):
+        a = from_dense([[0.0, 0.0], [1.0, 2.0]])
+        y = mxv(a, np.zeros(2), semiring=MIN_PLUS)
+        assert np.isinf(y[0]) and y[1] == 1.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            mxv(zeros(2, 3), np.ones(4))
+
+    def test_empty_matrix(self):
+        y = mxv(zeros(3, 2), np.ones(2))
+        assert y.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestVxm:
+    def test_matches_numpy(self, random_sparse, rng):
+        for _ in range(8):
+            m, n = rng.integers(1, 12, 2)
+            a, da = random_sparse(m, n)
+            x = rng.random(m)
+            assert np.allclose(vxm(x, a), x @ da)
+
+    def test_equivalent_to_transpose_mxv(self, random_sparse, rng):
+        a, _ = random_sparse(6, 4, seed=7)
+        x = rng.random(6)
+        assert np.allclose(vxm(x, a), mxv(a.T, x))
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            vxm(np.ones(3), zeros(2, 3))
+
+    def test_min_plus_scatter(self):
+        inf = np.inf
+        a = from_dense(np.array([[inf, 2.0], [inf, inf]]), zero=inf)
+        y = vxm(np.array([1.0, 5.0]), a, semiring=MIN_PLUS)
+        assert np.isinf(y[0]) and y[1] == 3.0
+
+
+class TestMxvSparse:
+    def test_matches_dense_mxv(self, random_sparse, rng):
+        for _ in range(8):
+            m, n = rng.integers(2, 14, 2)
+            a, da = random_sparse(m, n)
+            support = np.flatnonzero(rng.random(n) < 0.5)
+            vals = rng.random(len(support))
+            x = Vector(n, support, vals)
+            ours = mxv_sparse(a, x)
+            ref = da @ x.to_dense()
+            assert np.allclose(ours.to_dense(), ref)
+
+    def test_empty_frontier(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=8)
+        out = mxv_sparse(a, Vector(4, [], []))
+        assert out.nnz == 0
+
+    def test_no_hits(self):
+        a = from_dense([[0.0, 1.0], [0.0, 0.0]])
+        out = mxv_sparse(a, Vector(2, [0], [1.0]))  # column 0 never stored
+        assert out.nnz == 0
+
+    def test_boolean_frontier_expansion(self):
+        a = from_dense([[0, 1, 1], [0, 0, 1], [0, 0, 0]]).pattern(True)
+        # frontier {1,2} pulled through row adjacency
+        out = mxv_sparse(a, Vector.sparse_ones(3, [1, 2], one=True),
+                         semiring=LOR_LAND)
+        assert out.indices.tolist() == [0, 1]
+
+    def test_type_and_shape_checks(self, random_sparse):
+        a, _ = random_sparse(3, 3, seed=9)
+        with pytest.raises(TypeError):
+            mxv_sparse(a, np.ones(3))
+        with pytest.raises(ValueError):
+            mxv_sparse(a, Vector(5, [0], [1.0]))
+
+
+class TestMxd:
+    def test_matches_numpy(self, random_sparse, rng):
+        a, da = random_sparse(8, 6, seed=10)
+        d = rng.random((6, 3))
+        assert np.allclose(mxd(a, d), da @ d)
+
+    def test_empty_matrix(self):
+        out = mxd(zeros(3, 2), np.ones((2, 4)))
+        assert out.shape == (3, 4) and (out == 0).all()
+
+    def test_empty_rows_stay_zero(self):
+        a = from_dense([[0.0, 0.0], [1.0, 1.0]])
+        out = mxd(a, np.ones((2, 2)))
+        assert np.allclose(out, [[0.0, 0.0], [2.0, 2.0]])
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            mxd(zeros(2, 3), np.ones((4, 2)))

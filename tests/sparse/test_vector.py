@@ -1,0 +1,87 @@
+"""Vector container and its union/intersection algebra."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import MAX, MIN, MIN_MONOID
+from repro.sparse import Vector
+
+
+class TestConstruction:
+    def test_canonical_enforced(self):
+        with pytest.raises(ValueError):
+            Vector(5, [3, 1], [1.0, 2.0])  # unsorted
+        with pytest.raises(ValueError):
+            Vector(5, [1, 1], [1.0, 2.0])  # duplicate
+        with pytest.raises(ValueError):
+            Vector(2, [5], [1.0])          # out of range
+
+    def test_from_coo_dedups(self):
+        v = Vector.from_coo(5, [3, 1, 3], [1.0, 2.0, 4.0])
+        assert v.indices.tolist() == [1, 3]
+        assert v.values.tolist() == [2.0, 5.0]
+
+    def test_from_coo_custom_dup(self):
+        v = Vector.from_coo(5, [0, 0], [7.0, 3.0], dup=MIN_MONOID)
+        assert v.values.tolist() == [3.0]
+
+    def test_from_dense(self):
+        v = Vector.from_dense([0.0, 5.0, 0.0, 2.0])
+        assert v.indices.tolist() == [1, 3]
+
+    def test_from_dense_custom_zero(self):
+        v = Vector.from_dense([np.inf, 1.0], zero=np.inf)
+        assert v.indices.tolist() == [1]
+
+    def test_sparse_ones_dedups(self):
+        v = Vector.sparse_ones(5, [3, 1, 3])
+        assert v.indices.tolist() == [1, 3] and (v.values == 1.0).all()
+
+    def test_to_dense_fill(self):
+        v = Vector(3, [1], [4.0])
+        assert v.to_dense(fill=np.inf).tolist() == [np.inf, 4.0, np.inf]
+
+    def test_get(self):
+        v = Vector(3, [1], [4.0])
+        assert v.get(1) == 4.0 and v.get(0) == 0.0 and v.get(2, -1) == -1
+
+
+class TestAlgebra:
+    def test_ewise_add_union(self):
+        a = Vector(4, [0, 2], [1.0, 2.0])
+        b = Vector(4, [2, 3], [5.0, 7.0])
+        out = a.ewise_add(b)
+        assert out.indices.tolist() == [0, 2, 3]
+        assert out.values.tolist() == [1.0, 7.0, 7.0]
+
+    def test_ewise_add_min(self):
+        a = Vector(3, [0], [9.0])
+        b = Vector(3, [0, 1], [4.0, 1.0])
+        out = a.ewise_add(b, op=MIN)
+        assert out.values.tolist() == [4.0, 1.0]
+
+    def test_ewise_mult_intersection(self):
+        a = Vector(4, [0, 2], [2.0, 3.0])
+        b = Vector(4, [2, 3], [5.0, 7.0])
+        out = a.ewise_mult(b)
+        assert out.indices.tolist() == [2] and out.values.tolist() == [15.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Vector(3, [], []).ewise_add(Vector(4, [], []))
+        with pytest.raises(ValueError):
+            Vector(3, [], []).ewise_mult(Vector(4, [], []))
+
+    def test_reduce(self):
+        v = Vector(5, [1, 3], [2.0, 5.0])
+        assert v.reduce() == 7.0
+        assert v.reduce(MIN_MONOID) == 2.0
+
+    def test_select_complement(self):
+        v = Vector(5, [1, 3], [1.0, 1.0])
+        assert v.select_complement().tolist() == [0, 2, 4]
+
+    def test_select_complement_masked(self):
+        v = Vector(5, [1], [1.0])
+        mask = np.array([True, True, False, True, False])
+        assert v.select_complement(mask).tolist() == [0, 3]

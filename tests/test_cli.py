@@ -1,0 +1,117 @@
+"""CLI subcommands, driven through main() with captured stdout."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_tsv(tmp_path):
+    """Fig 1 graph as a triple TSV (symmetric, string vertex keys)."""
+    from repro.generators import fig1_edges
+
+    path = tmp_path / "fig1.tsv"
+    lines = []
+    for u, v in fig1_edges():
+        lines.append(f"v{u + 1}\tv{v + 1}\t1")
+        lines.append(f"v{v + 1}\tv{u + 1}\t1")
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestInfo:
+    def test_reports_shape(self, graph_tsv, capsys):
+        assert main(["info", graph_tsv]) == 0
+        out = capsys.readouterr().out
+        assert "5 vertices" in out and "12 stored entries" in out
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(Exception):
+            main(["info", str(tmp_path / "nope.tsv")])
+
+
+class TestGenerate:
+    def test_rmat_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "g.tsv"
+        assert main(["generate", "rmat", "--scale", "5", "--out",
+                     str(out)]) == 0
+        assert out.exists()
+        assert main(["info", str(out)]) == 0
+
+    def test_er(self, tmp_path, capsys):
+        out = tmp_path / "er.tsv"
+        assert main(["generate", "er", "--scale", "5", "--p", "0.2",
+                     "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestBfs:
+    def test_hop_levels(self, graph_tsv, capsys):
+        assert main(["bfs", graph_tsv, "--source", "v1"]) == 0
+        out = capsys.readouterr().out
+        assert "reached 5/5" in out
+        assert "hop 2: v5" in out
+
+    def test_unknown_source(self, graph_tsv):
+        with pytest.raises(SystemExit):
+            main(["bfs", graph_tsv, "--source", "nope"])
+
+
+class TestPagerank:
+    def test_ranking(self, graph_tsv, capsys):
+        assert main(["pagerank", graph_tsv, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("0.") >= 3
+        assert "v2" in out  # the highest-PageRank vertex of Fig 1
+
+
+class TestKtruss:
+    def test_fig1(self, graph_tsv, capsys, tmp_path):
+        out_file = tmp_path / "truss.tsv"
+        assert main(["ktruss", graph_tsv, "--k", "3", "--out",
+                     str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "5/6 edges survive" in out
+        assert out_file.exists()
+
+    def test_empty_truss(self, graph_tsv, capsys):
+        assert main(["ktruss", graph_tsv, "--k", "4"]) == 0
+        assert "0/6" in capsys.readouterr().out
+
+
+class TestJaccard:
+    def test_fig2_top_pair(self, graph_tsv, capsys):
+        assert main(["jaccard", graph_tsv, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        # the largest Fig 2 coefficient is J(2,4) = 2/3
+        assert "v2 ~ v4" in out and "0.6667" in out
+
+
+class TestTriangles:
+    def test_fig1_triangle_count(self, graph_tsv, capsys):
+        assert main(["triangles", graph_tsv]) == 0
+        out = capsys.readouterr().out
+        assert "2 triangles" in out
+        assert "v1" in out and "v3" in out  # the two 2-triangle vertices
+
+
+class TestComponents:
+    def test_connected_fig1(self, graph_tsv, capsys):
+        assert main(["components", graph_tsv]) == 0
+        out = capsys.readouterr().out
+        assert "1 connected component(s)" in out
+        assert "5 vertices" in out
+
+    def test_two_components(self, tmp_path, capsys):
+        p = tmp_path / "two.tsv"
+        p.write_text("a\tb\t1\nb\ta\t1\nx\ty\t1\ny\tx\t1\n")
+        assert main(["components", str(p)]) == 0
+        assert "2 connected component(s)" in capsys.readouterr().out
+
+
+class TestTopics:
+    def test_small_demo(self, capsys):
+        assert main(["topics", "--docs", "300", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "topic 1" in out and "purity=" in out

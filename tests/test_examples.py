@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs end to end (small args)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, path, argv):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example(monkeypatch, "examples/quickstart.py", [])
+        out = capsys.readouterr().out
+        assert "3-truss keeps 5/6 edges" in out
+        assert "J(2,4) = 0.6667" in out
+
+    def test_twitter_topics(self, monkeypatch, capsys):
+        run_example(monkeypatch, "examples/twitter_topic_modeling.py",
+                    ["--docs", "400"])
+        out = capsys.readouterr().out
+        assert "purity=" in out and "topic 5" in out
+
+    def test_nosql_analytics(self, monkeypatch, capsys):
+        run_example(monkeypatch, "examples/nosql_graph_analytics.py",
+                    ["--scale", "5", "--splits", "3"])
+        out = capsys.readouterr().out
+        assert "matches client-side SpGEMM: True" in out
+        assert "degree-filtered BFS" in out
+
+    def test_truss_communities(self, monkeypatch, capsys):
+        run_example(monkeypatch, "examples/truss_communities.py",
+                    ["--n", "60", "--clique", "10"])
+        out = capsys.readouterr().out
+        assert "overlap with planted clique: 10/10" in out
+
+    def test_semiring_shortest_paths(self, monkeypatch, capsys):
+        run_example(monkeypatch, "examples/semiring_shortest_paths.py", [])
+        out = capsys.readouterr().out
+        assert "tropical" in out and "widest-path capacity" in out
+
+    def test_multitenant_security(self, monkeypatch, capsys):
+        run_example(monkeypatch, "examples/multitenant_security.py", [])
+        out = capsys.readouterr().out
+        assert "red+blue : v0@0, v1@1, v2@2, v3@3, v4@2, v5@1" in out
+        assert "[red&blue]" in out

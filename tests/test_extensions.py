@@ -1,0 +1,137 @@
+"""The paper's §IV / future-work extensions: closeness centrality,
+symmetry-exploiting triangular multiply, masked-SpGEMM edge support."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.centrality import closeness_centrality
+from repro.algorithms.truss import edge_support, edge_support_masked
+from repro.generators import cycle_graph, erdos_renyi, path_graph, star_graph
+from repro.schemas import edge_list_from_adjacency, incidence_unoriented
+from repro.semiring import MIN_PLUS, PLUS_PAIR
+from repro.sparse import from_dense, mxm, mxm_triu, symmetric_square_upper, triu
+from repro.sparse import zeros
+
+
+def nx_of(a):
+    g = nx.Graph()
+    g.add_nodes_from(range(a.nrows))
+    g.add_edges_from(map(tuple, edge_list_from_adjacency(a)))
+    return g
+
+
+class TestClosenessCentrality:
+    @pytest.mark.parametrize("graph", [path_graph(7), star_graph(8),
+                                       cycle_graph(6)],
+                             ids=["path", "star", "cycle"])
+    def test_structured_vs_networkx(self, graph):
+        ours = closeness_centrality(graph)
+        ref = nx.closeness_centrality(nx_of(graph))
+        assert np.allclose(ours, [ref[i] for i in range(graph.nrows)])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_disconnected_vs_networkx(self, seed):
+        a = erdos_renyi(25, 0.06, seed=seed)  # usually disconnected
+        ours = closeness_centrality(a)
+        ref = nx.closeness_centrality(nx_of(a))
+        assert np.allclose(ours, [ref[i] for i in range(25)])
+
+    def test_weighted_vs_networkx(self, rng):
+        n = 15
+        upper = np.triu(np.where(rng.random((n, n)) < 0.3,
+                                 rng.uniform(1, 5, (n, n)), 0.0), 1)
+        dense = upper + upper.T
+        a = from_dense(dense)
+        ours = closeness_centrality(a, weighted=True)
+        g = nx.from_numpy_array(dense)
+        ref = nx.closeness_centrality(g, distance="weight")
+        assert np.allclose(ours, [ref[i] for i in range(n)])
+
+    def test_isolated_vertices_zero(self):
+        assert (closeness_centrality(zeros(4, 4)) == 0).all()
+
+    def test_no_wf_correction(self):
+        """Without Wasserman–Faust, a connected pair in a big graph
+        scores as if the graph were just that pair."""
+        from repro.sparse import from_edges
+
+        a = from_edges(5, [(0, 1)], undirected=True)
+        c = closeness_centrality(a, wf_improved=False)
+        assert c[0] == pytest.approx(1.0)
+
+
+class TestMxmTriu:
+    def test_matches_triu_of_full_product(self, random_sparse):
+        for seed in range(5):
+            a, da = random_sparse(7, 7, seed=seed)
+            b, db = random_sparse(7, 7, seed=seed + 100)
+            for k in (-1, 0, 1, 2):
+                ours = mxm_triu(a, b, k=k)
+                assert np.allclose(ours.to_dense(), np.triu(da @ db, k))
+
+    def test_semiring_variant(self, random_sparse):
+        a, da = random_sparse(6, 6, seed=7)
+        ours = mxm_triu(a, a, semiring=MIN_PLUS, k=0)
+        full = mxm(a, a, semiring=MIN_PLUS)
+        assert ours.equal(triu(full, 0))
+
+    def test_empty_product(self):
+        out = mxm_triu(zeros(3, 3), zeros(3, 3))
+        assert out.nnz == 0
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            mxm_triu(zeros(2, 3), zeros(4, 4))
+
+    def test_fewer_products_compressed(self, random_sparse):
+        """The point of the §IV feature: strictly less reduce work."""
+        from repro.sparse.spgemm import expand_products
+
+        a, _ = random_sparse(10, 10, seed=9)
+        rows, cols, _, _ = expand_products(a, a)
+        below = int((cols < rows).sum())
+        assert below > 0  # there *was* lower-triangle work to skip
+
+
+class TestSymmetricSquareUpper:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_square(self, seed):
+        a = erdos_renyi(15, 0.3, seed=seed)
+        dense = a.to_dense()
+        upper = symmetric_square_upper(a, k=1)
+        assert np.allclose(upper.to_dense(), np.triu(dense @ dense, 1))
+
+    def test_with_diagonal(self):
+        a = erdos_renyi(12, 0.3, seed=9)
+        dense = a.to_dense()
+        upper = symmetric_square_upper(a, k=0)
+        assert np.allclose(upper.to_dense(), np.triu(dense @ dense, 0))
+
+    def test_requires_symmetric(self):
+        from repro.sparse import from_edges
+
+        with pytest.raises(ValueError, match="symmetric"):
+            symmetric_square_upper(from_edges(3, [(0, 1)]))
+
+
+class TestEdgeSupportMasked:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_incidence_support(self, seed):
+        """Masked A²⊙A support == the paper's incidence-matrix support."""
+        a = erdos_renyi(20, 0.25, seed=seed)
+        edges = edge_list_from_adjacency(a)
+        e = incidence_unoriented(20, edges)
+        s_inc = edge_support(e)
+        s_adj = edge_support_masked(a)
+        for idx, (u, v) in enumerate(edges):
+            assert s_adj.get(int(u), int(v)) == s_inc[idx]
+
+    def test_support_only_on_edge_pattern(self):
+        a = cycle_graph(6)
+        s = edge_support_masked(a)
+        assert s.nnz <= a.nnz
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            edge_support_masked(zeros(2, 3))

@@ -1,0 +1,61 @@
+"""Odds and ends pinned by the paper text or relied on by subsystems."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.assoc import AssocArray
+from repro.sparse import Matrix, Vector, from_dense, from_edges
+
+
+class TestAdjacencyDefinition:
+    def test_self_loop_count_on_diagonal(self):
+        """§II-B1: 'A(i, i) = number of self loops'."""
+        a = from_edges(3, [(1, 1), (1, 1), (0, 2)])
+        assert a.get(1, 1) == 2.0
+
+    def test_parallel_edge_count_off_diagonal(self):
+        """§II-B1: 'A(i, j) = # edges from v_i to v_j, if i ≠ j'."""
+        a = from_edges(3, [(0, 1)] * 3)
+        assert a.get(0, 1) == 3.0
+
+    def test_undirected_self_loop_single_count(self):
+        a = from_edges(2, [(0, 0)], undirected=True)
+        assert a.get(0, 0) == 1.0
+
+
+class TestPickling:
+    """The parallel layer ships Matrix/Vector across process boundaries."""
+
+    def test_matrix_roundtrip(self, random_sparse):
+        m, dense = random_sparse(7, 5, seed=1)
+        back = pickle.loads(pickle.dumps(m))
+        assert isinstance(back, Matrix)
+        assert back.equal(m)
+        assert np.array_equal(back.to_dense(), dense)
+
+    def test_vector_roundtrip(self):
+        v = Vector(5, [1, 3], [2.0, 4.0])
+        back = pickle.loads(pickle.dumps(v))
+        assert back.indices.tolist() == [1, 3]
+        assert back.values.tolist() == [2.0, 4.0]
+
+    def test_assoc_roundtrip(self):
+        a = AssocArray.from_triples(["r1", "r2"], ["c", "c"], [1.0, 2.0])
+        back = pickle.loads(pickle.dumps(a))
+        assert back.equal(a)
+
+
+class TestVersionMetadata:
+    def test_package_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_subpackages_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            if name != "__version__":
+                assert getattr(repro, name) is not None
