@@ -13,7 +13,9 @@ for NoSQL Databases"* (IPDPSW 2015, arXiv:1508.07372):
 * :mod:`repro.algorithms` — the paper's algorithms recast in kernel
   form (k-truss, Jaccard, centrality, NMF, traversal, shortest paths,
   similarity, prediction, community detection);
-* :mod:`repro.generators` — graphs and the synthetic tweet corpus.
+* :mod:`repro.generators` — graphs and the synthetic tweet corpus;
+* :mod:`repro.obs` — observability: span tracing, metrics registry,
+  convergence telemetry (see docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -26,7 +28,8 @@ Quickstart::
     J = jaccard(fig1_graph())    # paper Algorithm 2
 """
 
-from repro import algorithms, assoc, dbsim, generators, schemas, semiring, sparse, util
+from repro import (algorithms, assoc, dbsim, generators, obs, schemas,
+                   semiring, sparse, util)
 
 __version__ = "1.0.0"
 
@@ -35,6 +38,7 @@ __all__ = [
     "assoc",
     "dbsim",
     "generators",
+    "obs",
     "schemas",
     "semiring",
     "sparse",

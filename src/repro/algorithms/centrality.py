@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.convergence import ConvergenceLog
 from repro.semiring.builtin import PLUS_MONOID, PLUS_TIMES
 from repro.sparse.matrix import Matrix
 from repro.sparse.reduce import reduce_cols, reduce_rows
@@ -45,7 +46,8 @@ def degree_centrality(a: Matrix, mode: str = "out",
 
 def eigenvector_centrality(a: Matrix, tol: float = 1e-10,
                            max_iter: int = 1000, shift: float = 1.0,
-                           seed: SeedLike = None) -> np.ndarray:
+                           seed: SeedLike = None,
+                           log: Optional[ConvergenceLog] = None) -> np.ndarray:
     """Power method on A: ``x_{k+1} = A·x_k`` from a random positive
     start, normalised each step, until directions align (paper §III-A).
 
@@ -55,6 +57,9 @@ def eigenvector_centrality(a: Matrix, tol: float = 1e-10,
     iteration exhibits on bipartite graphs, where the extreme
     eigenvalues ±λ_max tie in modulus and the paper's stopping rule
     never fires; pass ``shift=0.0`` for the paper-verbatim iteration.
+
+    ``log`` (optional :class:`~repro.obs.convergence.ConvergenceLog`)
+    records ``1 − |cos|`` of successive iterates per step.
 
     Returns the (2-norm-normalised, non-negative) principal eigenvector.
     """
@@ -66,28 +71,36 @@ def eigenvector_centrality(a: Matrix, tol: float = 1e-10,
     rng = default_rng(seed)
     x = rng.random(n) + 0.1  # random positive start, entries in (0, 1.1)
     x /= np.linalg.norm(x)
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         x_new = mxv(a, x, semiring=PLUS_TIMES) + shift * x
         norm = np.linalg.norm(x_new)
         if norm == 0:
             return x_new  # graph with no edges: centrality is all zero
         x_new /= norm
+        if log is not None:
+            denom = np.linalg.norm(x_new) * np.linalg.norm(x)
+            align = abs(float(x_new @ x)) / denom if denom else 1.0
+            log.record(it, residual=1.0 - align)
         if _aligned(x_new, x, tol):
             x = x_new
+            if log is not None:
+                log.converged = True
             break
         x = x_new
     return np.abs(x)
 
 
 def katz_centrality(a: Matrix, alpha: float = 0.1, tol: float = 1e-10,
-                    max_iter: int = 1000) -> np.ndarray:
+                    max_iter: int = 1000,
+                    log: Optional[ConvergenceLog] = None) -> np.ndarray:
     """Katz centrality exactly as the paper iterates it:
 
         ``d_{k+1} = A·d_k``;  ``x_{k+1} = x_k + α^k · d_{k+1}``
 
     with ``d_0 = 1`` (so x accumulates α-discounted k-hop path counts).
     ``alpha`` must satisfy α < 1/λ_max for the series to converge; a
-    diverging iteration raises ``RuntimeError``.
+    diverging iteration raises ``RuntimeError``.  ``log`` records the
+    relative ∞-norm of each added term.
     """
     n = check_square(a, "adjacency matrix")
     if alpha <= 0:
@@ -95,7 +108,7 @@ def katz_centrality(a: Matrix, alpha: float = 0.1, tol: float = 1e-10,
     d = np.ones(n)
     x = np.zeros(n)
     alpha_k = 1.0  # α^k for k = 0
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         d = mxv(a, d, semiring=PLUS_TIMES)
         term = alpha_k * d
         x_new = x + term
@@ -103,7 +116,12 @@ def katz_centrality(a: Matrix, alpha: float = 0.1, tol: float = 1e-10,
         if not np.isfinite(x_new).all() or term_norm > 1e100:
             raise RuntimeError(
                 f"Katz iteration diverged: alpha={alpha} is not < 1/lambda_max")
+        rel = term_norm / max(float(np.max(np.abs(x_new))), 1.0)
+        if log is not None:
+            log.record(it, residual=rel)
         if term_norm <= tol * max(float(np.max(np.abs(x_new))), 1.0):
+            if log is not None:
+                log.converged = True
             return x_new
         x = x_new
         alpha_k *= alpha
@@ -113,7 +131,8 @@ def katz_centrality(a: Matrix, alpha: float = 0.1, tol: float = 1e-10,
 
 
 def pagerank(a: Matrix, jump: float = 0.15, tol: float = 1e-12,
-             max_iter: int = 1000) -> np.ndarray:
+             max_iter: int = 1000,
+             log: Optional[ConvergenceLog] = None) -> np.ndarray:
     """PageRank as the paper formulates it: the principal eigenvector of
 
         ``(α/N)·1_{N×N} + (1−α)·Aᵀ·D⁻¹``
@@ -123,6 +142,10 @@ def pagerank(a: Matrix, jump: float = 0.15, tol: float = 1e-12,
     summing the iterate and broadcasting (paper §III-A).  Dangling
     vertices (zero out-degree) donate their mass uniformly, keeping the
     iteration stochastic; result sums to 1.
+
+    ``log`` (optional :class:`~repro.obs.convergence.ConvergenceLog`)
+    records the L1 change of the rank vector per power step — the
+    residual the paper's convergence plots track.
     """
     n = check_square(a, "adjacency matrix")
     if not 0.0 <= jump < 1.0:
@@ -136,11 +159,16 @@ def pagerank(a: Matrix, jump: float = 0.15, tol: float = 1e-12,
     # A_hat = Aᵀ D⁻¹ realised by scaling A's rows then transposing lazily:
     # (Aᵀ D⁻¹) x = vxm(x ∘ invdeg, A)
     x = np.full(n, 1.0 / n)
-    for _ in range(max_iter):
+    for it in range(1, max_iter + 1):
         walk = vxm(x * inv, a, semiring=PLUS_TIMES)
         walk += x[dangling].sum() / n       # dangling mass, spread uniformly
         x_new = jump / n + (1.0 - jump) * walk
-        if np.abs(x_new - x).sum() <= tol:
+        residual = float(np.abs(x_new - x).sum())
+        if log is not None:
+            log.record(it, residual=residual)
+        if residual <= tol:
+            if log is not None:
+                log.converged = True
             return x_new
         x = x_new
     return x

@@ -19,6 +19,9 @@ from typing import Tuple
 
 import numpy as np
 
+from typing import Optional
+
+from repro.obs.convergence import ConvergenceLog
 from repro.semiring.builtin import MAX_MONOID, PLUS_MONOID
 from repro.sparse.construct import identity
 from repro.sparse.matrix import Matrix
@@ -28,12 +31,15 @@ from repro.util.validation import check_square
 
 
 def newton_schulz_inverse(a: Matrix, eps: float = 1e-10,
-                          max_iter: int = 200) -> Tuple[Matrix, int]:
+                          max_iter: int = 200,
+                          log: Optional[ConvergenceLog] = None
+                          ) -> Tuple[Matrix, int]:
     """Algorithm 4 on the kernel substrate.
 
     Returns ``(X ≈ A⁻¹, iterations)``.  Raises ``RuntimeError`` when the
     iteration fails to contract within ``max_iter`` steps (singular or
-    ill-conditioned input).
+    ill-conditioned input).  ``log`` records the relative Frobenius step
+    ``‖X_{t+1} − X_t‖_F / ‖X_{t+1}‖_F`` per iteration.
 
     Kernel trace per step: one SpGEMM ``A·X``, one Scale/eWiseAdd for
     ``2I − AX``, one SpGEMM for the update, one Reduce for the Frobenius
@@ -58,6 +64,8 @@ def newton_schulz_inverse(a: Matrix, eps: float = 1e-10,
             raise RuntimeError(
                 "Newton-Schulz diverged (matrix singular or too ill-conditioned)")
         x = x_next
+        if log is not None:
+            log.record(t, residual=frob / x_norm)
         # relative step criterion: ‖X_{t+1} − X_t‖_F ≤ ε·‖X_{t+1}‖_F
         # (the paper's absolute test, made scale-invariant so it neither
         # stops early on small-norm inverses nor spins on large ones)
@@ -70,13 +78,17 @@ def newton_schulz_inverse(a: Matrix, eps: float = 1e-10,
                 raise RuntimeError(
                     f"Newton-Schulz stalled with residual ‖AX−I‖∞={rnorm:.2e}: "
                     "matrix is singular or too ill-conditioned")
+            if log is not None:
+                log.converged = True
             return x, t
     raise RuntimeError(
         f"Newton-Schulz did not reach eps={eps} in {max_iter} iterations")
 
 
 def newton_schulz_inverse_dense(a: np.ndarray, eps: float = 1e-12,
-                                max_iter: int = 200) -> Tuple[np.ndarray, int]:
+                                max_iter: int = 200,
+                                log: Optional[ConvergenceLog] = None
+                                ) -> Tuple[np.ndarray, int]:
     """Algorithm 4 on dense arrays — used for the small Gram matrices
     inside NMF (Algorithm 5), where densifying is the honest cost model
     anyway (the paper's §IV discussion concedes these become dense)."""
@@ -98,12 +110,16 @@ def newton_schulz_inverse_dense(a: np.ndarray, eps: float = 1e-12,
             raise RuntimeError(
                 "Newton-Schulz diverged (matrix singular or too ill-conditioned)")
         x = x_next
+        if log is not None:
+            log.record(t, residual=frob / x_norm)
         if frob <= eps * x_norm:  # relative step (see sparse variant)
             rnorm = float(np.max(np.abs(a @ x - np.eye(n))))
             if rnorm > 1e-6:
                 raise RuntimeError(
                     f"Newton-Schulz stalled with residual ‖AX−I‖∞={rnorm:.2e}: "
                     "matrix is singular or too ill-conditioned")
+            if log is not None:
+                log.converged = True
             return x, t
     raise RuntimeError(
         f"Newton-Schulz did not reach eps={eps} in {max_iter} iterations")

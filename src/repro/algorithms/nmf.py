@@ -17,9 +17,12 @@ kernel-only restriction costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from repro.algorithms.inverse import newton_schulz_inverse_dense
+from repro.obs.convergence import ConvergenceLog
 from repro.sparse.matrix import Matrix
 from repro.sparse.spmv import mxd
 from repro.util.rng import SeedLike, default_rng
@@ -56,7 +59,8 @@ def _frobenius_error(a: Matrix, w: np.ndarray, h: np.ndarray) -> float:
 
 def nmf(a: Matrix, k: int, eps: float = 1e-3, max_iter: int = 200,
         solver: str = "newton_schulz", seed: SeedLike = None,
-        ridge: float = 1e-7) -> NMFResult:
+        ridge: float = 1e-7,
+        log: Optional[ConvergenceLog] = None) -> NMFResult:
     """Algorithm 5: factor sparse ``A`` (m×n) into ``W`` (m×k) and
     ``H`` (k×n), both non-negative.
 
@@ -76,6 +80,10 @@ def nmf(a: Matrix, k: int, eps: float = 1e-3, max_iter: int = 200,
         their mean diagonal), which are otherwise singular whenever a
         factor column dies (all-zero) — the clamping step makes that a
         real occurrence.
+    log:
+        Optional :class:`~repro.obs.convergence.ConvergenceLog`;
+        records the relative reconstruction error per ALS sweep
+        (duplicating ``NMFResult.errors`` into the telemetry stream).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -117,10 +125,14 @@ def nmf(a: Matrix, k: int, eps: float = 1e-3, max_iter: int = 200,
 
         rel = _frobenius_error(a, w, h) / a_norm
         errors.append(rel)
+        if log is not None:
+            log.record(it, residual=rel)
         if rel < eps or prev_rel - rel < eps * max(rel, 1e-30):
             converged = True
             break
         prev_rel = rel
+    if log is not None:
+        log.converged = converged
     return NMFResult(w=w, h=h, errors=np.asarray(errors), iterations=it,
                      converged=converged)
 

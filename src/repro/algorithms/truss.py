@@ -19,10 +19,11 @@ triangle count via the "==2" trick relies on 0/1 entries.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.obs.convergence import ConvergenceLog
 from repro.semiring import UnaryOp
 from repro.semiring.builtin import PLUS_MONOID
 from repro.sparse.matrix import Matrix
@@ -72,11 +73,14 @@ def edge_support_masked(a: Matrix) -> Matrix:
     return mxm(p, p, semiring=PLUS_PAIR, mask=p)
 
 
-def ktruss(e: Matrix, k: int) -> Matrix:
+def ktruss(e: Matrix, k: int,
+           log: Optional[ConvergenceLog] = None) -> Matrix:
     """Algorithm 1: incidence matrix of the k-truss of ``E``'s graph.
 
     Uses the incremental support update; every step is a GraphBLAS
-    kernel (SpGEMM, SpRef, Apply, Reduce, eWiseAdd).
+    kernel (SpGEMM, SpRef, Apply, Reduce, eWiseAdd).  ``log`` records
+    one entry per peel round: residual = edges removed that round, with
+    the surviving edge count as an extra.
     """
     if k < 3:
         raise ValueError(f"k must be >= 3 (every graph is a 2-truss), got {k}")
@@ -89,7 +93,9 @@ def ktruss(e: Matrix, k: int) -> Matrix:
     s = reduce_rows(r.apply(INDICATOR_EQ2), PLUS_MONOID)   # s = (R==2)·1
     x = np.flatnonzero(s < k - 2)                   # x = find(s < k−2)
 
+    rounds = 0
     while len(x):
+        rounds += 1
         xc = np.setdiff1d(np.arange(e.nrows), x, assume_unique=True)
         ex = e.extract(rows=x)                      # Ex = E(x, :)
         e = e.extract(rows=xc)                      # E = E(xc, :)
@@ -99,7 +105,12 @@ def ktruss(e: Matrix, k: int) -> Matrix:
         update = mxm(e, offdiag(mxm(ex.T, ex)).prune())
         r = (r - update).prune()
         s = reduce_rows(r.apply(INDICATOR_EQ2), PLUS_MONOID)
+        if log is not None:
+            log.record(rounds, residual=float(len(x)),
+                       edges_remaining=int(e.nrows))
         x = np.flatnonzero(s < k - 2)
+    if log is not None:
+        log.converged = True
     return e
 
 

@@ -13,23 +13,42 @@ Subcommands::
     python -m repro ktruss    graph.tsv --k 4 [--out truss.tsv]
     python -m repro jaccard   graph.tsv --top 10
     python -m repro topics    --docs 2000 --k 5
+    python -m repro stats     graph.tsv [--json]
+
+Every subcommand accepts ``--trace out.jsonl``: spans (with OpStats
+deltas) and convergence records are appended to the file as JSON lines
+(see docs/OBSERVABILITY.md for the format).  Input-loading failures
+exit with status 2 and a one-line ``error:`` message, never a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.assoc import AssocArray, read_tsv_triples, write_tsv_triples
+from repro.obs import ConvergenceLog, JSONLSink
+from repro.obs import trace as _trace
+
+
+class CliError(Exception):
+    """User-facing failure: printed as ``error: <msg>``, exit status 2."""
 
 
 def _load(path: str) -> AssocArray:
-    a = read_tsv_triples(path)
+    try:
+        a = read_tsv_triples(path)
+    except FileNotFoundError:
+        raise CliError(f"no such file: {path}") from None
+    except (OSError, UnicodeError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
     if a.nnz == 0:
-        raise SystemExit(f"error: {path} holds no triples")
+        raise CliError(f"{path} holds no triples")
     return a
 
 
@@ -98,11 +117,15 @@ def cmd_pagerank(args) -> int:
 
     a = _load(args.path)
     m, keys = _square(a)
-    pr = pagerank(m, jump=args.jump)
+    log = ConvergenceLog("pagerank")
+    pr = pagerank(m, jump=args.jump, log=log)
+    log.emit()  # forwarded to the trace sink when --trace is active
     order = np.argsort(-pr)[:args.top]
     print(f"PageRank (jump={args.jump}) top {args.top}:")
     for i in order:
         print(f"  {keys[i]:<20} {pr[i]:.6f}")
+    print(f"converged in {log.iterations} iterations "
+          f"(last residual {log.last_residual:.2e})")
     return 0
 
 
@@ -116,8 +139,11 @@ def cmd_ktruss(args) -> int:
     sym = symmetrize(m.pattern())
     edges = edge_list_from_adjacency(sym)
     e = incidence_unoriented(len(keys), edges)
-    kept = ktruss(e, args.k)
-    print(f"{args.k}-truss: {kept.nrows}/{e.nrows} edges survive")
+    log = ConvergenceLog("ktruss")
+    kept = ktruss(e, args.k, log=log)
+    log.emit()  # forwarded to the trace sink when --trace is active
+    print(f"{args.k}-truss: {kept.nrows}/{e.nrows} edges survive "
+          f"({log.iterations} peel rounds)")
     pairs = kept.indices.reshape(-1, 2)
     for u, v in pairs[:args.top]:
         print(f"  {keys[u]} -- {keys[v]}")
@@ -193,16 +219,59 @@ def cmd_topics(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Ingest the graph into a simulated Accumulo and report the full
+    instrumentation surface: per-table metrics registry, per-server
+    OpStats, and the merged cost-model counters."""
+    from repro.dbsim import Connector, assoc_to_table, degree_table
+    from repro.dbsim.server import Instance
+    from repro.obs.metrics import MetricsRegistry
+
+    a = _load(args.path)
+    inst = Instance(n_servers=args.servers, metrics=MetricsRegistry())
+    conn = Connector(inst)
+    assoc_to_table(conn, a, "A", n_splits=args.splits)
+    conn.compact("A")
+    degree_table(conn, "A", "Adeg")
+    scanned = sum(1 for _ in conn.scanner("A"))
+
+    report = inst.observability_export()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.path}: ingested {a.nnz} triples into table 'A' "
+          f"({args.servers} servers, {args.splits} splits); "
+          f"scan returned {scanned} entries")
+    print("\nper-table / per-server metrics:")
+    for name, value in report["metrics"].items():
+        print(f"  {name:<44} {value}")
+    print("\nper-server cost counters:")
+    for server, counters in report["servers"].items():
+        print(f"  {server:<10} "
+              + " ".join(f"{k}={v}" for k, v in counters.items()))
+    print(f"\ntotal: {' '.join(f'{k}={v}' for k, v in report['total'].items())}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro",
                                 description=__doc__.splitlines()[0])
+    # options shared by every subcommand (argparse wants them after the
+    # subcommand name, so they ride in via parents=)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="append spans + convergence records to PATH as JSON lines")
     sub = p.add_subparsers(dest="command", required=True)
 
-    s = sub.add_parser("info", help="graph statistics from a triple TSV")
+    def add_parser(name, **kw):
+        return sub.add_parser(name, parents=[common], **kw)
+
+    s = add_parser("info", help="graph statistics from a triple TSV")
     s.add_argument("path")
     s.set_defaults(fn=cmd_info)
 
-    s = sub.add_parser("generate", help="generate a graph to a triple TSV")
+    s = add_parser("generate", help="generate a graph to a triple TSV")
     s.add_argument("model", choices=["rmat", "er"])
     s.add_argument("--scale", type=int, default=8)
     s.add_argument("--edge-factor", type=int, default=8)
@@ -211,52 +280,76 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--out", required=True)
     s.set_defaults(fn=cmd_generate)
 
-    s = sub.add_parser("bfs", help="breadth-first hop levels")
+    s = add_parser("bfs", help="breadth-first hop levels")
     s.add_argument("path")
     s.add_argument("--source", required=True)
     s.set_defaults(fn=cmd_bfs)
 
-    s = sub.add_parser("pagerank", help="PageRank ranking")
+    s = add_parser("pagerank", help="PageRank ranking")
     s.add_argument("path")
     s.add_argument("--jump", type=float, default=0.15)
     s.add_argument("--top", type=int, default=10)
     s.set_defaults(fn=cmd_pagerank)
 
-    s = sub.add_parser("ktruss", help="k-truss subgraph (Algorithm 1)")
+    s = add_parser("ktruss", help="k-truss subgraph (Algorithm 1)")
     s.add_argument("path")
     s.add_argument("--k", type=int, required=True)
     s.add_argument("--top", type=int, default=10)
     s.add_argument("--out")
     s.set_defaults(fn=cmd_ktruss)
 
-    s = sub.add_parser("jaccard", help="Jaccard similarity (Algorithm 2)")
+    s = add_parser("jaccard", help="Jaccard similarity (Algorithm 2)")
     s.add_argument("path")
     s.add_argument("--top", type=int, default=10)
     s.set_defaults(fn=cmd_jaccard)
 
-    s = sub.add_parser("triangles", help="triangle counts (masked SpGEMM)")
+    s = add_parser("triangles", help="triangle counts (masked SpGEMM)")
     s.add_argument("path")
     s.add_argument("--top", type=int, default=10)
     s.set_defaults(fn=cmd_triangles)
 
-    s = sub.add_parser("components", help="connected components")
+    s = add_parser("components", help="connected components")
     s.add_argument("path")
     s.add_argument("--top", type=int, default=10)
     s.set_defaults(fn=cmd_components)
 
-    s = sub.add_parser("topics",
-                       help="NMF topic demo on the synthetic corpus (Fig 3)")
+    s = add_parser("topics",
+                   help="NMF topic demo on the synthetic corpus (Fig 3)")
     s.add_argument("--docs", type=int, default=2000)
     s.add_argument("--k", type=int, default=5)
     s.add_argument("--top", type=int, default=8)
     s.add_argument("--seed", type=int, default=0)
     s.set_defaults(fn=cmd_topics)
+
+    s = add_parser("stats",
+                   help="ingest into the dbsim and dump the metrics registry")
+    s.add_argument("path")
+    s.add_argument("--servers", type=int, default=2)
+    s.add_argument("--splits", type=int, default=1)
+    s.add_argument("--json", action="store_true",
+                   help="emit the full observability export as JSON")
+    s.set_defaults(fn=cmd_stats)
     return p
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        try:  # fail now, not from inside the first span's lazy open
+            open(trace_path, "a", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 2
+        _trace.enable(JSONLSink(trace_path))
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if trace_path:
+            _trace.disable(close=True)
 
 
 if __name__ == "__main__":  # pragma: no cover

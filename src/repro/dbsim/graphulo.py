@@ -34,6 +34,7 @@ from repro.dbsim.iterators import (
 from repro.dbsim.key import Cell, Range, decode_number
 from repro.dbsim.server import TableConfig
 from repro.dbsim.stats import OpStats
+from repro.obs import trace as _trace
 
 #: name → combiner factory for result tables (the ⊕ of the semiring).
 COMBINERS = {
@@ -69,6 +70,20 @@ def table_mult(conn: Connector, table_at: str, table_b: str, out: str,
     combiner applies ⊕ across colliding partial products.  Returns the
     instance-wide stats delta for the whole operation (the cost model).
     """
+    inst = conn.instance
+    if _trace.ENABLED:
+        with _trace.span("graphulo.table_mult", stats=inst.total_stats,
+                         table_at=table_at, table_b=table_b, out=out,
+                         combiner=combiner):
+            return _table_mult(conn, table_at, table_b, out, mul, combiner,
+                               authorizations)
+    return _table_mult(conn, table_at, table_b, out, mul, combiner,
+                       authorizations)
+
+
+def _table_mult(conn: Connector, table_at: str, table_b: str, out: str,
+                mul: Callable[[float, float], float], combiner: str,
+                authorizations) -> OpStats:
     inst = conn.instance
     before = inst.total_stats().snapshot()
     if not conn.table_exists(out):
@@ -120,6 +135,17 @@ def degree_table(conn: Connector, table: str, out: str,
                  count_entries: bool = False, authorizations=None) -> OpStats:
     """Build/refresh a degree table: ``out[row, "", "deg"] = Σ_cols v``
     (or the entry count with ``count_entries=True``) — the D4M Tdeg."""
+    inst = conn.instance
+    if _trace.ENABLED:
+        with _trace.span("graphulo.degree_table", stats=inst.total_stats,
+                         table=table, out=out):
+            return _degree_table(conn, table, out, count_entries,
+                                 authorizations)
+    return _degree_table(conn, table, out, count_entries, authorizations)
+
+
+def _degree_table(conn: Connector, table: str, out: str,
+                  count_entries: bool, authorizations) -> OpStats:
     inst = conn.instance
     before = inst.total_stats().snapshot()
     if not conn.table_exists(out):
@@ -187,6 +213,23 @@ def table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
         raise ValueError(f"hops must be >= 0, got {hops}")
     if min_degree is not None and degree_table_name is None:
         raise ValueError("min_degree filtering requires degree_table_name")
+    if _trace.ENABLED:
+        with _trace.span("graphulo.table_bfs",
+                         stats=conn.instance.total_stats,
+                         table=edge_table, hops=hops,
+                         degree_filtered=min_degree is not None) as sp:
+            dist = _table_bfs(conn, edge_table, seeds, hops, min_degree,
+                              degree_table_name, authorizations)
+            sp.set(reached=len(dist))
+            return dist
+    return _table_bfs(conn, edge_table, seeds, hops, min_degree,
+                      degree_table_name, authorizations)
+
+
+def _table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
+               hops: int, min_degree: Optional[float],
+               degree_table_name: Optional[str],
+               authorizations) -> Dict[str, int]:
     dist: Dict[str, int] = {}
     frontier: Set[str] = set()
     for s in seeds:

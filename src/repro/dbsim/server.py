@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.dbsim.key import Range
 from repro.dbsim.stats import OpStats
 from repro.dbsim.tablet import IteratorFactory, Tablet
+from repro.obs.metrics import MetricsRegistry, global_registry
 
 
 @dataclass
@@ -60,10 +61,14 @@ class TabletServer:
 class Instance:
     """The database: tables, their tablets, and the server fleet."""
 
-    def __init__(self, n_servers: int = 3):
+    def __init__(self, n_servers: int = 3,
+                 metrics: Optional[MetricsRegistry] = None):
         if n_servers < 1:
             raise ValueError(f"need at least one tablet server, got {n_servers}")
         self.servers = [TabletServer(f"tserver{i}") for i in range(n_servers)]
+        #: per-table work breakdown (``dbsim.table.<name>.*``); defaults
+        #: to the process-global registry so ad-hoc instances aggregate
+        self.metrics = metrics if metrics is not None else global_registry()
         self._tables: Dict[str, TableConfig] = {}
         #: per table: tablets sorted by extent start (None first)
         self._tablets: Dict[str, List[Tablet]] = {}
@@ -92,9 +97,13 @@ class Instance:
     def delete_table(self, name: str) -> None:
         self._require(name)
         for tablet in self._tablets[name]:
+            tablet.unbind_metrics()
             for server in self.servers:
                 if (name, tablet) in server.tablets:
                     server.unhost(name, tablet)
+                    self.metrics.gauge(
+                        f"dbsim.server.{server.name}.tablets").set(
+                            len(server.tablets))
         del self._tablets[name]
         del self._tables[name]
 
@@ -110,6 +119,9 @@ class Instance:
         server = self.servers[self._rr % len(self.servers)]
         self._rr += 1
         server.host(table, tablet)
+        tablet.bind_metrics(self.metrics, table)
+        self.metrics.gauge(f"dbsim.server.{server.name}.tablets").set(
+            len(server.tablets))
 
     # -- tablet management ------------------------------------------------------
 
@@ -125,6 +137,7 @@ class Instance:
         if tablet.extent.start_row == split_row:
             return
         left, right = tablet.split(split_row)
+        tablet.unbind_metrics()
         tablets = self._tablets[name]
         idx = tablets.index(tablet)
         tablets[idx:idx + 1] = [left, right]
@@ -169,6 +182,15 @@ class Instance:
         for server in self.servers:
             out = out.merge(server.stats)
         return out
+
+    def observability_export(self) -> Dict[str, object]:
+        """One JSON-ready report: the per-table/per-server metrics
+        registry plus the merged OpStats cost model."""
+        return {
+            "metrics": self.metrics.export(),
+            "servers": {s.name: s.stats.as_dict() for s in self.servers},
+            "total": self.total_stats().as_dict(),
+        }
 
     def table_entry_estimate(self, name: str) -> int:
         return sum(t.entry_estimate() for t in self.tablets(name))

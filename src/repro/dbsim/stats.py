@@ -8,7 +8,8 @@ These scale the same way the real system's I/O does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
 
 
 @dataclass
@@ -44,7 +45,82 @@ class OpStats:
             self.compactions + other.compactions,
         )
 
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict, in declared field order — the form
+        serialised into trace spans and JSON exports."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, int]) -> "OpStats":
+        """Inverse of :meth:`as_dict`; missing counters default to 0,
+        unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown OpStats counters: {sorted(unknown)}")
+        return cls(**{k: int(v) for k, v in d.items()})
+
+    @classmethod
+    def from_str(cls, s: str) -> "OpStats":
+        """Parse the ``__str__`` rendering back into counters."""
+        pairs = {}
+        for token in s.split():
+            name, _, value = token.partition("=")
+            pairs[name] = int(value)
+        return cls.from_dict(pairs)
+
     def __str__(self) -> str:
-        return (f"seeks={self.seeks} read={self.entries_read} "
-                f"written={self.entries_written} flushes={self.flushes} "
-                f"compactions={self.compactions}")
+        # field=value pairs under the as_dict() names, so the rendering
+        # round-trips through from_str()
+        return " ".join(f"{k}={v}" for k, v in self.as_dict().items())
+
+
+def _forwarding_counter(name: str) -> property:
+    def get(self: "MeteredStats") -> int:
+        return getattr(self._base, name)
+
+    def set(self: "MeteredStats", value: int) -> None:
+        delta = value - getattr(self._base, name)
+        setattr(self._base, name, value)
+        if delta:
+            self._registry.counter(f"{self._prefix}.{name}").inc(delta)
+
+    return property(get, set)
+
+
+class MeteredStats:
+    """OpStats-compatible counter target that *tees* every increment
+    into a metrics registry under ``<prefix>.<counter>``.
+
+    Tablets hand this to their iterator stacks so the one merged
+    per-server :class:`OpStats` keeps working unchanged while the
+    registry accumulates the per-table breakdown.
+    """
+
+    __slots__ = ("_base", "_registry", "_prefix")
+
+    def __init__(self, base: OpStats, registry, prefix: str):
+        self._base = base
+        self._registry = registry
+        self._prefix = prefix
+
+    def snapshot(self) -> OpStats:
+        return self._base.snapshot()
+
+    def delta(self, before: OpStats) -> OpStats:
+        return self._base.delta(before)
+
+    def as_dict(self) -> Dict[str, int]:
+        return self._base.as_dict()
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return str(self._base)
+
+
+for _name in ("seeks", "entries_read", "entries_written", "flushes",
+              "compactions"):
+    setattr(MeteredStats, _name, _forwarding_counter(_name))
+del _name

@@ -26,7 +26,8 @@ from repro.dbsim.iterators import (
 from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.memtable import MemTable
 from repro.dbsim.sstable import SSTable
-from repro.dbsim.stats import OpStats
+from repro.dbsim.stats import MeteredStats, OpStats
+from repro.obs import trace as _trace
 
 #: A table-configured iterator layer: callable wrapping a source iterator.
 IteratorFactory = Callable[[SortedKVIterator], SortedKVIterator]
@@ -41,12 +42,82 @@ class Tablet:
         self.extent = extent
         self.max_versions = max_versions
         self.flush_bytes = flush_bytes
-        self.stats = stats if stats is not None else OpStats()
+        self._stats = stats if stats is not None else OpStats()
+        self._registry = None     # metrics registry (bound by the Instance)
+        self.table: Optional[str] = None
+        self._sink = self._stats  # counter target: stats, or a metered tee
         self.memtable = MemTable()
         self.sstables: List[SSTable] = []
         self._clock = 0  # per-tablet logical timestamps: last write wins
         #: write-ahead log: durable record of unflushed mutations
         self.wal: List[Cell] = []
+
+    # -- stats / metrics binding --------------------------------------------
+
+    @property
+    def stats(self) -> OpStats:
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: OpStats) -> None:
+        # servers re-point hosted tablets at their own counter block;
+        # keep the metered tee (if bound) aimed at the new base
+        self._stats = value
+        self._rebuild_sink()
+
+    def bind_metrics(self, registry, table: str) -> None:
+        """Attach a metrics registry: from here on this tablet's work is
+        also counted under ``dbsim.table.<table>.*``."""
+        self._registry = registry
+        self.table = table
+        self._gauge_prev = {"memtable_bytes": 0, "memtable_entries": 0,
+                            "sstables": 0}
+        # pre-register every instrument so an export taken before any
+        # activity still shows the table's full schema (at zero)
+        prefix = f"dbsim.table.{table}"
+        for name in ("seeks", "entries_read", "entries_written", "flushes",
+                     "compactions"):
+            registry.counter(f"{prefix}.{name}")
+        for name in self._gauge_prev:
+            registry.gauge(f"{prefix}.{name}")
+        self._rebuild_sink()
+        self._update_gauges()
+
+    def unbind_metrics(self) -> None:
+        """Detach from the registry, withdrawing this tablet's gauge
+        contributions (used when a tablet is retired by split/delete)."""
+        if self._registry is None:
+            return
+        prefix = f"dbsim.table.{self.table}"
+        for name, prev in self._gauge_prev.items():
+            if prev:
+                self._registry.gauge(f"{prefix}.{name}").add(-prev)
+        self._registry = None
+        self._rebuild_sink()
+
+    def _rebuild_sink(self) -> None:
+        if self._registry is not None and self.table is not None:
+            self._sink = MeteredStats(self._stats, self._registry,
+                                      f"dbsim.table.{self.table}")
+        else:
+            self._sink = self._stats
+
+    def _update_gauges(self, memtable_bytes: Optional[int] = None) -> None:
+        # table-level gauges are the sum over the table's tablets, so
+        # each tablet adds the *change* in its own contribution
+        if self._registry is None:
+            return
+        prefix = f"dbsim.table.{self.table}"
+        if memtable_bytes is None:
+            memtable_bytes = self.memtable.approximate_bytes
+        now = {"memtable_bytes": memtable_bytes,
+               "memtable_entries": len(self.memtable),
+               "sstables": len(self.sstables)}
+        for name, value in now.items():
+            delta = value - self._gauge_prev[name]
+            if delta:
+                self._registry.gauge(f"{prefix}.{name}").add(delta)
+        self._gauge_prev = now
 
     # -- writes -------------------------------------------------------------
 
@@ -66,8 +137,10 @@ class Tablet:
         cell = Cell(key, value)
         self.wal.append(cell)
         self.memtable.write(cell)
-        self.stats.entries_written += 1
-        if self.memtable.approximate_bytes >= self.flush_bytes:
+        self._sink.entries_written += 1
+        size = self.memtable.approximate_bytes
+        self._update_gauges(memtable_bytes=size)
+        if size >= self.flush_bytes:
             self.flush()
 
     def delete(self, key: Key) -> None:
@@ -81,10 +154,19 @@ class Tablet:
         entries it covered are no longer needed."""
         if len(self.memtable) == 0:
             return
+        if not _trace.ENABLED:
+            self._flush()
+            return
+        with _trace.span("tablet.flush", stats=self._stats,
+                         table=self.table, entries=len(self.memtable)):
+            self._flush()
+
+    def _flush(self) -> None:
         self.sstables.append(SSTable(self.memtable.snapshot()))
         self.memtable.clear()
         self.wal.clear()
-        self.stats.flushes += 1
+        self._sink.flushes += 1
+        self._update_gauges(memtable_bytes=0)
 
     # -- failure simulation ----------------------------------------------------
 
@@ -92,6 +174,7 @@ class Tablet:
         """Lose in-memory state (memtable); sorted runs and the WAL are
         durable and survive."""
         self.memtable.clear()
+        self._update_gauges(memtable_bytes=0)
 
     def recover(self) -> None:
         """Replay the WAL into a fresh memtable (idempotent: replayed
@@ -99,12 +182,13 @@ class Tablet:
         reorder versions)."""
         for cell in self.wal:
             self.memtable.write(cell)
+        self._update_gauges()
 
     # -- reads ---------------------------------------------------------------
 
     def _storage_iterator(self, rng: Range) -> SortedKVIterator:
-        children: List[SortedKVIterator] = [self.memtable.iterator(self.stats)]
-        children.extend(t.iterator(self.stats) for t in self.sstables
+        children: List[SortedKVIterator] = [self.memtable.iterator(self._sink)]
+        children.extend(t.iterator(self._sink) for t in self.sstables
                         if t.overlaps(rng))
         return MergeIterator(children)
 
@@ -143,11 +227,22 @@ class Tablet:
     def compact(self, table_iterators: Sequence[IteratorFactory] = ()) -> None:
         """Major compaction: rewrite all data through the table stack
         (versioning + combiners become durable; single run remains)."""
+        if not _trace.ENABLED:
+            self._compact(table_iterators)
+            return
+        with _trace.span("tablet.compact", stats=self._stats,
+                         table=self.table,
+                         runs=len(self.sstables)) as sp:
+            self._compact(table_iterators)
+            sp.set(entries_out=self.entry_estimate())
+
+    def _compact(self, table_iterators: Sequence[IteratorFactory]) -> None:
         cells = self.scan(Range(), None, table_iterators)
         self.memtable.clear()
         self.wal.clear()
         self.sstables = [SSTable(cells)] if cells else []
-        self.stats.compactions += 1
+        self._sink.compactions += 1
+        self._update_gauges(memtable_bytes=0)
 
     def split(self, split_row: str) -> Tuple["Tablet", "Tablet"]:
         """Split into two tablets at ``split_row`` (goes to the right

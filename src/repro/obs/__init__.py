@@ -1,0 +1,58 @@
+"""Observability: tracing spans, metrics registry, convergence telemetry.
+
+Three zero-dependency pieces, one per module:
+
+* :mod:`repro.obs.trace` — nestable spans capturing wall-time, custom
+  attributes and OpStats deltas into a pluggable sink (null /
+  in-memory / JSONL file), behind a module-level enable switch whose
+  disabled cost is a single branch on the hot paths;
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms in a
+  :class:`MetricsRegistry` the simulated Accumulo wires in for
+  per-table seek/read/write/flush/compaction accounting;
+* :mod:`repro.obs.convergence` — :class:`ConvergenceLog`, the
+  per-iteration residual trajectory of the iterative algorithms.
+
+See ``docs/OBSERVABILITY.md`` for the span schema, metric naming
+scheme, and the JSONL trace format.
+"""
+
+from repro.obs import trace
+from repro.obs.convergence import ConvergenceLog, ConvergenceRecord
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.trace import (
+    InMemorySink,
+    JSONLSink,
+    NullSink,
+    Sink,
+    Span,
+    disable,
+    enable,
+    is_enabled,
+    span,
+)
+
+__all__ = [
+    "trace",
+    "span",
+    "Span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "Sink",
+    "NullSink",
+    "InMemorySink",
+    "JSONLSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "ConvergenceLog",
+    "ConvergenceRecord",
+]

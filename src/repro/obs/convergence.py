@@ -1,0 +1,99 @@
+"""Convergence telemetry for the iterative algorithms.
+
+The paper's iterative kernels (power-method centralities, Newton–Schulz
+inverse, NMF ALS, the k-truss peel loop) historically reported only
+their final answer; validating Figs. 1–3 needs the *trajectory*.  A
+:class:`ConvergenceLog` records one :class:`ConvergenceRecord` per
+iteration — a residual plus free-form extras — and is accepted by the
+algorithms through an optional trailing ``log=`` keyword, so existing
+call signatures are unchanged::
+
+    log = ConvergenceLog("pagerank")
+    pr = pagerank(a, log=log)
+    assert log.is_monotone()
+
+What "residual" means is algorithm-specific (L1 iterate change for
+PageRank, ``1 − cosine`` alignment for the eigenvector power method,
+relative Frobenius step for Newton–Schulz, relative reconstruction
+error for NMF, edges removed per round for k-truss); each algorithm
+documents its choice.  ``emit()`` forwards the records to the active
+trace sink as ``kind="convergence"`` lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs import trace as _trace
+
+
+@dataclass
+class ConvergenceRecord:
+    """One iteration's telemetry: iteration index, residual, extras."""
+
+    iteration: int
+    residual: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"iteration": self.iteration,
+                               "residual": self.residual}
+        out.update(self.extra)
+        return out
+
+
+class ConvergenceLog:
+    """Per-iteration residual/delta trajectory of one algorithm run."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.records: List[ConvergenceRecord] = []
+        #: set by the algorithm when its stopping rule fired (as opposed
+        #: to hitting the iteration cap)
+        self.converged = False
+
+    def record(self, iteration: int, residual: float, **extra: Any) -> None:
+        self.records.append(
+            ConvergenceRecord(int(iteration), float(residual), extra))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def residuals(self) -> List[float]:
+        return [r.residual for r in self.records]
+
+    @property
+    def last_residual(self) -> Optional[float]:
+        return self.records[-1].residual if self.records else None
+
+    def is_monotone(self, strict: bool = False) -> bool:
+        """True when recorded residuals never increase (``strict``:
+        always decrease).  Vacuously true for < 2 records."""
+        rs = self.residuals
+        if strict:
+            return all(b < a for a, b in zip(rs, rs[1:]))
+        return all(b <= a for a, b in zip(rs, rs[1:]))
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready view: one dict per iteration, tagged with the
+        algorithm name and ``kind="convergence"``."""
+        return [{"kind": "convergence", "name": self.name,
+                 **r.as_dict()} for r in self.records]
+
+    def emit(self) -> None:
+        """Forward all records to the active trace sink (no-op when
+        tracing is disabled)."""
+        for d in self.as_dicts():
+            _trace.emit(d)
+
+    def __repr__(self) -> str:
+        last = self.last_residual
+        tail = f", last_residual={last:.3e}" if last is not None else ""
+        return (f"ConvergenceLog({self.name!r}, iterations={len(self)}, "
+                f"converged={self.converged}{tail})")

@@ -1,0 +1,176 @@
+"""Named metrics: counters, gauges, histograms in a registry.
+
+The registry is the aggregation point the simulated database wires in:
+every :class:`~repro.dbsim.server.Instance` owns (or shares) one, and
+tablets report per-table work into it under a dotted naming scheme::
+
+    dbsim.table.<table>.seeks             counter
+    dbsim.table.<table>.entries_read      counter
+    dbsim.table.<table>.entries_written   counter
+    dbsim.table.<table>.flushes           counter
+    dbsim.table.<table>.compactions       counter
+    dbsim.table.<table>.memtable_bytes    gauge
+    dbsim.table.<table>.memtable_entries  gauge
+    dbsim.table.<table>.sstables          gauge
+    dbsim.server.<name>.tablets           gauge
+
+``registry.export()`` renders everything into one plain dict (counters
+and gauges as numbers, histograms as ``{count, sum, min, max, mean}``),
+ready for JSON.  All instruments are thread-safe.  A process-global
+registry (:func:`global_registry`) is the default for instances created
+without an explicit one — the benchmark harness prints its export at
+session end.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def export(self) -> Number:
+        return self._value
+
+
+class Gauge:
+    """Last-set value (sizes, lengths, levels)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: Number) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def export(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            self._min = v if self._min is None else min(self._min, v)
+            self._max = v if self._max is None else max(self._max, v)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def export(self) -> Dict[str, Number]:
+        with self._lock:
+            mean = self._sum / self._count if self._count else 0.0
+            return {"count": self._count, "sum": self._sum,
+                    "min": self._min if self._min is not None else 0.0,
+                    "max": self._max if self._max is not None else 0.0,
+                    "mean": mean}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            inst = self._metrics.get(name)
+            if inst is None:
+                inst = self._metrics[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, requested {cls.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def export(self) -> Dict[str, Union[Number, Dict[str, Number]]]:
+        """Snapshot every instrument into a JSON-ready dict."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: inst.export() for name, inst in sorted(items)}
+
+    def reset(self) -> None:
+        """Drop every instrument (fresh registry state)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (used by ``Instance`` when no
+    explicit registry is passed, and exported by the bench harness)."""
+    return _GLOBAL

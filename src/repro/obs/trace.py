@@ -1,0 +1,289 @@
+"""Zero-dependency tracing core: nestable spans over a pluggable sink.
+
+A span measures one named unit of work::
+
+    from repro.obs import trace
+
+    trace.enable()                       # in-memory sink by default
+    with trace.span("spgemm", rows=n) as sp:
+        c = mxm(a, b)
+        sp.set(nnz_out=c.nnz)
+
+Spans capture wall-time, custom attributes, nesting (parent span name
+and depth, tracked per thread) and — when given a ``stats=`` source —
+the :class:`~repro.dbsim.stats.OpStats` delta accumulated while the
+span was open.  ``stats`` may be a live counter object or a zero-arg
+callable returning one (e.g. ``Instance.total_stats``); anything with
+``snapshot()``/``delta()``/``as_dict()`` works.
+
+The module-level :data:`ENABLED` flag is the *only* cost the disabled
+path pays: instrumented call sites guard with ``if trace.ENABLED:`` and
+fall through to the uninstrumented code otherwise.  :func:`span` itself
+also checks the flag and returns a shared no-op context, so opportunistic
+call sites need no guard.
+
+Finished spans are emitted to the active sink as plain dicts
+(``kind="span"``); free-form records (e.g. convergence telemetry) go
+through :func:`emit`.  Three sinks ship: :class:`NullSink`,
+:class:`InMemorySink` and :class:`JSONLSink` (one JSON object per
+line).  All sinks are thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: Canonical OpStats counter fields (kept in sync with
+#: :class:`repro.dbsim.stats.OpStats`; duplicated here so the tracing
+#: core has zero imports from the layers it instruments).
+OPSTATS_FIELDS = ("seeks", "entries_read", "entries_written", "flushes",
+                  "compactions")
+
+#: Master switch.  Hot paths read this attribute directly — the whole
+#: disabled-tracing overhead is one attribute load and one branch.
+ENABLED = False
+
+
+# -- sinks -------------------------------------------------------------------
+
+class Sink:
+    """Sink protocol: receives finished-span / record dicts."""
+
+    def emit(self, record: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op for most sinks)."""
+
+
+class NullSink(Sink):
+    """Discards everything (tracing on, recording off)."""
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Buffers records in a list — the default sink and the test sink."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.records: List[Dict[str, Any]] = []
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Finished spans (optionally filtered by name), oldest first."""
+        with self._lock:
+            return [r for r in self.records if r.get("kind") == "span"
+                    and (name is None or r.get("name") == name)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.records)
+
+
+class JSONLSink(Sink):
+    """Appends one JSON object per line to ``path`` (opened lazily)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+_sink: Sink = NullSink()
+_sink_lock = threading.Lock()
+
+
+def set_sink(sink: Sink) -> Sink:
+    """Install ``sink`` as the active sink; returns the previous one."""
+    global _sink
+    with _sink_lock:
+        previous, _sink = _sink, sink
+    return previous
+
+
+def get_sink() -> Sink:
+    return _sink
+
+
+def enable(sink: Optional[Sink] = None) -> Sink:
+    """Turn tracing on.  With no ``sink`` given, keeps the current one
+    unless it is a :class:`NullSink`, in which case an
+    :class:`InMemorySink` is installed.  Returns the active sink."""
+    global ENABLED
+    if sink is not None:
+        set_sink(sink)
+    elif isinstance(_sink, NullSink):
+        set_sink(InMemorySink())
+    ENABLED = True
+    return _sink
+
+
+def disable(close: bool = False) -> None:
+    """Turn tracing off (optionally closing the active sink)."""
+    global ENABLED
+    ENABLED = False
+    if close:
+        _sink.close()
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+def emit(record: Dict[str, Any]) -> None:
+    """Send a free-form record (e.g. convergence telemetry) to the sink
+    when tracing is enabled; dropped otherwise."""
+    if ENABLED:
+        _sink.emit(record)
+
+
+# -- spans -------------------------------------------------------------------
+
+#: per-thread stack of open spans (for parent/depth attribution)
+_stack = threading.local()
+
+StatsSource = Union[Any, Callable[[], Any]]
+
+
+def _zero_opstats() -> Dict[str, int]:
+    return {f: 0 for f in OPSTATS_FIELDS}
+
+
+class Span:
+    """One open span; use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "attrs", "parent", "depth", "start_s", "duration_s",
+                 "opstats", "error", "_stats_source", "_stats_before",
+                 "_t0")
+
+    def __init__(self, name: str, stats: Optional[StatsSource] = None,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.parent: Optional[str] = None
+        self.depth = 0
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self.opstats: Dict[str, int] = _zero_opstats()
+        self.error: Optional[str] = None
+        self._stats_source = stats
+        self._stats_before = None
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite custom attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def _resolve_stats(self):
+        src = self._stats_source
+        if src is None:
+            return None
+        return src() if callable(src) else src
+
+    def __enter__(self) -> "Span":
+        stack = getattr(_stack, "spans", None)
+        if stack is None:
+            stack = _stack.spans = []
+        if stack:
+            self.parent = stack[-1].name
+            self.depth = len(stack)
+        stack.append(self)
+        current = self._resolve_stats()
+        if current is not None:
+            self._stats_before = current.snapshot()
+        self.start_s = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        current = self._resolve_stats()
+        if current is not None and self._stats_before is not None:
+            self.opstats = current.delta(self._stats_before).as_dict()
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        stack = getattr(_stack, "spans", None)
+        if stack and stack[-1] is self:
+            stack.pop()
+        if ENABLED:
+            _sink.emit(self.as_dict())
+        return False  # never swallow exceptions
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": "span",
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "parent": self.parent,
+            "depth": self.depth,
+            "attrs": self.attrs,
+            "opstats": self.opstats,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class _NullSpan:
+    """Shared do-nothing context returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, stats: Optional[StatsSource] = None, **attrs: Any):
+    """Open a nestable span (context manager).
+
+    ``stats`` is an optional OpStats-like object (or zero-arg callable
+    returning one) snapshotted on entry; the counter *delta* over the
+    span's lifetime lands in the emitted record's ``opstats`` field.
+    Remaining keyword arguments become span attributes.  When tracing
+    is disabled this returns a shared no-op context.
+    """
+    if not ENABLED:
+        return _NULL_SPAN
+    return Span(name, stats=stats, attrs=attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, if any."""
+    stack = getattr(_stack, "spans", None)
+    return stack[-1] if stack else None

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.sparse.matrix import Matrix
+from repro.util.timing import Timer
 from repro.util.validation import check_positive, check_square
 
 
@@ -30,14 +31,45 @@ def chunk_evenly(items: Sequence, n_chunks: int) -> List[Sequence]:
             if bounds[i] < bounds[i + 1]]
 
 
-def parallel_map(fn: Callable, args_list: Sequence, workers: int = 1) -> List:
-    """Map a picklable function over argument tuples, preserving order."""
+def _timed_call(fn: Callable, args: Sequence):
+    """Worker-side wrapper: run one chunk under a fresh Timer and ship
+    both back (Timer is a picklable dataclass of dicts)."""
+    t = Timer()
+    with t.section(getattr(fn, "__name__", "chunk")):
+        result = fn(*args)
+    return result, t
+
+
+def parallel_map(fn: Callable, args_list: Sequence, workers: int = 1,
+                 timer: Optional[Timer] = None) -> List:
+    """Map a picklable function over argument tuples, preserving order.
+
+    With ``timer`` given, each chunk runs under a per-worker
+    :class:`~repro.util.timing.Timer` that is merged back into it
+    (section name = the worker function's name), so callers see
+    aggregate chunk time and call counts across the pool.
+    """
     check_positive(workers, "workers")
     if workers == 1 or len(args_list) <= 1:
-        return [fn(*args) for args in args_list]
+        if timer is None:
+            return [fn(*args) for args in args_list]
+        results = []
+        for args in args_list:
+            result, t = _timed_call(fn, args)
+            timer.merge(t)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *args) for args in args_list]
-        return [f.result() for f in futures]
+        if timer is None:
+            futures = [pool.submit(fn, *args) for args in args_list]
+            return [f.result() for f in futures]
+        futures = [pool.submit(_timed_call, fn, args) for args in args_list]
+        results = []
+        for f in futures:
+            result, t = f.result()
+            timer.merge(t)
+            results.append(result)
+        return results
 
 
 # -- module-level chunk workers (must be picklable) --------------------------
@@ -85,7 +117,8 @@ def _sssp_chunk(a: Matrix, sources: np.ndarray) -> np.ndarray:
 # -- drivers -------------------------------------------------------------------
 
 def parallel_betweenness(a: Matrix, workers: int = 1,
-                         directed: bool = False) -> np.ndarray:
+                         directed: bool = False,
+                         timer: Optional[Timer] = None) -> np.ndarray:
     """Exact betweenness with the per-source sweep spread over a
     process pool.  Matches
     :func:`repro.algorithms.centrality.betweenness_centrality`.
@@ -93,7 +126,8 @@ def parallel_betweenness(a: Matrix, workers: int = 1,
     n = check_square(a, "adjacency matrix")
     chunks = chunk_evenly(np.arange(n), workers)
     partials = parallel_map(_betweenness_chunk,
-                            [(a, c) for c in chunks], workers=workers)
+                            [(a, c) for c in chunks], workers=workers,
+                            timer=timer)
     total = np.sum(partials, axis=0) if partials else np.zeros(n)
     if not directed:
         total /= 2.0
@@ -101,19 +135,21 @@ def parallel_betweenness(a: Matrix, workers: int = 1,
 
 
 def parallel_closeness(a: Matrix, workers: int = 1,
-                       weighted: bool = False) -> np.ndarray:
+                       weighted: bool = False,
+                       timer: Optional[Timer] = None) -> np.ndarray:
     """Closeness centrality (Wasserman–Faust corrected), chunked by
     source vertex across processes."""
     n = check_square(a, "adjacency matrix")
     chunks = chunk_evenly(np.arange(n), workers)
     partials = parallel_map(_closeness_chunk,
                             [(a, c, weighted) for c in chunks],
-                            workers=workers)
+                            workers=workers, timer=timer)
     return np.sum(partials, axis=0) if partials else np.zeros(n)
 
 
 def parallel_sssp_matrix(a: Matrix, workers: int = 1,
-                         sources: Optional[Sequence[int]] = None) -> np.ndarray:
+                         sources: Optional[Sequence[int]] = None,
+                         timer: Optional[Timer] = None) -> np.ndarray:
     """Distance matrix rows for ``sources`` (default: all) via
     per-source Dijkstra spread over processes — the classical APSP
     counterpart to :func:`repro.algorithms.shortestpath.apsp_min_plus`.
@@ -122,7 +158,7 @@ def parallel_sssp_matrix(a: Matrix, workers: int = 1,
     src = np.arange(n) if sources is None else np.asarray(sources, dtype=np.intp)
     chunks = chunk_evenly(src, workers)
     blocks = parallel_map(_sssp_chunk, [(a, c) for c in chunks],
-                          workers=workers)
+                          workers=workers, timer=timer)
     if not blocks:
         return np.zeros((0, n))
     return np.vstack(blocks)

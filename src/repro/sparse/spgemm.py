@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import trace as _trace
 from repro.semiring import Semiring
 from repro.semiring.builtin import PLUS_TIMES
 from repro.sparse.construct import _coo_to_csr
@@ -88,7 +89,19 @@ def mxm(a: Matrix, b: Matrix, semiring: Optional[Semiring] = None,
     if mask is not None and mask.shape != (a.nrows, b.ncols):
         raise ValueError(
             f"mask shape {mask.shape} != output shape {(a.nrows, b.ncols)}")
+    if _trace.ENABLED:
+        with _trace.span("kernel.spgemm", rows=a.nrows, inner=a.ncols,
+                         cols=b.ncols, nnz_a=a.nnz, nnz_b=b.nnz,
+                         semiring=semiring.name,
+                         masked=mask is not None) as sp:
+            c = _mxm(a, b, semiring, mask)
+            sp.set(nnz_out=c.nnz)
+            return c
+    return _mxm(a, b, semiring, mask)
 
+
+def _mxm(a: Matrix, b: Matrix, semiring: Semiring,
+         mask: Optional[Matrix]) -> Matrix:
     out_rows, out_cols, av, bv = expand_products(a, b)
     if out_rows.size == 0:
         return _coo_to_csr(a.nrows, b.ncols, out_rows, out_cols,

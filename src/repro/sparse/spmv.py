@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import trace as _trace
 from repro.semiring import Semiring
 from repro.semiring.builtin import PLUS_TIMES
 from repro.sparse.matrix import Matrix
@@ -30,6 +31,14 @@ def mxv(a: Matrix, x, semiring: Optional[Semiring] = None) -> np.ndarray:
     x = np.asarray(x)
     if x.shape != (a.ncols,):
         raise ValueError(f"x has shape {x.shape}, expected ({a.ncols},)")
+    if _trace.ENABLED:
+        with _trace.span("kernel.spmv", rows=a.nrows, cols=a.ncols,
+                         nnz=a.nnz, semiring=semiring.name):
+            return _mxv(a, x, semiring)
+    return _mxv(a, x, semiring)
+
+
+def _mxv(a: Matrix, x: np.ndarray, semiring: Semiring) -> np.ndarray:
     products = np.asarray(semiring.mul(a.values, x[a.indices]))
     out_dtype = products.dtype if products.size else np.result_type(a.dtype, x.dtype)
     y = np.full(a.nrows, semiring.zero, dtype=np.result_type(out_dtype,
@@ -54,6 +63,14 @@ def vxm(x, a: Matrix, semiring: Optional[Semiring] = None) -> np.ndarray:
     x = np.asarray(x)
     if x.shape != (a.nrows,):
         raise ValueError(f"x has shape {x.shape}, expected ({a.nrows},)")
+    if _trace.ENABLED:
+        with _trace.span("kernel.vxm", rows=a.nrows, cols=a.ncols,
+                         nnz=a.nnz, semiring=semiring.name):
+            return _vxm(x, a, semiring)
+    return _vxm(x, a, semiring)
+
+
+def _vxm(x: np.ndarray, a: Matrix, semiring: Semiring) -> np.ndarray:
     products = np.asarray(semiring.mul(x[a.row_ids()], a.values))
     out_dtype = products.dtype if products.size else np.result_type(a.dtype, x.dtype)
     y = np.full(a.ncols, semiring.zero, dtype=np.result_type(out_dtype,
@@ -100,6 +117,17 @@ def mxv_sparse(a: Matrix, x: Vector, semiring: Optional[Semiring] = None) -> Vec
         raise TypeError(f"x must be a Vector, got {type(x).__name__}")
     if x.n != a.ncols:
         raise ValueError(f"x has length {x.n}, expected {a.ncols}")
+    if _trace.ENABLED:
+        with _trace.span("kernel.spmspv", rows=a.nrows, cols=a.ncols,
+                         nnz=a.nnz, frontier=x.nnz,
+                         semiring=semiring.name) as sp:
+            y = _mxv_sparse(a, x, semiring)
+            sp.set(nnz_out=y.nnz)
+            return y
+    return _mxv_sparse(a, x, semiring)
+
+
+def _mxv_sparse(a: Matrix, x: Vector, semiring: Semiring) -> Vector:
     if x.nnz == 0 or a.nnz == 0:
         return Vector(a.nrows, np.empty(0, dtype=np.intp),
                       np.empty(0, dtype=a.dtype), _validate=False)

@@ -33,13 +33,30 @@ class Timer:
             self.counts[name] = self.counts.get(name, 0) + 1
 
     def report(self) -> str:
-        """Render a fixed-width text table of accumulated sections."""
+        """Render a fixed-width text table of accumulated sections,
+        sorted by descending total with the section name as a stable
+        tie-break (equal totals always render in the same order)."""
         lines = [f"{'section':<32}{'calls':>8}{'total (s)':>12}{'mean (ms)':>12}"]
-        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+        for name in sorted(self.totals, key=lambda n: (-self.totals[n], n)):
             total = self.totals[name]
             n = self.counts[name]
             lines.append(f"{name:<32}{n:>8}{total:>12.4f}{1e3 * total / n:>12.3f}")
         return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready view: ``{section: {"calls": n, "total_s": t}}``."""
+        return {name: {"calls": self.counts[name],
+                       "total_s": self.totals[name]}
+                for name in sorted(self.totals)}
+
+    def merge(self, other: "Timer") -> "Timer":
+        """Fold another timer's sections into this one (in place) —
+        the aggregation step for per-worker timers coming back from
+        :mod:`repro.parallel.pool`.  Returns ``self`` for chaining."""
+        for name, total in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + total
+            self.counts[name] = self.counts.get(name, 0) + other.counts[name]
+        return self
 
 
 def timed(fn: Callable, *args, repeat: int = 1, **kwargs) -> Tuple[object, float]:

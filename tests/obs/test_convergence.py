@@ -1,0 +1,140 @@
+"""Convergence telemetry: the log itself and the algorithm hook-ups."""
+
+import numpy as np
+import pytest
+
+from repro.generators import fig1_graph, rmat_graph
+from repro.obs import trace
+from repro.obs.convergence import ConvergenceLog, ConvergenceRecord
+from repro.obs.trace import InMemorySink, NullSink
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing():
+    trace.disable()
+    trace.set_sink(NullSink())
+    yield
+    trace.disable()
+    trace.set_sink(NullSink())
+
+
+class TestConvergenceLog:
+    def test_record_and_views(self):
+        log = ConvergenceLog("alg")
+        log.record(1, 0.5)
+        log.record(2, 0.25, step_norm=1.0)
+        assert len(log) == 2 and log.iterations == 2
+        assert log.residuals == [0.5, 0.25]
+        assert log.last_residual == 0.25
+        assert log.records[1].extra == {"step_norm": 1.0}
+
+    def test_empty_log(self):
+        log = ConvergenceLog()
+        assert log.last_residual is None
+        assert log.is_monotone()  # vacuously
+        assert not log.converged
+
+    def test_is_monotone(self):
+        log = ConvergenceLog()
+        for i, r in enumerate([3.0, 2.0, 2.0, 1.0]):
+            log.record(i, r)
+        assert log.is_monotone()
+        assert not log.is_monotone(strict=True)
+        log.record(5, 4.0)
+        assert not log.is_monotone()
+
+    def test_as_dicts_tagged(self):
+        log = ConvergenceLog("pr")
+        log.record(1, 0.5, extra_key=7)
+        [d] = log.as_dicts()
+        assert d == {"kind": "convergence", "name": "pr", "iteration": 1,
+                     "residual": 0.5, "extra_key": 7}
+
+    def test_emit_goes_to_trace_sink_only_when_enabled(self):
+        sink = InMemorySink()
+        trace.set_sink(sink)
+        log = ConvergenceLog("x")
+        log.record(1, 1.0)
+        log.emit()
+        assert len(sink) == 0
+        trace.enable()
+        log.emit()
+        assert len(trace.get_sink()) == 1
+
+    def test_repr(self):
+        log = ConvergenceLog("pr")
+        log.record(1, 0.125)
+        assert "pr" in repr(log) and "1.250e-01" in repr(log)
+
+    def test_record_dataclass(self):
+        r = ConvergenceRecord(3, 0.1, {"a": 1})
+        assert r.as_dict() == {"iteration": 3, "residual": 0.1, "a": 1}
+
+
+class TestAlgorithmHookups:
+    """Each iterative algorithm records a sensible trajectory without
+    its signature or return value changing."""
+
+    def test_pagerank_residuals_decrease(self):
+        from repro.algorithms import pagerank
+
+        a = rmat_graph(6, seed=0)
+        log = ConvergenceLog("pagerank")
+        pr = pagerank(a, log=log)
+        pr_plain = pagerank(a)
+        np.testing.assert_allclose(pr, pr_plain)
+        assert log.iterations >= 2
+        assert log.is_monotone(strict=True)
+        assert log.converged
+
+    def test_eigenvector_log(self):
+        from repro.algorithms import eigenvector_centrality
+
+        log = ConvergenceLog("eig")
+        eigenvector_centrality(fig1_graph(), log=log)
+        assert log.iterations >= 1
+        assert log.last_residual < 1e-8
+        assert log.converged
+
+    def test_katz_log(self):
+        from repro.algorithms import katz_centrality
+
+        log = ConvergenceLog("katz")
+        katz_centrality(fig1_graph(), log=log)
+        assert log.iterations >= 1
+        assert log.converged
+
+    def test_newton_schulz_log(self):
+        from repro.algorithms.inverse import newton_schulz_inverse_dense
+
+        m = np.array([[4.0, 1.0], [1.0, 3.0]])
+        log = ConvergenceLog("ns")
+        inv, its = newton_schulz_inverse_dense(m, log=log)
+        assert log.iterations == its
+        assert log.last_residual < 1e-6
+        assert log.converged
+
+    def test_nmf_log_matches_errors(self):
+        from repro.algorithms.nmf import nmf
+        from repro.sparse import from_coo
+
+        rng = np.random.default_rng(0)
+        rows, cols = np.nonzero(rng.random((12, 9)) < 0.5)
+        a = from_coo(12, 9, rows, cols, np.ones(len(rows)))
+        log = ConvergenceLog("nmf")
+        res = nmf(a, k=3, seed=0, log=log)
+        assert log.residuals == pytest.approx(list(res.errors))
+        assert log.converged == res.converged
+
+    def test_ktruss_log_counts_peeled_edges(self):
+        from repro.algorithms import ktruss
+        from repro.generators import fig1_edges
+        from repro.schemas import incidence_unoriented
+
+        e = incidence_unoriented(5, fig1_edges())
+        log = ConvergenceLog("ktruss")
+        kept = ktruss(e, 3, log=log)
+        assert log.iterations == 1  # single peel round drops edge e6
+        assert log.records[0].residual == 1.0
+        assert log.records[0].extra["edges_remaining"] == kept.nrows == 5
+        assert log.converged

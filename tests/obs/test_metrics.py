@@ -1,0 +1,103 @@
+"""Metrics registry: instruments, get-or-create semantics, export."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               global_registry)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.export() == 5
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+        assert g.export() == 7
+
+
+class TestHistogram:
+    def test_empty_export(self):
+        h = Histogram("h")
+        assert h.export() == {"count": 0, "sum": 0.0, "min": 0.0,
+                              "max": 0.0, "mean": 0.0}
+
+    def test_summary(self):
+        h = Histogram("h")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        out = h.export()
+        assert out["count"] == 3
+        assert out["sum"] == 12.0
+        assert out["min"] == 2.0 and out["max"] == 6.0
+        assert out["mean"] == pytest.approx(4.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_export_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.level").set(1.5)
+        reg.histogram("c.lat").observe(0.25)
+        out = reg.export()
+        assert list(out) == ["a.level", "b.count", "c.lat"]
+        assert out["b.count"] == 2
+        assert out["c.lat"]["count"] == 1
+
+    def test_names_len_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("one")
+        reg.counter("two")
+        assert reg.names() == ["one", "two"]
+        assert len(reg) == 2
+        assert "one" in reg and "zero" not in reg
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.export() == {}
+        assert reg.counter("x").value == 0
+
+    def test_global_registry_is_singleton(self):
+        assert global_registry() is global_registry()

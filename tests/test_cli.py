@@ -26,9 +26,22 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "5 vertices" in out and "12 stored entries" in out
 
-    def test_missing_file(self, tmp_path):
-        with pytest.raises(Exception):
-            main(["info", str(tmp_path / "nope.tsv")])
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.tsv")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no such file")
+
+    def test_malformed_file(self, tmp_path, capsys):
+        p = tmp_path / "bad.tsv"
+        p.write_text("a\tb\tc\td\te\n")
+        assert main(["pagerank", str(p)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_file(self, tmp_path, capsys):
+        p = tmp_path / "empty.tsv"
+        p.write_text("")
+        assert main(["info", str(p)]) == 2
+        assert "no triples" in capsys.readouterr().err
 
 
 class TestGenerate:
@@ -64,6 +77,7 @@ class TestPagerank:
         out = capsys.readouterr().out
         assert out.count("0.") >= 3
         assert "v2" in out  # the highest-PageRank vertex of Fig 1
+        assert "converged in" in out
 
 
 class TestKtruss:
@@ -115,3 +129,69 @@ class TestTopics:
         assert main(["topics", "--docs", "300", "--k", "5"]) == 0
         out = capsys.readouterr().out
         assert "topic 1" in out and "purity=" in out
+
+
+class TestStats:
+    def test_report(self, graph_tsv, capsys):
+        assert main(["stats", graph_tsv]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 12 triples" in out
+        assert "dbsim.table.A.entries_written" in out
+        assert "total: seeks=" in out
+
+    def test_json(self, graph_tsv, capsys):
+        import json
+
+        assert main(["stats", graph_tsv, "--json", "--servers", "1"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["metrics"]["dbsim.table.A.entries_written"] == 12
+        assert report["total"]["flushes"] >= 1
+        assert set(report["servers"]) == {"tserver0"}
+
+
+class TestTrace:
+    def test_pagerank_trace_jsonl(self, graph_tsv, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "pr.jsonl"
+        assert main(["pagerank", graph_tsv, "--trace",
+                     str(trace_file)]) == 0
+        records = [json.loads(line)
+                   for line in trace_file.read_text().splitlines()]
+        spans = [r for r in records if r["kind"] == "span"]
+        conv = [r for r in records if r["kind"] == "convergence"
+                and r["name"] == "pagerank"]
+        assert spans and conv
+        assert all("opstats" in s for s in spans)
+        residuals = [r["residual"] for r in conv]
+        assert all(b < a for a, b in zip(residuals, residuals[1:]))
+
+    def test_ktruss_trace_jsonl(self, graph_tsv, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "kt.jsonl"
+        assert main(["ktruss", graph_tsv, "--k", "3", "--trace",
+                     str(trace_file)]) == 0
+        records = [json.loads(line)
+                   for line in trace_file.read_text().splitlines()]
+        assert any(r["kind"] == "span" and r["name"] == "kernel.spgemm"
+                   for r in records)
+        assert any(r["kind"] == "convergence" and r["name"] == "ktruss"
+                   for r in records)
+
+    def test_trace_disabled_after_run(self, graph_tsv, tmp_path, capsys):
+        from repro.obs import trace
+
+        assert main(["pagerank", graph_tsv, "--trace",
+                     str(tmp_path / "t.jsonl")]) == 0
+        assert not trace.is_enabled()
+
+    def test_unwritable_trace_path(self, graph_tsv, capsys):
+        assert main(["pagerank", graph_tsv, "--trace",
+                     "/no/such/dir/t.jsonl"]) == 2
+        assert "cannot open trace file" in capsys.readouterr().err
+
+    def test_no_trace_no_file(self, graph_tsv, tmp_path, capsys):
+        # graph_tsv lives in tmp_path; no trace file should join it
+        assert main(["pagerank", graph_tsv]) == 0
+        assert list(tmp_path.glob("*.jsonl")) == []

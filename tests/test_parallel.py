@@ -51,6 +51,34 @@ class TestParallelMap:
         out = parallel_map(_square, [(i,) for i in range(10)], workers=3)
         assert out == [i * i for i in range(10)]
 
+    def test_serial_path_merges_worker_timers(self):
+        from repro.util import Timer
+
+        t = Timer()
+        out = parallel_map(_square, [(2,), (3,)], workers=1, timer=t)
+        assert out == [4, 9]
+        assert t.counts["_square"] == 2
+        assert t.totals["_square"] >= 0
+
+    def test_pool_path_merges_worker_timers(self):
+        from repro.util import Timer
+
+        t = Timer()
+        out = parallel_map(_square, [(i,) for i in range(6)], workers=2,
+                           timer=t)
+        assert out == [i * i for i in range(6)]
+        assert t.counts["_square"] == 6
+
+    def test_driver_timer_passthrough(self):
+        from repro.util import Timer
+
+        a = erdos_renyi(20, 0.2, seed=1)
+        t = Timer()
+        serial = parallel_betweenness(a, workers=1)
+        timed = parallel_betweenness(a, workers=2, timer=t)
+        np.testing.assert_allclose(timed, serial)
+        assert t.counts["_betweenness_chunk"] == 2
+
 
 class TestParallelCentrality:
     @pytest.fixture(scope="class")

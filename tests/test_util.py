@@ -102,6 +102,42 @@ class TestTiming:
             pass
         assert "work" in t.report()
 
+    def test_report_orders_by_total_then_name(self):
+        t = Timer()
+        # identical totals -> alphabetical; larger totals first
+        t.totals = {"bbb": 1.0, "aaa": 1.0, "big": 5.0}
+        t.counts = {"bbb": 1, "aaa": 1, "big": 1}
+        lines = t.report().splitlines()[1:]
+        names = [line.split()[0] for line in lines]
+        assert names == ["big", "aaa", "bbb"]
+
+    def test_as_dict(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        with t.section("a"):
+            pass
+        d = t.as_dict()
+        assert d["a"]["calls"] == 2
+        assert d["a"]["total_s"] == pytest.approx(t.totals["a"])
+
+    def test_merge_accumulates_and_chains(self):
+        a, b = Timer(), Timer()
+        a.totals = {"x": 1.0}
+        a.counts = {"x": 2}
+        b.totals = {"x": 0.5, "y": 3.0}
+        b.counts = {"x": 1, "y": 4}
+        assert a.merge(b) is a
+        assert a.totals == {"x": 1.5, "y": 3.0}
+        assert a.counts == {"x": 3, "y": 4}
+        # the source timer is untouched
+        assert b.totals == {"x": 0.5, "y": 3.0}
+
+    def test_merge_empty(self):
+        a = Timer()
+        a.merge(Timer())
+        assert a.totals == {} and a.counts == {}
+
     def test_timed(self):
         result, best = timed(lambda x: x + 1, 41, repeat=3)
         assert result == 42 and best >= 0
