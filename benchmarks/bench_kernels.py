@@ -10,14 +10,18 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.generators import kronecker_graph
+from repro.obs import global_registry
 from repro.semiring import LOR_LAND, MIN_PLUS, PLUS_PAIR
 from repro.sparse import (
+    blocked_mxm,
     ewise_add,
     ewise_mult,
     from_dense,
     mxm,
     mxv,
     reduce_rows,
+    set_expansion_probe,
     triu,
 )
 
@@ -56,6 +60,74 @@ class TestSpGEMM:
         a, _ = pair
         c = benchmark(mxm, a, a, PLUS_PAIR, a)
         assert c.nnz <= a.nnz
+
+
+@pytest.fixture(scope="module")
+def hub_pair():
+    """Skewed-degree SpGEMM workload: Kronecker power of a star-ish seed.
+
+    The star seed makes hub vertices whose degree grows as 3^k while
+    leaf degrees stay small, so A@A's per-row flops are wildly skewed —
+    exactly the regime the adaptive engine's tiling and hash dispatch
+    target (ESC's monolithic expansion is dominated by a few hub rows).
+    """
+    seed = [[0.0, 1.0, 1.0, 1.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 1.0, 0.0]]
+    a = kronecker_graph(seed, k=5)  # 1024 vertices
+    return a, mxm(a, a, strategy="esc")
+
+
+class TestSpGEMMStrategies:
+    """The adaptive engine on a hub-skewed square: every strategy must
+    be bit-identical to monolithic ESC while the registry records each
+    strategy's peak expansion (the memory the tiles actually touched)."""
+
+    BUDGET = 1 << 14  # well below the hub rows' total flops: forces tiling
+
+    def _run(self, a, strategy, budget=None):
+        gauge = global_registry().gauge(
+            f"spgemm.{strategy}.peak_expansion")
+        prev = set_expansion_probe(gauge.set_max)
+        try:
+            return mxm(a, a, strategy=strategy, expansion_budget=budget)
+        finally:
+            set_expansion_probe(prev)
+
+    @pytest.mark.parametrize("strategy", ["esc", "hash", "tiled", "auto"])
+    def test_strategy(self, benchmark, hub_pair, strategy):
+        a, ref = hub_pair
+        budget = self.BUDGET if strategy in ("tiled", "auto") else None
+        c = benchmark(self._run, a, strategy, budget)
+        assert np.array_equal(c.indptr, ref.indptr)
+        assert np.array_equal(c.indices, ref.indices)
+        assert np.array_equal(c.values, ref.values)
+
+    def test_parallel_shared_memory(self, benchmark, hub_pair):
+        a, ref = hub_pair
+        c = benchmark(blocked_mxm, a, a, 4, 2)
+        assert np.array_equal(c.indptr, ref.indptr)
+        assert np.array_equal(c.indices, ref.indices)
+        assert np.array_equal(c.values, ref.values)
+
+    def test_tiled_peak_bounded(self, hub_pair):
+        """Correctness canary + the budget actually capping expansion."""
+        from repro.sparse import predict_row_flops
+
+        a, ref = hub_pair
+        peak = [0]
+        prev = set_expansion_probe(lambda n: peak.__setitem__(
+            0, max(peak[0], n)))
+        try:
+            c = mxm(a, a, strategy="tiled", expansion_budget=self.BUDGET)
+        finally:
+            set_expansion_probe(prev)
+        assert c.equal(ref)
+        row_flops = predict_row_flops(a, a)
+        assert peak[0] <= max(self.BUDGET, int(row_flops.max()))
+        global_registry().gauge(
+            "spgemm.tiled.peak_expansion").set_max(peak[0])
 
 
 class TestSpMV:

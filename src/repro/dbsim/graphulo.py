@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.dbsim.client import Connector
 from repro.dbsim.iterators import (
     ApplyIterator,
@@ -58,25 +60,56 @@ def create_combiner_table(conn: Connector, name: str, combiner: str = "sum",
     conn.create_table(name, config, splits=splits)
 
 
+def _default_mul(a: float, b: float) -> float:
+    """Default ⊗ for TableMult (arithmetic multiply).  Kept as a named
+    module-level function so the engine path can recognise it and use
+    the vectorised TIMES operator instead of a promoted Python call."""
+    return a * b
+
+
 def table_mult(conn: Connector, table_at: str, table_b: str, out: str,
-               mul: Callable[[float, float], float] = lambda a, b: a * b,
-               combiner: str = "sum", authorizations=None) -> OpStats:
+               mul: Callable[[float, float], float] = _default_mul,
+               combiner: str = "sum", authorizations=None,
+               via: str = "stream", strategy: str = "auto",
+               expansion_budget: Optional[int] = None) -> OpStats:
     """Graphulo TableMult: ``C = Aᵀ ⊕.⊗ B`` with ``AT`` stored row-wise
     (Accumulo can only iterate rows, hence the stored transpose — the
     same reason the D4M schema keeps TedgeT).
 
-    Streams both tables' rows in sorted order; on a shared inner row
-    ``t`` emits ``(u, v) → A(t,u) ⊗ B(t,v)`` into ``out``, whose
-    combiner applies ⊕ across colliding partial products.  Returns the
-    instance-wide stats delta for the whole operation (the cost model).
+    ``via="stream"`` (default) streams both tables' rows in sorted
+    order; on a shared inner row ``t`` it emits ``(u, v) → A(t,u) ⊗
+    B(t,v)`` into ``out``, whose combiner applies ⊕ across colliding
+    partial products.  ``via="engine"`` instead scans both tables into
+    key-aligned sparse matrices, runs the adaptive SpGEMM engine
+    (:func:`repro.sparse.spgemm.mxm` — ``strategy`` and
+    ``expansion_budget`` are forwarded), and writes the already-reduced
+    result back — one write per output cell instead of one per partial
+    product, at the cost of holding both operands client-side.  Returns
+    the instance-wide stats delta for the whole operation (the cost
+    model).
     """
+    if via not in ("stream", "engine"):
+        raise ValueError(f"via must be 'stream' or 'engine', got {via!r}")
     inst = conn.instance
     if _trace.ENABLED:
         with _trace.span("graphulo.table_mult", stats=inst.total_stats,
                          table_at=table_at, table_b=table_b, out=out,
-                         combiner=combiner):
-            return _table_mult(conn, table_at, table_b, out, mul, combiner,
-                               authorizations)
+                         combiner=combiner, via=via):
+            return _table_mult_dispatch(conn, table_at, table_b, out, mul,
+                                        combiner, authorizations, via,
+                                        strategy, expansion_budget)
+    return _table_mult_dispatch(conn, table_at, table_b, out, mul, combiner,
+                                authorizations, via, strategy,
+                                expansion_budget)
+
+
+def _table_mult_dispatch(conn, table_at, table_b, out, mul, combiner,
+                         authorizations, via, strategy,
+                         expansion_budget) -> OpStats:
+    if via == "engine":
+        return _table_mult_engine(conn, table_at, table_b, out, mul,
+                                  combiner, authorizations, strategy,
+                                  expansion_budget)
     return _table_mult(conn, table_at, table_b, out, mul, combiner,
                        authorizations)
 
@@ -128,6 +161,68 @@ def _table_mult(conn: Connector, table_at: str, table_b: str, out: str,
                 ra = next_row(sa)
                 rb = next_row(sb)
     conn.compact(out)  # make the combined result durable/canonical
+    return inst.total_stats().delta(before)
+
+
+def _table_mult_engine(conn: Connector, table_at: str, table_b: str,
+                       out: str, mul, combiner: str, authorizations,
+                       strategy: str, expansion_budget) -> OpStats:
+    """TableMult through the adaptive SpGEMM engine.
+
+    Scans both tables into string-key-aligned CSR matrices (the D4M
+    table ↔ associative-array isomorphism), computes ``ATᵀ ⊕.⊗ B`` with
+    the requested strategy, and writes the reduced result cells.
+    """
+    from repro.assoc.keyset import union_keys
+    from repro.semiring.builtin import MAX_MONOID, MIN_MONOID, PLUS_MONOID, TIMES
+    from repro.semiring.ops import BinaryOp, Semiring
+    from repro.sparse.construct import from_coo
+    from repro.sparse.spgemm import mxm
+
+    inst = conn.instance
+    before = inst.total_stats().snapshot()
+    if not conn.table_exists(out):
+        create_combiner_table(conn, out, combiner=combiner)
+
+    def scan_keyed(table):
+        """Scan a table into (row keys, col keys, values) triples."""
+        rows, cols, vals = [], [], []
+        for cell in conn.scanner(table, authorizations=authorizations):
+            rows.append(cell.key.row)
+            cols.append(cell.key.qualifier)
+            vals.append(decode_number(cell.value))
+        return np.asarray(rows, dtype=str), np.asarray(cols, dtype=str), \
+            np.asarray(vals, dtype=np.float64)
+
+    at_r, at_c, at_v = scan_keyed(table_at)
+    b_r, b_c, b_v = scan_keyed(table_b)
+    if len(at_r) == 0 or len(b_r) == 0:
+        conn.compact(out)
+        return inst.total_stats().delta(before)
+
+    # align the shared inner dimension (the tables' row keys)
+    inner = union_keys(np.unique(at_r), np.unique(b_r))
+    u_keys = np.unique(at_c)
+    v_keys = np.unique(b_c)
+    mat_at = from_coo(len(inner), len(u_keys),
+                      np.searchsorted(inner, at_r),
+                      np.searchsorted(u_keys, at_c), at_v)
+    mat_b = from_coo(len(inner), len(v_keys),
+                     np.searchsorted(inner, b_r),
+                     np.searchsorted(v_keys, b_c), b_v)
+
+    add = {"sum": PLUS_MONOID, "min": MIN_MONOID, "max": MAX_MONOID}[combiner]
+    mulop = TIMES if mul is _default_mul else \
+        BinaryOp.from_python("table_mult_mul", mul)
+    semiring = Semiring(f"table_mult_{combiner}", add, mulop)
+
+    c = mxm(mat_at.T, mat_b, semiring=semiring, strategy=strategy,
+            expansion_budget=expansion_budget)
+    rows, cols, vals = c.to_coo()
+    with conn.batch_writer(out) as writer:
+        for i, j, v in zip(rows, cols, vals):
+            writer.put(str(u_keys[i]), "", str(v_keys[j]), float(v))
+    conn.compact(out)
     return inst.total_stats().delta(before)
 
 

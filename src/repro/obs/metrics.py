@@ -73,6 +73,12 @@ class Gauge:
         with self._lock:
             self._value += amount
 
+    def set_max(self, value: Number) -> None:
+        """Raise the gauge to ``value`` if larger (peak / high-water mark)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
     @property
     def value(self) -> Number:
         return self._value

@@ -32,7 +32,14 @@ from repro.sparse.construct import (
     identity,
     zeros,
 )
-from repro.sparse.spgemm import mxm
+from repro.sparse.spgemm import (
+    DEFAULT_EXPANSION_BUDGET,
+    STRATEGIES,
+    mxm,
+    plan_tiles,
+    predict_row_flops,
+    set_expansion_probe,
+)
 from repro.sparse.spmv import mxd, mxv, mxv_sparse, vxm
 from repro.sparse.ewise import ewise_add, ewise_mult
 from repro.sparse.select import (
@@ -66,6 +73,11 @@ __all__ = [
     "identity",
     "zeros",
     "mxm",
+    "DEFAULT_EXPANSION_BUDGET",
+    "STRATEGIES",
+    "plan_tiles",
+    "predict_row_flops",
+    "set_expansion_probe",
     "mxd",
     "mxv",
     "mxv_sparse",

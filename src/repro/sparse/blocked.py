@@ -6,6 +6,13 @@ matrix: partition A's rows into blocks, multiply each block against B
 independently (optionally across a process pool), and stack the
 results.  Output is bit-identical to :func:`repro.sparse.spgemm.mxm`
 because SpGEMM is row-independent in A.
+
+With ``workers > 1`` the shared operand B is handed to the pool through
+``multiprocessing.shared_memory``: its CSR arrays are published once
+and every worker attaches zero-copy views, so per-task pickling cost is
+just the (small) A block.  Set ``share_b=False`` to fall back to
+pickling B with every task (e.g. when a platform lacks POSIX shared
+memory).
 """
 
 from __future__ import annotations
@@ -14,9 +21,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import trace as _trace
 from repro.semiring import Semiring
 from repro.sparse.matrix import Matrix
 from repro.sparse.spgemm import mxm
+from repro.util.timing import Timer
 from repro.util.validation import check_positive
 
 
@@ -56,22 +65,76 @@ def vstack(blocks: List[Matrix]) -> Matrix:
                   _validate=False)
 
 
-def _mxm_block(block: Matrix, b: Matrix, semiring_name: Optional[str]) -> Matrix:
+def _mxm_block(block: Matrix, b: Matrix, semiring_name: Optional[str],
+               strategy: str = "auto",
+               expansion_budget: Optional[int] = None) -> Matrix:
+    """Pool worker: multiply one row block against a pickled B."""
     from repro.semiring import get_semiring
 
     sr = get_semiring(semiring_name) if semiring_name else None
-    return mxm(block, b, semiring=sr)
+    return mxm(block, b, semiring=sr, strategy=strategy,
+               expansion_budget=expansion_budget)
+
+
+def _mxm_block_shm(block: Matrix, b_shape, b_meta,
+                   semiring_name: Optional[str], strategy: str,
+                   expansion_budget: Optional[int]) -> Matrix:
+    """Pool worker: multiply one row block against a shared-memory B.
+
+    Attaches zero-copy views onto B's published CSR arrays; every array
+    of the result is freshly allocated by the kernel, so the views can
+    be detached before returning.
+    """
+    from repro.parallel.pool import attach_arrays
+    from repro.semiring import get_semiring
+
+    arrays, handles = attach_arrays(b_meta)
+    try:
+        b = Matrix(b_shape[0], b_shape[1], arrays["indptr"],
+                   arrays["indices"], arrays["values"], _validate=False)
+        sr = get_semiring(semiring_name) if semiring_name else None
+        return mxm(block, b, semiring=sr, strategy=strategy,
+                   expansion_budget=expansion_budget)
+    finally:
+        for shm in handles:
+            shm.close()
 
 
 def blocked_mxm(a: Matrix, b: Matrix, n_blocks: int = 4, workers: int = 1,
-                semiring: Optional[Semiring] = None) -> Matrix:
+                semiring: Optional[Semiring] = None, strategy: str = "auto",
+                expansion_budget: Optional[int] = None,
+                share_b: bool = True,
+                timer: Optional[Timer] = None) -> Matrix:
     """``C = A ⊕.⊗ B`` computed block-row-wise, optionally in parallel.
 
     ``workers > 1`` fans blocks across a process pool (built-in
     semirings only — custom operator objects don't round-trip a process
     boundary); results equal :func:`repro.sparse.spgemm.mxm` exactly.
+    By default B travels to the pool through shared memory (one publish,
+    zero-copy attach per worker); ``share_b=False`` pickles B per task
+    instead.  ``strategy`` / ``expansion_budget`` are forwarded to the
+    per-block :func:`~repro.sparse.spgemm.mxm` engine, and ``timer``
+    aggregates per-worker chunk timings via
+    :func:`repro.parallel.pool.parallel_map`.
     """
-    from repro.parallel.pool import parallel_map
+    if _trace.ENABLED:
+        with _trace.span("kernel.spgemm.blocked", rows=a.nrows,
+                         cols=b.ncols, n_blocks=n_blocks, workers=workers,
+                         shared_memory=bool(share_b and workers > 1),
+                         strategy=strategy) as sp:
+            c = _blocked_mxm(a, b, n_blocks, workers, semiring, strategy,
+                             expansion_budget, share_b, timer)
+            sp.set(nnz_out=c.nnz)
+            return c
+    return _blocked_mxm(a, b, n_blocks, workers, semiring, strategy,
+                        expansion_budget, share_b, timer)
+
+
+def _blocked_mxm(a: Matrix, b: Matrix, n_blocks: int, workers: int,
+                 semiring: Optional[Semiring], strategy: str,
+                 expansion_budget: Optional[int], share_b: bool,
+                 timer: Optional[Timer]) -> Matrix:
+    from repro.parallel.pool import parallel_map, share_arrays, unlink_arrays
 
     if workers > 1 and semiring is not None:
         from repro.semiring.builtin import _REGISTRY
@@ -81,12 +144,27 @@ def blocked_mxm(a: Matrix, b: Matrix, n_blocks: int = 4, workers: int = 1,
                 "parallel blocked_mxm supports built-in semirings only")
     sr_name = semiring.name if semiring is not None else None
     blocks = row_blocks(a, n_blocks)
-    if workers == 1:
-        results = [mxm(blk, b, semiring=semiring) for blk in blocks]
+    if workers == 1 or len(blocks) <= 1:
+        results = [mxm(blk, b, semiring=semiring, strategy=strategy,
+                       expansion_budget=expansion_budget) for blk in blocks]
+    elif share_b:
+        handles, meta = share_arrays({"indptr": b.indptr,
+                                      "indices": b.indices,
+                                      "values": b.values})
+        try:
+            results = parallel_map(
+                _mxm_block_shm,
+                [(blk, b.shape, meta, sr_name, strategy, expansion_budget)
+                 for blk in blocks],
+                workers=workers, timer=timer)
+        finally:
+            unlink_arrays(handles)
     else:
-        results = parallel_map(_mxm_block, [(blk, b, sr_name)
-                                            for blk in blocks],
-                               workers=workers)
+        results = parallel_map(
+            _mxm_block,
+            [(blk, b, sr_name, strategy, expansion_budget)
+             for blk in blocks],
+            workers=workers, timer=timer)
     if not results:
         from repro.sparse.construct import zeros
 

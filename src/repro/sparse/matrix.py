@@ -177,12 +177,10 @@ class Matrix:
         # counting sort by (new row = old col); indices within each new row
         # come out sorted because the COO stream is row-major sorted.
         order = np.argsort(cols, kind="stable")
-        new_rows = cols[order]
         new_cols = rows[order]
         new_vals = vals[order]
         indptr = np.zeros(self.ncols + 1, dtype=np.intp)
-        np.add.at(indptr, new_rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(cols, minlength=self.ncols), out=indptr[1:])
         return Matrix(self.ncols, self.nrows, indptr, new_cols, new_vals,
                       _validate=False)
 
@@ -202,8 +200,7 @@ class Matrix:
             return self
         rows = self.row_ids()[keep]
         indptr = np.zeros(self.nrows + 1, dtype=np.intp)
-        np.add.at(indptr, rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(rows, minlength=self.nrows), out=indptr[1:])
         return Matrix(self.nrows, self.ncols, indptr, self.indices[keep],
                       self.values[keep], _validate=False)
 
@@ -216,11 +213,16 @@ class Matrix:
     # -- kernel delegation (reads like the paper's pseudocode) --------------
 
     def mxm(self, other: "Matrix", semiring: Optional[Semiring] = None,
-            mask: Optional["Matrix"] = None) -> "Matrix":
-        """SpGEMM: ``self ⊕.⊗ other`` (defaults to plus-times)."""
+            mask: Optional["Matrix"] = None, strategy: str = "auto",
+            expansion_budget: Optional[int] = None) -> "Matrix":
+        """SpGEMM: ``self ⊕.⊗ other`` (defaults to plus-times).
+
+        ``strategy`` / ``expansion_budget`` select and bound the
+        adaptive engine (see :func:`repro.sparse.spgemm.mxm`)."""
         from repro.sparse.spgemm import mxm as _mxm
 
-        return _mxm(self, other, semiring=semiring, mask=mask)
+        return _mxm(self, other, semiring=semiring, mask=mask,
+                    strategy=strategy, expansion_budget=expansion_budget)
 
     def mxv(self, x, semiring: Optional[Semiring] = None) -> np.ndarray:
         from repro.sparse.spmv import mxv as _mxv

@@ -89,6 +89,68 @@ class TestTableMult:
         assert table_to_assoc(conn, "C").nnz == 0
 
 
+class TestTableMultEngine:
+    """via="engine": bulk scan → adaptive SpGEMM → bulk write."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_engine_equals_assoc_matmul(self, conn, seed):
+        rng = np.random.default_rng(seed)
+        a = random_assoc(rng, 8, 6)
+        b = random_assoc(rng, 8, 5)
+        assoc_to_table(conn, a, "A")
+        assoc_to_table(conn, b, "B")
+        stats = table_mult(conn, "A", "B", "C", via="engine")
+        assert table_to_assoc(conn, "C").equal(a.T @ b)
+        assert stats.entries_read > 0 and stats.entries_written > 0
+
+    def test_engine_matches_stream(self, conn):
+        rng = np.random.default_rng(5)
+        a = random_assoc(rng, 7, 7)
+        assoc_to_table(conn, a, "A")
+        table_mult(conn, "A", "A", "C_stream")
+        table_mult(conn, "A", "A", "C_engine", via="engine")
+        assert table_to_assoc(conn, "C_engine").equal(
+            table_to_assoc(conn, "C_stream"))
+
+    def test_engine_min_combiner_tropical(self, conn):
+        a = AssocArray.from_triples(["k", "k"], ["u", "v"], [1.0, 5.0])
+        b = AssocArray.from_triples(["k"], ["w"], [2.0])
+        assoc_to_table(conn, a, "A")
+        assoc_to_table(conn, b, "B")
+        table_mult(conn, "A", "B", "C", mul=lambda x, y: x + y,
+                   combiner="min", via="engine")
+        out = table_to_assoc(conn, "C")
+        assert out.get("u", "w") == 3.0 and out.get("v", "w") == 7.0
+
+    def test_engine_accumulates(self, conn):
+        rng = np.random.default_rng(6)
+        a = random_assoc(rng, 6, 4)
+        assoc_to_table(conn, a, "A")
+        table_mult(conn, "A", "A", "C", via="engine")
+        table_mult(conn, "A", "A", "C", via="engine")
+        assert table_to_assoc(conn, "C").equal((a.T @ a).scale(2.0))
+
+    def test_engine_empty_intersection(self, conn):
+        assoc_to_table(conn, AssocArray.from_triples(["x"], ["u"], [1.0]), "A")
+        assoc_to_table(conn, AssocArray.from_triples(["y"], ["w"], [1.0]), "B")
+        table_mult(conn, "A", "B", "C", via="engine")
+        assert table_to_assoc(conn, "C").nnz == 0
+
+    def test_engine_strategy_kwargs(self, conn):
+        rng = np.random.default_rng(7)
+        a = random_assoc(rng, 8, 8)
+        assoc_to_table(conn, a, "A")
+        table_mult(conn, "A", "A", "C", via="engine", strategy="tiled",
+                   expansion_budget=4)
+        assert table_to_assoc(conn, "C").equal(a.T @ a)
+
+    def test_invalid_via(self, conn):
+        rng = np.random.default_rng(8)
+        assoc_to_table(conn, random_assoc(rng, 3, 3), "A")
+        with pytest.raises(ValueError, match="via"):
+            table_mult(conn, "A", "A", "C", via="teleport")
+
+
 class TestDegreeTable:
     def test_weighted_and_count(self, conn):
         a = AssocArray.from_triples(["r1", "r1", "r2"], ["a", "b", "a"],

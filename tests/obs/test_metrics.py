@@ -44,6 +44,14 @@ class TestGauge:
         assert g.value == 7
         assert g.export() == 7
 
+    def test_set_max_high_water_mark(self):
+        g = Gauge("peak")
+        g.set_max(5)
+        g.set_max(3)   # lower: ignored
+        assert g.value == 5
+        g.set_max(11)
+        assert g.value == 11
+
 
 class TestHistogram:
     def test_empty_export(self):

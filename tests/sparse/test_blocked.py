@@ -68,3 +68,61 @@ class TestBlockedMxm:
     def test_empty_matrix(self):
         out = blocked_mxm(zeros(5, 4), zeros(4, 3), n_blocks=2)
         assert out.shape == (5, 3) and out.nnz == 0
+
+
+class TestSharedMemoryPath:
+    def _bit_identical(self, c, ref):
+        assert np.array_equal(c.indptr, ref.indptr)
+        assert np.array_equal(c.indices, ref.indices)
+        assert np.array_equal(c.values, ref.values)
+
+    def test_shm_bit_identical_to_mxm(self, random_sparse):
+        a, _ = random_sparse(20, 12, seed=11)
+        b, _ = random_sparse(12, 9, seed=12)
+        ref = mxm(a, b)
+        self._bit_identical(
+            blocked_mxm(a, b, n_blocks=4, workers=2, share_b=True), ref)
+
+    def test_pickled_fallback_bit_identical(self, random_sparse):
+        a, _ = random_sparse(14, 8, seed=13)
+        b, _ = random_sparse(8, 6, seed=14)
+        self._bit_identical(
+            blocked_mxm(a, b, n_blocks=3, workers=2, share_b=False),
+            mxm(a, b))
+
+    def test_strategy_forwarded(self, random_sparse):
+        a, _ = random_sparse(16, 10, seed=15)
+        b, _ = random_sparse(10, 7, seed=16)
+        ref = mxm(a, b)
+        for strategy in ("esc", "hash", "tiled", "auto"):
+            out = blocked_mxm(a, b, n_blocks=4, workers=2,
+                              strategy=strategy, expansion_budget=8)
+            self._bit_identical(out, ref)
+
+    def test_timer_merges_worker_chunks(self, random_sparse):
+        from repro.util import Timer
+
+        a, _ = random_sparse(16, 10, seed=17)
+        b, _ = random_sparse(10, 5, seed=18)
+        t = Timer()
+        out = blocked_mxm(a, b, n_blocks=4, workers=2, timer=t)
+        assert out.equal(mxm(a, b))
+        assert t.counts["_mxm_block_shm"] == 4
+
+    def test_trace_span(self, random_sparse):
+        from repro.obs import InMemorySink, trace
+
+        a, _ = random_sparse(10, 8, seed=19)
+        b, _ = random_sparse(8, 6, seed=20)
+        sink = InMemorySink()
+        trace.enable(sink)
+        try:
+            blocked_mxm(a, b, n_blocks=2, workers=1)
+        finally:
+            trace.disable()
+        (span,) = sink.spans("kernel.spgemm.blocked")
+        attrs = span["attrs"]
+        assert attrs["n_blocks"] == 2 and attrs["workers"] == 1
+        assert attrs["shared_memory"] is False
+        assert attrs["strategy"] == "auto"
+        assert attrs["nnz_out"] == mxm(a, b).nnz

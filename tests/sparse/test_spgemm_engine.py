@@ -1,0 +1,243 @@
+"""Adaptive SpGEMM engine: tile planning, strategy dispatch, bit-identity.
+
+Every strategy (esc / hash / tiled / auto, at any budget) must produce
+byte-for-byte identical CSR arrays — the engine is a pure execution-plan
+choice, never a numerical one.  Property tests drive random matrices and
+random budgets through all paths against the monolithic ESC kernel and
+the dense reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.obs import InMemorySink, trace
+from repro.semiring import MIN_PLUS, PLUS_PAIR
+from repro.sparse import from_dense, mxm, zeros
+from repro.sparse.matrix import Matrix
+from repro.sparse.spgemm import (
+    mxm_dense_reference,
+    plan_tiles,
+    predict_row_flops,
+    set_expansion_probe,
+)
+
+
+def assert_bit_identical(c, ref):
+    """CSR equality down to the last bit and dtype — not allclose."""
+    assert c.shape == ref.shape
+    assert np.array_equal(c.indptr, ref.indptr)
+    assert np.array_equal(c.indices, ref.indices)
+    assert np.array_equal(c.values, ref.values)
+    assert c.values.dtype == ref.values.dtype
+    assert c.indices.dtype == ref.indices.dtype
+
+
+class TestFlopPrediction:
+    def test_exact_expansion_size(self, random_sparse):
+        a, _ = random_sparse(7, 5, seed=1)
+        b, _ = random_sparse(5, 6, seed=2)
+        flops = predict_row_flops(a, b)
+        assert flops.shape == (7,)
+        b_len = np.diff(b.indptr)
+        for i in range(7):
+            cols, _ = a.row(i)
+            assert flops[i] == int(b_len[cols].sum())
+
+    def test_empty_a(self):
+        assert predict_row_flops(zeros(3, 4), zeros(4, 2)).tolist() == [0, 0, 0]
+
+
+class TestPlanTiles:
+    def test_covers_rows_in_order(self):
+        tiles = plan_tiles(np.array([3, 3, 3, 3]), budget=6)
+        assert tiles == [(0, 2), (2, 4)]
+
+    def test_tiles_partition(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            flops = rng.integers(0, 50, rng.integers(1, 30))
+            budget = int(rng.integers(1, 120))
+            tiles = plan_tiles(flops, budget)
+            assert tiles[0][0] == 0 and tiles[-1][1] == len(flops)
+            for (l0, h0), (l1, _) in zip(tiles, tiles[1:]):
+                assert h0 == l1
+            for lo, hi in tiles:
+                # within budget unless the tile is a single oversized row
+                assert flops[lo:hi].sum() <= budget or hi - lo == 1
+
+    def test_oversized_row_gets_own_tile(self):
+        assert plan_tiles(np.array([100, 1, 1]), budget=10) == [
+            (0, 1), (1, 3)]
+
+    def test_empty(self):
+        assert plan_tiles(np.array([], dtype=np.int64), budget=5) == []
+
+    def test_bad_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            plan_tiles(np.array([1]), budget=0)
+
+
+class TestStrategyDispatch:
+    def test_invalid_strategy(self, random_sparse):
+        a, _ = random_sparse(4, 4, seed=3)
+        with pytest.raises(ValueError, match="strategy"):
+            mxm(a, a, strategy="quantum")
+
+    def test_matrix_method_passthrough(self, random_sparse):
+        a, _ = random_sparse(6, 6, seed=4)
+        ref = mxm(a, a, strategy="esc")
+        assert_bit_identical(a.mxm(a, strategy="tiled", expansion_budget=3),
+                             ref)
+
+    @pytest.mark.parametrize("strategy", ["hash", "tiled", "auto"])
+    def test_empty_operands(self, strategy):
+        out = mxm(zeros(3, 4), zeros(4, 2), strategy=strategy)
+        assert out.shape == (3, 2) and out.nnz == 0
+
+    @pytest.mark.parametrize("strategy", ["hash", "tiled", "auto"])
+    def test_empty_rows_and_empty_result(self, strategy):
+        # row 0 of A only hits implicit zeros of B; row 2 of A is empty
+        a = from_dense([[1.0, 0.0], [0.0, 2.0], [0.0, 0.0]])
+        b = from_dense([[0.0], [3.0]])
+        ref = mxm(a, b, strategy="esc")
+        assert_bit_identical(mxm(a, b, strategy=strategy,
+                                 expansion_budget=1), ref)
+
+
+class TestBudgetProbe:
+    def test_tiled_peak_never_exceeds_budget(self, random_sparse):
+        a, _ = random_sparse(40, 30, seed=5, density=0.3)
+        b, _ = random_sparse(30, 25, seed=6, density=0.3)
+        row_flops = predict_row_flops(a, b)
+        for budget in (1, 7, 64, 10**9):
+            sizes = []
+            prev = set_expansion_probe(sizes.append)
+            try:
+                c = mxm(a, b, strategy="tiled", expansion_budget=budget)
+            finally:
+                set_expansion_probe(prev)
+            assert sizes, "probe never fired"
+            # the only legal over-budget tile is a single oversized row
+            assert max(sizes) <= max(budget, int(row_flops.max()))
+            assert_bit_identical(c, mxm(a, b, strategy="esc"))
+
+    def test_probe_restores(self):
+        marker = lambda n: None
+        prev = set_expansion_probe(marker)
+        assert set_expansion_probe(prev) is marker
+
+
+class TestMaskOverflowGuard:
+    def test_huge_mask_rejected(self):
+        # 4 * (2^61 + 1) - 1 > int64 max: flat keys would silently wrap
+        wide = (1 << 61) + 1
+        empty = np.zeros(0, dtype=np.intp)
+        a = Matrix(4, 1, np.zeros(5, dtype=np.intp), empty,
+                   np.zeros(0), _validate=False)
+        b = Matrix(1, wide, np.zeros(2, dtype=np.intp), empty,
+                   np.zeros(0), _validate=False)
+        mask = Matrix(4, wide, np.zeros(5, dtype=np.intp), empty,
+                      np.zeros(0), _validate=False)
+        with pytest.raises(ValueError, match="int64"):
+            mxm(a, b, mask=mask)
+
+    def test_hash_flat_key_guard(self):
+        wide = (np.iinfo(np.intp).max // 2) + 1
+        empty = np.zeros(0, dtype=np.intp)
+        a = Matrix(4, 1, np.zeros(5, dtype=np.intp), empty,
+                   np.zeros(0), _validate=False)
+        b = Matrix(1, wide, np.zeros(2, dtype=np.intp), empty,
+                   np.zeros(0), _validate=False)
+        with pytest.raises(ValueError, match="tiled"):
+            mxm(a, b, strategy="hash")
+
+
+class TestTraceAttrs:
+    def test_span_records_dispatch(self, random_sparse):
+        a, _ = random_sparse(12, 12, seed=7, density=0.4)
+        sink = InMemorySink()
+        trace.enable(sink)
+        try:
+            mxm(a, a, strategy="tiled", expansion_budget=5)
+            mxm(a, a, strategy="esc")
+        finally:
+            trace.disable()
+        spans = sink.spans("kernel.spgemm")
+        assert len(spans) == 2
+        tiled, esc = spans[0]["attrs"], spans[1]["attrs"]
+        assert tiled["strategy"] == "tiled"
+        assert tiled["n_tiles"] > 1
+        assert tiled["tiles_esc"] == tiled["n_tiles"]
+        assert tiled["tiles_hash"] == 0
+        assert tiled["expansion_budget"] == 5
+        assert 0 < tiled["peak_expansion"]
+        assert tiled["nnz_out"] == esc["nnz_out"]
+        assert esc["strategy"] == "esc" and esc["n_tiles"] == 1
+
+
+# -- property tests: all strategies, random budgets, bit-for-bit --------------
+
+def sparse_pair():
+    """Strategy: (dense A, dense B) with compatible shapes, many zeros."""
+    elements = st.sampled_from([0.0, 0.0, 0.0, 1.0, 2.0, -1.5, 0.25, 7.0])
+    dims = st.tuples(st.integers(1, 10), st.integers(1, 8),
+                     st.integers(1, 10))
+    return dims.flatmap(lambda mkn: st.tuples(
+        arrays(np.float64, (mkn[0], mkn[1]), elements=elements),
+        arrays(np.float64, (mkn[1], mkn[2]), elements=elements)))
+
+
+@given(ab=sparse_pair(),
+       strategy=st.sampled_from(["hash", "tiled", "auto"]),
+       budget=st.integers(1, 200))
+@settings(max_examples=120, deadline=None)
+def test_strategies_bit_identical_to_esc(ab, strategy, budget):
+    da, db = ab
+    a, b = from_dense(da), from_dense(db)
+    ref = mxm(a, b, strategy="esc")
+    out = mxm(a, b, strategy=strategy, expansion_budget=budget)
+    assert_bit_identical(out, ref)
+    assert np.allclose(out.to_dense(), mxm_dense_reference(a, b))
+
+
+@given(ab=sparse_pair(),
+       strategy=st.sampled_from(["hash", "tiled", "auto"]),
+       budget=st.integers(1, 60))
+@settings(max_examples=80, deadline=None)
+def test_masked_strategies_bit_identical(ab, strategy, budget):
+    da, db = ab
+    a, b = from_dense(da), from_dense(db)
+    # mask with a deterministic-but-irregular stored pattern
+    dm = np.zeros((da.shape[0], db.shape[1]))
+    dm.flat[::2] = 1.0
+    mask = from_dense(dm)
+    ref = mxm(a, b, mask=mask, strategy="esc")
+    out = mxm(a, b, mask=mask, strategy=strategy, expansion_budget=budget)
+    assert_bit_identical(out, ref)
+
+
+@given(ab=sparse_pair(), budget=st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_min_plus_tiled_bit_identical(ab, budget):
+    da, db = ab
+    a, b = from_dense(da), from_dense(db)
+    ref = mxm(a, b, semiring=MIN_PLUS, strategy="esc")
+    for strategy in ("tiled", "hash", "auto"):
+        out = mxm(a, b, semiring=MIN_PLUS, strategy=strategy,
+                  expansion_budget=budget)
+        assert_bit_identical(out, ref)
+
+
+@given(da=arrays(np.float64, (7, 7),
+                 elements=st.sampled_from([0.0, 0.0, 1.0, 3.0])),
+       budget=st.integers(1, 30))
+@settings(max_examples=60, deadline=None)
+def test_plus_pair_square_bit_identical(da, budget):
+    a = from_dense(da)
+    ref = mxm(a, a.T, semiring=PLUS_PAIR, strategy="esc")
+    out = mxm(a, a.T, semiring=PLUS_PAIR, strategy="auto",
+              expansion_budget=budget)
+    assert_bit_identical(out, ref)
