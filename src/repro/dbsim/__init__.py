@@ -47,6 +47,7 @@ from repro.dbsim.iterators import (
     VersioningIterator,
     drain,
 )
+from repro.dbsim.sstable import RowBloomFilter, SSTable, SSTableIterator
 from repro.dbsim.tablet import Tablet
 from repro.dbsim.server import Instance, TabletServer, TableConfig
 from repro.dbsim.client import BatchScanner, BatchWriter, Connector, Scanner
@@ -94,6 +95,9 @@ __all__ = [
     "MaxCombiner",
     "VersioningIterator",
     "drain",
+    "RowBloomFilter",
+    "SSTable",
+    "SSTableIterator",
     "Tablet",
     "Instance",
     "TabletServer",

@@ -3,19 +3,23 @@
 Mirrors the Accumulo client library shape the D4M/Graphulo stack
 programs against: a Connector locates tablets through the Instance, a
 Scanner streams one range in key order, a BatchScanner handles many
-ranges, and a BatchWriter buffers mutations and routes them to the
-owning tablets on flush.
+ranges (coalescing sorted row-ranges into one tablet-stack seek per
+tablet, the way a real BatchScanner amortises RPCs), and a BatchWriter
+buffers mutations and applies them per owning tablet in bulk
+(``Tablet.write_batch``) on flush.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+import bisect
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dbsim.iterators import Columns, VisibilityFilterIterator
 from repro.dbsim.key import Cell, Key, Range, encode_number
 from repro.dbsim.server import Instance, TableConfig
-from repro.dbsim.tablet import IteratorFactory
+from repro.dbsim.tablet import IteratorFactory, Tablet
 from repro.dbsim.visibility import PUBLIC, Authorizations, check_expression
+from repro.obs import trace as _trace
 
 
 class Connector:
@@ -55,12 +59,14 @@ class Connector:
 
     def batch_scanner(self, table: str,
                       scan_iterators: Sequence[IteratorFactory] = (),
-                      authorizations: Authorizations = None) -> "BatchScanner":
+                      authorizations: Authorizations = None,
+                      coalesce: Optional[bool] = None) -> "BatchScanner":
         return BatchScanner(self, table, scan_iterators,
-                            authorizations=authorizations)
+                            authorizations=authorizations, coalesce=coalesce)
 
-    def batch_writer(self, table: str, buffer_size: int = 10_000) -> "BatchWriter":
-        return BatchWriter(self, table, buffer_size)
+    def batch_writer(self, table: str, buffer_size: int = 10_000,
+                     max_memory: int = 4 << 20) -> "BatchWriter":
+        return BatchWriter(self, table, buffer_size, max_memory)
 
 
 class Scanner:
@@ -103,17 +109,42 @@ class Scanner:
                 it.advance()
 
 
+def _sorted_disjoint(ranges: Sequence[Range]) -> bool:
+    """True when every range ends before the next begins — the
+    precondition under which per-range order equals global key order
+    (and therefore coalescing is output-identical)."""
+    for prev, nxt in zip(ranges, ranges[1:]):
+        if prev.stop_row is None or nxt.start_row is None:
+            return False
+        if prev.stop_row > nxt.start_row:
+            return False
+    return True
+
+
 class BatchScanner:
     """Multi-range scan (results in key order per range, ranges in the
-    order given — the simulation is deterministic where Accumulo is not)."""
+    order given — the simulation is deterministic where Accumulo is not).
+
+    When the ranges are sorted and disjoint (``table_bfs`` frontier
+    fetches, degree lookups), the scan *coalesces* them per tablet:
+    one iterator stack is built and seeked per overlapping tablet,
+    covering the tablet's whole span of requested ranges, and cells
+    outside every range are filtered on the fly.  Output is
+    bit-identical to the per-range path; the seek count drops from one
+    stack seek per range to one per tablet.  ``coalesce`` forces the
+    choice: ``None`` auto-detects, ``False`` always scans per range,
+    ``True`` requires sorted disjoint ranges (raises otherwise).
+    """
 
     def __init__(self, conn: Connector, table: str,
                  scan_iterators: Sequence[IteratorFactory] = (),
-                 authorizations: Authorizations = None):
+                 authorizations: Authorizations = None,
+                 coalesce: Optional[bool] = None):
         self._conn = conn
         self._table = table
         self._scan_iterators = tuple(scan_iterators)
         self._authorizations = authorizations
+        self._coalesce = coalesce
         self.ranges: List[Range] = []
         self.columns: Columns = None
 
@@ -123,7 +154,33 @@ class BatchScanner:
             raise ValueError("BatchScanner needs at least one range")
         return self
 
+    def _use_coalesced(self) -> bool:
+        if self._coalesce is None:
+            return _sorted_disjoint(self.ranges)
+        if self._coalesce and not _sorted_disjoint(self.ranges):
+            raise ValueError(
+                "coalesce=True requires sorted, disjoint ranges")
+        return self._coalesce
+
     def __iter__(self) -> Iterator[Cell]:
+        coalesced = self._use_coalesced()
+        if not _trace.ENABLED:
+            yield from self._iterate(coalesced)
+            return
+        with _trace.span("dbsim.batch_scan",
+                         stats=self._conn.instance.total_stats,
+                         table=self._table, ranges=len(self.ranges),
+                         coalesced=coalesced) as sp:
+            n = 0
+            for cell in self._iterate(coalesced):
+                n += 1
+                yield cell
+            sp.set(entries=n)
+
+    def _iterate(self, coalesced: bool) -> Iterator[Cell]:
+        if coalesced:
+            yield from self._iter_coalesced()
+            return
         for rng in self.ranges:
             scanner = Scanner(self._conn, self._table, self._scan_iterators,
                               authorizations=self._authorizations)
@@ -131,21 +188,71 @@ class BatchScanner:
             scanner.columns = self.columns
             yield from scanner
 
+    def _iter_coalesced(self) -> Iterator[Cell]:
+        inst = self._conn.instance
+        config = inst.config(self._table)
+        auths = PUBLIC if self._authorizations is None \
+            else self._authorizations
+        scan_its = ((lambda src: VisibilityFilterIterator(src, auths),)
+                    + self._scan_iterators)
+        ranges = self.ranges
+        span = Range(ranges[0].start_row, ranges[-1].stop_row)
+        for tablet in inst.tablets_for_range(self._table, span):
+            tranges = [r for r in ranges if tablet.extent.clip(r) is not None]
+            if not tranges:
+                continue
+            # one stack, one seek, covering this tablet's whole span of
+            # requested ranges; the gap cells between ranges are
+            # filtered below (ranges sorted ⇒ a single forward pass)
+            trng = Range(tranges[0].start_row, tranges[-1].stop_row)
+            it = tablet.scan_iterator(trng, config.table_iterators, scan_its)
+            it.seek(trng, self.columns)
+            ri = 0
+            while it.has_top():
+                cell = it.top()
+                row = cell.key.row
+                while ri < len(tranges) and \
+                        tranges[ri].stop_row is not None and \
+                        row >= tranges[ri].stop_row:
+                    ri += 1
+                if ri >= len(tranges):
+                    break
+                if tranges[ri].contains_row(row):
+                    yield cell
+                it.advance()
+
 
 class BatchWriter:
     """Buffered writer routing mutations to owning tablets.
 
-    Usable as a context manager; ``close()``/``__exit__`` flushes.
-    Values may be numbers (encoded) or strings.
+    Mutations accumulate client-side as raw ``(row, family, qualifier,
+    visibility, timestamp, delete, value)`` tuples — no :class:`Cell`
+    is built until the owning tablet stamps the mutation's timestamp,
+    so each cell is materialised exactly once.  When either
+    ``buffer_size`` mutations or ``max_memory`` approximate bytes are
+    buffered (or ``flush`` / ``close`` is called), the buffer is binned
+    per owning tablet — one bisect of the cached location index per
+    tablet change, one ``Tablet.write_raw_batch`` per tablet — instead
+    of locating and writing cell by cell.  Buffer order is preserved,
+    so assigned timestamps (and therefore scan results) are
+    bit-identical to cell-at-a-time writes.  Usable as a context
+    manager; ``close()``/``__exit__`` flushes.  Values may be numbers
+    (encoded) or strings.
     """
 
-    def __init__(self, conn: Connector, table: str, buffer_size: int = 10_000):
+    def __init__(self, conn: Connector, table: str, buffer_size: int = 10_000,
+                 max_memory: int = 4 << 20):
         if buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        if max_memory < 1:
+            raise ValueError(f"max_memory must be >= 1, got {max_memory}")
         self._conn = conn
         self._table = table
-        self._buffer: List[Cell] = []
+        #: raw mutation tuples, in write order
+        self._buffer: List[tuple] = []
         self._buffer_size = buffer_size
+        self._max_memory = max_memory
+        self._buffer_bytes = 0
         self._closed = False
 
     def put(self, row: str, family: str = "", qualifier: str = "",
@@ -155,9 +262,12 @@ class BatchWriter:
         check_expression(visibility)  # reject bad labels at write time
         if isinstance(value, (int, float)):
             value = encode_number(value)
-        self._buffer.append(Cell(Key(row, family, qualifier, visibility,
-                                     timestamp), value))
-        if len(self._buffer) >= self._buffer_size:
+        self._buffer.append((row, family, qualifier, visibility, timestamp,
+                             False, value))
+        self._buffer_bytes += (len(row) + len(family) + len(qualifier)
+                               + len(value) + 24)
+        if (len(self._buffer) >= self._buffer_size
+                or self._buffer_bytes >= self._max_memory):
             self.flush()
 
     def delete(self, row: str, family: str = "", qualifier: str = "",
@@ -166,24 +276,57 @@ class BatchWriter:
         if self._closed:
             raise RuntimeError("writer is closed")
         check_expression(visibility)
-        self._buffer.append(Cell(Key(row, family, qualifier, visibility,
-                                     0, True), ""))
-        if len(self._buffer) >= self._buffer_size:
+        self._buffer.append((row, family, qualifier, visibility, 0, True, ""))
+        self._buffer_bytes += len(row) + len(family) + len(qualifier) + 24
+        if (len(self._buffer) >= self._buffer_size
+                or self._buffer_bytes >= self._max_memory):
             self.flush()
 
     def put_cell(self, cell: Cell) -> None:
         if self._closed:
             raise RuntimeError("writer is closed")
-        self._buffer.append(cell)
-        if len(self._buffer) >= self._buffer_size:
+        key = cell.key
+        self._buffer.append((key.row, key.family, key.qualifier,
+                             key.visibility, key.timestamp, key.delete,
+                             cell.value))
+        self._buffer_bytes += (len(key.row) + len(key.family)
+                               + len(key.qualifier) + len(cell.value) + 24)
+        if (len(self._buffer) >= self._buffer_size
+                or self._buffer_bytes >= self._max_memory):
             self.flush()
 
     def flush(self) -> None:
-        inst = self._conn.instance
-        for cell in self._buffer:
-            tablet = inst.locate(self._table, cell.key.row)
-            tablet.write(cell.key, cell.value)
+        if not self._buffer:
+            return
+        # bin the buffer per owning tablet (stable, so each tablet sees
+        # its mutations in buffer order — per-tablet logical clocks then
+        # assign the same timestamps cell-at-a-time writes would), then
+        # apply one write_raw_batch per tablet.  Routing bisects a local
+        # snapshot of the instance's location index, the client-side
+        # analogue of Accumulo's tablet-location cache.
+        starts, tablets = self._conn.instance.locate_index(self._table)
+        locate = bisect.bisect_right
+        group: Optional[List[tuple]] = None
+        lo = ""  # current group's extent bounds, cached for cheap re-use
+        hi: Optional[str] = ""
+        groups: List[Tuple[Tablet, List[tuple]]] = []
+        by_tablet: dict = {}
+        for mut in self._buffer:
+            row = mut[0]
+            if group is None or row < lo or (hi is not None and row >= hi):
+                idx = locate(starts, row) - 1
+                tablet = tablets[idx if idx > 0 else 0]
+                lo = tablet.extent.start_row or ""
+                hi = tablet.extent.stop_row
+                group = by_tablet.get(id(tablet))
+                if group is None:
+                    group = by_tablet[id(tablet)] = []
+                    groups.append((tablet, group))
+            group.append(mut)
+        for tablet, muts in groups:
+            tablet.write_raw_batch(muts)
         self._buffer.clear()
+        self._buffer_bytes = 0
 
     def close(self) -> None:
         if not self._closed:

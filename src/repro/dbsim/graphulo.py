@@ -333,18 +333,28 @@ def _table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
     if not frontier:
         raise ValueError("need at least one seed vertex")
 
-    def degree_of(vertex: str) -> float:
-        scanner = conn.scanner(degree_table_name)
-        scanner.set_range(Range.exact_row(vertex))
-        for cell in scanner:
-            return decode_number(cell.value)
-        return 0.0
+    def degrees_of(vertices: Set[str]) -> Dict[str, float]:
+        """One coalesced BatchScanner fetch for the whole frontier's
+        degree rows (first cell per row wins, matching a point scan)."""
+        degs = {v: 0.0 for v in vertices}
+        bs = conn.batch_scanner(degree_table_name)
+        bs.set_ranges([Range.exact_row(v) for v in sorted(vertices)])
+        seen: Set[str] = set()
+        for cell in bs:
+            row = cell.key.row
+            if row not in seen:
+                seen.add(row)
+                degs[row] = decode_number(cell.value)
+        return degs
 
     for hop in range(1, hops + 1):
         if min_degree is not None:
-            frontier = {v for v in frontier if degree_of(v) >= min_degree}
+            degs = degrees_of(frontier)
+            frontier = {v for v in frontier if degs[v] >= min_degree}
         if not frontier:
             break
+        # sorted disjoint exact-row ranges: the BatchScanner coalesces
+        # them into one stack seek per tablet for this hop
         bs = conn.batch_scanner(edge_table, authorizations=authorizations)
         bs.set_ranges([Range.exact_row(v) for v in sorted(frontier)])
         nxt: Set[str] = set()

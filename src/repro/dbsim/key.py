@@ -119,6 +119,15 @@ class Range:
             return None
         return Range(lo, hi)
 
+    def single_row(self) -> Optional[str]:
+        """The only row a non-empty instance of this range can contain,
+        or ``None`` when it may span several rows.  ``exact_row``
+        ranges qualify — the case point-lookup bloom filters serve."""
+        if (self.start_row is not None and self.stop_row is not None
+                and self.stop_row <= self.start_row + "\0"):
+            return self.start_row
+        return None
+
     def effective_start(self) -> str:
         return _MIN if self.start_row is None else self.start_row
 

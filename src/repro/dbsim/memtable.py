@@ -20,20 +20,45 @@ class MemTable:
     def __init__(self):
         self._cells: List[Cell] = []
         self._sorted = True
+        self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._cells)
 
     @property
     def approximate_bytes(self) -> int:
-        """Rough memory footprint used by the flush policy."""
-        return sum(len(c.key.row) + len(c.key.family) + len(c.key.qualifier)
-                   + len(c.value) + 24 for c in self._cells)
+        """Rough memory footprint used by the flush policy (maintained
+        incrementally — reading it is O(1), not a rescan)."""
+        return self._bytes
 
     def write(self, cell: Cell) -> None:
         if self._cells and not (self._cells[-1].key < cell.key):
             self._sorted = False
         self._cells.append(cell)
+        self._bytes += (len(cell.key.row) + len(cell.key.family)
+                        + len(cell.key.qualifier) + len(cell.value) + 24)
+
+    def extend(self, cells: List[Cell], nbytes: Optional[int] = None) -> None:
+        """Bulk append: one size update (callers that already walked the
+        cells may pass the precomputed ``nbytes``), and the sortedness
+        check stops at the first out-of-order key instead of comparing
+        every pair (once unsorted, the snapshot sorts anyway)."""
+        if not cells:
+            return
+        if self._sorted:
+            prev = self._cells[-1].key.sort_tuple() if self._cells else None
+            for cell in cells:
+                cur = cell.key.sort_tuple()
+                if prev is not None and cur <= prev:
+                    self._sorted = False
+                    break
+                prev = cur
+        self._cells.extend(cells)
+        if nbytes is None:
+            nbytes = sum(len(c.key.row) + len(c.key.family)
+                         + len(c.key.qualifier) + len(c.value) + 24
+                         for c in cells)
+        self._bytes += nbytes
 
     def snapshot(self) -> List[Cell]:
         """Sorted view of current contents (stable: later duplicates of
@@ -49,3 +74,4 @@ class MemTable:
     def clear(self) -> None:
         self._cells.clear()
         self._sorted = True
+        self._bytes = 0

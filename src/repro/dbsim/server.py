@@ -9,6 +9,7 @@ locate-tablet → per-server scan flow a real client library performs.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -72,6 +73,10 @@ class Instance:
         self._tables: Dict[str, TableConfig] = {}
         #: per table: tablets sorted by extent start (None first)
         self._tablets: Dict[str, List[Tablet]] = {}
+        #: per table: cached extent-start keys ("" for the unbounded
+        #: first tablet), parallel to ``_tablets[name]`` — the bisect
+        #: index ``locate`` uses; invalidated on split/create/delete
+        self._locate_index: Dict[str, List[str]] = {}
         self._rr = 0  # round-robin assignment cursor
 
     # -- table lifecycle -----------------------------------------------------
@@ -90,6 +95,7 @@ class Instance:
         self._tables[name] = config
         tablet = Tablet(Range(), config.max_versions, config.flush_bytes)
         self._tablets[name] = [tablet]
+        self._locate_index.pop(name, None)
         self._assign(name, tablet)
         for split in splits:
             self.add_split(name, split)
@@ -106,6 +112,7 @@ class Instance:
                             len(server.tablets))
         del self._tablets[name]
         del self._tables[name]
+        self._locate_index.pop(name, None)
 
     def config(self, name: str) -> TableConfig:
         self._require(name)
@@ -141,6 +148,7 @@ class Instance:
         tablets = self._tablets[name]
         idx = tablets.index(tablet)
         tablets[idx:idx + 1] = [left, right]
+        self._locate_index.pop(name, None)  # split moved the boundaries
         for server in self.servers:
             if (name, tablet) in server.tablets:
                 server.unhost(name, tablet)
@@ -152,17 +160,53 @@ class Instance:
         return [t.extent.start_row for t in self._tablets[name]
                 if t.extent.start_row is not None]
 
-    def locate(self, name: str, row: str) -> Tablet:
-        """Find the tablet whose extent contains ``row``."""
+    def _starts(self, name: str) -> List[str]:
+        """The cached bisect index: one sorted start key per tablet
+        (rebuilt lazily after a split invalidates it)."""
+        starts = self._locate_index.get(name)
+        if starts is None:
+            starts = [t.extent.start_row or "" for t in self._tablets[name]]
+            self._locate_index[name] = starts
+            self.metrics.counter("dbsim.locate.index_builds").inc()
+        return starts
+
+    def locate_index(self, name: str) -> Tuple[List[str], List[Tablet]]:
+        """The table's location index: parallel (start keys, tablets)
+        lists for client-side bisect routing (what a real client's
+        tablet-location cache holds).  The start-key list is replaced —
+        never mutated — when a split invalidates it, so callers may use
+        its identity as a staleness token."""
         self._require(name)
-        for tablet in self._tablets[name]:
-            if tablet.extent.contains_row(row):
-                return tablet
-        raise AssertionError(f"no tablet covers row {row!r}")  # pragma: no cover
+        return self._starts(name), self._tablets[name]
+
+    def locate(self, name: str, row: str) -> Tablet:
+        """Find the tablet whose extent contains ``row`` — a bisect
+        over the table's sorted split points, not a tablet walk."""
+        self._require(name)
+        self.metrics.counter("dbsim.locate.requests").inc()
+        starts = self._starts(name)
+        idx = bisect.bisect_right(starts, row) - 1
+        tablet = self._tablets[name][max(idx, 0)]
+        if not tablet.extent.contains_row(row):  # pragma: no cover
+            raise AssertionError(f"no tablet covers row {row!r}")
+        return tablet
 
     def tablets_for_range(self, name: str, rng: Range) -> List[Tablet]:
         self._require(name)
-        return [t for t in self._tablets[name] if t.extent.clip(rng) is not None]
+        tablets = self._tablets[name]
+        starts = self._starts(name)
+        # first candidate: the tablet containing rng's start row
+        lo = 0 if rng.start_row is None else \
+            max(bisect.bisect_right(starts, rng.start_row) - 1, 0)
+        out: List[Tablet] = []
+        for tablet in tablets[lo:]:
+            if (rng.stop_row is not None
+                    and tablet.extent.start_row is not None
+                    and tablet.extent.start_row >= rng.stop_row):
+                break  # tablets are in extent order; the rest are past rng
+            if tablet.extent.clip(rng) is not None:
+                out.append(tablet)
+        return out
 
     # -- maintenance ----------------------------------------------------------------
 

@@ -1,51 +1,174 @@
 """Immutable sorted runs (the simulation's RFiles).
 
-An SSTable is a frozen sorted cell list with first/last key metadata so
-tablets can skip runs wholly outside a scan range.
+An SSTable is a frozen sorted cell list with the read-side structures a
+real RFile carries:
+
+* cached **sort-key array** — computed once at construction instead of
+  per iterator (seeks reuse it across every scan of the run);
+* a **sparse block index** (every ``BLOCK_SIZE``-th key) so a seek
+  bisects the small index first and then only one block of the full
+  key array — the RFile index-block two-level lookup;
+* **min/max row bounds** for `overlaps` range pruning;
+* a **row bloom filter** consulted by point lookups before the run is
+  opened at all (no false negatives, so skipping is always safe).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import bisect
+import zlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.dbsim.iterators import ListIterator
+from repro.dbsim.iterators import Columns, ListIterator
 from repro.dbsim.key import Cell, Range
 from repro.dbsim.stats import OpStats
 
+#: Seek sentinel: sorts before every real 6-tuple key of the same row.
+_SEEK_MIN = ("", "", "", -(2 ** 63))
+
+
+class RowBloomFilter:
+    """Classic m-bit / k-hash bloom filter over row keys.
+
+    Hashing is deterministic (CRC32 double hashing, not Python's
+    randomized ``hash``) so counters built on bloom decisions are
+    reproducible across processes.  ``may_contain`` has no false
+    negatives: ``False`` proves the row was never inserted.
+    """
+
+    __slots__ = ("_bits", "_nbits", "n_keys")
+
+    BITS_PER_KEY = 10
+    N_HASHES = 3
+
+    def __init__(self, rows: Iterable[str]):
+        rows = list(rows)
+        self.n_keys = len(rows)
+        self._nbits = max(8, self.n_keys * self.BITS_PER_KEY)
+        self._bits = bytearray((self._nbits + 7) // 8)
+        for row in rows:
+            for pos in self._positions(row):
+                self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def _positions(self, row: str) -> Iterable[int]:
+        data = row.encode("utf-8", "surrogatepass")
+        h1 = zlib.crc32(data)
+        h2 = zlib.crc32(data, 0x9E3779B9) | 1  # odd: full period mod 2^k
+        for i in range(self.N_HASHES):
+            yield (h1 + i * h2) % self._nbits
+
+    def may_contain(self, row: str) -> bool:
+        return all(self._bits[p >> 3] & (1 << (p & 7))
+                   for p in self._positions(row))
+
+    def __len__(self) -> int:
+        return self._nbits
+
 
 class SSTable:
-    """Immutable sorted cell run."""
+    """Immutable sorted cell run with index + filter metadata."""
 
-    def __init__(self, cells: Sequence[Cell]):
+    #: Keys per index block: a seek bisects ``n / BLOCK_SIZE`` index
+    #: entries plus one block, instead of the full key array.
+    BLOCK_SIZE = 64
+
+    def __init__(self, cells: Sequence[Cell], _presorted: bool = False):
         cells = list(cells)
-        for a, b in zip(cells, cells[1:]):
-            if b.key < a.key:
-                raise ValueError("SSTable cells must be pre-sorted")
+        if not _presorted:
+            for a, b in zip(cells, cells[1:]):
+                if b.key < a.key:
+                    raise ValueError("SSTable cells must be pre-sorted")
         self._cells = cells
+        # read-side structures, computed once for the run's lifetime
+        self._keys: List[Tuple] = [c.key.sort_tuple() for c in cells]
+        self._block_keys = self._keys[::self.BLOCK_SIZE]
+        self._first_row: Optional[str] = cells[0].key.row if cells else None
+        self._last_row: Optional[str] = cells[-1].key.row if cells else None
+        self._bloom = RowBloomFilter(
+            {c.key.row for c in cells}) if cells else None
 
     def __len__(self) -> int:
         return len(self._cells)
 
     @property
     def first_row(self) -> Optional[str]:
-        return self._cells[0].key.row if self._cells else None
+        return self._first_row
 
     @property
     def last_row(self) -> Optional[str]:
-        return self._cells[-1].key.row if self._cells else None
+        return self._last_row
 
     def overlaps(self, rng: Range) -> bool:
         """Can this run contain cells inside ``rng``? (metadata check)"""
         if not self._cells:
             return False
-        if rng.stop_row is not None and self.first_row >= rng.stop_row:
+        if rng.stop_row is not None and self._first_row >= rng.stop_row:
             return False
-        if rng.start_row is not None and self.last_row < rng.start_row:
+        if rng.start_row is not None and self._last_row < rng.start_row:
             return False
         return True
 
-    def iterator(self, stats: Optional[OpStats] = None) -> ListIterator:
-        return ListIterator(self._cells, stats=stats)
+    def may_contain_row(self, row: str) -> bool:
+        """Bloom-filter point check; ``False`` is definitive."""
+        if self._bloom is None:
+            return False
+        if not (self._first_row <= row <= self._last_row):
+            return False
+        return self._bloom.may_contain(row)
+
+    def iterator(self, stats: Optional[OpStats] = None,
+                 on_index_seek: Optional[Callable[[], None]] = None
+                 ) -> "SSTableIterator":
+        return SSTableIterator(self, stats=stats, on_index_seek=on_index_seek)
 
     def cells(self) -> List[Cell]:
         return list(self._cells)
+
+    def split_at(self, split_row: str) -> Tuple["SSTable", "SSTable"]:
+        """Partition into runs below / at-or-above ``split_row`` with one
+        bisect and two slices (cells with row == split_row go right,
+        matching Accumulo's exclusive-end split semantics)."""
+        cut = bisect.bisect_left(self._keys, (split_row,) + _SEEK_MIN)
+        return (SSTable(self._cells[:cut], _presorted=True),
+                SSTable(self._cells[cut:], _presorted=True))
+
+
+class SSTableIterator(ListIterator):
+    """Storage iterator over an SSTable's shared, precomputed key array.
+
+    Unlike a plain :class:`ListIterator` (which rebuilds the sort-key
+    list per instantiation), construction is O(1): the run's cached
+    keys and sparse block index are borrowed, and ``seek`` bisects the
+    index first, then only within the located block.
+    """
+
+    def __init__(self, table: SSTable, stats: Optional[OpStats] = None,
+                 on_index_seek: Optional[Callable[[], None]] = None):
+        # deliberately no super().__init__: reuse the run's key array
+        self._cells = table._cells
+        self._keys = table._keys
+        self._block_keys = table._block_keys
+        self._pos = 0
+        self._stop: str = ""
+        self._columns: Columns = None
+        self._stats = stats
+        self._on_index_seek = on_index_seek
+
+    def seek(self, rng: Range, columns: Columns = None) -> None:
+        if self._stats:
+            self._stats.seeks += 1
+        self._stop = rng.effective_stop()
+        self._columns = columns
+        target = (rng.effective_start(),) + _SEEK_MIN
+        # two-level lookup: sparse index block, then within-block bisect.
+        # block_keys[b] <= target < block_keys[b+1] brackets the
+        # insertion point inside [b*B, (b+1)*B]; equality with the
+        # 4-element-padded target never occurs against real 6-tuples,
+        # so bisect_left within the bracket equals the global bisect.
+        b = bisect.bisect_right(self._block_keys, target) - 1
+        lo = 0 if b < 0 else b * SSTable.BLOCK_SIZE
+        hi = min(lo + SSTable.BLOCK_SIZE, len(self._keys))
+        self._pos = bisect.bisect_left(self._keys, target, lo, hi)
+        if self._on_index_seek is not None:
+            self._on_index_seek()
+        self._skip_filtered()

@@ -13,7 +13,7 @@ table's iterator stack, making combiner results durable.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dbsim.iterators import (
     Columns,
@@ -46,6 +46,7 @@ class Tablet:
         self._registry = None     # metrics registry (bound by the Instance)
         self.table: Optional[str] = None
         self._sink = self._stats  # counter target: stats, or a metered tee
+        self._on_index_seek = None  # registry hook for sstable index seeks
         self.memtable = MemTable()
         self.sstables: List[SSTable] = []
         self._clock = 0  # per-tablet logical timestamps: last write wins
@@ -76,7 +77,8 @@ class Tablet:
         # activity still shows the table's full schema (at zero)
         prefix = f"dbsim.table.{table}"
         for name in ("seeks", "entries_read", "entries_written", "flushes",
-                     "compactions"):
+                     "compactions", "bloom_hits", "bloom_misses",
+                     "index_seeks", "batched_mutations"):
             registry.counter(f"{prefix}.{name}")
         for name in self._gauge_prev:
             registry.gauge(f"{prefix}.{name}")
@@ -97,10 +99,21 @@ class Tablet:
 
     def _rebuild_sink(self) -> None:
         if self._registry is not None and self.table is not None:
-            self._sink = MeteredStats(self._stats, self._registry,
-                                      f"dbsim.table.{self.table}")
+            prefix = f"dbsim.table.{self.table}"
+            self._sink = MeteredStats(self._stats, self._registry, prefix)
+            self._on_index_seek = self._registry.counter(
+                f"{prefix}.index_seeks").inc
         else:
             self._sink = self._stats
+            self._on_index_seek = None
+
+    def _bump_aux(self, name: str, amount: int = 1) -> None:
+        """Count an I/O-path event that exists only in the registry
+        (bloom/batching counters are not part of the OpStats cost
+        model, whose field set is pinned by serialization tests)."""
+        if self._registry is not None:
+            self._registry.counter(
+                f"dbsim.table.{self.table}.{name}").inc(amount)
 
     def _update_gauges(self, memtable_bytes: Optional[int] = None) -> None:
         # table-level gauges are the sum over the table's tablets, so
@@ -121,11 +134,11 @@ class Tablet:
 
     # -- writes -------------------------------------------------------------
 
-    def write(self, key: Key, value: str) -> None:
-        """Insert one cell (timestamp 0 is replaced by a fresh logical
-        tick so later writes version-sort first).  Appended to the WAL
-        before the memtable — the durability contract crash recovery
-        replays."""
+    def _apply(self, key: Key, value: str) -> None:
+        """Stamp, WAL-append, and buffer one mutation (no accounting):
+        timestamp 0 is replaced by a fresh logical tick so later writes
+        version-sort first; the WAL append precedes the memtable — the
+        durability contract crash recovery replays."""
         if not self.extent.contains_row(key.row):
             raise ValueError(
                 f"row {key.row!r} outside tablet extent "
@@ -137,11 +150,90 @@ class Tablet:
         cell = Cell(key, value)
         self.wal.append(cell)
         self.memtable.write(cell)
+
+    def write(self, key: Key, value: str) -> None:
+        """Insert one cell."""
+        self._apply(key, value)
         self._sink.entries_written += 1
         size = self.memtable.approximate_bytes
         self._update_gauges(memtable_bytes=size)
         if size >= self.flush_bytes:
             self.flush()
+
+    def write_batch(self, cells: Iterable[Cell]) -> int:
+        """Apply a batch of mutations with batch-granular accounting:
+        cells are stamped in order (preserving the per-cell timestamp
+        sequence ``write`` would assign, so scans are bit-identical to
+        cell-at-a-time ingest) and appended to the WAL and memtable in
+        bulk; counters, gauges and the auto-flush check run **once per
+        batch** — not per cell.  Returns the number of cells applied."""
+        extent = self.extent
+        contains = extent.contains_row
+        clock = self._clock
+        nbytes = 0
+        stamped: List[Cell] = []
+        append = stamped.append
+        for cell in cells:
+            key = cell.key
+            if not contains(key.row):
+                raise ValueError(
+                    f"row {key.row!r} outside tablet extent "
+                    f"[{extent.start_row!r}, {extent.stop_row!r})")
+            nbytes += (len(key.row) + len(key.family) + len(key.qualifier)
+                       + len(cell.value) + 24)
+            if key.timestamp == 0:
+                clock += 1
+                cell = Cell(Key(key.row, key.family, key.qualifier,
+                                key.visibility, clock, key.delete),
+                            cell.value)
+            append(cell)
+        return self._commit_batch(stamped, nbytes, clock)
+
+    def write_raw_batch(self, mutations: Iterable[tuple]) -> int:
+        """``write_batch`` over raw ``(row, family, qualifier,
+        visibility, timestamp, delete, value)`` tuples — the
+        BatchWriter wire format.  Each mutation is materialised as a
+        :class:`Cell` exactly once, *after* its timestamp is assigned,
+        instead of being built client-side and rebuilt here to stamp
+        it.  Semantics are identical to ``write_batch``."""
+        extent = self.extent
+        contains = extent.contains_row
+        clock = self._clock
+        nbytes = 0
+        stamped: List[Cell] = []
+        append = stamped.append
+        for row, family, qualifier, visibility, ts, delete, value in mutations:
+            if not contains(row):
+                raise ValueError(
+                    f"row {row!r} outside tablet extent "
+                    f"[{extent.start_row!r}, {extent.stop_row!r})")
+            nbytes += (len(row) + len(family) + len(qualifier)
+                       + len(value) + 24)
+            if ts == 0:
+                clock += 1
+                ts = clock
+            append(Cell(Key(row, family, qualifier, visibility, ts, delete),
+                        value))
+        return self._commit_batch(stamped, nbytes, clock)
+
+    def _commit_batch(self, stamped: List[Cell], nbytes: int,
+                      clock: int) -> int:
+        """Shared tail of the batch write paths: bulk WAL + memtable
+        append, then once-per-batch accounting and the auto-flush
+        check."""
+        if not stamped:
+            return 0
+        self._clock = clock
+        self.wal.extend(stamped)
+        self.memtable.extend(stamped, nbytes)
+        n = len(stamped)
+        self._sink.entries_written += n
+        self._bump_aux("batched_mutations", n)
+        size = self.memtable.approximate_bytes
+        self._update_gauges(memtable_bytes=size)
+        if size >= self.flush_bytes:
+            self.flush()
+        return n
 
     def delete(self, key: Key) -> None:
         """Write a tombstone hiding all versions of the cell at or
@@ -188,8 +280,20 @@ class Tablet:
 
     def _storage_iterator(self, rng: Range) -> SortedKVIterator:
         children: List[SortedKVIterator] = [self.memtable.iterator(self._sink)]
-        children.extend(t.iterator(self._sink) for t in self.sstables
-                        if t.overlaps(rng))
+        point_row = rng.single_row()
+        for run in self.sstables:
+            if not run.overlaps(rng):
+                continue
+            if point_row is not None:
+                # point lookup: consult the run's row bloom filter
+                # before opening it.  A "hit" is a run proven absent
+                # and skipped; a "miss" means the run must be read.
+                if not run.may_contain_row(point_row):
+                    self._bump_aux("bloom_hits")
+                    continue
+                self._bump_aux("bloom_misses")
+            children.append(run.iterator(self._sink,
+                                         on_index_seek=self._on_index_seek))
         return MergeIterator(children)
 
     def scan_iterator(self, rng: Range,
@@ -256,12 +360,12 @@ class Tablet:
                        self.max_versions, self.flush_bytes, self.stats)
         left._clock = right._clock = self._clock
         for run in self.sstables:
-            lcells = [c for c in run.cells() if c.key.row < split_row]
-            rcells = [c for c in run.cells() if c.key.row >= split_row]
-            if lcells:
-                left.sstables.append(SSTable(lcells))
-            if rcells:
-                right.sstables.append(SSTable(rcells))
+            # one bisect + two slices per run (runs are sorted by key)
+            lrun, rrun = run.split_at(split_row)
+            if len(lrun):
+                left.sstables.append(lrun)
+            if len(rrun):
+                right.sstables.append(rrun)
         return left, right
 
     def entry_estimate(self) -> int:
@@ -270,23 +374,33 @@ class Tablet:
 
 
 class _ClippedIterator(SortedKVIterator):
-    """Restrict a stack's seeks to a pre-clipped range."""
+    """Restrict a stack's seeks to a pre-clipped range.
+
+    A seek whose range is disjoint from the clip short-circuits to an
+    explicit empty state — the underlying stack is never seeked, so no
+    sentinel range (and no reliance on ``row < ""`` being
+    unsatisfiable) is involved.
+    """
 
     def __init__(self, source: SortedKVIterator, clip: Range):
         self._source = source
         self._clip = clip
+        self._empty = False
 
     def seek(self, rng: Range, columns: Columns = None) -> None:
         clipped = self._clip.clip(rng)
-        if clipped is None:
-            clipped = Range("", "")  # empty: no row satisfies row < ""
-        self._source.seek(clipped, columns)
+        self._empty = clipped is None
+        if not self._empty:
+            self._source.seek(clipped, columns)
 
     def has_top(self) -> bool:
-        return self._source.has_top()
+        return not self._empty and self._source.has_top()
 
     def top(self) -> Cell:
+        if self._empty:
+            raise StopIteration("iterator exhausted")
         return self._source.top()
 
     def advance(self) -> None:
-        self._source.advance()
+        if not self._empty:
+            self._source.advance()
