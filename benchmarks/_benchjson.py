@@ -1,0 +1,42 @@
+"""Shared BENCH.<suite>.json writer for the benchmark suites.
+
+Every suite that measures something CI should track calls
+:func:`write_bench_json` from a module-scope autouse fixture, so the
+perf trajectory (one ``BENCH.<suite>.json`` per suite) is populated on
+every benchmark run — not just for dbsim.
+
+``REPRO_BENCH_JSON`` overrides the output *path* for a single-suite
+run (the CI perf-smoke job runs one suite per step); when several
+suites run in one pytest invocation, leave it unset so each writes its
+default ``BENCH.<suite>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+
+def bench_json_path(suite: str) -> str:
+    return os.environ.get("REPRO_BENCH_JSON") or f"BENCH.{suite}.json"
+
+
+def write_bench_json(suite: str, results: Dict[str, Any],
+                     benchmark: Optional[str] = None,
+                     workload: Optional[Dict[str, Any]] = None
+                     ) -> Optional[str]:
+    """Write ``results`` (plus benchmark name and workload description)
+    to the suite's BENCH json; returns the path, or ``None`` when there
+    is nothing to record (e.g. the measuring test was deselected)."""
+    if not results:
+        return None
+    record: Dict[str, Any] = {"benchmark": benchmark or suite}
+    if workload:
+        record["workload"] = dict(workload)
+    record.update(results)
+    path = bench_json_path(suite)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+    print(f"\nBENCH json -> {path}")
+    return path

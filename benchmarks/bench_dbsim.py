@@ -15,12 +15,11 @@ BENCH json file (``BENCH.dbsim.json``; override the path with
 ``REPRO_BENCH_JSON``).
 """
 
-import json
-import os
 import time
 
 import pytest
 
+from benchmarks._benchjson import write_bench_json
 from repro.dbsim import Connector, Range, table_bfs
 from repro.dbsim.server import Instance
 from repro.generators import rmat_graph
@@ -44,15 +43,9 @@ def edges():
 def bench_json():
     """Write whatever was measured to the BENCH json at module end."""
     yield
-    if _RESULTS:
-        path = os.environ.get("REPRO_BENCH_JSON", "BENCH.dbsim.json")
-        record = {"benchmark": "dbsim_io_path",
-                  "workload": {"scale": SCALE, "edge_factor": EDGE_FACTOR,
-                               "tablets": len(SPLITS) + 1},
-                  **_RESULTS}
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(record, fh, indent=2, sort_keys=True)
-        print(f"\nBENCH json -> {path}")
+    write_bench_json("dbsim", _RESULTS, benchmark="dbsim_io_path",
+                     workload={"scale": SCALE, "edge_factor": EDGE_FACTOR,
+                               "tablets": len(SPLITS) + 1})
 
 
 def fresh_conn():

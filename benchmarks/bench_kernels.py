@@ -4,12 +4,19 @@ semirings.
 
 These support every other benchmark: the paper's algorithms are kernel
 compositions, so kernel cost dominates.
+
+Headline numbers (per-strategy SpGEMM timings and peak expansions on
+the hub-skewed workload, plus the scipy reference point) are written
+to ``BENCH.kernels.json`` at module end.
 """
+
+import time
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from benchmarks._benchjson import write_bench_json
 from repro.generators import kronecker_graph
 from repro.obs import global_registry
 from repro.semiring import LOR_LAND, MIN_PLUS, PLUS_PAIR
@@ -24,6 +31,26 @@ from repro.sparse import (
     set_expansion_probe,
     triu,
 )
+
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json():
+    """Write whatever was measured to the BENCH json at module end."""
+    yield
+    write_bench_json("kernels", _RESULTS, benchmark="kernel_substrate")
+
+
+def best_of(fn, rounds=3):
+    best = float("inf")
+    out = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
 
 
 @pytest.fixture(scope="module")
@@ -110,6 +137,28 @@ class TestSpGEMMStrategies:
         assert np.array_equal(c.indptr, ref.indptr)
         assert np.array_equal(c.indices, ref.indices)
         assert np.array_equal(c.values, ref.values)
+
+    def test_record_strategy_timings(self, hub_pair):
+        """Best-of-3 wall time per strategy on the hub workload plus
+        the peak-expansion gauges -> BENCH.kernels.json."""
+        a, ref = hub_pair
+        strategies = {}
+        for strategy in ("esc", "hash", "tiled", "auto"):
+            budget = self.BUDGET if strategy in ("tiled", "auto") else None
+            t, c = best_of(lambda s=strategy, b=budget: self._run(a, s, b))
+            assert c.equal(ref)
+            gauge = global_registry().gauge(
+                f"spgemm.{strategy}.peak_expansion")
+            strategies[strategy] = {"best_s": round(t, 5),
+                                    "peak_expansion": int(gauge.value)}
+        s = sp.csr_matrix(a.to_dense())
+        t_scipy, _ = best_of(lambda: s @ s)
+        _RESULTS["spgemm_hub"] = {
+            "vertices": a.nrows, "nnz": a.nnz, "nnz_out": ref.nnz,
+            "expansion_budget": self.BUDGET,
+            "strategies": strategies,
+            "scipy_reference_s": round(t_scipy, 5),
+        }
 
     def test_tiled_peak_bounded(self, hub_pair):
         """Correctness canary + the budget actually capping expansion."""

@@ -13,6 +13,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks._benchjson import write_bench_json
 from repro.algorithms import bfs, jaccard, ktruss, pagerank
 from repro.algorithms.centrality import (
     betweenness_batched,
@@ -22,6 +23,17 @@ from repro.generators import rmat_graph
 from repro.schemas import edge_list_from_adjacency, incidence_unoriented
 
 SCALES = (6, 8, 10)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json():
+    """Write the runtime-vs-scale curve to the BENCH json at module
+    end (populated by ``test_scaling_series_table``)."""
+    yield
+    write_bench_json("scaling", _RESULTS, benchmark="scaling_series",
+                     workload={"scales": list(SCALES), "edge_factor": 8})
 
 
 def _workload(scale):
@@ -55,6 +67,10 @@ def test_scaling_series_table(benchmark, capsys):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS["series"] = [
+        {"scale": scale, "vertices": n, "nnz": nnz,
+         **{name: round(seconds, 5) for name, seconds in t.items()}}
+        for scale, n, nnz, t in rows]
     with capsys.disabled():
         print("\nruntime (ms) vs RMAT scale (edge factor 8):")
         print(f"  {'scale':>5} {'n':>6} {'nnz':>8} "

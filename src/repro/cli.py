@@ -13,13 +13,21 @@ Subcommands::
     python -m repro ktruss    graph.tsv --k 4 [--out truss.tsv]
     python -m repro jaccard   graph.tsv --top 10
     python -m repro topics    --docs 2000 --k 5
-    python -m repro stats     graph.tsv [--json]
+    python -m repro stats     graph.tsv [--json] [--prom]
+    python -m repro analyze   trace.jsonl [--top N] [--flamegraph out.folded]
+    python -m repro monitor   --metrics-json snapshot.json
 
-Every subcommand accepts ``--trace out.jsonl``: spans (with OpStats
-deltas) and convergence records are appended to the file as JSON lines
-(see docs/OBSERVABILITY.md for the format).  Input-loading failures
-exit with status 2 and a one-line ``error:`` message, never a
-traceback.
+Every subcommand accepts ``--trace out.jsonl`` (spans with OpStats
+deltas plus convergence records, one JSON object per line) and
+``--slowlog slow.jsonl`` (only the spans that blow a wall-clock
+threshold or OpStats budget — see docs/OBSERVABILITY.md).  The trace
+sink is flushed per record and closed on every exit path, so an
+interrupted run still leaves a readable trace.  ``analyze`` rolls a
+trace up into per-span-name percentiles, a critical path and an
+optional flamegraph; ``monitor`` tails a metrics snapshot file a
+workload writes and prints counter deltas as they move.
+Input-loading failures exit with status 2 and a one-line ``error:``
+message, never a traceback.
 """
 
 from __future__ import annotations
@@ -235,6 +243,13 @@ def cmd_stats(args) -> int:
     degree_table(conn, "A", "Adeg")
     scanned = sum(1 for _ in conn.scanner("A"))
 
+    if args.metrics_json:
+        inst.write_metrics_snapshot(args.metrics_json)
+    if args.prom:
+        from repro.obs.expose import to_prometheus
+
+        print(to_prometheus(inst.metrics), end="")
+        return 0
     report = inst.observability_export()
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
@@ -253,6 +268,114 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _fmt_ms(seconds: float) -> str:
+    return f"{1e3 * seconds:.2f}"
+
+
+def cmd_analyze(args) -> int:
+    """Roll a JSONL trace up into per-span-name statistics, print the
+    critical path of the longest root span, and optionally export a
+    folded-stack flamegraph."""
+    from repro.obs.analyze import TraceAnalysis
+
+    try:
+        ta = TraceAnalysis.load(args.path)
+    except FileNotFoundError:
+        raise CliError(f"no such file: {args.path}") from None
+    except (OSError, UnicodeError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
+    if ta.n_spans == 0:
+        raise CliError(f"{args.path} holds no spans "
+                       f"({ta.n_records} records)")
+
+    if args.json:
+        print(json.dumps(ta.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"{args.path}: {ta.n_records} records, {ta.n_spans} spans, "
+              f"{len(ta.roots)} root span(s)")
+        print(f"\n{'name':<28} {'count':>5} {'total_ms':>9} {'self_ms':>9} "
+              f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8} "
+              f"{'seeks':>7} {'reads':>9}")
+        for r in ta.top(args.top):
+            print(f"{r.name:<28} {r.count:>5} {_fmt_ms(r.total_s):>9} "
+                  f"{_fmt_ms(r.self_s):>9} {_fmt_ms(r.p50):>8} "
+                  f"{_fmt_ms(r.p95):>8} {_fmt_ms(r.p99):>8} "
+                  f"{r.opstats['seeks']:>7} "
+                  f"{r.opstats['entries_read']:>9}")
+        path = ta.critical_path()
+        root = path[0]
+        print(f"\ncritical path of longest root "
+              f"({root.name}, {_fmt_ms(root.duration_s)} ms):")
+        for i, node in enumerate(path):
+            pct = (100.0 * node.duration_s / root.duration_s
+                   if root.duration_s else 100.0)
+            print(f"  {'  ' * i}{node.name}  "
+                  f"{_fmt_ms(node.duration_s)} ms total / "
+                  f"{_fmt_ms(node.self_s)} ms self ({pct:.0f}%)")
+    if args.flamegraph:
+        lines = ta.folded_stacks()
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} folded stacks to {args.flamegraph}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Poll a metrics snapshot file (written by ``repro stats
+    --metrics-json``, ``Instance.write_metrics_snapshot`` or the
+    benchmark harness under ``REPRO_METRICS_JSON``) and print counter
+    deltas between refreshes — a live view of a workload running in
+    another process."""
+    import time as _time
+
+    from repro.obs.expose import SnapshotDelta, read_snapshot
+
+    prev = None
+    shown = 0
+    iterations = args.iterations
+    try:
+        while True:
+            snap = read_snapshot(args.metrics_json)
+            if snap is None:
+                print(f"[monitor] waiting for {args.metrics_json} ...")
+            else:
+                ts = snap.get("ts")
+                stamp = (_time.strftime("%H:%M:%S", _time.localtime(ts))
+                         if isinstance(ts, (int, float)) else "?")
+                if prev is None:
+                    nonzero = {k: v for k, v in snap["metrics"].items()
+                               if not isinstance(v, dict) and v}
+                    print(f"[monitor {stamp}] baseline: "
+                          f"{len(snap['metrics'])} metrics, "
+                          f"{len(nonzero)} nonzero")
+                else:
+                    seconds = None
+                    if isinstance(ts, (int, float)) and \
+                            isinstance(prev.get("ts"), (int, float)):
+                        seconds = max(ts - prev["ts"], 0.0) or None
+                    delta = SnapshotDelta(prev["metrics"], snap["metrics"],
+                                          seconds=seconds)
+                    moved = delta.deltas()
+                    if moved:
+                        print(f"[monitor {stamp}] "
+                              f"{len(moved)} metric(s) moved:")
+                        rates = delta.rates() if seconds else {}
+                        for name, d in moved.items():
+                            rate = (f"  ({rates[name]:,.0f}/s)"
+                                    if name in rates else "")
+                            print(f"  {name:<52} {d:+}{rate}")
+                    else:
+                        print(f"[monitor {stamp}] idle")
+                prev = snap
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro",
                                 description=__doc__.splitlines()[0])
@@ -262,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--trace", metavar="PATH", default=None,
         help="append spans + convergence records to PATH as JSON lines")
+    common.add_argument(
+        "--slowlog", metavar="PATH", default=None,
+        help="append spans exceeding the default wall-clock thresholds "
+             "/ OpStats budgets to PATH as JSON lines")
     sub = p.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kw):
@@ -328,27 +455,73 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--splits", type=int, default=1)
     s.add_argument("--json", action="store_true",
                    help="emit the full observability export as JSON")
+    s.add_argument("--prom", action="store_true",
+                   help="emit the metrics registry in Prometheus text "
+                        "exposition format instead")
+    s.add_argument("--metrics-json", metavar="PATH",
+                   help="also write a timestamped metrics snapshot file "
+                        "(the input `repro monitor` polls)")
     s.set_defaults(fn=cmd_stats)
+
+    s = add_parser("analyze",
+                   help="roll up a JSONL trace: per-span-name stats, "
+                        "critical path, flamegraph export")
+    s.add_argument("path", help="JSONL trace written via --trace / "
+                                "REPRO_TRACE")
+    s.add_argument("--top", type=int, default=20,
+                   help="show the N heaviest span names (default 20)")
+    s.add_argument("--flamegraph", metavar="PATH",
+                   help="write folded stacks (name;child self-µs) to PATH")
+    s.add_argument("--json", action="store_true",
+                   help="emit the full analysis as JSON")
+    s.set_defaults(fn=cmd_analyze)
+
+    s = add_parser("monitor",
+                   help="live counter deltas from a metrics snapshot file")
+    s.add_argument("--metrics-json", required=True, metavar="PATH",
+                   help="snapshot file the workload writes (repro stats "
+                        "--metrics-json / REPRO_METRICS_JSON)")
+    s.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2)")
+    s.add_argument("--iterations", type=int, default=0,
+                   help="stop after N refreshes (default: run until ^C)")
+    s.set_defaults(fn=cmd_monitor)
     return p
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
+    slow_path = getattr(args, "slowlog", None)
+    slowlog = None
+    for path, what in ((trace_path, "trace"), (slow_path, "slow-op log")):
+        if path:
+            try:  # fail now, not from inside the first span's lazy open
+                open(path, "a", encoding="utf-8").close()
+            except OSError as exc:
+                print(f"error: cannot open {what} file: {exc}",
+                      file=sys.stderr)
+                return 2
     if trace_path:
-        try:  # fail now, not from inside the first span's lazy open
-            open(trace_path, "a", encoding="utf-8").close()
-        except OSError as exc:
-            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
-            return 2
         _trace.enable(JSONLSink(trace_path))
+    if slow_path:
+        from repro.obs.slowlog import SlowLog
+
+        if not _trace.is_enabled():
+            # no full trace requested: record only the slow spans
+            _trace.enable(_trace.NullSink())
+        slowlog = SlowLog(path=slow_path).attach()
     try:
         return args.fn(args)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
-        if trace_path:
+        if slowlog is not None:
+            slowlog.detach()
+            print(f"slow-op log: {slowlog.caught}/{slowlog.checked} "
+                  f"span(s) over limits -> {slow_path}", file=sys.stderr)
+        if trace_path or slow_path:
             _trace.disable(close=True)
 
 

@@ -298,6 +298,16 @@ class BatchWriter:
     def flush(self) -> None:
         if not self._buffer:
             return
+        if not _trace.ENABLED:
+            self._flush_buffer()
+            return
+        with _trace.span("dbsim.batch_write",
+                         stats=self._conn.instance.total_stats,
+                         table=self._table,
+                         mutations=len(self._buffer)):
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
         # bin the buffer per owning tablet (stable, so each tablet sees
         # its mutations in buffer order — per-tablet logical clocks then
         # assign the same timestamps cell-at-a-time writes would), then

@@ -1,6 +1,6 @@
 """Observability: tracing spans, metrics registry, convergence telemetry.
 
-Three zero-dependency pieces, one per module:
+The *emit* side — zero-dependency pieces, one per module:
 
 * :mod:`repro.obs.trace` — nestable spans capturing wall-time, custom
   attributes and OpStats deltas into a pluggable sink (null /
@@ -12,12 +12,32 @@ Three zero-dependency pieces, one per module:
 * :mod:`repro.obs.convergence` — :class:`ConvergenceLog`, the
   per-iteration residual trajectory of the iterative algorithms.
 
+And the *read* side, consuming what the above produce:
+
+* :mod:`repro.obs.analyze` — span-tree reconstruction, per-name
+  rollups with percentiles, critical paths, folded-stack flamegraph
+  export (``repro analyze``);
+* :mod:`repro.obs.slowlog` — threshold-based slow-operation log
+  attached to the active trace sink (wall-clock for kernels, OpStats
+  budgets for dbsim spans);
+* :mod:`repro.obs.expose` — Prometheus text exposition of any
+  registry, atomic snapshot files, and :class:`SnapshotDelta` rate
+  computation (``repro monitor``).
+
 See ``docs/OBSERVABILITY.md`` for the span schema, metric naming
 scheme, and the JSONL trace format.
 """
 
 from repro.obs import trace
+from repro.obs.analyze import TraceAnalysis
 from repro.obs.convergence import ConvergenceLog, ConvergenceRecord
+from repro.obs.expose import (
+    SnapshotDelta,
+    parse_prometheus_text,
+    read_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -25,6 +45,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     global_registry,
 )
+from repro.obs.slowlog import SlowLog
 from repro.obs.trace import (
     InMemorySink,
     JSONLSink,
@@ -55,4 +76,11 @@ __all__ = [
     "global_registry",
     "ConvergenceLog",
     "ConvergenceRecord",
+    "TraceAnalysis",
+    "SlowLog",
+    "SnapshotDelta",
+    "to_prometheus",
+    "parse_prometheus_text",
+    "write_snapshot",
+    "read_snapshot",
 ]

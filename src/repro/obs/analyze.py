@@ -1,0 +1,291 @@
+"""Trace analysis: span trees, rollups, critical paths, flamegraphs.
+
+The *read* side of the tracing layer: everything here consumes the
+records :mod:`repro.obs.trace` emits — a JSONL trace file, an
+:class:`~repro.obs.trace.InMemorySink`, or any iterable of record
+dicts — and turns ten thousand spans into the three views that answer
+"where did the time go":
+
+* **rollups** — per-span-name count, total and *self* wall time,
+  deterministic p50/p95/p99, and summed OpStats counters;
+* **critical path** — the heaviest child chain under a root span;
+* **folded stacks** — ``root;child;grandchild <self-µs>`` lines,
+  directly consumable by standard flamegraph tooling
+  (``flamegraph.pl``, speedscope, inferno).
+
+Tree reconstruction relies on the emitter's ordering contract: spans
+are emitted when they *close*, so within one thread every child record
+precedes its parent (post-order).  A span therefore claims, at its own
+emission, all still-unclaimed spans one level deeper that name it as
+parent.  Interleaved multi-thread traces may misattribute siblings
+with identical names, but rollups (which aggregate by name) remain
+exact; the CLI and benchmark traces are single-threaded.
+
+Entry point::
+
+    from repro.obs.analyze import TraceAnalysis
+
+    ta = TraceAnalysis.load("trace.jsonl")
+    ta.rollups["kernel.spgemm"].p95        # seconds
+    ta.critical_path()                     # heaviest root, top-down
+    "\\n".join(ta.folded_stacks())         # flamegraph input
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.trace import OPSTATS_FIELDS
+
+Record = Dict[str, Any]
+
+
+def read_records(source: Union[str, "os.PathLike", Iterable[Record]]
+                 ) -> List[Record]:
+    """Load trace records from a JSONL path, a sink with ``.records``
+    (e.g. :class:`InMemorySink`), or any iterable of dicts.  Blank
+    lines are skipped; a malformed line raises ``ValueError`` naming
+    the offending line number."""
+    if hasattr(source, "records"):
+        return list(source.records)
+    if isinstance(source, (str, os.PathLike)):
+        records = []
+        with open(source, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{source}:{lineno}: invalid trace line: {exc}"
+                    ) from None
+        return records
+    return list(source)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (0 < q <= 100): the
+    ceil(q/100 * n)-th smallest value.  Exact — no interpolation — so
+    golden fixtures reproduce bit-identically."""
+    if not values:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile q must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class SpanNode:
+    """One span in the reconstructed tree."""
+
+    __slots__ = ("name", "start_s", "duration_s", "depth", "parent_name",
+                 "attrs", "opstats", "error", "children")
+
+    def __init__(self, record: Record):
+        self.name = record.get("name", "?")
+        self.start_s = float(record.get("start_s", 0.0))
+        self.duration_s = float(record.get("duration_s", 0.0))
+        self.depth = int(record.get("depth", 0))
+        self.parent_name = record.get("parent")
+        self.attrs = record.get("attrs") or {}
+        self.opstats = record.get("opstats") or {}
+        self.error = record.get("error")
+        self.children: List["SpanNode"] = []
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def self_s(self) -> float:
+        """Wall time not attributed to any child span."""
+        return max(0.0, self.duration_s
+                   - sum(c.duration_s for c in self.children))
+
+    def walk(self):
+        """This node and every descendant, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanNode({self.name!r}, {self.duration_s:.6f}s, "
+                f"children={len(self.children)})")
+
+
+def build_tree(records: Iterable[Record]) -> List[SpanNode]:
+    """Reconstruct span trees from emission-ordered records.
+
+    Returns the root spans (depth 0) in emission order; spans whose
+    parent never closed (interrupted runs) are appended as extra roots
+    so no span is silently dropped."""
+    pending: List[SpanNode] = []
+    roots: List[SpanNode] = []
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        node = SpanNode(record)
+        # post-order contract: this span's children are already emitted
+        # and still unclaimed — one level deeper, naming this span
+        claimed, rest = [], []
+        for cand in pending:
+            if (cand.depth == node.depth + 1
+                    and cand.parent_name == node.name):
+                claimed.append(cand)
+            else:
+                rest.append(cand)
+        node.children = sorted(claimed, key=lambda c: c.start_s)
+        pending = rest
+        if node.depth == 0:
+            roots.append(node)
+        else:
+            pending.append(node)
+    roots.extend(sorted(pending, key=lambda c: c.start_s))  # orphans
+    return roots
+
+
+class NameRollup:
+    """Aggregate statistics for every span sharing one name."""
+
+    __slots__ = ("name", "count", "errors", "total_s", "self_s",
+                 "durations", "opstats")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.errors = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.durations: List[float] = []
+        self.opstats: Dict[str, int] = {f: 0 for f in OPSTATS_FIELDS}
+
+    def add(self, node: SpanNode) -> None:
+        self.count += 1
+        self.errors += 1 if node.error else 0
+        self.total_s += node.duration_s
+        self.self_s += node.self_s
+        self.durations.append(node.duration_s)
+        for field in OPSTATS_FIELDS:
+            self.opstats[field] += int(node.opstats.get(field, 0))
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.durations, 50)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.durations, 95)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.durations, 99)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "count": self.count,
+                "errors": self.errors, "total_s": self.total_s,
+                "self_s": self.self_s, "p50_s": self.p50,
+                "p95_s": self.p95, "p99_s": self.p99,
+                "opstats": dict(self.opstats)}
+
+
+def rollup(roots: Iterable[SpanNode]) -> Dict[str, NameRollup]:
+    """Per-name rollups over every span in the given trees."""
+    out: Dict[str, NameRollup] = {}
+    for root in roots:
+        for node in root.walk():
+            agg = out.get(node.name)
+            if agg is None:
+                agg = out[node.name] = NameRollup(node.name)
+            agg.add(node)
+    return out
+
+
+def critical_path(root: SpanNode) -> List[SpanNode]:
+    """Top-down heaviest chain: from ``root``, repeatedly descend into
+    the child with the largest duration (earliest start wins ties)."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda c: c.duration_s)
+        path.append(node)
+    return path
+
+
+def folded_stacks(roots: Iterable[SpanNode],
+                  scale: float = 1e6) -> List[str]:
+    """Folded-stack flamegraph lines: ``name;child;... <value>`` where
+    value is the stack's *self* time in integer microseconds (by
+    default), summed over identical stacks.  Lines are sorted, so
+    output is deterministic."""
+    weights: Dict[str, int] = {}
+
+    def visit(node: SpanNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        value = int(round(node.self_s * scale))
+        weights[stack] = weights.get(stack, 0) + value
+        for child in node.children:
+            visit(child, stack)
+
+    for root in roots:
+        visit(root, "")
+    return [f"{stack} {value}" for stack, value in sorted(weights.items())]
+
+
+class TraceAnalysis:
+    """One parsed trace: records, reconstructed trees, and rollups."""
+
+    def __init__(self, records: Iterable[Record]):
+        self.records = list(records)
+        self.roots = build_tree(self.records)
+        self.rollups = rollup(self.roots)
+
+    @classmethod
+    def load(cls, source) -> "TraceAnalysis":
+        return cls(read_records(source))
+
+    @property
+    def n_spans(self) -> int:
+        return sum(1 for r in self.records if r.get("kind") == "span")
+
+    @property
+    def n_records(self) -> int:
+        return len(self.records)
+
+    def top(self, n: Optional[int] = None) -> List[NameRollup]:
+        """Rollups by descending total wall time (name breaks ties)."""
+        ordered = sorted(self.rollups.values(),
+                         key=lambda r: (-r.total_s, r.name))
+        return ordered if n is None else ordered[:n]
+
+    def longest_root(self) -> Optional[SpanNode]:
+        if not self.roots:
+            return None
+        return max(self.roots, key=lambda r: r.duration_s)
+
+    def critical_path(self, root: Optional[SpanNode] = None
+                      ) -> List[SpanNode]:
+        """Critical path of ``root`` (default: the longest root span)."""
+        root = root if root is not None else self.longest_root()
+        return critical_path(root) if root is not None else []
+
+    def folded_stacks(self) -> List[str]:
+        return folded_stacks(self.roots)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready report: rollups (sorted by total time), the
+        critical path of the longest root, and trace totals."""
+        return {
+            "records": self.n_records,
+            "spans": self.n_spans,
+            "roots": len(self.roots),
+            "rollup": [r.as_dict() for r in self.top()],
+            "critical_path": [
+                {"name": n.name, "duration_s": n.duration_s,
+                 "self_s": n.self_s} for n in self.critical_path()],
+        }

@@ -24,10 +24,18 @@ session end.
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
+
+#: Fixed log-spaced histogram bucket upper bounds: three per decade from
+#: 1e-6 to 1e4 (wide enough for seconds-scale latencies and count-scale
+#: observations alike).  Shared by every :class:`Histogram` so exports
+#: and Prometheus exposition line up across registries.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    round(10.0 ** (e / 3.0), 10) for e in range(-18, 13))
 
 
 class Counter:
@@ -88,9 +96,15 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+    """Streaming summary of observed values.
 
-    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_lock")
+    Tracks exact count/sum/min/max/mean plus per-bucket counts over the
+    fixed log-spaced :data:`BUCKET_BOUNDS`, from which ``export()``
+    estimates p50/p95/p99 (linear interpolation inside the bucket,
+    clamped to the exact observed min/max)."""
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_buckets",
+                 "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -98,6 +112,9 @@ class Histogram:
         self._sum = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        #: per-bucket (non-cumulative) counts; index len(BUCKET_BOUNDS)
+        #: is the overflow (+Inf) bucket
+        self._buckets = [0] * (len(BUCKET_BOUNDS) + 1)
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
@@ -107,10 +124,41 @@ class Histogram:
             self._sum += v
             self._min = v if self._min is None else min(self._min, v)
             self._max = v if self._max is None else max(self._max, v)
+            self._buckets[bisect.bisect_left(BUCKET_BOUNDS, v)] += 1
 
     @property
     def count(self) -> int:
         return self._count
+
+    def bucket_counts(self) -> Tuple[Tuple[float, ...], List[int]]:
+        """``(upper_bounds, cumulative_counts)`` in Prometheus ``le``
+        semantics; the final count (the implicit +Inf bucket) equals
+        ``count``."""
+        with self._lock:
+            cum, total = [], 0
+            for n in self._buckets:
+                total += n
+                cum.append(total)
+        return BUCKET_BOUNDS, cum
+
+    def _percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (0 < q <= 100) from the bucket
+        counts; caller holds the lock."""
+        if self._count == 0:
+            return 0.0
+        rank = q / 100.0 * self._count
+        cum = 0
+        for i, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                lo = BUCKET_BOUNDS[i - 1] if i > 0 else min(self._min, 0.0)
+                hi = BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else self._max
+                frac = (rank - cum) / n
+                est = lo + frac * (hi - lo)
+                return min(max(est, self._min), self._max)
+            cum += n
+        return self._max  # pragma: no cover - rank <= count always lands
 
     def export(self) -> Dict[str, Number]:
         with self._lock:
@@ -118,7 +166,10 @@ class Histogram:
             return {"count": self._count, "sum": self._sum,
                     "min": self._min if self._min is not None else 0.0,
                     "max": self._max if self._max is not None else 0.0,
-                    "mean": mean}
+                    "mean": mean,
+                    "p50": self._percentile(50),
+                    "p95": self._percentile(95),
+                    "p99": self._percentile(99)}
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -154,6 +205,13 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._metrics)
+
+    def instruments(self) -> Dict[str, Instrument]:
+        """Snapshot of the live instruments by name (sorted) — what the
+        Prometheus exposition walks to learn each metric's type."""
+        with self._lock:
+            items = list(self._metrics.items())
+        return dict(sorted(items))
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -1,0 +1,182 @@
+"""Slow-operation log: threshold checks on every finished span.
+
+A :class:`SlowLog` attaches to the active trace sink (wrapping it — no
+instrumented call site changes) and inspects every finished span
+against two kinds of limits, matched to the span name by longest
+``fnmatch`` pattern:
+
+* **wall-clock thresholds** (seconds) — meaningful for the pure
+  in-process kernels, where laptop time is real time;
+* **OpStats budgets** (seeks / entries read / …) — meaningful for the
+  dbsim spans, where the cost model, not wall-clock, stands in for
+  cluster time (see docs/OBSERVABILITY.md).
+
+Offending spans are recorded — full attrs and OpStats included — to a
+bounded ring buffer and, optionally, flushed line-by-line to a JSONL
+file, so the one scan that did 40k seeks is findable without trawling
+the whole trace.
+
+::
+
+    from repro.obs import trace
+    from repro.obs.slowlog import SlowLog
+
+    trace.enable()
+    log = SlowLog(opstats_budgets={"dbsim.*": {"seeks": 100}}).attach()
+    ...                      # run the workload
+    log.detach()
+    log.entries[0]["reasons"]   # ['seeks 412 > budget 100']
+
+The default limits (used when neither table is given) are deliberately
+loose — they flag pathologies, not warm caches.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs import trace as _trace
+
+#: Default wall-clock thresholds (seconds) by span-name pattern.
+DEFAULT_WALL_THRESHOLDS: Dict[str, float] = {
+    "kernel.*": 1.0,
+}
+
+#: Default OpStats budgets by span-name pattern.  Each value maps an
+#: OpStats counter to its per-span budget.
+DEFAULT_OPSTATS_BUDGETS: Dict[str, Dict[str, int]] = {
+    "dbsim.*": {"seeks": 10_000, "entries_read": 5_000_000},
+    "graphulo.*": {"seeks": 50_000, "entries_read": 20_000_000},
+    "tablet.*": {"entries_read": 5_000_000},
+}
+
+
+def _match(table: Mapping[str, Any], name: str):
+    """Longest matching pattern wins; exact name beats any glob."""
+    if name in table:
+        return table[name]
+    best_key = None
+    for pattern in table:
+        if fnmatchcase(name, pattern):
+            if best_key is None or len(pattern) > len(best_key):
+                best_key = pattern
+    return table[best_key] if best_key is not None else None
+
+
+class SlowLog:
+    """Ring buffer (+ optional JSONL file) of spans over their limits."""
+
+    def __init__(self,
+                 wall_thresholds: Optional[Mapping[str, float]] = None,
+                 opstats_budgets: Optional[
+                     Mapping[str, Mapping[str, int]]] = None,
+                 capacity: int = 256,
+                 path: Optional[str] = None):
+        if wall_thresholds is None and opstats_budgets is None:
+            wall_thresholds = DEFAULT_WALL_THRESHOLDS
+            opstats_budgets = DEFAULT_OPSTATS_BUDGETS
+        self.wall_thresholds = dict(wall_thresholds or {})
+        self.opstats_budgets = {k: dict(v)
+                                for k, v in (opstats_budgets or {}).items()}
+        self.entries: deque = deque(maxlen=capacity)
+        self.checked = 0
+        self.caught = 0
+        self.path = path
+        self._fh = None
+        self._lock = threading.Lock()
+        self._inner: Optional[_trace.Sink] = None
+        self._wrapper: Optional["_SlowLogSink"] = None
+
+    # -- the check itself ---------------------------------------------------
+
+    def check(self, record: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Test one record; on offence, log and return the slow-op
+        record (``kind="slow_op"``), else ``None``."""
+        if record.get("kind") != "span":
+            return None
+        name = record.get("name", "?")
+        reasons: List[str] = []
+        threshold = _match(self.wall_thresholds, name)
+        duration = float(record.get("duration_s", 0.0))
+        if threshold is not None and duration > threshold:
+            reasons.append(f"wall {duration:.6f}s > threshold {threshold}s")
+        budgets = _match(self.opstats_budgets, name)
+        if budgets:
+            opstats = record.get("opstats") or {}
+            for counter, limit in sorted(budgets.items()):
+                value = int(opstats.get(counter, 0))
+                if value > limit:
+                    reasons.append(f"{counter} {value} > budget {limit}")
+        with self._lock:
+            self.checked += 1
+            if not reasons:
+                return None
+            self.caught += 1
+            slow = {"kind": "slow_op", "name": name, "reasons": reasons,
+                    "duration_s": duration,
+                    "start_s": record.get("start_s"),
+                    "attrs": record.get("attrs") or {},
+                    "opstats": record.get("opstats") or {}}
+            if record.get("error"):
+                slow["error"] = record["error"]
+            self.entries.append(slow)
+            if self.path is not None:
+                if self._fh is None:
+                    self._fh = open(self.path, "a", encoding="utf-8")
+                self._fh.write(json.dumps(slow, sort_keys=True) + "\n")
+                self._fh.flush()
+        return slow
+
+    # -- sink attachment ----------------------------------------------------
+
+    def attach(self) -> "SlowLog":
+        """Wrap the active trace sink so every emitted record passes
+        through :meth:`check` on its way to the original sink."""
+        if self._wrapper is not None:
+            raise RuntimeError("slow log is already attached")
+        self._inner = _trace.get_sink()
+        self._wrapper = _SlowLogSink(self._inner, self)
+        _trace.set_sink(self._wrapper)
+        return self
+
+    def detach(self) -> "SlowLog":
+        """Restore the wrapped sink and close the slow-op file."""
+        if self._wrapper is not None:
+            if _trace.get_sink() is self._wrapper:
+                _trace.set_sink(self._inner)
+            self._inner = self._wrapper = None
+        self.close()
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SlowLog(caught={self.caught}, checked={self.checked}, "
+                f"capacity={self.entries.maxlen})")
+
+
+class _SlowLogSink(_trace.Sink):
+    """Tee: forwards records to the wrapped sink, checks spans."""
+
+    def __init__(self, inner: _trace.Sink, slowlog: SlowLog):
+        self.inner = inner
+        self.slowlog = slowlog
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self.inner.emit(record)
+        self.slowlog.check(record)
+
+    def close(self) -> None:
+        self.inner.close()
+        self.slowlog.close()

@@ -93,7 +93,11 @@ class InMemorySink(Sink):
 
 
 class JSONLSink(Sink):
-    """Appends one JSON object per line to ``path`` (opened lazily)."""
+    """Appends one JSON object per line to ``path`` (opened lazily).
+
+    Every record is flushed as soon as it is written, so a trace file
+    is complete up to the last finished span even when the process is
+    interrupted before ``close()``."""
 
     def __init__(self, path: str):
         self.path = path
@@ -106,6 +110,7 @@ class JSONLSink(Sink):
             if self._fh is None:
                 self._fh = open(self.path, "a", encoding="utf-8")
             self._fh.write(line + "\n")
+            self._fh.flush()
 
     def close(self) -> None:
         with self._lock:

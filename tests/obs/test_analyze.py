@@ -1,0 +1,213 @@
+"""Trace analyzer: tree reconstruction, rollups, critical path,
+flamegraph export — verified bit-exactly against checked-in goldens."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.obs import InMemorySink, trace
+from repro.obs.analyze import (SpanNode, TraceAnalysis, build_tree,
+                               critical_path, folded_stacks, percentile,
+                               read_records, rollup)
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_TRACE = os.path.join(DATA, "golden_trace.jsonl")
+GOLDEN_ANALYSIS = os.path.join(DATA, "golden_analysis.json")
+GOLDEN_FOLDED = os.path.join(DATA, "golden_trace.folded")
+
+
+def span_record(name, start, duration, depth=0, parent=None, attrs=None,
+                opstats=None, error=None):
+    rec = {"kind": "span", "name": name, "start_s": start,
+           "duration_s": duration, "depth": depth, "parent": parent,
+           "attrs": attrs or {},
+           "opstats": {"seeks": 0, "entries_read": 0, "entries_written": 0,
+                       "flushes": 0, "compactions": 0, **(opstats or {})}}
+    if error:
+        rec["error"] = error
+    return rec
+
+
+class TestReadRecords:
+    def test_from_path_skips_blank_lines(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text('{"kind": "span", "name": "a"}\n\n'
+                     '{"kind": "convergence"}\n')
+        records = read_records(str(p))
+        assert len(records) == 2
+
+    def test_malformed_line_names_lineno(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text('{"kind": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2: invalid trace line"):
+            read_records(str(p))
+
+    def test_from_sink_and_iterable(self):
+        sink = InMemorySink()
+        trace.enable(sink)
+        try:
+            with trace.span("a"):
+                with trace.span("b"):
+                    pass
+        finally:
+            trace.disable()
+        assert len(read_records(sink)) == 2
+        assert read_records([{"kind": "span"}]) == [{"kind": "span"}]
+
+
+class TestPercentile:
+    def test_nearest_rank_is_exact(self):
+        vals = [0.1, 0.2, 0.3, 0.4]
+        assert percentile(vals, 50) == 0.2
+        assert percentile(vals, 75) == 0.3
+        assert percentile(vals, 95) == 0.4
+        assert percentile(vals, 100) == 0.4
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([], 50) == 0.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestBuildTree:
+    def test_post_order_reconstruction(self):
+        records = [
+            span_record("child", 1.0, 0.2, depth=1, parent="root"),
+            span_record("child", 1.3, 0.3, depth=1, parent="root"),
+            span_record("root", 1.0, 1.0),
+        ]
+        roots = build_tree(records)
+        assert len(roots) == 1
+        root = roots[0]
+        assert [c.name for c in root.children] == ["child", "child"]
+        assert root.self_s == pytest.approx(0.5)
+
+    def test_repeated_parents_claim_own_children(self):
+        records = [
+            span_record("c", 1.0, 0.1, depth=1, parent="r"),
+            span_record("r", 1.0, 0.2),
+            span_record("c", 2.0, 0.1, depth=1, parent="r"),
+            span_record("r", 2.0, 0.2),
+        ]
+        roots = build_tree(records)
+        assert len(roots) == 2
+        assert all(len(r.children) == 1 for r in roots)
+
+    def test_orphans_become_roots(self):
+        # the parent never closed (interrupted run)
+        records = [span_record("c", 1.0, 0.1, depth=1, parent="r")]
+        roots = build_tree(records)
+        assert [r.name for r in roots] == ["c"]
+
+    def test_non_span_records_ignored(self):
+        records = [{"kind": "convergence", "name": "x"},
+                   span_record("a", 1.0, 0.1)]
+        assert len(build_tree(records)) == 1
+
+    def test_grandchildren_nest(self):
+        records = [
+            span_record("gc", 1.0, 0.1, depth=2, parent="c"),
+            span_record("c", 1.0, 0.2, depth=1, parent="r"),
+            span_record("r", 1.0, 0.4),
+        ]
+        (root,) = build_tree(records)
+        assert root.children[0].children[0].name == "gc"
+        assert root.children[0].self_s == pytest.approx(0.1)
+
+
+class TestRollup:
+    def test_opstats_sum_and_errors(self):
+        records = [
+            span_record("s", 1.0, 0.1, opstats={"seeks": 3}),
+            span_record("s", 2.0, 0.2, opstats={"seeks": 4},
+                        error="ValueError: x"),
+        ]
+        agg = rollup(build_tree(records))["s"]
+        assert agg.count == 2
+        assert agg.errors == 1
+        assert agg.opstats["seeks"] == 7
+        assert agg.total_s == pytest.approx(0.3)
+
+
+class TestCriticalPath:
+    def test_descends_heaviest_child(self):
+        records = [
+            span_record("light", 1.0, 0.1, depth=1, parent="r"),
+            span_record("leaf", 1.2, 0.3, depth=2, parent="heavy"),
+            span_record("heavy", 1.2, 0.4, depth=1, parent="r"),
+            span_record("r", 1.0, 1.0),
+        ]
+        (root,) = build_tree(records)
+        assert [n.name for n in critical_path(root)] == \
+            ["r", "heavy", "leaf"]
+
+    def test_tie_goes_to_earliest_start(self):
+        records = [
+            span_record("b", 1.5, 0.2, depth=1, parent="r"),
+            span_record("a", 1.0, 0.2, depth=1, parent="r"),
+            span_record("r", 1.0, 1.0),
+        ]
+        (root,) = build_tree(records)
+        assert [n.name for n in critical_path(root)][1] == "a"
+
+
+class TestGolden:
+    """The acceptance fixture: exact rollup, critical path, and folded
+    stacks for a checked-in trace."""
+
+    def test_analysis_matches_golden_bit_exactly(self):
+        ta = TraceAnalysis.load(GOLDEN_TRACE)
+        produced = json.loads(json.dumps(ta.as_dict()))
+        with open(GOLDEN_ANALYSIS) as fh:
+            expected = json.load(fh)
+        assert produced == expected
+
+    def test_folded_stacks_match_golden(self):
+        ta = TraceAnalysis.load(GOLDEN_TRACE)
+        with open(GOLDEN_FOLDED) as fh:
+            expected = fh.read().splitlines()
+        assert ta.folded_stacks() == expected
+
+    def test_hand_computed_anchors(self):
+        """Independent spot checks so the golden file can't drift to
+        encode a regression."""
+        ta = TraceAnalysis.load(GOLDEN_TRACE)
+        assert ta.n_records == 6 and ta.n_spans == 5
+        bfs = ta.rollups["graphulo.table_bfs"]
+        # 0.5s total minus the two children (0.01 + 0.03)
+        assert bfs.self_s == pytest.approx(0.46)
+        assert bfs.opstats["entries_read"] == 100
+        spgemm = ta.rollups["kernel.spgemm"]
+        assert (spgemm.count, spgemm.errors) == (2, 1)
+        assert spgemm.p50 == 0.1 and spgemm.p95 == 0.2
+        path = ta.critical_path()
+        assert [n.name for n in path] == \
+            ["graphulo.table_bfs", "dbsim.batch_scan"]
+        # heaviest rollup first
+        assert ta.top(1)[0].name == "graphulo.table_bfs"
+
+    def test_live_trace_round_trips_through_analyzer(self):
+        """Spans captured from the real tracer analyze consistently."""
+        sink = InMemorySink()
+        trace.enable(sink)
+        try:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+                with trace.span("inner"):
+                    pass
+        finally:
+            trace.disable()
+        ta = TraceAnalysis(sink.records)
+        assert len(ta.roots) == 1
+        assert ta.rollups["inner"].count == 2
+        outer = ta.rollups["outer"]
+        assert outer.total_s >= ta.rollups["inner"].total_s
+        assert outer.self_s >= 0.0
+        stacks = ta.folded_stacks()
+        assert any(line.startswith("outer;inner ") for line in stacks)

@@ -57,7 +57,8 @@ class TestHistogram:
     def test_empty_export(self):
         h = Histogram("h")
         assert h.export() == {"count": 0, "sum": 0.0, "min": 0.0,
-                              "max": 0.0, "mean": 0.0}
+                              "max": 0.0, "mean": 0.0, "p50": 0.0,
+                              "p95": 0.0, "p99": 0.0}
 
     def test_summary(self):
         h = Histogram("h")
@@ -68,6 +69,46 @@ class TestHistogram:
         assert out["sum"] == 12.0
         assert out["min"] == 2.0 and out["max"] == 6.0
         assert out["mean"] == pytest.approx(4.0)
+
+    def test_bucket_counts_are_cumulative_and_complete(self):
+        from repro.obs.metrics import BUCKET_BOUNDS
+
+        h = Histogram("h")
+        for v in (0.0005, 0.02, 0.02, 150.0):
+            h.observe(v)
+        bounds, cumulative = h.bucket_counts()
+        assert bounds == BUCKET_BOUNDS
+        assert len(cumulative) == len(bounds) + 1
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == 4
+
+    def test_overflow_lands_in_inf_bucket(self):
+        from repro.obs.metrics import BUCKET_BOUNDS
+
+        h = Histogram("h")
+        h.observe(BUCKET_BOUNDS[-1] * 10)  # beyond the largest bound
+        _, cumulative = h.bucket_counts()
+        assert cumulative[-2] == 0 and cumulative[-1] == 1
+
+    def test_percentiles_are_clamped_estimates(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.observe(0.01)
+        out = h.export()
+        # every observation identical -> estimates collapse to it
+        assert out["p50"] == pytest.approx(0.01)
+        assert out["p99"] == pytest.approx(0.01)
+        assert out["min"] <= out["p50"] <= out["p95"] <= out["p99"] \
+            <= out["max"]
+
+    def test_percentiles_order_with_spread_data(self):
+        h = Histogram("h")
+        for v in [0.001] * 90 + [1.0] * 10:
+            h.observe(v)
+        out = h.export()
+        assert out["p50"] < out["p95"]
+        assert out["p50"] == pytest.approx(0.001, rel=0.5)
+        assert 0.001 < out["p99"] <= 1.0
 
 
 class TestRegistry:

@@ -1,0 +1,140 @@
+"""Slow-op log: threshold matching, sink attachment, ring buffer."""
+
+import json
+
+import pytest
+
+from repro.dbsim.stats import OpStats
+from repro.obs import InMemorySink, trace
+from repro.obs.slowlog import (DEFAULT_OPSTATS_BUDGETS,
+                               DEFAULT_WALL_THRESHOLDS, SlowLog)
+
+
+def span_record(name, duration=0.0, opstats=None, **attrs):
+    return {"kind": "span", "name": name, "start_s": 1.0,
+            "duration_s": duration, "depth": 0, "parent": None,
+            "attrs": attrs,
+            "opstats": {"seeks": 0, "entries_read": 0,
+                        "entries_written": 0, "flushes": 0,
+                        "compactions": 0, **(opstats or {})}}
+
+
+@pytest.fixture(autouse=True)
+def clean_trace():
+    yield
+    trace.disable()
+    trace.set_sink(trace.NullSink())
+
+
+class TestCheck:
+    def test_wall_threshold(self):
+        log = SlowLog(wall_thresholds={"kernel.*": 0.05},
+                      opstats_budgets={})
+        assert log.check(span_record("kernel.spgemm", duration=0.04)) is None
+        slow = log.check(span_record("kernel.spgemm", duration=0.2))
+        assert slow is not None
+        assert slow["kind"] == "slow_op"
+        assert "threshold 0.05s" in slow["reasons"][0]
+        assert (log.checked, log.caught) == (2, 1)
+
+    def test_opstats_budget(self):
+        log = SlowLog(wall_thresholds={},
+                      opstats_budgets={"dbsim.*": {"seeks": 10,
+                                                   "entries_read": 1000}})
+        ok = span_record("dbsim.batch_scan", opstats={"seeks": 10})
+        assert log.check(ok) is None  # at the budget is fine
+        slow = log.check(span_record("dbsim.batch_scan",
+                                     opstats={"seeks": 42,
+                                              "entries_read": 2000}))
+        assert slow["reasons"] == ["entries_read 2000 > budget 1000",
+                                   "seeks 42 > budget 10"]
+        assert slow["opstats"]["seeks"] == 42
+
+    def test_exact_name_beats_glob(self):
+        log = SlowLog(wall_thresholds={"kernel.*": 10.0,
+                                       "kernel.spmv": 0.01},
+                      opstats_budgets={})
+        assert log.check(span_record("kernel.spmv", duration=0.5))
+        assert log.check(span_record("kernel.spgemm", duration=0.5)) is None
+
+    def test_longest_glob_wins(self):
+        log = SlowLog(wall_thresholds={"*": 10.0, "kernel.*": 0.01},
+                      opstats_budgets={})
+        assert log.check(span_record("kernel.spmv", duration=0.5))
+        assert log.check(span_record("other", duration=0.5)) is None
+
+    def test_unmatched_and_non_span_pass(self):
+        log = SlowLog(wall_thresholds={"kernel.*": 0.01},
+                      opstats_budgets={})
+        assert log.check(span_record("dbsim.scan", duration=9.0)) is None
+        assert log.check({"kind": "convergence", "name": "pagerank"}) is None
+
+    def test_defaults_applied_when_nothing_given(self):
+        log = SlowLog()
+        assert log.wall_thresholds == DEFAULT_WALL_THRESHOLDS
+        assert log.opstats_budgets == DEFAULT_OPSTATS_BUDGETS
+        # explicit empty tables disable everything
+        assert SlowLog(wall_thresholds={}).opstats_budgets == {}
+
+    def test_error_is_carried(self):
+        log = SlowLog(wall_thresholds={"*": 0.01}, opstats_budgets={})
+        rec = span_record("x", duration=1.0)
+        rec["error"] = "ValueError: boom"
+        assert log.check(rec)["error"] == "ValueError: boom"
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_entries(self):
+        log = SlowLog(wall_thresholds={"*": 0.0}, opstats_budgets={},
+                      capacity=3)
+        for i in range(10):
+            log.check(span_record(f"s{i}", duration=1.0))
+        assert len(log) == 3
+        assert [e["name"] for e in log.entries] == ["s7", "s8", "s9"]
+        assert log.caught == 10
+
+
+class TestAttachment:
+    def test_catches_injected_opstats_budget_overrun(self, tmp_path):
+        """The acceptance path: a live span whose OpStats delta blows
+        the budget lands in the ring buffer and the JSONL file."""
+        out = tmp_path / "slow.jsonl"
+        sink = InMemorySink()
+        trace.enable(sink)
+        log = SlowLog(opstats_budgets={"dbsim.*": {"seeks": 10}},
+                      wall_thresholds={}, path=str(out)).attach()
+        stats = OpStats()
+        with trace.span("dbsim.batch_scan", stats=stats, table="A"):
+            stats.seeks += 50          # injected budget overrun
+            stats.entries_read += 5
+        with trace.span("dbsim.batch_scan", stats=stats):
+            pass                       # delta is zero: within budget
+        log.detach()
+
+        assert log.caught == 1
+        (entry,) = log.entries
+        assert entry["name"] == "dbsim.batch_scan"
+        assert entry["reasons"] == ["seeks 50 > budget 10"]
+        assert entry["attrs"]["table"] == "A"
+        # the offence also landed in the JSONL file, one object per line
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(lines) == 1 and lines[0]["kind"] == "slow_op"
+        # ... and the original sink still received every span
+        assert len(sink.spans("dbsim.batch_scan")) == 2
+
+    def test_detach_restores_sink(self):
+        sink = InMemorySink()
+        trace.enable(sink)
+        log = SlowLog().attach()
+        assert trace.get_sink() is not sink
+        log.detach()
+        assert trace.get_sink() is sink
+
+    def test_double_attach_raises(self):
+        trace.enable(InMemorySink())
+        log = SlowLog().attach()
+        try:
+            with pytest.raises(RuntimeError, match="already attached"):
+                log.attach()
+        finally:
+            log.detach()

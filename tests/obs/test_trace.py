@@ -175,6 +175,18 @@ class TestSinks:
         sink.close()  # no emit -> file never created
         assert not path.exists()
 
+    def test_jsonl_flushes_every_record(self, tmp_path):
+        """Records are readable before close, so an interrupted run
+        still leaves a complete trace behind."""
+        path = tmp_path / "t.jsonl"
+        sink = JSONLSink(str(path))
+        sink.emit({"kind": "span", "name": "a"})
+        sink.emit({"kind": "span", "name": "b"})
+        # deliberately NOT closed
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+        sink.close()
+
 
 class TestInstrumentedCallSites:
     """The kernel/dbsim hot paths emit spans when (and only when) on."""

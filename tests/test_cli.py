@@ -195,3 +195,142 @@ class TestTrace:
         # graph_tsv lives in tmp_path; no trace file should join it
         assert main(["pagerank", graph_tsv]) == 0
         assert list(tmp_path.glob("*.jsonl")) == []
+
+
+GOLDEN_TRACE = __file__.rsplit("/", 1)[0] + "/obs/data/golden_trace.jsonl"
+
+
+class TestAnalyze:
+    def test_golden_trace_report(self, capsys):
+        assert main(["analyze", GOLDEN_TRACE]) == 0
+        out = capsys.readouterr().out
+        assert "6 records, 5 spans, 3 root span(s)" in out
+        assert "graphulo.table_bfs" in out and "kernel.spgemm" in out
+        assert "critical path of longest root (graphulo.table_bfs" in out
+        assert "dbsim.batch_scan" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["analyze", GOLDEN_TRACE, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["spans"] == 5
+        assert [s["name"] for s in report["critical_path"]] == \
+            ["graphulo.table_bfs", "dbsim.batch_scan"]
+
+    def test_flamegraph_export(self, tmp_path, capsys):
+        out_file = tmp_path / "t.folded"
+        assert main(["analyze", GOLDEN_TRACE, "--flamegraph",
+                     str(out_file)]) == 0
+        lines = out_file.read_text().splitlines()
+        assert "kernel.spgemm 300000" in lines
+        assert any(";" in line for line in lines)
+        assert "folded stacks" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 2
+        assert capsys.readouterr().err.startswith("error: no such file")
+
+    def test_spanless_trace_fails(self, tmp_path, capsys):
+        p = tmp_path / "conv.jsonl"
+        p.write_text('{"kind": "convergence", "name": "x"}\n')
+        assert main(["analyze", str(p)]) == 2
+        assert "holds no spans" in capsys.readouterr().err
+
+    def test_malformed_trace_fails(self, tmp_path, capsys):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json\n")
+        assert main(["analyze", str(p)]) == 2
+        assert "invalid trace line" in capsys.readouterr().err
+
+    def test_traced_run_round_trips_through_analyze(self, graph_tsv,
+                                                    tmp_path, capsys):
+        trace_file = tmp_path / "pr.jsonl"
+        assert main(["pagerank", graph_tsv, "--trace",
+                     str(trace_file)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(trace_file)]) == 0
+        assert "kernel.vxm" in capsys.readouterr().out
+
+
+class TestSlowlog:
+    def test_summary_on_stderr(self, graph_tsv, tmp_path, capsys):
+        slow = tmp_path / "slow.jsonl"
+        assert main(["pagerank", graph_tsv, "--slowlog", str(slow)]) == 0
+        err = capsys.readouterr().err
+        assert "slow-op log:" in err and str(slow) in err
+        # the Fig 1 graph is far under every default budget
+        assert "0/" in err
+
+    def test_slowlog_composes_with_trace(self, graph_tsv, tmp_path,
+                                         capsys):
+        import json
+
+        trace_file = tmp_path / "t.jsonl"
+        assert main(["pagerank", graph_tsv, "--trace", str(trace_file),
+                     "--slowlog", str(tmp_path / "s.jsonl")]) == 0
+        # the slowlog wrapper must not eat the full trace
+        records = [json.loads(line)
+                   for line in trace_file.read_text().splitlines()]
+        assert any(r["kind"] == "span" for r in records)
+
+    def test_unwritable_slowlog_path(self, graph_tsv, capsys):
+        assert main(["pagerank", graph_tsv, "--slowlog",
+                     "/no/such/dir/s.jsonl"]) == 2
+        assert "cannot open slow-op log file" in capsys.readouterr().err
+
+
+class TestStatsExposition:
+    def test_prom_output_parses(self, graph_tsv, capsys):
+        from repro.obs.expose import parse_prometheus_text
+
+        assert main(["stats", graph_tsv, "--prom"]) == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        assert samples[("repro_dbsim_table_entries_written",
+                        (("table", "A"),))] == 12
+
+    def test_metrics_json_snapshot(self, graph_tsv, tmp_path, capsys):
+        from repro.obs.expose import read_snapshot
+
+        snap_file = tmp_path / "m.json"
+        assert main(["stats", graph_tsv, "--metrics-json",
+                     str(snap_file)]) == 0
+        snap = read_snapshot(str(snap_file))
+        assert snap["metrics"]["dbsim.table.A.entries_written"] == 12
+
+
+class TestMonitor:
+    def test_waits_for_missing_snapshot(self, tmp_path, capsys):
+        assert main(["monitor", "--metrics-json",
+                     str(tmp_path / "nope.json"), "--interval", "0",
+                     "--iterations", "1"]) == 0
+        assert "waiting for" in capsys.readouterr().out
+
+    def test_baseline_then_idle(self, graph_tsv, tmp_path, capsys):
+        snap_file = tmp_path / "m.json"
+        assert main(["stats", graph_tsv, "--metrics-json",
+                     str(snap_file)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", "--metrics-json", str(snap_file),
+                     "--interval", "0", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "idle" in out
+
+    def test_reports_moving_counters(self, tmp_path, capsys, monkeypatch):
+        import time
+
+        from repro.obs.expose import write_snapshot
+
+        snap_file = str(tmp_path / "m.json")
+        write_snapshot({"dbsim.table.A.seeks": 10}, snap_file)
+
+        def bump(_seconds):  # the "workload" advances between polls
+            write_snapshot({"dbsim.table.A.seeks": 25}, snap_file)
+
+        monkeypatch.setattr(time, "sleep", bump)
+        assert main(["monitor", "--metrics-json", snap_file,
+                     "--interval", "0", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 metric(s) moved" in out
+        assert "dbsim.table.A.seeks" in out and "+15" in out
