@@ -1,0 +1,169 @@
+"""repro.net benchmark: RPC round-trip latency, streamed-scan
+throughput vs the in-process backend, and ingest throughput under
+injected fault rates.
+
+The cluster runs in thread mode — the same services, sockets and wire
+protocol as ``repro cluster``, minus the process-spawn cost — so the
+numbers isolate fabric overhead (framing, JSON codecs, chunked scan
+streaming, retry machinery) from OS scheduling noise.
+
+Ingest is measured at 0%, 1% and 5% ``write_batch`` ack-drop rates: a
+dropped ack forces a client retry that the server must answer from its
+dedup cache, so the fault series prices the exactly-once machinery.
+Every faulted run must still land *exactly* the same cells.
+
+Results go to ``BENCH.net.json`` (override with ``REPRO_BENCH_JSON``).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks._benchjson import write_bench_json
+from repro.dbsim import Connector
+from repro.dbsim.server import Instance
+from repro.net import wire
+from repro.net.cluster import LocalCluster
+from repro.obs.metrics import MetricsRegistry
+
+N_CELLS = 10_000
+SPLITS = [f"r{i:05d}" for i in range(2000, 10_000, 2000)]  # 5 tablets
+FAULT_RATES = (0.0, 0.01, 0.05)
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_json():
+    yield
+    write_bench_json("net", _RESULTS, benchmark="net_rpc_fabric",
+                     workload={"cells": N_CELLS,
+                               "tablets": len(SPLITS) + 1,
+                               "servers": 3,
+                               "fault_rates": list(FAULT_RATES)})
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(n_servers=3, processes=False) as c:
+        yield c
+
+
+def _rows():
+    return [(f"r{i:05d}", i) for i in range(N_CELLS)]
+
+
+def _ingest(conn, buffer_size=1000):
+    conn.create_table("A", splits=SPLITS)
+    with conn.batch_writer("A", buffer_size=buffer_size) as w:
+        for r, v in _rows():
+            w.put(r, "", "c", v)
+
+
+def _wipe(conn):
+    for table in list(conn.instance.list_tables()):
+        conn.instance.delete_table(table)
+
+
+class TestRpcRtt:
+    def test_ping_round_trip(self, cluster, capsys):
+        conn = cluster.connect()
+        try:
+            core = conn.instance.core
+            addr = cluster.server_addrs[0]
+            core.call(addr, wire.PING, {})  # warm the pooled connection
+            samples = []
+            for _ in range(500):
+                t0 = time.perf_counter()
+                core.call(addr, wire.PING, {})
+                samples.append(time.perf_counter() - t0)
+        finally:
+            conn.close()
+        samples.sort()
+        p50 = samples[len(samples) // 2]
+        p99 = samples[int(len(samples) * 0.99)]
+        _RESULTS["rpc_rtt"] = {
+            "pings": len(samples),
+            "p50_us": round(1e6 * p50, 1),
+            "p99_us": round(1e6 * p99, 1),
+            "mean_us": round(1e6 * statistics.mean(samples), 1),
+        }
+        with capsys.disabled():
+            print(f"\nRPC RTT over {len(samples)} pings: "
+                  f"p50 {1e6 * p50:.0f}us p99 {1e6 * p99:.0f}us")
+        assert p50 < 0.05  # localhost ping must be well under 50ms
+
+
+class TestScanThroughput:
+    def test_streamed_scan_vs_in_process(self, cluster, capsys):
+        remote = cluster.connect()
+        try:
+            _wipe(remote)
+            _ingest(remote)
+            t0 = time.perf_counter()
+            remote_cells = list(remote.scanner("A"))
+            t_remote = time.perf_counter() - t0
+        finally:
+            _wipe(remote)
+            remote.close()
+
+        local = Connector(Instance(n_servers=3,
+                                   metrics=MetricsRegistry()))
+        _ingest(local)
+        t0 = time.perf_counter()
+        local_cells = list(local.scanner("A"))
+        t_local = time.perf_counter() - t0
+
+        assert remote_cells == local_cells  # incl. timestamps
+        n = len(local_cells)
+        _RESULTS["streamed_scan"] = {
+            "cells": n,
+            "remote_s": round(t_remote, 4),
+            "in_process_s": round(t_local, 4),
+            "remote_cells_per_s": round(n / t_remote),
+            "in_process_cells_per_s": round(n / t_local),
+            "fabric_overhead_x": round(t_remote / t_local, 2),
+            "bit_identical": True,
+        }
+        with capsys.disabled():
+            print(f"\nscan {n} cells: remote {t_remote:.3f}s "
+                  f"({n / t_remote:,.0f}/s) vs in-process {t_local:.3f}s "
+                  f"({n / t_local:,.0f}/s)")
+
+
+class TestIngestUnderFaults:
+    def test_ingest_throughput_by_fault_rate(self, capsys):
+        want = None
+        series = {}
+        for rate in FAULT_RATES:
+            specs = [f"write_batch:drop:{rate:g}"] if rate else []
+            with LocalCluster(n_servers=3, processes=False,
+                              fault_specs=specs, fault_seed=5) as c:
+                registry = MetricsRegistry()
+                conn = c.connect(metrics=registry)
+                try:
+                    t0 = time.perf_counter()
+                    # 50-cell batches -> ~200 write RPCs, enough for
+                    # the 1% rate to actually fire
+                    _ingest(conn, buffer_size=50)
+                    elapsed = time.perf_counter() - t0
+                    got = [(cell.key.row, cell.key.timestamp, cell.value)
+                           for cell in conn.scanner("A")]
+                finally:
+                    conn.close()
+            if want is None:
+                want = got
+            # faults must cost time, never cells (exactly-once dedup)
+            assert got == want
+            export = registry.export()
+            series[f"{100 * rate:g}%"] = {
+                "ingest_s": round(elapsed, 4),
+                "cells_per_s": round(N_CELLS / elapsed),
+                "retries": export["net.client.retries"],
+            }
+            with capsys.disabled():
+                print(f"\ningest {N_CELLS} cells @ {100 * rate:g}% ack "
+                      f"drop: {elapsed:.3f}s ({N_CELLS / elapsed:,.0f}/s, "
+                      f"{export['net.client.retries']} retries)")
+        _RESULTS["ingest_under_faults"] = series

@@ -4,4 +4,8 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+# The guard matters: repro.net spawns server processes with the
+# multiprocessing "spawn" start method, which re-imports __main__ in
+# each child — without it every child would re-run the CLI.
+if __name__ == "__main__":
+    sys.exit(main())

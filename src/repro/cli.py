@@ -13,9 +13,11 @@ Subcommands::
     python -m repro ktruss    graph.tsv --k 4 [--out truss.tsv]
     python -m repro jaccard   graph.tsv --top 10
     python -m repro topics    --docs 2000 --k 5
-    python -m repro stats     graph.tsv [--json] [--prom]
+    python -m repro stats     graph.tsv [--json] [--prom] [--connect H:P]
     python -m repro analyze   trace.jsonl [--top N] [--flamegraph out.folded]
     python -m repro monitor   --metrics-json snapshot.json
+    python -m repro serve     [--port 41100] [--fault SPEC ...]
+    python -m repro cluster   --servers 3 [--fault SPEC ...] [--smoke]
 
 Every subcommand accepts ``--trace out.jsonl`` (spans with OpStats
 deltas plus convergence records, one JSON object per line) and
@@ -230,12 +232,18 @@ def cmd_topics(args) -> int:
 def cmd_stats(args) -> int:
     """Ingest the graph into a simulated Accumulo and report the full
     instrumentation surface: per-table metrics registry, per-server
-    OpStats, and the merged cost-model counters."""
+    OpStats, and the merged cost-model counters.  With ``--connect``
+    the same workload runs over the RPC fabric against a live ``repro
+    serve`` / ``repro cluster``, and the report adds the client's
+    ``net.client.*`` retry/timeout counters plus every server-process
+    registry (prefixed ``cluster.<name>.``)."""
     from repro.dbsim import Connector, assoc_to_table, degree_table
     from repro.dbsim.server import Instance
     from repro.obs.metrics import MetricsRegistry
 
     a = _load(args.path)
+    if args.connect:
+        return _stats_remote(args, a)
     inst = Instance(n_servers=args.servers, metrics=MetricsRegistry())
     conn = Connector(inst)
     assoc_to_table(conn, a, "A", n_splits=args.splits)
@@ -266,6 +274,201 @@ def cmd_stats(args) -> int:
               + " ".join(f"{k}={v}" for k, v in counters.items()))
     print(f"\ntotal: {' '.join(f'{k}={v}' for k, v in report['total'].items())}")
     return 0
+
+
+def _stats_remote(args, a) -> int:
+    """The ``stats --connect`` path: same ingest/compact/degree/scan
+    workload, but through :class:`~repro.net.client.RemoteConnector`
+    against a live cluster.  The metrics report merges the client's own
+    registry (``net.client.*``) with the registries fetched from the
+    manager and every tablet-server process."""
+    from repro.dbsim import assoc_to_table, degree_table
+    from repro.net.client import RemoteConnector
+    from repro.net.wire import RpcError
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    conn = RemoteConnector(args.connect, metrics=registry)
+    try:
+        inst = conn.instance
+        for table in ("A", "Adeg"):  # rerunnable against a live cluster
+            if inst.table_exists(table):
+                inst.delete_table(table)
+        assoc_to_table(conn, a, "A", n_splits=args.splits)
+        conn.compact("A")
+        degree_table(conn, "A", "Adeg")
+        scanned = sum(1 for _ in conn.scanner("A"))
+        merged = dict(registry.export())
+        cluster = inst.cluster_metrics()
+        for k, v in cluster.get("manager", {}).items():
+            merged[f"cluster.manager.{k}"] = v
+        for sname in sorted(cluster.get("servers", {})):
+            for k, v in cluster["servers"][sname].items():
+                merged[f"cluster.{sname}.{k}"] = v
+        total = inst.total_stats()
+    except (RpcError, OSError) as exc:
+        raise CliError(
+            f"cluster at {args.connect} unreachable: {exc}") from exc
+    finally:
+        conn.close()
+
+    if args.metrics_json:
+        from repro.obs.expose import write_snapshot
+
+        write_snapshot(merged, args.metrics_json)
+    if args.prom:
+        from repro.obs.expose import to_prometheus
+
+        print(to_prometheus(merged), end="")
+        return 0
+    if args.json:
+        print(json.dumps({"connect": args.connect, "metrics": merged,
+                          "total": total.as_dict()},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{args.path}: ingested {a.nnz} triples into table 'A' over "
+          f"RPC at {args.connect} ({args.splits} splits); "
+          f"scan returned {scanned} entries")
+    print("\nclient RPC counters:")
+    for name in sorted(merged):
+        if name.startswith("net.client.") \
+                and not isinstance(merged[name], dict):
+            print(f"  {name:<44} {merged[name]}")
+    print("\ncluster metrics (nonzero):")
+    for name in sorted(merged):
+        if name.startswith("cluster.") \
+                and not isinstance(merged[name], dict) and merged[name]:
+            print(f"  {name:<52} {merged[name]}")
+    print(f"\ntotal: "
+          f"{' '.join(f'{k}={v}' for k, v in total.as_dict().items())}")
+    return 0
+
+
+def _cluster_banner(cluster, args) -> None:
+    for name, addr in zip(cluster.server_names, cluster.server_addrs):
+        print(f"tablet server {name} on {addr[0]}:{addr[1]}")
+    print(f"manager listening on {cluster.manager_addr_str}")
+    if args.fault:
+        print(f"fault plan: {', '.join(args.fault)} "
+              f"(seed {args.fault_seed})")
+    if args.trace_dir:
+        print(f"rpc traces under {args.trace_dir}/")
+    sys.stdout.flush()
+
+
+def _foreground(duration: float) -> int:
+    """Block until Ctrl-C (or for ``duration`` seconds if positive)."""
+    import time as _time
+
+    deadline = _time.monotonic() + duration if duration > 0 else None
+    try:
+        while deadline is None or _time.monotonic() < deadline:
+            _time.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run a dbsim server in the foreground: the calling process hosts
+    the tablet server(s) and the manager on localhost sockets until
+    Ctrl-C.  Clients connect with ``RemoteConnector("host:port")`` or
+    ``repro stats graph.tsv --connect host:port``."""
+    from repro.net.cluster import LocalCluster
+
+    cluster = LocalCluster(
+        n_servers=args.servers, fault_specs=args.fault or (),
+        fault_seed=args.fault_seed, trace_dir=args.trace_dir,
+        processes=False, host=args.host, manager_port=args.port).start()
+    try:
+        _cluster_banner(cluster, args)
+        print(f"serving until Ctrl-C; try: repro stats graph.tsv "
+              f"--connect {cluster.manager_addr_str} --prom")
+        sys.stdout.flush()
+        return _foreground(args.duration)
+    finally:
+        cluster.stop()
+
+
+def cmd_cluster(args) -> int:
+    """Boot a multi-process cluster: N tablet-server processes plus a
+    manager process.  With ``--smoke``, run a BFS workload through the
+    RPC fabric, check it is bit-identical to the in-process backend,
+    print the client's retry counters, and exit (nonzero on any
+    mismatch) — the CI net-fabric gate."""
+    from repro.net.cluster import LocalCluster
+
+    cluster = LocalCluster(
+        n_servers=args.servers, fault_specs=args.fault or (),
+        fault_seed=args.fault_seed, trace_dir=args.trace_dir,
+        processes=not args.threads, host=args.host,
+        manager_port=args.port).start()
+    try:
+        _cluster_banner(cluster, args)
+        if args.smoke:
+            return _net_smoke(cluster, scale=args.scale, hops=args.hops)
+        print("cluster up until Ctrl-C")
+        sys.stdout.flush()
+        return _foreground(args.duration)
+    finally:
+        cluster.stop()
+
+
+def _net_smoke(cluster, scale: int = 6, hops: int = 3) -> int:
+    """Same graph ingested and BFS'd through the RPC fabric and through
+    the in-process backend; the two must agree bit for bit — BFS result
+    *and* full cell-level table snapshot — even with fault injection in
+    the response path."""
+    from repro.dbsim import Connector, assoc_to_table, table_bfs
+    from repro.dbsim.server import Instance
+    from repro.generators import rmat_graph
+    from repro.obs.metrics import MetricsRegistry
+
+    g = rmat_graph(scale, edge_factor=4, seed=7)
+    rows, cols, vals = g.to_coo()
+    width = len(str(g.nrows - 1))
+    a = AssocArray.from_triples(
+        [f"v{u:0{width}d}" for u in rows],
+        [f"v{v:0{width}d}" for v in cols], vals)
+    source = str(min(a.row_keys))
+
+    local = Connector(Instance(n_servers=cluster.n_servers,
+                               metrics=MetricsRegistry()))
+    assoc_to_table(local, a, "A", n_splits=4)
+    want_bfs = table_bfs(local, "A", [source], hops)
+    want_cells = list(local.scanner("A"))
+
+    registry = MetricsRegistry()
+    conn = cluster.connect(metrics=registry)
+    try:
+        assoc_to_table(conn, a, "A", n_splits=4)
+        got_bfs = table_bfs(conn, "A", [source], hops)
+        got_cells = list(conn.scanner("A"))
+    finally:
+        conn.close()
+
+    counters = {k[len("net.client."):]: v
+                for k, v in sorted(registry.export().items())
+                if k.startswith("net.client.")
+                and not isinstance(v, dict) and v}
+    print("client counters: "
+          + " ".join(f"{k}={v}" for k, v in counters.items()))
+    ok_bfs = got_bfs == want_bfs
+    ok_cells = got_cells == want_cells
+    if ok_bfs and ok_cells:
+        print(f"smoke OK: remote BFS from {source} "
+              f"({hops} hops over {g.nrows} vertices) and the "
+              f"{len(want_cells)}-cell table snapshot are bit-identical "
+              f"to the in-process backend")
+        return 0
+    problems = []
+    if not ok_bfs:
+        problems.append("BFS result mismatch")
+    if not ok_cells:
+        problems.append(f"table snapshot mismatch "
+                        f"({len(got_cells)} cells vs {len(want_cells)})")
+    print(f"smoke FAILED: {'; '.join(problems)}", file=sys.stderr)
+    return 1
 
 
 def _fmt_ms(seconds: float) -> str:
@@ -461,7 +664,52 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--metrics-json", metavar="PATH",
                    help="also write a timestamped metrics snapshot file "
                         "(the input `repro monitor` polls)")
+    s.add_argument("--connect", metavar="HOST:PORT",
+                   help="run the workload over the RPC fabric against a "
+                        "live `repro serve`/`repro cluster` manager; the "
+                        "report then includes net.client.* retry/timeout "
+                        "counters and each server's registry")
     s.set_defaults(fn=cmd_stats)
+
+    def add_cluster_args(s, default_servers):
+        s.add_argument("--servers", type=int, default=default_servers,
+                       help=f"tablet servers (default {default_servers})")
+        s.add_argument("--host", default="127.0.0.1")
+        s.add_argument("--port", type=int, default=0,
+                       help="manager port (default: ephemeral, printed)")
+        s.add_argument("--fault", action="append", metavar="SPEC",
+                       help="fault-injection rule op:kind:rate[:param], "
+                            "e.g. scan:delay:0.05:0.02 or "
+                            "write_batch:drop:0.01 (repeatable; see "
+                            "docs/NET.md)")
+        s.add_argument("--fault-seed", type=int, default=0)
+        s.add_argument("--trace-dir", metavar="DIR",
+                       help="write per-process rpc.* span traces under DIR")
+        s.add_argument("--duration", type=float, default=0.0,
+                       help="serve for N seconds then exit "
+                            "(default: until ^C)")
+
+    s = add_parser("serve",
+                   help="run a dbsim server cluster in the foreground "
+                        "(this process hosts the sockets)")
+    add_cluster_args(s, default_servers=1)
+    s.set_defaults(fn=cmd_serve)
+
+    s = add_parser("cluster",
+                   help="boot a multi-process cluster: N tablet-server "
+                        "processes + a manager process")
+    add_cluster_args(s, default_servers=3)
+    s.add_argument("--threads", action="store_true",
+                   help="run the services on threads in this process "
+                        "instead of spawning server processes")
+    s.add_argument("--smoke", action="store_true",
+                   help="run a BFS workload over RPC, verify bit-identical "
+                        "output against the in-process backend, and exit")
+    s.add_argument("--scale", type=int, default=6,
+                   help="R-MAT scale of the --smoke graph (default 6)")
+    s.add_argument("--hops", type=int, default=3,
+                   help="--smoke BFS hops (default 3)")
+    s.set_defaults(fn=cmd_cluster)
 
     s = add_parser("analyze",
                    help="roll up a JSONL trace: per-span-name stats, "

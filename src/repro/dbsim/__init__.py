@@ -29,6 +29,12 @@ the same architecture:
   cluster wall-clock numbers.
 """
 
+from repro.dbsim.backend import ConnectorBackend, TabletBackend
+from repro.dbsim.errors import (
+    NotHostedError,
+    ServerCrashedError,
+    TabletServerError,
+)
 from repro.dbsim.key import Cell, Key, Range, decode_number, encode_number
 from repro.dbsim.iterators import (
     AgeOffIterator,
@@ -75,6 +81,11 @@ from repro.dbsim.visibility import (
 )
 
 __all__ = [
+    "ConnectorBackend",
+    "TabletBackend",
+    "TabletServerError",
+    "ServerCrashedError",
+    "NotHostedError",
     "Cell",
     "Key",
     "Range",

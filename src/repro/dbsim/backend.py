@@ -1,0 +1,129 @@
+"""The connector backend contract shared by local and remote clients.
+
+:class:`~repro.dbsim.client.Connector` programs against an *instance*
+object, never against storage directly.  This module names that
+contract so the in-process simulator (:class:`repro.dbsim.server.
+Instance`) and the RPC fabric's client-side façade
+(:class:`repro.net.client.RemoteInstance`) implement one protocol —
+and so ``Scanner`` / ``BatchScanner`` / ``BatchWriter`` drop in
+unchanged against either.  ``tests/dbsim/test_client.py`` runs its
+whole suite over both implementations.
+
+Two protocols:
+
+* :class:`TabletBackend` — what a scan or write path needs from one
+  tablet: its row extent, an unseeked iterator stack factory, and a
+  raw-mutation batch write.  Locally this is a real
+  :class:`~repro.dbsim.tablet.Tablet`; remotely a ``TabletProxy``
+  that turns the same calls into RPCs.
+* :class:`ConnectorBackend` — the instance-wide surface: table
+  lifecycle, the locate index used for client-side routing, and the
+  merged OpStats cost model.
+
+Both are :func:`typing.runtime_checkable`, so ``isinstance(obj,
+ConnectorBackend)`` verifies structural conformance (method presence,
+not signatures) in tests.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.dbsim.iterators import SortedKVIterator
+from repro.dbsim.key import Range
+from repro.dbsim.stats import OpStats
+
+
+@runtime_checkable
+class TabletBackend(Protocol):
+    """One tablet as the client data path sees it."""
+
+    #: the row-range this tablet owns (half-open ``[start, stop)``)
+    extent: Range
+
+    def scan_iterator(self, rng: Range,
+                      table_iterators: Sequence = (),
+                      scan_iterators: Sequence = ()) -> SortedKVIterator:
+        """Build an *unseeked* iterator stack over ``extent ∩ rng``.
+
+        Local tablets build the storage→versioning→iterator stack in
+        process; remote proxies stream cells over RPC and apply the
+        scan-time iterators client-side.  Either way the caller seeks
+        the returned stack and drains it.
+        """
+        ...
+
+    def write_raw_batch(self, mutations) -> int:
+        """Apply raw ``(row, family, qualifier, visibility, timestamp,
+        delete, value)`` tuples in order; returns cells applied."""
+        ...
+
+    def scan(self, rng: Range = Range(), columns=None,
+             table_iterators: Sequence = (),
+             scan_iterators: Sequence = ()) -> list:
+        """Convenience: seek + drain the stack into a cell list."""
+        ...
+
+
+@runtime_checkable
+class ConnectorBackend(Protocol):
+    """The instance-wide contract behind a ``Connector``.
+
+    ``Connector`` and its Scanner/BatchScanner/BatchWriter factories
+    call exactly these methods — nothing else — so any conforming
+    object is a drop-in backend.
+    """
+
+    # -- table lifecycle --------------------------------------------------
+
+    def create_table(self, name: str, config=None,
+                     splits: Sequence[str] = ()) -> None: ...
+
+    def delete_table(self, name: str) -> None: ...
+
+    def table_exists(self, name: str) -> bool: ...
+
+    def list_tables(self) -> List[str]: ...
+
+    def config(self, name: str):
+        """The table's :class:`~repro.dbsim.server.TableConfig` (or an
+        equivalent object with ``table_iterators``)."""
+        ...
+
+    # -- tablet location --------------------------------------------------
+
+    def add_split(self, name: str, split_row: str) -> None: ...
+
+    def splits(self, name: str) -> List[str]: ...
+
+    def locate(self, name: str, row: str) -> TabletBackend: ...
+
+    def locate_index(self, name: str
+                     ) -> Tuple[List[str], List[TabletBackend]]:
+        """Parallel (sorted extent-start keys, tablets) lists — the
+        client-side routing index ``BatchWriter`` bisects."""
+        ...
+
+    def tablets_for_range(self, name: str,
+                          rng: Range) -> List[TabletBackend]: ...
+
+    # -- maintenance ------------------------------------------------------
+
+    def flush_table(self, name: str) -> None: ...
+
+    def compact_table(self, name: str) -> None: ...
+
+    # -- observability ----------------------------------------------------
+
+    def total_stats(self) -> OpStats:
+        """Merged cost-model counters across the server fleet."""
+        ...
+
+    def table_entry_estimate(self, name: str) -> int: ...

@@ -14,18 +14,26 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.dbsim.backend import ConnectorBackend
 from repro.dbsim.iterators import Columns, VisibilityFilterIterator
 from repro.dbsim.key import Cell, Key, Range, encode_number
-from repro.dbsim.server import Instance, TableConfig
+from repro.dbsim.server import TableConfig
 from repro.dbsim.tablet import IteratorFactory, Tablet
 from repro.dbsim.visibility import PUBLIC, Authorizations, check_expression
 from repro.obs import trace as _trace
 
 
 class Connector:
-    """Entry point: table ops + scanner/writer factories."""
+    """Entry point: table ops + scanner/writer factories.
 
-    def __init__(self, instance: Instance):
+    The backend may be any :class:`~repro.dbsim.backend.
+    ConnectorBackend` — the in-process :class:`~repro.dbsim.server.
+    Instance` or :class:`repro.net.client.RemoteInstance` speaking the
+    RPC fabric; every data-path class below goes through
+    ``self.instance`` only, so they work against either unchanged.
+    """
+
+    def __init__(self, instance: ConnectorBackend):
         self.instance = instance
 
     # -- table operations (subset of Accumulo's TableOperations) ----------

@@ -1,0 +1,30 @@
+"""Typed failure modes of the (simulated or remote) tablet-server fleet.
+
+These are the exceptions a distributed client's retry policy keys off,
+so they live in one dependency-free module shared by the in-process
+simulator (:mod:`repro.dbsim`) and the RPC fabric (:mod:`repro.net`):
+
+* :class:`ServerCrashedError` — the server holding the data is down;
+  the operation may succeed after ``recover()``.  Remote clients back
+  off and retry; in-process callers see the same typed error instead
+  of silently reading a dead server's tablets.
+* :class:`NotHostedError` — the addressed server no longer hosts a
+  tablet covering the requested rows (a split migrated it, or the
+  client's tablet-location cache is stale).  Remote clients re-locate
+  through the manager and re-route; retrying the same server is
+  pointless.
+"""
+
+from __future__ import annotations
+
+
+class TabletServerError(RuntimeError):
+    """Base class for tablet-server-side failures surfaced to clients."""
+
+
+class ServerCrashedError(TabletServerError):
+    """A data operation reached a crashed (not yet recovered) server."""
+
+
+class NotHostedError(TabletServerError):
+    """The addressed server hosts no tablet covering the requested rows."""

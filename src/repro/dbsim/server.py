@@ -34,26 +34,42 @@ class TabletServer:
     def __init__(self, name: str):
         self.name = name
         self.stats = OpStats()
+        #: True between :meth:`crash` and :meth:`recover`.  While set,
+        #: every data op on a hosted tablet (write, scan, flush,
+        #: compact) raises :class:`ServerCrashedError` — the typed
+        #: signal a remote client's retry loop keys off.
+        self.crashed = False
         #: (table, tablet) pairs hosted here
         self.tablets: List[Tuple[str, Tablet]] = []
 
     def host(self, table: str, tablet: Tablet) -> None:
         tablet.stats = self.stats
+        tablet.server = self
         self.tablets.append((table, tablet))
 
     def unhost(self, table: str, tablet: Tablet) -> None:
         self.tablets.remove((table, tablet))
+        tablet.server = None
 
     def crash(self) -> None:
         """Simulated process failure: every hosted tablet loses its
-        memtable; sorted runs and WALs are durable."""
+        memtable; sorted runs and WALs are durable.  The server stays
+        down (data ops raise :class:`ServerCrashedError`, including
+        scans already open) until :meth:`recover`."""
+        self.crashed = True
         for _, tablet in self.tablets:
             tablet.crash()
 
-    def recover(self) -> None:
-        """Replay each hosted tablet's WAL (Accumulo's log recovery)."""
-        for _, tablet in self.tablets:
-            tablet.recover()
+    def recover(self, replay_wal: bool = True) -> None:
+        """Bring the server back up, replaying each hosted tablet's WAL
+        (Accumulo's log recovery).  ``replay_wal=False`` restarts
+        without recovery — modelling a server whose write-ahead logs
+        are not (yet) replayed; the WALs themselves stay durable, so a
+        later ``recover()`` can still replay them."""
+        if replay_wal:
+            for _, tablet in self.tablets:
+                tablet.recover()
+        self.crashed = False
 
     def __repr__(self) -> str:
         return f"TabletServer({self.name}, tablets={len(self.tablets)})"

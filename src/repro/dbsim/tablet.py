@@ -23,6 +23,7 @@ from repro.dbsim.iterators import (
     VersioningIterator,
     drain,
 )
+from repro.dbsim.errors import ServerCrashedError
 from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.memtable import MemTable
 from repro.dbsim.sstable import SSTable
@@ -44,6 +45,10 @@ class Tablet:
         self.flush_bytes = flush_bytes
         self._stats = stats if stats is not None else OpStats()
         self._registry = None     # metrics registry (bound by the Instance)
+        #: hosting TabletServer (set by host/unhost); data ops consult
+        #: its ``crashed`` flag so a downed server fails typed instead
+        #: of silently serving reads
+        self.server = None
         self.table: Optional[str] = None
         self._sink = self._stats  # counter target: stats, or a metered tee
         self._on_index_seek = None  # registry hook for sstable index seeks
@@ -132,6 +137,16 @@ class Tablet:
                 self._registry.gauge(f"{prefix}.{name}").add(delta)
         self._gauge_prev = now
 
+    def _check_up(self) -> None:
+        """Raise :class:`ServerCrashedError` when the hosting server is
+        down (between ``crash()`` and ``recover()``).  Unhosted tablets
+        (``server is None``) are always up — the unit-test path."""
+        server = self.server
+        if server is not None and server.crashed:
+            raise ServerCrashedError(
+                f"tablet server {server.name} is down "
+                f"(crashed, not yet recovered)")
+
     # -- writes -------------------------------------------------------------
 
     def _apply(self, key: Key, value: str) -> None:
@@ -153,6 +168,7 @@ class Tablet:
 
     def write(self, key: Key, value: str) -> None:
         """Insert one cell."""
+        self._check_up()
         self._apply(key, value)
         self._sink.entries_written += 1
         size = self.memtable.approximate_bytes
@@ -167,6 +183,7 @@ class Tablet:
         cell-at-a-time ingest) and appended to the WAL and memtable in
         bulk; counters, gauges and the auto-flush check run **once per
         batch** — not per cell.  Returns the number of cells applied."""
+        self._check_up()
         extent = self.extent
         contains = extent.contains_row
         clock = self._clock
@@ -196,6 +213,7 @@ class Tablet:
         :class:`Cell` exactly once, *after* its timestamp is assigned,
         instead of being built client-side and rebuilt here to stamp
         it.  Semantics are identical to ``write_batch``."""
+        self._check_up()
         extent = self.extent
         contains = extent.contains_row
         clock = self._clock
@@ -244,6 +262,7 @@ class Tablet:
     def flush(self) -> None:
         """Minor compaction: memtable → new immutable run; the WAL
         entries it covered are no longer needed."""
+        self._check_up()
         if len(self.memtable) == 0:
             return
         if not _trace.ENABLED:
@@ -317,7 +336,13 @@ class Tablet:
             stack = factory(stack)
         for factory in scan_iterators:
             stack = factory(stack)
-        return _ClippedIterator(stack, clipped)
+        out: SortedKVIterator = _ClippedIterator(stack, clipped)
+        if self.server is not None:
+            # hosted tablet: an open scan dies with its server.  A
+            # crash between advances surfaces as ServerCrashedError
+            # instead of the scan silently reading a dead server.
+            out = _CrashGuardIterator(out, self.server)
+        return out
 
     def scan(self, rng: Range = Range(), columns: Columns = None,
              table_iterators: Sequence[IteratorFactory] = (),
@@ -331,6 +356,7 @@ class Tablet:
     def compact(self, table_iterators: Sequence[IteratorFactory] = ()) -> None:
         """Major compaction: rewrite all data through the table stack
         (versioning + combiners become durable; single run remains)."""
+        self._check_up()
         if not _trace.ENABLED:
             self._compact(table_iterators)
             return
@@ -371,6 +397,43 @@ class Tablet:
     def entry_estimate(self) -> int:
         """Stored-entry count across memtable and runs (pre-versioning)."""
         return len(self.memtable) + sum(len(t) for t in self.sstables)
+
+
+class _CrashGuardIterator(SortedKVIterator):
+    """Fail a scan stack the moment its hosting server is crashed.
+
+    Every iterator call re-checks the server's ``crashed`` flag, so a
+    crash *during* an open scan raises :class:`ServerCrashedError` on
+    the next access — the signal a remote client resumes from — rather
+    than continuing to stream a dead server's tablets.
+    """
+
+    __slots__ = ("_source", "_server")
+
+    def __init__(self, source: SortedKVIterator, server):
+        self._source = source
+        self._server = server
+
+    def _check(self) -> None:
+        if self._server.crashed:
+            raise ServerCrashedError(
+                f"tablet server {self._server.name} crashed mid-scan")
+
+    def seek(self, rng: Range, columns: Columns = None) -> None:
+        self._check()
+        self._source.seek(rng, columns)
+
+    def has_top(self) -> bool:
+        self._check()
+        return self._source.has_top()
+
+    def top(self) -> Cell:
+        self._check()
+        return self._source.top()
+
+    def advance(self) -> None:
+        self._check()
+        self._source.advance()
 
 
 class _ClippedIterator(SortedKVIterator):

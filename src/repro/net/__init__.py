@@ -1,0 +1,57 @@
+"""repro.net: a TCP RPC fabric for dbsim tablet servers.
+
+Promotes :mod:`repro.dbsim` from an in-process simulator to a
+multi-process client/server system with a real network boundary — the
+part of the Graphulo story (client ↔ tablet-server round trips,
+partial failure, retries) a single process cannot model:
+
+* :mod:`repro.net.wire` — length-prefixed framed protocol: versioned
+  op-codes, CRC-checked JSON payloads, streaming scan chunks, and
+  structured error frames that map server-side exceptions back to the
+  same typed errors the in-process backend raises;
+* :mod:`repro.net.faults` — seeded in-path fault injector (drop /
+  delay / reset / corrupt-frame / slow-drip, per op-code) applied at
+  response time so retries and write dedup are genuinely exercised;
+* :mod:`repro.net.server` — ``TabletServerProcess`` wrapping the
+  existing :class:`~repro.dbsim.server.TabletServer` machinery behind
+  a threaded socket listener, plus a manager process owning table
+  metadata and the locate index;
+* :mod:`repro.net.client` — ``RemoteConnector``: the same API surface
+  as :class:`~repro.dbsim.client.Connector` (Scanner / BatchScanner /
+  BatchWriter drop in unchanged) over per-RPC deadlines, exponential
+  backoff with decorrelated jitter, connection pooling, exactly-once
+  write dedup, and automatic re-locate on ``NotHostedError``;
+* :mod:`repro.net.cluster` — spawn / stop / crash / recover N server
+  processes over localhost (``repro serve`` / ``repro cluster``).
+
+Everything emits ``rpc.*`` spans and ``net.client.*`` /
+``net.server.*`` counters through :mod:`repro.obs`, so ``repro
+analyze``, the slowlog, and Prometheus exposition work on distributed
+runs unchanged.  See ``docs/NET.md``.
+"""
+
+from repro.net.client import RemoteConnector, RemoteInstance, RetryPolicy
+from repro.net.cluster import LocalCluster
+from repro.net.faults import FaultPlan, FaultRule
+from repro.net.server import ManagerProcess, TabletServerProcess
+from repro.net.wire import (
+    FrameCorruptError,
+    ProtocolError,
+    RpcError,
+    WIRE_VERSION,
+)
+
+__all__ = [
+    "RemoteConnector",
+    "RemoteInstance",
+    "RetryPolicy",
+    "LocalCluster",
+    "FaultPlan",
+    "FaultRule",
+    "ManagerProcess",
+    "TabletServerProcess",
+    "FrameCorruptError",
+    "ProtocolError",
+    "RpcError",
+    "WIRE_VERSION",
+]

@@ -1,0 +1,753 @@
+"""The remote side of the client API: RemoteConnector and friends.
+
+:class:`RemoteConnector` subclasses :class:`~repro.dbsim.client.
+Connector` and swaps its backend for a :class:`RemoteInstance` that
+speaks the :mod:`repro.net.wire` protocol to a manager + tablet-server
+fleet.  Scanner, BatchScanner and BatchWriter are reused *unchanged*:
+they only ever touch ``conn.instance`` (the
+:class:`~repro.dbsim.backend.ConnectorBackend` contract), and
+``RemoteInstance`` hands them :class:`TabletProxy` objects wherever the
+local backend hands them :class:`~repro.dbsim.tablet.Tablet`\\ s.
+
+Reliability model:
+
+* every RPC has a socket deadline; transport failures (closed
+  connection, timeout, CRC-corrupt frame) and
+  :class:`~repro.dbsim.errors.ServerCrashedError` retry with
+  exponential backoff + decorrelated jitter (seeded);
+* mutating RPCs carry a ``(session, seq)`` pair the server deduplicates
+  on, so a retried ``write_batch`` whose ack was dropped is applied
+  exactly once;
+* :class:`~repro.dbsim.errors.NotHostedError` (a split migrated the
+  tablet, or the location cache is stale) triggers a re-``locate``
+  through the manager and re-routing — mid-batch for writes, mid-stream
+  (with a resume key) for scans;
+* connections are pooled per server address and reused across RPCs.
+
+Everything counts into ``net.client.*`` metrics and (when tracing is
+enabled) emits ``rpc.client.*`` spans.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import random
+import socket
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dbsim.client import Connector
+from repro.dbsim.errors import NotHostedError, ServerCrashedError
+from repro.dbsim.iterators import Columns, ListIterator, SortedKVIterator, drain
+from repro.dbsim.key import Cell, Range
+from repro.dbsim.server import TableConfig
+from repro.dbsim.stats import OpStats
+from repro.net import wire
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+Addr = Tuple[str, int]
+
+
+def parse_addr(addr: Union[str, Addr]) -> Addr:
+    """``"host:port"`` → ``(host, port)`` (tuples pass through)."""
+    if isinstance(addr, tuple):
+        return addr
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad address {addr!r}: want host:port")
+    return host, int(port)
+
+
+def format_addr(addr: Addr) -> str:
+    return f"{addr[0]}:{addr[1]}"
+
+
+class RetryPolicy:
+    """Deadline + backoff knobs for one client.
+
+    ``attempts`` bounds tries per RPC (and per scan-stream reopen);
+    ``deadline`` is the per-RPC socket timeout in seconds.  Backoff is
+    decorrelated jitter: ``sleep = min(cap, uniform(base, 3·prev))`` —
+    retries spread out instead of thundering in lockstep.
+    """
+
+    def __init__(self, attempts: int = 8, base: float = 0.02,
+                 cap: float = 0.5, deadline: float = 5.0,
+                 connect_timeout: float = 5.0):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.base = base
+        self.cap = cap
+        self.deadline = deadline
+        self.connect_timeout = connect_timeout
+
+    def next_sleep(self, prev: Optional[float], rng: random.Random) -> float:
+        if prev is None:
+            return self.base
+        return min(self.cap, rng.uniform(self.base, prev * 3))
+
+
+class _ConnPool:
+    """Idle sockets per server address (LIFO: reuse the warmest)."""
+
+    def __init__(self):
+        self._idle: Dict[Addr, List[socket.socket]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, addr: Addr) -> Optional[socket.socket]:
+        with self._lock:
+            stack = self._idle.get(addr)
+            return stack.pop() if stack else None
+
+    def put(self, addr: Addr, sock: socket.socket) -> None:
+        with self._lock:
+            self._idle.setdefault(addr, []).append(sock)
+
+    def close_all(self) -> None:
+        with self._lock:
+            socks = [s for stack in self._idle.values() for s in stack]
+            self._idle.clear()
+        for sock in socks:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class RpcCore:
+    """Shared RPC machinery: pooling, deadlines, retries, write dedup.
+
+    One core per :class:`RemoteInstance` (the manager process also owns
+    one for server fan-out).  ``mutate`` stamps mutating requests with
+    this core's session id and a monotonically increasing sequence
+    number; a retry re-sends the *same* sequence number, which is what
+    lets the server replay the cached ack instead of re-applying.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 retry: Optional[RetryPolicy] = None, seed: int = 0):
+        self.metrics = metrics if metrics is not None else global_registry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.session = os.urandom(8).hex()
+        self._rng = random.Random(seed)
+        self._pool = _ConnPool()
+        self._seq = 0
+        self._lock = threading.Lock()
+        # pre-register the health counters so a metrics export always
+        # shows them (at 0), not only after the first retry/timeout
+        for name in ("requests", "retries", "timeouts", "relocates",
+                     "errors"):
+            self.metrics.counter(f"net.client.{name}")
+
+    # -- plumbing ---------------------------------------------------------
+
+    def next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _connect(self, addr: Addr) -> socket.socket:
+        sock = socket.create_connection(
+            addr, timeout=self.retry.connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def checkout(self, addr: Addr) -> socket.socket:
+        sock = self._pool.get(addr)
+        if sock is not None:
+            self.metrics.counter("net.client.pool_hits").inc()
+            return sock
+        self.metrics.counter("net.client.pool_misses").inc()
+        return self._connect(addr)
+
+    def checkin(self, addr: Addr, sock: socket.socket) -> None:
+        self._pool.put(addr, sock)
+
+    def close(self) -> None:
+        self._pool.close_all()
+
+    # -- RPCs -------------------------------------------------------------
+
+    def mutate(self, addr: Addr, op: int, payload: dict) -> dict:
+        """A mutating RPC: stamped for exactly-once dedup, then sent
+        through the same retry loop as ``call``."""
+        stamped = dict(payload)
+        stamped["session"] = self.session
+        stamped["seq"] = self.next_seq()
+        return self.call(addr, op, stamped)
+
+    def call(self, addr: Addr, op: int, payload: dict) -> dict:
+        if not _trace.ENABLED:
+            return self._call(addr, op, payload)
+        with _trace.span("rpc.client.call", op=wire.OP_NAMES.get(op, op),
+                         server=format_addr(addr)) as sp:
+            result = self._call(addr, op, payload)
+            sp.set(session=self.session)
+            return result
+
+    def _call(self, addr: Addr, op: int, payload: dict) -> dict:
+        counters = self.metrics.counter
+        hist = self.metrics.histogram("net.client.rpc_seconds")
+        sleep: Optional[float] = None
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retry.attempts):
+            if attempt:
+                sleep = self.retry.next_sleep(sleep, self._rng)
+                time.sleep(sleep)
+                counters("net.client.retries").inc()
+            counters("net.client.requests").inc()
+            t0 = time.perf_counter()
+            sock: Optional[socket.socket] = None
+            try:
+                sock = self.checkout(addr)
+                sock.settimeout(self.retry.deadline)
+                counters("net.client.bytes_sent").inc(
+                    wire.send_frame(sock, op, payload))
+                code, resp, nread = wire.recv_frame(sock)
+                counters("net.client.bytes_received").inc(nread)
+            except wire.FrameCorruptError as exc:
+                self._scrap(sock)
+                last_exc = exc
+                continue
+            except (socket.timeout, TimeoutError) as exc:
+                counters("net.client.timeouts").inc()
+                self._scrap(sock)
+                last_exc = exc
+                continue
+            except (wire.ProtocolError, OSError) as exc:
+                # includes ConnectionClosedError / refused / reset
+                self._scrap(sock)
+                if isinstance(exc, wire.ProtocolError):
+                    raise  # version skew / garbage framing: not transient
+                last_exc = exc
+                continue
+            hist.observe(time.perf_counter() - t0)
+            if code == wire.OK:
+                self.checkin(addr, sock)
+                return resp
+            if code == wire.ERROR:
+                self.checkin(addr, sock)  # the connection itself is fine
+                try:
+                    wire.raise_error(resp)
+                except ServerCrashedError as exc:
+                    last_exc = exc  # server will come back: retry
+                    continue
+                except NotHostedError:
+                    counters("net.client.relocates").inc()
+                    raise  # caller re-locates and re-routes
+                except Exception:
+                    counters("net.client.errors").inc()
+                    raise
+            self._scrap(sock)
+            raise wire.ProtocolError(
+                f"unexpected response op-code {code:#x} to "
+                f"{wire.OP_NAMES.get(op, op)}")
+        counters("net.client.errors").inc()
+        raise wire.RpcError(
+            f"{wire.OP_NAMES.get(op, op)} to {format_addr(addr)} failed "
+            f"after {self.retry.attempts} attempts") from last_exc
+
+    @staticmethod
+    def _scrap(sock: Optional[socket.socket]) -> None:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+# -- scan streaming ---------------------------------------------------------
+
+
+class _Segment:
+    """One (server, tablet) leg of a possibly re-planned scan."""
+
+    __slots__ = ("addr", "tablet_id", "extent")
+
+    def __init__(self, addr: Addr, tablet_id: str, extent: Range):
+        self.addr = addr
+        self.tablet_id = tablet_id
+        self.extent = extent
+
+
+class _RemoteScanIterator(SortedKVIterator):
+    """The raw server-side cell stream behind a remote scan stack.
+
+    Presents the standard seek/has_top/top/advance contract over a
+    sequence of CHUNK frames.  The stream is resumable: every consumed
+    cell updates the resume key, and any mid-stream failure (timeout,
+    reset, corrupt frame, server crash) reopens the stream asking the
+    server to skip everything at or before that key.  A
+    ``NotHostedError`` instead re-locates through the manager and
+    re-plans the remaining row-range over the new tablet layout — which
+    is how a scan survives a split or migration that happens under it.
+
+    Client-side scan iterators (visibility filter, user iterators) are
+    layered on top by :meth:`TabletProxy.scan_iterator`; the cells seen
+    here are post-versioning server output.
+    """
+
+    def __init__(self, inst: "RemoteInstance", table: str, clip: Range,
+                 segment: _Segment):
+        self._inst = inst
+        self._table = table
+        self._clip = clip  # construction range ∩ proxy extent
+        self._home = segment
+        self._segments: List[_Segment] = []
+        self._effective: Optional[Range] = None
+        self._columns: Columns = None
+        self._buffer: deque = deque()
+        self._resume: Optional[list] = None
+        self._finished = True
+        self._sock: Optional[socket.socket] = None
+
+    # -- iterator contract ------------------------------------------------
+
+    def seek(self, rng: Range, columns: Columns = None) -> None:
+        self._close(reusable=False)
+        self._buffer.clear()
+        self._resume = None
+        self._columns = list(columns) if columns else None
+        self._effective = self._clip.clip(rng)
+        self._finished = self._effective is None
+        self._segments = [] if self._finished else [self._home]
+
+    def has_top(self) -> bool:
+        while not self._buffer and not self._finished:
+            self._pump()
+        return bool(self._buffer)
+
+    def top(self) -> Cell:
+        if not self.has_top():
+            raise StopIteration("iterator exhausted")
+        return self._buffer[0]
+
+    def advance(self) -> None:
+        if not self.has_top():
+            return
+        cell = self._buffer.popleft()
+        k = cell.key
+        self._resume = [k.row, k.family, k.qualifier, k.visibility,
+                        k.timestamp, k.delete]
+
+    # -- streaming --------------------------------------------------------
+
+    def _open(self) -> None:
+        seg = self._segments[0]
+        core = self._inst.core
+        sock = core.checkout(seg.addr)
+        sock.settimeout(core.retry.deadline)
+        payload = {
+            "table": self._table,
+            "tablet_id": seg.tablet_id,
+            "range": wire.range_to_wire(self._effective),
+            "columns": ([list(c) for c in self._columns]
+                        if self._columns else None),
+            "resume": self._resume,
+        }
+        core.metrics.counter("net.client.requests").inc()
+        core.metrics.counter("net.client.bytes_sent").inc(
+            wire.send_frame(sock, wire.SCAN, payload))
+        self._sock = sock
+
+    def _pump(self) -> None:
+        """Receive frames until the buffer has cells, the current
+        segment completes, or the scan is re-planned."""
+        core = self._inst.core
+        counters = core.metrics.counter
+        sleep: Optional[float] = None
+        attempts = 0
+        while not self._buffer and not self._finished:
+            seg = self._segments[0]
+            try:
+                if self._sock is None:
+                    if attempts:
+                        sleep = core.retry.next_sleep(sleep, core._rng)
+                        time.sleep(sleep)
+                        counters("net.client.retries").inc()
+                        counters("net.client.scan_resumes").inc()
+                    attempts += 1
+                    self._open()
+                code, payload, nread = wire.recv_frame(self._sock)
+                counters("net.client.bytes_received").inc(nread)
+            except wire.FrameCorruptError:
+                self._bail(counters, attempts)
+                continue
+            except (socket.timeout, TimeoutError):
+                counters("net.client.timeouts").inc()
+                self._bail(counters, attempts)
+                continue
+            except (wire.ProtocolError, OSError) as exc:
+                self._close(reusable=False)
+                if isinstance(exc, wire.ProtocolError):
+                    raise
+                self._check_budget(counters, attempts, exc)
+                continue
+            if code == wire.CHUNK:
+                attempts = 0  # progress: reset the retry budget
+                self._buffer.extend(wire.wire_to_cell(c) for c in payload)
+                counters("net.client.scan_chunks").inc()
+            elif code == wire.DONE:
+                self._close(reusable=True)
+                self._segments.pop(0)
+                if not self._segments:
+                    self._finished = True
+                attempts = 0
+            elif code == wire.ERROR:
+                self._close(reusable=False)
+                try:
+                    wire.raise_error(payload)
+                except ServerCrashedError as exc:
+                    self._check_budget(counters, attempts, exc)
+                except NotHostedError:
+                    counters("net.client.relocates").inc()
+                    self._replan(seg)
+                    attempts = 0
+            else:
+                self._close(reusable=False)
+                raise wire.ProtocolError(
+                    f"unexpected frame {code:#x} in scan stream")
+
+    def _bail(self, counters, attempts: int) -> None:
+        self._close(reusable=False)
+        self._check_budget(counters, attempts,
+                           wire.RpcError("scan stream interrupted"))
+
+    def _check_budget(self, counters, attempts: int,
+                      exc: BaseException) -> None:
+        if attempts >= self._inst.core.retry.attempts:
+            counters("net.client.errors").inc()
+            raise wire.RpcError(
+                f"scan of {self._table!r} failed after {attempts} "
+                f"attempts") from exc
+
+    def _replan(self, failed: _Segment) -> None:
+        """The tablet moved (split/migration): rebuild the remaining
+        segments from a fresh locate index."""
+        self._inst.invalidate(self._table)
+        remaining = Range(
+            self._resume[0] if self._resume else self._effective.start_row,
+            self._effective.stop_row)
+        _, proxies = self._inst.locate_index(self._table)
+        self._segments = [
+            _Segment(p.addr, p.tablet_id, p.extent) for p in proxies
+            if p.extent.clip(remaining) is not None]
+        if not self._segments:
+            self._finished = True
+
+    def _close(self, reusable: bool) -> None:
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        if reusable and self._segments:
+            self._inst.core.checkin(self._segments[0].addr, sock)
+        else:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __del__(self):  # abandoned mid-stream: don't leak the socket
+        try:
+            self._close(reusable=False)
+        except Exception:
+            pass
+
+
+# -- the backend ------------------------------------------------------------
+
+
+class TabletProxy:
+    """Client-side stand-in for one remote tablet.
+
+    Implements the :class:`~repro.dbsim.backend.TabletBackend` contract
+    Scanner/BatchScanner/BatchWriter program against, turning each call
+    into RPCs against the hosting server.
+    """
+
+    def __init__(self, inst: "RemoteInstance", table: str, tablet_id: str,
+                 extent: Range, addr: Addr):
+        self._inst = inst
+        self._table = table
+        self.tablet_id = tablet_id
+        self.extent = extent
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return (f"TabletProxy({self._table}/{self.tablet_id} "
+                f"@ {format_addr(self.addr)})")
+
+    # -- reads ------------------------------------------------------------
+
+    def scan_iterator(self, rng: Range,
+                      table_iterators: Sequence = (),
+                      scan_iterators: Sequence = ()) -> SortedKVIterator:
+        # table_iterators are deliberately ignored: the server applies
+        # the table's configured stack (it owns the authoritative
+        # config); scan-time iterators run client-side over the stream.
+        clip = self.extent.clip(rng)
+        if clip is None:
+            return ListIterator([])
+        stack: SortedKVIterator = _RemoteScanIterator(
+            self._inst, self._table, clip,
+            _Segment(self.addr, self.tablet_id, self.extent))
+        for factory in scan_iterators:
+            stack = factory(stack)
+        return stack
+
+    def scan(self, rng: Range = Range(), columns: Columns = None,
+             table_iterators: Sequence = (),
+             scan_iterators: Sequence = ()) -> List[Cell]:
+        it = self.scan_iterator(rng, table_iterators, scan_iterators)
+        return drain(it, rng, columns)
+
+    # -- writes -----------------------------------------------------------
+
+    def write_raw_batch(self, mutations) -> int:
+        muts = [list(m) for m in mutations]
+        if not muts:
+            return 0
+        try:
+            resp = self._inst.core.mutate(self.addr, wire.WRITE_BATCH, {
+                "table": self._table, "tablet_id": self.tablet_id,
+                "mutations": muts})
+            return resp["applied"]
+        except NotHostedError:
+            return self._rebin(muts)
+
+    def _rebin(self, muts: List[list]) -> int:
+        """This tablet split (or migrated) under the writer: re-route
+        its share of the batch through a fresh locate index, preserving
+        mutation order per new owner (timestamps stay bit-identical —
+        order within each owning tablet is what the clock stamps)."""
+        self._inst.invalidate(self._table)
+        starts, tablets = self._inst.locate_index(self._table)
+        groups: List[Tuple[TabletProxy, List[list]]] = []
+        by_tablet: dict = {}
+        for mut in muts:
+            idx = bisect.bisect_right(starts, mut[0]) - 1
+            tablet = tablets[max(idx, 0)]
+            group = by_tablet.get(tablet.tablet_id)
+            if group is None:
+                group = by_tablet[tablet.tablet_id] = []
+                groups.append((tablet, group))
+            group.append(mut)
+        return sum(tablet.write_raw_batch(g) for tablet, g in groups)
+
+    # -- introspection ----------------------------------------------------
+
+    def info(self) -> dict:
+        return self._inst.core.call(self.addr, wire.TABLET_INFO, {
+            "table": self._table, "tablet_id": self.tablet_id})
+
+    @property
+    def sstables(self) -> Tuple["_RunInfo", ...]:
+        """Snapshot of the remote tablet's sorted runs (sizes only)."""
+        return tuple(_RunInfo(n) for n in self.info()["sstables"])
+
+    def entry_estimate(self) -> int:
+        return self.info()["entries"]
+
+
+class _RunInfo:
+    """Shape of one remote sorted run (length only)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: int):
+        self.entries = entries
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def __repr__(self) -> str:
+        return f"_RunInfo(entries={self.entries})"
+
+
+class _TableCache:
+    __slots__ = ("version", "starts", "proxies", "config")
+
+    def __init__(self, version: int, starts: List[str],
+                 proxies: List[TabletProxy], config: TableConfig):
+        self.version = version
+        self.starts = starts
+        self.proxies = proxies
+        self.config = config
+
+
+class RemoteInstance:
+    """The :class:`~repro.dbsim.backend.ConnectorBackend` that speaks
+    the wire protocol: table ops go to the manager; the data path goes
+    straight to tablet servers through cached :class:`TabletProxy`
+    routing (one ``locate`` RPC per table until something moves)."""
+
+    def __init__(self, manager_addr: Union[str, Addr],
+                 metrics: Optional[MetricsRegistry] = None,
+                 retry: Optional[RetryPolicy] = None, seed: int = 0):
+        self.manager_addr = parse_addr(manager_addr)
+        self.core = RpcCore(metrics=metrics, retry=retry, seed=seed)
+        self._cache: Dict[str, _TableCache] = {}
+
+    # -- locate cache -----------------------------------------------------
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name, None)
+
+    def _table(self, name: str) -> _TableCache:
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        resp = self.core.call(self.manager_addr, wire.LOCATE,
+                              {"table": name})
+        proxies = [
+            TabletProxy(self, name, t["tablet_id"],
+                        wire.wire_to_range(t["extent"]),
+                        parse_addr(t["addr"]))
+            for t in resp["tablets"]]
+        starts = [p.extent.start_row or "" for p in proxies]
+        cached = _TableCache(resp["version"], starts, proxies,
+                             wire.wire_to_config(resp["config"]))
+        self._cache[name] = cached
+        return cached
+
+    # -- table lifecycle --------------------------------------------------
+
+    def create_table(self, name: str, config: Optional[TableConfig] = None,
+                     splits: Sequence[str] = ()) -> None:
+        self.core.mutate(self.manager_addr, wire.CREATE_TABLE, {
+            "name": name, "config": wire.config_to_wire(config),
+            "splits": list(splits)})
+        self.invalidate(name)
+
+    def delete_table(self, name: str) -> None:
+        self.core.mutate(self.manager_addr, wire.DELETE_TABLE,
+                         {"name": name})
+        self.invalidate(name)
+
+    def table_exists(self, name: str) -> bool:
+        return self.core.call(self.manager_addr, wire.TABLE_EXISTS,
+                              {"name": name})["exists"]
+
+    def list_tables(self) -> List[str]:
+        return self.core.call(self.manager_addr, wire.LIST_TABLES,
+                              {})["tables"]
+
+    def config(self, name: str) -> TableConfig:
+        return self._table(name).config
+
+    # -- tablet location --------------------------------------------------
+
+    def add_split(self, name: str, split_row: str) -> None:
+        self.core.mutate(self.manager_addr, wire.ADD_SPLIT,
+                         {"table": name, "row": split_row})
+        self.invalidate(name)
+
+    def splits(self, name: str) -> List[str]:
+        return self.core.call(self.manager_addr, wire.SPLITS,
+                              {"table": name})["splits"]
+
+    def tablets(self, name: str) -> List[TabletProxy]:
+        return list(self._table(name).proxies)
+
+    def locate_index(self, name: str) -> Tuple[List[str],
+                                               List[TabletProxy]]:
+        cached = self._table(name)
+        return cached.starts, cached.proxies
+
+    def locate(self, name: str, row: str) -> TabletProxy:
+        starts, proxies = self.locate_index(name)
+        idx = bisect.bisect_right(starts, row) - 1
+        return proxies[max(idx, 0)]
+
+    def tablets_for_range(self, name: str, rng: Range) -> List[TabletProxy]:
+        starts, proxies = self.locate_index(name)
+        lo = 0 if rng.start_row is None else \
+            max(bisect.bisect_right(starts, rng.start_row) - 1, 0)
+        out: List[TabletProxy] = []
+        for proxy in proxies[lo:]:
+            if (rng.stop_row is not None
+                    and proxy.extent.start_row is not None
+                    and proxy.extent.start_row >= rng.stop_row):
+                break
+            if proxy.extent.clip(rng) is not None:
+                out.append(proxy)
+        return out
+
+    # -- maintenance ------------------------------------------------------
+
+    def flush_table(self, name: str) -> None:
+        self.core.call(self.manager_addr, wire.FLUSH, {"table": name})
+
+    def compact_table(self, name: str) -> None:
+        self.core.call(self.manager_addr, wire.COMPACT, {"table": name})
+
+    # -- cluster control (no local-backend analogue) ----------------------
+
+    def crash_server(self, server: str) -> None:
+        """Simulate a crash of the named tablet server (memtables lost;
+        data ops fail typed until :meth:`recover_server`)."""
+        self.core.call(self.manager_addr, wire.CRASH, {"server": server})
+
+    def recover_server(self, server: str, replay_wal: bool = True) -> None:
+        self.core.call(self.manager_addr, wire.RECOVER,
+                       {"server": server, "replay_wal": replay_wal})
+
+    def status(self) -> dict:
+        return self.core.call(self.manager_addr, wire.STATUS, {})
+
+    def cluster_metrics(self) -> dict:
+        """Per-process metric exports: ``{"manager": {...},
+        "servers": {name: {...}}}``."""
+        return self.core.call(self.manager_addr, wire.METRICS, {})
+
+    def shutdown_cluster(self) -> None:
+        self.core.call(self.manager_addr, wire.SHUTDOWN, {})
+
+    # -- observability ----------------------------------------------------
+
+    def total_stats(self) -> OpStats:
+        resp = self.core.call(self.manager_addr, wire.STATS, {})
+        return OpStats.from_dict(resp["total"])
+
+    def table_entry_estimate(self, name: str) -> int:
+        return sum(p.entry_estimate() for p in self._table(name).proxies)
+
+    def close(self) -> None:
+        self.core.close()
+
+
+class RemoteConnector(Connector):
+    """A :class:`~repro.dbsim.client.Connector` whose backend is a
+    cluster on the other side of a socket.  Everything a Connector can
+    do — including the Graphulo kernels built on it — works unchanged;
+    construction is the only difference::
+
+        conn = RemoteConnector("127.0.0.1:40123")
+    """
+
+    def __init__(self, manager_addr: Union[str, Addr, RemoteInstance],
+                 metrics: Optional[MetricsRegistry] = None,
+                 retry: Optional[RetryPolicy] = None, seed: int = 0):
+        if isinstance(manager_addr, RemoteInstance):
+            inst = manager_addr
+        else:
+            inst = RemoteInstance(manager_addr, metrics=metrics,
+                                  retry=retry, seed=seed)
+        super().__init__(inst)
+
+    def close(self) -> None:
+        self.instance.close()
+
+    def __enter__(self) -> "RemoteConnector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,794 @@
+"""Server side of the RPC fabric: tablet-server and manager services.
+
+Two services, each a threaded TCP listener speaking
+:mod:`repro.net.wire` frames:
+
+* :class:`TabletServerService` wraps one
+  :class:`~repro.dbsim.server.TabletServer` and its hosted
+  :class:`~repro.dbsim.tablet.Tablet`\\ s.  It owns the *data path*:
+  ``write_batch`` and streaming ``scan``, plus the hosting ops the
+  manager drives (host / split / migrate) and the failure-simulation
+  ops (crash / recover).
+* :class:`ManagerService` owns what Accumulo's master + ZooKeeper own:
+  table configurations, the tablet → server assignment (round-robin,
+  matching the in-process :class:`~repro.dbsim.server.Instance`), and
+  the locate index clients cache.  Splits run through the manager: the
+  owning server splits in place, then the manager migrates each child
+  to its round-robin home — which is what makes ``NotHostedError`` a
+  real event remote clients must handle.
+
+Concurrency model: each connection gets a thread; every non-scan
+handler runs under one per-service lock (a crash can never interleave
+halfway through a write batch), while scan *streaming* happens outside
+the lock over the stack's immutable snapshots — a concurrent crash
+surfaces mid-stream as a typed error frame via the tablet's crash
+guard.
+
+Exactly-once writes: mutating requests carry ``(session, seq)``; the
+service keeps the last sequence number and cached response per session
+and replays the cached ack when a retry of the same sequence arrives
+(the dedup table survives a simulated crash, as a real server's would
+via its write-ahead log).
+
+:class:`TabletServerProcess` / :class:`ManagerProcess` run a service in
+a child process via the multiprocessing ``spawn`` context (thread-safe,
+and the 3.13-forward default), reporting the bound address back on a
+queue.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dbsim.errors import NotHostedError
+from repro.dbsim.key import Key, Range
+from repro.dbsim.server import TableConfig, TabletServer
+from repro.dbsim.sstable import SSTable
+from repro.dbsim.stats import OpStats
+from repro.dbsim.tablet import Tablet
+from repro.net import wire
+from repro.net.client import (
+    Addr,
+    RetryPolicy,
+    RpcCore,
+    format_addr,
+    parse_addr,
+)
+from repro.net.faults import FaultPlan, apply_fault
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+
+#: cells per CHUNK frame on a streamed scan
+SCAN_CHUNK_CELLS = 128
+
+
+class _BaseService:
+    """Framed-RPC listener: accept loop, per-connection dispatch,
+    response-time fault injection, and session/seq write dedup."""
+
+    def __init__(self, name: str, faults: Optional[FaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.name = name
+        self.faults = faults
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.RLock()
+        self._listener: Optional[socket.socket] = None
+        self._stopped = threading.Event()
+        self._threads: List[threading.Thread] = []
+        #: session → (seq, response code, response payload)
+        self._dedup: Dict[str, Tuple[int, int, object]] = {}
+        self.addr: Optional[Addr] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> Addr:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(64)
+        listener.settimeout(0.2)  # so the accept loop notices stop()
+        self._listener = listener
+        self.addr = listener.getsockname()
+        thread = threading.Thread(target=self._accept_loop,
+                                  name=f"{self.name}-accept", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return self.addr
+
+    def stop(self) -> None:
+        self._stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def wait(self) -> None:
+        """Block until :meth:`stop` (used by server-process mains)."""
+        self._stopped.wait()
+
+    # -- connection handling ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(target=self._conn_loop, args=(conn,),
+                                      name=f"{self.name}-conn", daemon=True)
+            thread.start()
+
+    def _conn_loop(self, conn: socket.socket) -> None:
+        counters = self.metrics.counter
+        try:
+            while not self._stopped.is_set():
+                try:
+                    code, payload, nread = wire.recv_frame(conn)
+                except (wire.ConnectionClosedError, OSError):
+                    return
+                except wire.ProtocolError as exc:
+                    # garbage in: answer with a typed error, then drop
+                    # the connection (framing state is unrecoverable)
+                    self._respond(conn, code=wire.ERROR,
+                                  payload=wire.error_payload(exc),
+                                  request_op=0)
+                    return
+                counters("net.server.requests").inc()
+                counters("net.server.bytes_received").inc(nread)
+                if not self._serve_one(conn, code, payload):
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _serve_one(self, conn: socket.socket, code: int,
+                   payload: dict) -> bool:
+        """Handle one request; False ends the connection."""
+        if not _trace.ENABLED:
+            return self._serve_inner(conn, code, payload)
+        with _trace.span(
+                f"rpc.server.{wire.OP_NAMES.get(code, hex(code))}",
+                server=self.name):
+            return self._serve_inner(conn, code, payload)
+
+    def _serve_inner(self, conn: socket.socket, code: int,
+                     payload: dict) -> bool:
+        stream = self._stream_handler(code)
+        if stream is not None:
+            return stream(conn, payload)
+        session = payload.get("session") if isinstance(payload, dict) else None
+        seq = payload.get("seq") if isinstance(payload, dict) else None
+        with self._lock:
+            if session is not None:
+                cached = self._dedup.get(session)
+                if cached is not None and cached[0] == seq:
+                    # a retry of an already-processed mutation: replay
+                    # the recorded ack, do not re-apply
+                    self.metrics.counter("net.server.dedup_hits").inc()
+                    return self._respond(conn, cached[1], cached[2], code)
+            handler = self._handlers().get(code)
+            try:
+                if handler is None:
+                    raise wire.ProtocolError(
+                        f"unsupported op-code {code:#x}")
+                out_code, out_payload = wire.OK, handler(payload)
+            except Exception as exc:  # noqa: BLE001 - wire boundary
+                self.metrics.counter("net.server.errors").inc()
+                out_code, out_payload = wire.ERROR, wire.error_payload(exc)
+            if session is not None and out_code == wire.OK:
+                # only *applied* mutations are replay-worthy: a failed
+                # handler applied nothing (write_batch prechecks the
+                # whole batch), and caching a transient error (e.g.
+                # ServerCrashedError before a recover) would replay the
+                # failure at the client forever
+                self._dedup[session] = (seq, out_code, out_payload)
+        keep = self._respond(conn, out_code, out_payload, code)
+        if code == wire.SHUTDOWN and out_code == wire.OK:
+            self.stop()
+            return False
+        return keep
+
+    def _respond(self, conn: socket.socket, code: int, payload,
+                 request_op: int) -> bool:
+        """Send one response frame, with fault injection in the path.
+        False means the fault destroyed the connection."""
+        frame = wire.encode_frame(code, payload)
+        rule = self.faults.draw(request_op) if self.faults else None
+        try:
+            if rule is not None:
+                if not apply_fault(rule, conn, frame, self.metrics):
+                    return False
+            else:
+                conn.sendall(frame)
+        except OSError:
+            return False
+        self.metrics.counter("net.server.bytes_sent").inc(len(frame))
+        return True
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _handlers(self) -> Dict[int, Callable[[dict], dict]]:
+        raise NotImplementedError
+
+    def _stream_handler(self, code: int):
+        """Streaming ops (many response frames) bypass the normal
+        request/response path; None means 'not a streaming op'."""
+        return None
+
+
+# -- tablet server ----------------------------------------------------------
+
+
+class TabletServerService(_BaseService):
+    """One dbsim :class:`~repro.dbsim.server.TabletServer` behind a
+    socket: the data path (writes, streaming scans) plus hosting,
+    migration, and failure-simulation ops."""
+
+    def __init__(self, name: str, faults: Optional[FaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        super().__init__(name, faults, metrics)
+        self.tserver = TabletServer(name)
+        #: tablet_id → (table, Tablet)
+        self._hosted: Dict[str, Tuple[str, Tablet]] = {}
+        #: table → TableConfig (authoritative copy pushed at host time)
+        self._configs: Dict[str, TableConfig] = {}
+
+    def _handlers(self):
+        return {
+            wire.PING: lambda p: {},
+            wire.HOST_TABLET: self._host_tablet,
+            wire.DROP_TABLE: self._drop_table,
+            wire.SPLIT_TABLET: self._split_tablet,
+            wire.MIGRATE_OUT: self._migrate_out,
+            wire.MIGRATE_IN: self._migrate_in,
+            wire.WRITE_BATCH: self._write_batch,
+            wire.FLUSH: self._flush,
+            wire.COMPACT: self._compact,
+            wire.CRASH: self._crash,
+            wire.RECOVER: self._recover,
+            wire.STATS: lambda p: self.tserver.stats.as_dict(),
+            wire.METRICS: lambda p: self.metrics.export(),
+            wire.TABLET_INFO: self._tablet_info,
+            wire.STATUS: self._status,
+            wire.SHUTDOWN: lambda p: {},
+        }
+
+    def _stream_handler(self, code: int):
+        return self._scan_stream if code == wire.SCAN else None
+
+    # -- hosting ----------------------------------------------------------
+
+    def _get(self, payload: dict) -> Tuple[str, Tablet]:
+        entry = self._hosted.get(payload["tablet_id"])
+        if entry is None or entry[0] != payload.get("table", entry[0]):
+            raise NotHostedError(
+                f"server {self.name} does not host tablet "
+                f"{payload['tablet_id']!r} of table "
+                f"{payload.get('table')!r} (split or migrated?)")
+        return entry
+
+    def _host(self, table: str, tablet_id: str, tablet: Tablet) -> None:
+        self.tserver.host(table, tablet)
+        tablet.bind_metrics(self.metrics, table)
+        self._hosted[tablet_id] = (table, tablet)
+
+    def _unhost(self, tablet_id: str) -> Tuple[str, Tablet]:
+        table, tablet = self._hosted.pop(tablet_id)
+        tablet.unbind_metrics()
+        self.tserver.unhost(table, tablet)
+        return table, tablet
+
+    def _host_tablet(self, p: dict) -> dict:
+        config = wire.wire_to_config(p["config"]) or TableConfig()
+        self._configs[p["table"]] = config
+        tablet = Tablet(wire.wire_to_range(p["extent"]),
+                        config.max_versions, config.flush_bytes)
+        self._host(p["table"], p["tablet_id"], tablet)
+        return {}
+
+    def _drop_table(self, p: dict) -> dict:
+        doomed = [tid for tid, (table, _) in self._hosted.items()
+                  if table == p["table"]]
+        for tid in doomed:
+            self._unhost(tid)
+        self._configs.pop(p["table"], None)
+        return {"dropped": len(doomed)}
+
+    def _split_tablet(self, p: dict) -> dict:
+        table, tablet = self._get(p)
+        left, right = tablet.split(p["split_row"])  # flushes; may raise
+        self._unhost(p["tablet_id"])
+        self._host(table, p["left_id"], left)
+        self._host(table, p["right_id"], right)
+        return {"left": wire.range_to_wire(left.extent),
+                "right": wire.range_to_wire(right.extent)}
+
+    # -- migration --------------------------------------------------------
+
+    def _migrate_out(self, p: dict) -> dict:
+        _, tablet = self._get(p)
+        state = {
+            "extent": wire.range_to_wire(tablet.extent),
+            "clock": tablet._clock,
+            "memtable": [wire.cell_to_wire(c)
+                         for c in tablet.memtable.snapshot()],
+            "wal": [wire.cell_to_wire(c) for c in tablet.wal],
+            "sstables": [[wire.cell_to_wire(c) for c in run.cells()]
+                         for run in tablet.sstables],
+        }
+        self._unhost(p["tablet_id"])
+        return {"state": state}
+
+    def _migrate_in(self, p: dict) -> dict:
+        config = wire.wire_to_config(p["config"]) or TableConfig()
+        self._configs[p["table"]] = config
+        state = p["state"]
+        tablet = Tablet(wire.wire_to_range(state["extent"]),
+                        config.max_versions, config.flush_bytes)
+        tablet._clock = state["clock"]
+        for run in state["sstables"]:
+            tablet.sstables.append(
+                SSTable([wire.wire_to_cell(c) for c in run],
+                        _presorted=True))
+        tablet.wal.extend(wire.wire_to_cell(c) for c in state["wal"])
+        tablet.memtable.extend([wire.wire_to_cell(c)
+                                for c in state["memtable"]])
+        self._host(p["table"], p["tablet_id"], tablet)
+        return {}
+
+    # -- data path --------------------------------------------------------
+
+    def _write_batch(self, p: dict) -> dict:
+        table, tablet = self._get(p)
+        extent = tablet.extent
+        for mut in p["mutations"]:
+            if not extent.contains_row(mut[0]):
+                # stale client routing (split landed between the
+                # client's bisect and this request): reject the WHOLE
+                # batch before applying anything, so the re-binned
+                # retry is exactly-once
+                raise NotHostedError(
+                    f"row {mut[0]!r} outside tablet "
+                    f"{p['tablet_id']!r} extent "
+                    f"[{extent.start_row!r}, {extent.stop_row!r})")
+        applied = tablet.write_raw_batch(
+            tuple(m) for m in p["mutations"])
+        return {"applied": applied}
+
+    def _scan_stream(self, conn: socket.socket, p: dict) -> bool:
+        counters = self.metrics.counter
+        try:
+            with self._lock:
+                table, tablet = self._get(p)
+                config = self._configs.get(table, TableConfig())
+                rng = wire.wire_to_range(p["range"])
+                columns = ([tuple(c) for c in p["columns"]]
+                           if p.get("columns") else None)
+                stack = tablet.scan_iterator(rng, config.table_iterators, ())
+                stack.seek(rng, columns)
+            resume = p.get("resume")
+            skip_past = Key(*resume).sort_tuple() if resume else None
+            chunk: List[list] = []
+            while stack.has_top():  # crash guard may raise mid-stream
+                cell = stack.top()
+                stack.advance()
+                if skip_past is not None \
+                        and cell.key.sort_tuple() <= skip_past:
+                    continue  # already delivered before the resume
+                chunk.append(wire.cell_to_wire(cell))
+                if len(chunk) >= SCAN_CHUNK_CELLS:
+                    if not self._respond(conn, wire.CHUNK, chunk, wire.SCAN):
+                        return False
+                    counters("net.server.scan_chunks").inc()
+                    chunk = []
+            if chunk:
+                if not self._respond(conn, wire.CHUNK, chunk, wire.SCAN):
+                    return False
+                counters("net.server.scan_chunks").inc()
+            return self._respond(conn, wire.DONE, None, wire.SCAN)
+        except Exception as exc:  # noqa: BLE001 - wire boundary
+            counters("net.server.errors").inc()
+            return self._respond(conn, wire.ERROR, wire.error_payload(exc),
+                                 wire.SCAN)
+
+    # -- maintenance / failure sim ----------------------------------------
+
+    def _tablets_of(self, table: str) -> List[Tablet]:
+        return [t for tid, (tab, t) in sorted(self._hosted.items())
+                if tab == table]
+
+    def _flush(self, p: dict) -> dict:
+        for tablet in self._tablets_of(p["table"]):
+            tablet.flush()
+        return {}
+
+    def _compact(self, p: dict) -> dict:
+        config = self._configs.get(p["table"], TableConfig())
+        for tablet in self._tablets_of(p["table"]):
+            tablet.compact(config.table_iterators)
+        return {}
+
+    def _crash(self, p: dict) -> dict:
+        self.tserver.crash()
+        return {}
+
+    def _recover(self, p: dict) -> dict:
+        self.tserver.recover(replay_wal=p.get("replay_wal", True))
+        return {}
+
+    def _tablet_info(self, p: dict) -> dict:
+        _, tablet = self._get(p)
+        return {
+            "extent": wire.range_to_wire(tablet.extent),
+            "entries": tablet.entry_estimate(),
+            "memtable_entries": len(tablet.memtable),
+            "sstables": [len(run) for run in tablet.sstables],
+        }
+
+    def _status(self, p: dict) -> dict:
+        return {
+            "name": self.name,
+            "crashed": self.tserver.crashed,
+            "tablets": {
+                tid: {"table": table,
+                      "extent": wire.range_to_wire(tablet.extent)}
+                for tid, (table, tablet) in sorted(self._hosted.items())},
+        }
+
+
+# -- manager ----------------------------------------------------------------
+
+
+class _IndexEntry:
+    """One tablet's slot in a table's locate index."""
+
+    __slots__ = ("tablet_id", "extent", "server", "addr")
+
+    def __init__(self, tablet_id: str, extent: Range, server: str,
+                 addr: Addr):
+        self.tablet_id = tablet_id
+        self.extent = extent
+        self.server = server
+        self.addr = addr
+
+
+class ManagerService(_BaseService):
+    """Cluster metadata owner: table configs, round-robin tablet
+    assignment, the locate index, and split/migration orchestration."""
+
+    def __init__(self, servers: Sequence[Tuple[str, Addr]],
+                 faults: Optional[FaultPlan] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 name: str = "manager"):
+        super().__init__(name, faults, metrics)
+        if not servers:
+            raise ValueError("manager needs at least one tablet server")
+        self.servers: List[Tuple[str, Addr]] = [
+            (n, parse_addr(a)) for n, a in servers]
+        # fan-out client: fewer, faster attempts than an end client —
+        # a dead server should fail the management op, not hang it
+        self.core = RpcCore(metrics=self.metrics,
+                            retry=RetryPolicy(attempts=3, base=0.01,
+                                              cap=0.1))
+        self._tables: Dict[str, Optional[dict]] = {}  # wire-form configs
+        self._index: Dict[str, List[_IndexEntry]] = {}
+        self._versions: Dict[str, int] = {}
+        self._rr = 0
+        self._next_id = 0
+
+    def _handlers(self):
+        return {
+            wire.PING: lambda p: {},
+            wire.CREATE_TABLE: self._create_table,
+            wire.DELETE_TABLE: self._delete_table,
+            wire.TABLE_EXISTS: self._table_exists,
+            wire.LIST_TABLES: lambda p: {"tables": sorted(self._tables)},
+            wire.ADD_SPLIT: self._add_split,
+            wire.SPLITS: self._splits,
+            wire.LOCATE: self._locate,
+            wire.FLUSH: self._fan_flush,
+            wire.COMPACT: self._fan_compact,
+            wire.STATS: self._fan_stats,
+            wire.METRICS: self._fan_metrics,
+            wire.CRASH: self._crash_server,
+            wire.RECOVER: self._recover_server,
+            wire.STATUS: self._status,
+            wire.SHUTDOWN: self._shutdown_cluster,
+        }
+
+    # -- assignment helpers -----------------------------------------------
+
+    def _pick(self) -> Tuple[str, Addr]:
+        server = self.servers[self._rr % len(self.servers)]
+        self._rr += 1
+        return server
+
+    def _new_id(self, table: str) -> str:
+        self._next_id += 1
+        return f"{table}!{self._next_id:04d}"
+
+    def _require(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no such table: {name!r}")
+
+    def _bump(self, table: str) -> None:
+        self._versions[table] = self._versions.get(table, 0) + 1
+
+    # -- table lifecycle --------------------------------------------------
+
+    def _create_table(self, p: dict) -> dict:
+        name = p["name"]
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        config = p["config"]
+        if config is None:  # normalise: the index always serves a real config
+            config = wire.config_to_wire(TableConfig())
+        else:
+            wire.wire_to_config(config)  # validate early
+        self._tables[name] = config
+        tablet_id = self._new_id(name)
+        sname, addr = self._pick()
+        self.core.mutate(addr, wire.HOST_TABLET, {
+            "table": name, "tablet_id": tablet_id,
+            "extent": [None, None], "config": p["config"]})
+        self._index[name] = [_IndexEntry(tablet_id, Range(), sname, addr)]
+        self._bump(name)
+        for split in p.get("splits", ()):
+            self._do_add_split(name, split)
+        return {}
+
+    def _delete_table(self, p: dict) -> dict:
+        name = p["name"]
+        self._require(name)
+        for sname, addr in self._hosting_servers(name):
+            self.core.mutate(addr, wire.DROP_TABLE, {"table": name})
+        del self._tables[name]
+        del self._index[name]
+        self._versions.pop(name, None)
+        return {}
+
+    def _table_exists(self, p: dict) -> dict:
+        return {"exists": p["name"] in self._tables}
+
+    def _locate(self, p: dict) -> dict:
+        name = p["table"]
+        self._require(name)
+        return {
+            "version": self._versions.get(name, 0),
+            "config": self._tables[name],
+            "tablets": [{"tablet_id": e.tablet_id,
+                         "extent": wire.range_to_wire(e.extent),
+                         "addr": format_addr(e.addr)}
+                        for e in self._index[name]],
+        }
+
+    def _splits(self, p: dict) -> dict:
+        self._require(p["table"])
+        return {"splits": [e.extent.start_row
+                           for e in self._index[p["table"]]
+                           if e.extent.start_row is not None]}
+
+    # -- splits + migration -----------------------------------------------
+
+    def _add_split(self, p: dict) -> dict:
+        self._require(p["table"])
+        self._do_add_split(p["table"], p["row"])
+        return {}
+
+    def _do_add_split(self, table: str, row: str) -> None:
+        entries = self._index[table]
+        idx = next(i for i, e in enumerate(entries)
+                   if e.extent.contains_row(row))
+        entry = entries[idx]
+        if entry.extent.start_row == row:
+            return  # already a split point
+        left_id, right_id = self._new_id(table), self._new_id(table)
+        resp = self.core.mutate(entry.addr, wire.SPLIT_TABLET, {
+            "table": table, "tablet_id": entry.tablet_id,
+            "split_row": row, "left_id": left_id, "right_id": right_id})
+        left = _IndexEntry(left_id, wire.wire_to_range(resp["left"]),
+                           entry.server, entry.addr)
+        right = _IndexEntry(right_id, wire.wire_to_range(resp["right"]),
+                            entry.server, entry.addr)
+        entries[idx:idx + 1] = [left, right]
+        # both children re-enter round-robin assignment, mirroring the
+        # in-process Instance (each may land on a different server —
+        # the migration that makes a client's cached routing go stale)
+        for child in (left, right):
+            self._migrate(table, child, self._pick())
+        self._bump(table)
+
+    def _migrate(self, table: str, entry: _IndexEntry,
+                 dest: Tuple[str, Addr]) -> None:
+        dname, daddr = dest
+        if dname == entry.server:
+            return
+        state = self.core.mutate(entry.addr, wire.MIGRATE_OUT, {
+            "table": table, "tablet_id": entry.tablet_id})["state"]
+        self.core.mutate(daddr, wire.MIGRATE_IN, {
+            "table": table, "tablet_id": entry.tablet_id,
+            "config": self._tables[table], "state": state})
+        entry.server, entry.addr = dname, daddr
+
+    # -- fan-out ops ------------------------------------------------------
+
+    def _hosting_servers(self, table: str) -> List[Tuple[str, Addr]]:
+        seen: Dict[str, Addr] = {}
+        for e in self._index[table]:
+            seen.setdefault(e.server, e.addr)
+        return list(seen.items())
+
+    def _fan_flush(self, p: dict) -> dict:
+        self._require(p["table"])
+        for _, addr in self._hosting_servers(p["table"]):
+            self.core.call(addr, wire.FLUSH, {"table": p["table"]})
+        return {}
+
+    def _fan_compact(self, p: dict) -> dict:
+        self._require(p["table"])
+        for _, addr in self._hosting_servers(p["table"]):
+            self.core.call(addr, wire.COMPACT, {"table": p["table"]})
+        return {}
+
+    def _fan_stats(self, p: dict) -> dict:
+        total = OpStats()
+        per_server = {}
+        for sname, addr in self.servers:
+            stats = self.core.call(addr, wire.STATS, {})
+            per_server[sname] = stats
+            total = total.merge(OpStats.from_dict(stats))
+        return {"total": total.as_dict(), "servers": per_server}
+
+    def _fan_metrics(self, p: dict) -> dict:
+        return {
+            "manager": self.metrics.export(),
+            "servers": {sname: self.core.call(addr, wire.METRICS, {})
+                        for sname, addr in self.servers},
+        }
+
+    def _server_addr(self, name: str) -> Addr:
+        for sname, addr in self.servers:
+            if sname == name:
+                return addr
+        raise KeyError(f"no such tablet server: {name!r}")
+
+    def _crash_server(self, p: dict) -> dict:
+        self.core.call(self._server_addr(p["server"]), wire.CRASH, {})
+        return {}
+
+    def _recover_server(self, p: dict) -> dict:
+        self.core.call(self._server_addr(p["server"]), wire.RECOVER,
+                       {"replay_wal": p.get("replay_wal", True)})
+        return {}
+
+    def _status(self, p: dict) -> dict:
+        statuses = {}
+        for sname, addr in self.servers:
+            try:
+                statuses[sname] = self.core.call(addr, wire.STATUS, {})
+            except Exception as exc:  # noqa: BLE001 - a down server
+                statuses[sname] = {"error": str(exc)}
+            statuses[sname]["addr"] = format_addr(addr)
+        return {"manager": self.name, "tables": sorted(self._tables),
+                "servers": statuses}
+
+    def _shutdown_cluster(self, p: dict) -> dict:
+        for _, addr in self.servers:
+            try:
+                self.core.call(addr, wire.SHUTDOWN, {})
+            except Exception:  # noqa: BLE001 - best effort on teardown
+                pass
+        return {}
+
+
+# -- process wrappers --------------------------------------------------------
+
+
+def _run_service(service: _BaseService, queue, trace_path: Optional[str],
+                 host: str, port: int) -> None:
+    if trace_path:
+        _trace.enable(_trace.JSONLSink(trace_path))
+    addr = service.start(host=host, port=port)
+    queue.put(addr)
+    service.wait()
+    if trace_path:
+        _trace.disable(close=True)
+
+
+def _tablet_server_main(name: str, queue, fault_specs: Sequence[str],
+                        fault_seed: int, trace_path: Optional[str],
+                        host: str, port: int) -> None:
+    faults = (FaultPlan.from_specs(fault_specs, seed=fault_seed)
+              if fault_specs else None)
+    _run_service(TabletServerService(name, faults=faults), queue,
+                 trace_path, host, port)
+
+
+def _manager_main(queue, servers: List[Tuple[str, Tuple[str, int]]],
+                  fault_specs: Sequence[str], fault_seed: int,
+                  trace_path: Optional[str], host: str, port: int) -> None:
+    faults = (FaultPlan.from_specs(fault_specs, seed=fault_seed)
+              if fault_specs else None)
+    servers = [(n, (a[0], a[1])) for n, a in servers]
+    _run_service(ManagerService(servers, faults=faults), queue,
+                 trace_path, host, port)
+
+
+class _ServiceProcess:
+    """Parent-side handle on a service child process (spawn context)."""
+
+    def __init__(self):
+        self.process: Optional[mp.process.BaseProcess] = None
+        self.addr: Optional[Addr] = None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self.process is None:
+            return
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        self.process = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class TabletServerProcess(_ServiceProcess):
+    """A tablet server running as a real OS process on localhost."""
+
+    def __init__(self, name: str, fault_specs: Sequence[str] = (),
+                 fault_seed: int = 0, trace_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        super().__init__()
+        self.name = name
+        self._args = (name, list(fault_specs), fault_seed, trace_path,
+                      host, port)
+
+    def start(self, start_timeout: float = 30.0) -> Addr:
+        ctx = mp.get_context("spawn")
+        queue = ctx.Queue()
+        name, fault_specs, fault_seed, trace_path, host, port = self._args
+        self.process = ctx.Process(
+            target=_tablet_server_main,
+            args=(name, queue, fault_specs, fault_seed, trace_path,
+                  host, port),
+            name=f"repro-tserver-{name}", daemon=True)
+        self.process.start()
+        self.addr = tuple(queue.get(timeout=start_timeout))
+        return self.addr
+
+
+class ManagerProcess(_ServiceProcess):
+    """The manager running as a real OS process on localhost."""
+
+    def __init__(self, servers: Sequence[Tuple[str, Addr]],
+                 fault_specs: Sequence[str] = (), fault_seed: int = 0,
+                 trace_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        super().__init__()
+        self._args = ([(n, tuple(a)) for n, a in servers],
+                      list(fault_specs), fault_seed, trace_path, host, port)
+
+    def start(self, start_timeout: float = 30.0) -> Addr:
+        ctx = mp.get_context("spawn")
+        queue = ctx.Queue()
+        servers, fault_specs, fault_seed, trace_path, host, port = self._args
+        self.process = ctx.Process(
+            target=_manager_main,
+            args=(queue, servers, fault_specs, fault_seed, trace_path,
+                  host, port),
+            name="repro-manager", daemon=True)
+        self.process.start()
+        self.addr = tuple(queue.get(timeout=start_timeout))
+        return self.addr

@@ -1,0 +1,296 @@
+"""The framed wire protocol spoken between repro.net clients and servers.
+
+Every message is one *frame*::
+
+    !I  body_length          (frame header, 4 bytes, network order)
+    !B  wire version         (body starts here)
+    !B  op-code
+    !I  CRC-32 of payload
+    ...  payload             (UTF-8 JSON)
+
+The CRC turns the fault injector's corrupt-frame fault (and any real
+transport corruption) into a typed :class:`FrameCorruptError` the
+client retries, instead of a JSON parse error deep in a handler.
+Payloads are JSON because every value crossing this wire (cells as
+7-lists, ranges as 2-lists, configs as named-iterator dicts) is
+strings and numbers; the length prefix, not the payload encoding, is
+what makes the protocol streamable.
+
+Request op-codes occupy 1..0x3F; response codes 0x40..0x4F.  A normal
+RPC is one request frame → one ``OK`` (or ``ERROR``) frame; a scan is
+one request frame → N ``CHUNK`` frames → one ``DONE`` frame, any of
+which may be replaced by ``ERROR`` mid-stream.
+
+Error frames carry ``{"type", "message"}`` and are decoded back into
+the *same* exception types the in-process backend raises
+(``KeyError`` for a missing table, ``ValueError`` for a bad split,
+:class:`~repro.dbsim.errors.ServerCrashedError`, ...), which is what
+lets the existing client test suite pass unmodified against the
+remote backend.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.dbsim.errors import (
+    NotHostedError,
+    ServerCrashedError,
+    TabletServerError,
+)
+from repro.dbsim.iterators import MaxCombiner, MinCombiner, SummingCombiner
+from repro.dbsim.key import Cell, Key, Range
+from repro.dbsim.server import TableConfig
+
+WIRE_VERSION = 1
+
+#: frame header: body length
+_LEN = struct.Struct("!I")
+#: body header: version, op-code, payload CRC-32
+_BODY = struct.Struct("!BBI")
+
+#: refuse to allocate for absurd lengths (garbage or version skew)
+MAX_FRAME_BYTES = 64 << 20
+
+# -- op-codes ---------------------------------------------------------------
+
+# requests (client → server / manager)
+PING = 0x01
+CREATE_TABLE = 0x02
+DELETE_TABLE = 0x03
+TABLE_EXISTS = 0x04
+LIST_TABLES = 0x05
+ADD_SPLIT = 0x06
+SPLITS = 0x07
+FLUSH = 0x08
+COMPACT = 0x09
+LOCATE = 0x0A
+STATS = 0x0B
+METRICS = 0x0C
+SCAN = 0x0D
+WRITE_BATCH = 0x0E
+HOST_TABLET = 0x0F
+DROP_TABLE = 0x10
+SPLIT_TABLET = 0x11
+MIGRATE_OUT = 0x12
+MIGRATE_IN = 0x13
+CRASH = 0x14
+RECOVER = 0x15
+TABLET_INFO = 0x16
+STATUS = 0x17
+SHUTDOWN = 0x18
+
+# responses (server → client)
+OK = 0x40
+ERROR = 0x41
+CHUNK = 0x42
+DONE = 0x43
+
+OP_NAMES = {
+    PING: "ping", CREATE_TABLE: "create_table",
+    DELETE_TABLE: "delete_table", TABLE_EXISTS: "table_exists",
+    LIST_TABLES: "list_tables", ADD_SPLIT: "add_split", SPLITS: "splits",
+    FLUSH: "flush", COMPACT: "compact", LOCATE: "locate", STATS: "stats",
+    METRICS: "metrics", SCAN: "scan", WRITE_BATCH: "write_batch",
+    HOST_TABLET: "host_tablet", DROP_TABLE: "drop_table",
+    SPLIT_TABLET: "split_tablet", MIGRATE_OUT: "migrate_out",
+    MIGRATE_IN: "migrate_in", CRASH: "crash", RECOVER: "recover",
+    TABLET_INFO: "tablet_info", STATUS: "status", SHUTDOWN: "shutdown",
+    OK: "ok", ERROR: "error", CHUNK: "chunk", DONE: "done",
+}
+
+
+# -- protocol errors --------------------------------------------------------
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing contract (bad version,
+    oversized frame, unknown op-code)."""
+
+
+class FrameCorruptError(ProtocolError):
+    """Payload CRC mismatch — the frame was damaged in flight.
+    Retryable: the sender's copy was fine."""
+
+
+class ConnectionClosedError(ConnectionError):
+    """The peer closed the socket mid-frame (crash, reset fault, or
+    orderly shutdown racing a request)."""
+
+
+class RpcError(RuntimeError):
+    """A server-side failure with no richer client-side type."""
+
+
+# -- frame I/O --------------------------------------------------------------
+
+
+def encode_frame(code: int, payload: Any) -> bytes:
+    """One wire frame for ``payload`` (any JSON-serializable value)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return (_LEN.pack(_BODY.size + len(body))
+            + _BODY.pack(WIRE_VERSION, code, zlib.crc32(body)) + body)
+
+
+def decode_body(body: bytes) -> Tuple[int, Any]:
+    """Parse a frame body (everything after the length prefix) into
+    ``(op_code, payload)``, verifying version and CRC."""
+    if len(body) < _BODY.size:
+        raise ProtocolError(f"frame body too short: {len(body)} bytes")
+    version, code, crc = _BODY.unpack_from(body)
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"wire version {version} != supported {WIRE_VERSION}")
+    payload_bytes = body[_BODY.size:]
+    if zlib.crc32(payload_bytes) != crc:
+        raise FrameCorruptError(
+            f"payload CRC mismatch on {OP_NAMES.get(code, hex(code))} frame")
+    try:
+        payload = json.loads(payload_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # CRC passed but JSON didn't: the *sender* framed garbage
+        raise ProtocolError(f"undecodable payload: {exc}") from exc
+    return code, payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosedError(
+                f"peer closed connection ({n - remaining}/{n} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, code: int, payload: Any) -> int:
+    """Write one frame; returns bytes put on the wire."""
+    data = encode_frame(code, payload)
+    sock.sendall(data)
+    return len(data)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, Any, int]:
+    """Read one frame; returns ``(op_code, payload, bytes_read)``."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds "
+                            f"{MAX_FRAME_BYTES} byte cap")
+    body = _recv_exact(sock, length)
+    code, payload = decode_body(body)
+    return code, payload, _LEN.size + length
+
+
+# -- error frames -----------------------------------------------------------
+
+#: exception type ↔ wire name, in both directions.  Anything not here
+#: degrades to :class:`RpcError` client-side (message preserved).
+_ERROR_TYPES = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+    "NotImplementedError": NotImplementedError,
+    "TabletServerError": TabletServerError,
+    "ServerCrashedError": ServerCrashedError,
+    "NotHostedError": NotHostedError,
+}
+_ERROR_NAMES = {cls: name for name, cls in _ERROR_TYPES.items()}
+
+
+def error_payload(exc: BaseException) -> dict:
+    name = _ERROR_NAMES.get(type(exc))
+    if name is None:  # subclasses / exotic types degrade gracefully
+        matches = [cls for cls in _ERROR_NAMES if isinstance(exc, cls)]
+        if matches:
+            # most-derived match, so a ServerCrashedError subclass maps
+            # to the retryable crash type rather than bare RuntimeError
+            name = _ERROR_NAMES[max(matches,
+                                    key=lambda cls: len(cls.__mro__))]
+        else:
+            name = "RpcError"
+    # KeyError's str() is repr(args[0]) — carry the bare message so the
+    # round trip doesn't nest quotes
+    message = exc.args[0] if exc.args else str(exc)
+    return {"type": name, "message": str(message)}
+
+
+def raise_error(payload: dict) -> None:
+    """Re-raise the exception an ``ERROR`` frame describes."""
+    cls = _ERROR_TYPES.get(payload.get("type", ""), RpcError)
+    raise cls(payload.get("message", "remote error"))
+
+
+# -- value codecs -----------------------------------------------------------
+
+
+def cell_to_wire(cell: Cell) -> list:
+    k = cell.key
+    return [k.row, k.family, k.qualifier, k.visibility, k.timestamp,
+            k.delete, cell.value]
+
+
+def wire_to_cell(item: Sequence) -> Cell:
+    row, family, qualifier, visibility, timestamp, delete, value = item
+    return Cell(Key(row, family, qualifier, visibility, timestamp,
+                    delete=bool(delete)), value)
+
+
+def range_to_wire(rng: Range) -> list:
+    return [rng.start_row, rng.stop_row]
+
+
+def wire_to_range(item: Sequence) -> Range:
+    return Range(item[0], item[1])
+
+
+#: the named table-iterator registry: the only iterator factories that
+#: may cross the wire.  User *scan* iterators (arbitrary callables)
+#: never need to — they run client-side — but *table* iterators run in
+#: the server's compaction and scan stacks, so a remote table config
+#: must name them.
+COMBINER_REGISTRY = {
+    "sum": SummingCombiner,
+    "min": MinCombiner,
+    "max": MaxCombiner,
+}
+_COMBINER_NAMES = {cls: name for name, cls in COMBINER_REGISTRY.items()}
+
+
+def config_to_wire(config: Optional[TableConfig]) -> Optional[dict]:
+    if config is None:
+        return None
+    iterators: List[str] = []
+    for factory in config.table_iterators:
+        name = _COMBINER_NAMES.get(factory)
+        if name is None:
+            raise ValueError(
+                f"table iterator {factory!r} is not wire-serializable: "
+                f"remote tables support the named combiners "
+                f"{sorted(COMBINER_REGISTRY)} (attach arbitrary iterators "
+                f"at scan time instead — they run client-side)")
+        iterators.append(name)
+    return {"max_versions": config.max_versions,
+            "table_iterators": iterators,
+            "flush_bytes": config.flush_bytes}
+
+
+def wire_to_config(item: Optional[dict]) -> Optional[TableConfig]:
+    if item is None:
+        return None
+    unknown = [n for n in item["table_iterators"] if n not in COMBINER_REGISTRY]
+    if unknown:
+        raise ValueError(f"unknown table iterator name(s) {unknown!r}; "
+                         f"known: {sorted(COMBINER_REGISTRY)}")
+    return TableConfig(
+        max_versions=item["max_versions"],
+        table_iterators=tuple(COMBINER_REGISTRY[n]
+                              for n in item["table_iterators"]),
+        flush_bytes=item["flush_bytes"])

@@ -8,6 +8,7 @@ from repro.dbsim import (
     Authorizations,
     Connector,
     PUBLIC,
+    ServerCrashedError,
     VisibilityError,
     check_expression,
     parse_visibility,
@@ -170,6 +171,7 @@ class TestWALRecovery:
             w.put("r", "", "q", 1)
         for server in conn.instance.servers:
             server.crash()
+            server.recover(replay_wal=False)  # restart, skip log recovery
         assert rows_of(conn.scanner("t")) == []
 
     def test_recovery_replays_wal(self, conn):
@@ -190,9 +192,10 @@ class TestWALRecovery:
             w.put("r2", "", "q", 2)
         for server in conn.instance.servers:
             server.crash()
+            server.recover(replay_wal=False)  # restart, skip log recovery
         assert rows_of(conn.scanner("t")) == [("r1", "q", "1")]
         for server in conn.instance.servers:
-            server.recover()
+            server.recover()  # WALs stayed durable; replay them now
         assert rows_of(conn.scanner("t")) == [("r1", "q", "1"),
                                               ("r2", "q", "2")]
 
@@ -213,4 +216,56 @@ class TestWALRecovery:
         tablet.crash()
         tablet.recover()
         tablet.recover()  # double replay must not duplicate visible data
+        assert rows_of(conn.scanner("t")) == [("r", "q", "1")]
+
+
+class TestCrashedServerErrors:
+    """A crashed (not yet recovered) server rejects every data op with
+    the typed error a remote client's retry loop keys off."""
+
+    def _crash_all(self, conn):
+        for server in conn.instance.servers:
+            server.crash()
+
+    def test_scan_on_crashed_server_raises(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 1)
+        self._crash_all(conn)
+        with pytest.raises(ServerCrashedError):
+            list(conn.scanner("t"))
+
+    def test_crash_mid_open_scan_raises(self, conn):
+        """A scan already streaming when the server dies must surface
+        the typed error, not keep reading the dead server's tablets."""
+        with conn.batch_writer("t") as w:
+            for i in range(10):
+                w.put(f"r{i}", "", "q", i)
+        scan = iter(conn.scanner("t"))
+        assert next(scan).key.row == "r0"
+        self._crash_all(conn)
+        with pytest.raises(ServerCrashedError):
+            next(scan)
+
+    def test_write_on_crashed_server_raises(self, conn):
+        self._crash_all(conn)
+        w = conn.batch_writer("t")
+        w.put("r", "", "q", 1)
+        with pytest.raises(ServerCrashedError):
+            w.flush()
+
+    def test_flush_and_compact_on_crashed_server_raise(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 1)
+        self._crash_all(conn)
+        with pytest.raises(ServerCrashedError):
+            conn.flush("t")
+        with pytest.raises(ServerCrashedError):
+            conn.compact("t")
+
+    def test_recover_restores_service(self, conn):
+        with conn.batch_writer("t") as w:
+            w.put("r", "", "q", 1)
+        self._crash_all(conn)
+        for server in conn.instance.servers:
+            server.recover()
         assert rows_of(conn.scanner("t")) == [("r", "q", "1")]

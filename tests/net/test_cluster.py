@@ -1,0 +1,259 @@
+"""Integration: live clusters, fault injection, crash/recover, and the
+bit-identity acceptance scenario.
+
+Thread-mode clusters (``processes=False``) carry most of the load —
+same sockets, same wire protocol, no spawn cost.  One test boots real
+OS processes end to end.
+"""
+
+import threading
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.dbsim.client import Connector
+from repro.dbsim.graphulo import create_combiner_table
+from repro.dbsim.key import Range
+from repro.dbsim.server import Instance, TableConfig
+from repro.net.client import RemoteConnector, RetryPolicy
+from repro.net.cluster import LocalCluster
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """Fault-free 2-server thread-mode cluster shared by a module's
+    worth of read-mostly tests (each test uses its own tables)."""
+    with LocalCluster(n_servers=2, processes=False) as c:
+        yield c
+
+
+def _fresh(cluster, **kw):
+    conn = cluster.connect(**kw)
+    for table in list(conn.instance.list_tables()):
+        conn.instance.delete_table(table)
+    return conn
+
+
+class TestClusterBasics:
+    def test_status_reports_every_server(self, cluster):
+        conn = _fresh(cluster)
+        try:
+            status = conn.instance.status()
+            assert sorted(status["servers"]) == ["tserver0", "tserver1"]
+            assert all(not s["crashed"]
+                       for s in status["servers"].values())
+        finally:
+            conn.close()
+
+    def test_write_scan_roundtrip(self, cluster):
+        conn = _fresh(cluster)
+        try:
+            conn.create_table("t", splits=["m"])
+            with conn.batch_writer("t") as w:
+                for i in range(40):
+                    w.put(f"r{i:02d}", "f", "q", i)
+            cells = list(conn.scanner("t"))
+            assert [c.key.row for c in cells] == \
+                [f"r{i:02d}" for i in range(40)]
+            assert [c.value for c in cells] == [str(i) for i in range(40)]
+        finally:
+            conn.close()
+
+    def test_combiner_config_crosses_the_wire(self, cluster):
+        conn = _fresh(cluster)
+        try:
+            create_combiner_table(conn, "sums", "sum")
+            with conn.batch_writer("sums") as w:
+                w.put("a", "", "n", 2)
+            with conn.batch_writer("sums") as w:
+                w.put("a", "", "n", 5)
+            assert [c.value for c in conn.scanner("sums")] == ["7"]
+        finally:
+            conn.close()
+
+    def test_arbitrary_table_iterator_rejected_client_side(self, cluster):
+        conn = _fresh(cluster)
+        try:
+            with pytest.raises(ValueError, match="not wire-serializable"):
+                conn.create_table(
+                    "bad", TableConfig(table_iterators=(lambda s: s,)))
+        finally:
+            conn.close()
+
+    def test_crash_recover_preserves_durable_writes(self, cluster):
+        conn = _fresh(cluster)
+        try:
+            conn.create_table("d")
+            with conn.batch_writer("d") as w:
+                for i in range(60):
+                    w.put(f"k{i:02d}", "", "c", i)
+            before = list(conn.scanner("d"))
+            for name in cluster.server_names:  # memtables lost, WAL kept
+                conn.instance.crash_server(name)
+            status = conn.instance.status()
+            assert all(s["crashed"] for s in status["servers"].values())
+            for name in cluster.server_names:
+                conn.instance.recover_server(name, True)
+            assert list(conn.scanner("d")) == before
+        finally:
+            conn.close()
+
+
+class TestFaultedCluster:
+    def _run(self, specs, seed, fn):
+        with LocalCluster(n_servers=2, processes=False,
+                          fault_specs=specs, fault_seed=seed) as c:
+            registry = MetricsRegistry()
+            conn = c.connect(metrics=registry)
+            try:
+                fn(conn)
+            finally:
+                conn.close()
+            return registry.export()
+
+    def test_scan_survives_corrupt_frames(self):
+        def work(conn):
+            conn.create_table("t")
+            with conn.batch_writer("t") as w:
+                for i in range(1000):
+                    w.put(f"r{i:04d}", "", "c", i)
+            for _ in range(3):  # plenty of chunk frames for the RNG
+                rows = [c.key.row for c in conn.scanner("t")]
+                assert rows == [f"r{i:04d}" for i in range(1000)]
+
+        export = self._run(["scan:corrupt:0.4"], 5, work)
+        assert export["net.client.scan_resumes"] > 0
+        assert export["net.client.retries"] > 0
+
+    def test_writes_exactly_once_under_dropped_acks(self):
+        # a dropped write_batch ack means the server applied the batch
+        # but the client retries it; with a summing table any re-apply
+        # would show up as a doubled value
+        def work(conn):
+            create_combiner_table(conn, "sums", "sum")
+            with conn.batch_writer("sums", buffer_size=10) as w:
+                for i in range(200):
+                    w.put(f"r{i:03d}", "", "n", 1)
+            values = [c.value for c in conn.scanner("sums")]
+            assert values == ["1"] * 200
+
+        export = self._run(["write_batch:drop:0.25"], 11, work)
+        assert export["net.client.retries"] > 0
+
+    def test_slowdrip_and_delay_are_only_slow(self):
+        def work(conn):
+            conn.create_table("t")
+            with conn.batch_writer("t") as w:
+                for i in range(50):
+                    w.put(f"r{i:02d}", "", "c", i)
+            assert sum(1 for _ in conn.scanner("t")) == 50
+
+        self._run(["*:delay:0.2:0.002", "scan:slowdrip:0.3:64"], 2, work)
+
+
+class TestProcessCluster:
+    def test_real_processes_end_to_end(self):
+        with LocalCluster(n_servers=2, processes=True) as c:
+            conn = c.connect()
+            try:
+                conn.create_table("t", splits=["h", "p"])
+                with conn.batch_writer("t") as w:
+                    for i in range(120):
+                        w.put(f"r{i:03d}", "", "c", i)
+                conn.compact("t")
+                assert sum(1 for _ in conn.scanner("t")) == 120
+                got = [c_.value for c_ in conn.scanner("t").set_range(
+                    Range("r010", "r020"))]
+                assert got == [str(i) for i in range(10, 20)]
+            finally:
+                conn.close()
+
+
+def _reference_cells(n_servers, rows):
+    """The fault-free, in-process ground truth for the acceptance run."""
+    local = Connector(Instance(n_servers=n_servers,
+                               metrics=MetricsRegistry()))
+    local.create_table("T", splits=["r100", "r200"])
+    with local.batch_writer("T", buffer_size=40) as w:
+        for r, v in rows:
+            w.put(r, "", "c", v)
+    return list(local.scanner("T"))
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance scenario: seeded drop + delay faults plus
+    one server crash/recover in the middle of an ingest, and the table
+    still comes out bit-identical (timestamps included) to a fault-free
+    in-process run — then the retry/timeout counters show up in
+    ``repro stats --prom``."""
+
+    SPECS = ["write_batch:drop:0.1", "scan:delay:0.05:0.005"]
+
+    def test_faulted_ingest_is_bit_identical(self, tmp_path, capsys):
+        rows = [(f"r{i:03d}", i) for i in range(300)]
+        want = _reference_cells(2, rows)
+
+        with LocalCluster(n_servers=2, processes=True,
+                          fault_specs=self.SPECS, fault_seed=42) as c:
+            registry = MetricsRegistry()
+            conn = c.connect(metrics=registry)
+            try:
+                conn.create_table("T", splits=["r100", "r200"])
+                with conn.batch_writer("T", buffer_size=40) as w:
+                    for r, v in rows[:150]:
+                        w.put(r, "", "c", v)
+                    # crash one server mid-ingest; recover shortly
+                    # after, while writes to it are still retrying
+                    c.crash("tserver1")
+                    timer = threading.Timer(
+                        0.5, lambda: c.recover("tserver1", True))
+                    timer.start()
+                    try:
+                        for r, v in rows[150:]:
+                            w.put(r, "", "c", v)
+                    finally:
+                        timer.join()
+                got = list(conn.scanner("T"))
+            finally:
+                conn.close()
+
+            assert got == want  # cells, order, and timestamps
+            export = registry.export()
+            assert export["net.client.retries"] > 0
+
+            # the counters must be visible through the CLI too
+            tsv = tmp_path / "g.tsv"
+            tsv.write_text("".join(f"a{i:02d}\tb{(i * 7) % 20:02d}\t1\n"
+                                   for i in range(50)), encoding="utf-8")
+            rc = cli_main(["stats", str(tsv),
+                           "--connect", c.manager_addr_str, "--prom"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "repro_net_client_retries" in out
+            assert "repro_net_client_timeouts" in out
+            assert "repro_net_client_requests" in out
+
+
+class TestLifecycle:
+    def test_connect_before_start_rejected(self):
+        c = LocalCluster(n_servers=1, processes=False)
+        with pytest.raises(RuntimeError):
+            c.connect()
+
+    def test_stop_is_idempotent(self):
+        c = LocalCluster(n_servers=1, processes=False).start()
+        c.stop()
+        c.stop()
+
+    def test_single_attempt_policy_fails_fast_when_down(self):
+        c = LocalCluster(n_servers=1, processes=False).start()
+        addr = c.manager_addr_str
+        c.stop()
+        conn = RemoteConnector(addr, retry=RetryPolicy(attempts=1,
+                                                       deadline=1.0))
+        try:
+            with pytest.raises(Exception):
+                conn.table_exists("t")
+        finally:
+            conn.close()

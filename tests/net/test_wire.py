@@ -1,0 +1,163 @@
+"""Framing, codecs and error mapping for the wire protocol."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.dbsim.errors import NotHostedError, ServerCrashedError
+from repro.dbsim.iterators import SummingCombiner
+from repro.dbsim.key import Cell, Key, Range
+from repro.dbsim.server import TableConfig
+from repro.net import wire
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = wire.encode_frame(wire.SCAN, {"table": "t", "n": 3})
+        code, payload = wire.decode_body(frame[4:])
+        assert code == wire.SCAN
+        assert payload == {"table": "t", "n": 3}
+
+    def test_payload_may_be_any_json_value(self):
+        for payload in (None, 7, "x", [1, "a", None], {"k": [1, 2]}):
+            code, got = wire.decode_body(
+                wire.encode_frame(wire.OK, payload)[4:])
+            assert got == payload
+
+    def test_corrupt_payload_detected(self):
+        frame = bytearray(wire.encode_frame(wire.OK, {"rows": 10}))
+        frame[-2] ^= 0xFF  # damage the payload in flight
+        with pytest.raises(wire.FrameCorruptError):
+            wire.decode_body(bytes(frame[4:]))
+
+    def test_wrong_version_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.OK, {}))
+        frame[4] = wire.WIRE_VERSION + 1
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_body(bytes(frame[4:]))
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_body(b"\x01\x02")
+
+    def test_oversized_frame_rejected_before_allocation(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!I", wire.MAX_FRAME_BYTES + 1))
+            with pytest.raises(wire.ProtocolError):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_recv_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            sent = wire.send_frame(a, wire.PING, {"hello": True})
+            code, payload, nbytes = wire.recv_frame(b)
+            assert (code, payload) == (wire.PING, {"hello": True})
+            assert nbytes == sent
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_mid_frame(self):
+        a, b = socket.socketpair()
+        try:
+            frame = wire.encode_frame(wire.OK, {"big": "x" * 100})
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(wire.ConnectionClosedError):
+                wire.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_streamed_frames_keep_boundaries(self):
+        # many frames written back to back parse one at a time
+        a, b = socket.socketpair()
+        try:
+            def writer():
+                for i in range(20):
+                    wire.send_frame(a, wire.CHUNK, {"i": i})
+                wire.send_frame(a, wire.DONE, None)
+
+            t = threading.Thread(target=writer)
+            t.start()
+            seen = []
+            while True:
+                code, payload, _ = wire.recv_frame(b)
+                if code == wire.DONE:
+                    break
+                seen.append(payload["i"])
+            t.join()
+            assert seen == list(range(20))
+        finally:
+            a.close()
+            b.close()
+
+
+class TestErrorFrames:
+    @pytest.mark.parametrize("exc", [
+        KeyError("no such table 'x'"),
+        ValueError("bad split row"),
+        ServerCrashedError("tserver0 is down"),
+        NotHostedError("tablet t!0001 is not hosted here"),
+    ])
+    def test_same_type_comes_back(self, exc):
+        payload = wire.error_payload(exc)
+        with pytest.raises(type(exc)) as ei:
+            wire.raise_error(payload)
+        assert str(exc.args[0]) in str(ei.value)
+
+    def test_unknown_type_degrades_to_rpcerror(self):
+        class Weird(Exception):
+            pass
+
+        payload = wire.error_payload(Weird("odd"))
+        assert payload["type"] == "RpcError"
+        with pytest.raises(wire.RpcError, match="odd"):
+            wire.raise_error(payload)
+
+    def test_subclass_maps_to_nearest_known(self):
+        class MyCrash(ServerCrashedError):
+            pass
+
+        payload = wire.error_payload(MyCrash("gone"))
+        assert payload["type"] == "ServerCrashedError"
+
+
+class TestCodecs:
+    def test_cell_roundtrip(self):
+        cell = Cell(Key("r", "f", "q", "vis", 42, delete=True), "v")
+        assert wire.wire_to_cell(wire.cell_to_wire(cell)) == cell
+
+    def test_range_roundtrip(self):
+        for rng in (Range(), Range("a", "m"), Range(None, "z"),
+                    Range("a", None)):
+            got = wire.wire_to_range(wire.range_to_wire(rng))
+            assert (got.start_row, got.stop_row) == \
+                (rng.start_row, rng.stop_row)
+
+    def test_config_roundtrip_with_named_combiner(self):
+        config = TableConfig(max_versions=3,
+                             table_iterators=(SummingCombiner,))
+        got = wire.wire_to_config(wire.config_to_wire(config))
+        assert got.max_versions == 3
+        assert got.table_iterators == (SummingCombiner,)
+
+    def test_none_config_passes_through(self):
+        assert wire.config_to_wire(None) is None
+        assert wire.wire_to_config(None) is None
+
+    def test_arbitrary_table_iterator_rejected_with_clear_error(self):
+        config = TableConfig(table_iterators=(lambda src: src,))
+        with pytest.raises(ValueError, match="not wire-serializable"):
+            wire.config_to_wire(config)
+
+    def test_unknown_iterator_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown table iterator"):
+            wire.wire_to_config({"max_versions": 1,
+                                 "table_iterators": ["median"],
+                                 "flush_bytes": 1 << 20})
