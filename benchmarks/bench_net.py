@@ -1,6 +1,7 @@
-"""repro.net benchmark: RPC round-trip latency, streamed-scan
-throughput vs the in-process backend, and ingest throughput under
-injected fault rates.
+"""repro.net benchmark: RPC round-trip latency (with and without
+distributed tracing), streamed-scan throughput vs the in-process
+backend, bytes on the wire per scan / per BatchWriter flush, and
+ingest throughput under injected fault rates.
 
 The cluster runs in thread mode — the same services, sockets and wire
 protocol as ``repro cluster``, minus the process-spawn cost — so the
@@ -94,16 +95,68 @@ class TestRpcRtt:
                   f"p50 {1e6 * p50:.0f}us p99 {1e6 * p99:.0f}us")
         assert p50 < 0.05  # localhost ping must be well under 50ms
 
+    def test_trace_propagation_overhead(self, cluster, capsys):
+        """p50 ping RTT with full tracing on (client span + wire
+        context + server span, records dropped in a NullSink) vs off.
+        The target is <5% added latency; the hard gate is lenient
+        because shared CI timing is noisy — the measured number lands
+        in BENCH.net.json either way."""
+        from repro.obs import trace as _trace
+
+        conn = cluster.connect()
+        try:
+            core = conn.instance.core
+            addr = cluster.server_addrs[0]
+            core.call(addr, wire.PING, {})  # warm the pooled connection
+
+            def p50(n=400):
+                samples = []
+                for _ in range(n):
+                    t0 = time.perf_counter()
+                    core.call(addr, wire.PING, {})
+                    samples.append(time.perf_counter() - t0)
+                samples.sort()
+                return samples[n // 2]
+
+            # interleave the conditions so clock drift hits both
+            base_p50s, traced_p50s = [], []
+            for _ in range(3):
+                base_p50s.append(p50())
+                _trace.enable(_trace.NullSink())
+                try:
+                    traced_p50s.append(p50())
+                finally:
+                    _trace.disable()
+                    _trace.set_sink(_trace.NullSink())
+        finally:
+            conn.close()
+        base = statistics.median(base_p50s)
+        traced = statistics.median(traced_p50s)
+        overhead = (traced - base) / base
+        _RESULTS["trace_overhead"] = {
+            "untraced_p50_us": round(1e6 * base, 1),
+            "traced_p50_us": round(1e6 * traced, 1),
+            "overhead_pct": round(100 * overhead, 1),
+            "target_pct": 5.0,
+        }
+        with capsys.disabled():
+            print(f"\ntracing overhead: p50 {1e6 * base:.0f}us -> "
+                  f"{1e6 * traced:.0f}us ({100 * overhead:+.1f}%)")
+        assert overhead < 0.5  # generous CI gate; target is 5%
+
 
 class TestScanThroughput:
     def test_streamed_scan_vs_in_process(self, cluster, capsys):
-        remote = cluster.connect()
+        registry = MetricsRegistry()
+        remote = cluster.connect(metrics=registry)
         try:
             _wipe(remote)
             _ingest(remote)
+            after_ingest = registry.export()
             t0 = time.perf_counter()
             remote_cells = list(remote.scanner("A"))
             t_remote = time.perf_counter() - t0
+            after_scan = registry.export()
         finally:
             _wipe(remote)
             remote.close()
@@ -130,6 +183,39 @@ class TestScanThroughput:
             print(f"\nscan {n} cells: remote {t_remote:.3f}s "
                   f"({n / t_remote:,.0f}/s) vs in-process {t_local:.3f}s "
                   f"({n / t_local:,.0f}/s)")
+
+        # wire-byte accounting: what the ingest cost per BatchWriter
+        # flush and what the streamed scan cost per cell/chunk
+        wb_sent = after_ingest.get("net.client.op.write_batch.bytes_sent",
+                                   0)
+        wb_acks = after_ingest.get(
+            "net.client.op.write_batch.bytes_received", 0)
+        flushes = max(round(N_CELLS / 1000), 1)  # buffer_size=1000 ingest
+        scan_rx = (after_scan.get("net.client.op.scan.bytes_received", 0)
+                   - after_ingest.get("net.client.op.scan.bytes_received",
+                                      0))
+        chunks = (after_scan.get("net.client.scan_chunks", 0)
+                  - after_ingest.get("net.client.scan_chunks", 0))
+        assert wb_sent > 0 and scan_rx > 0 and chunks > 0
+        _RESULTS["wire_bytes"] = {
+            "ingest": {
+                "write_batch_bytes_sent": wb_sent,
+                "ack_bytes_received": wb_acks,
+                "bytes_per_cell": round(wb_sent / N_CELLS, 1),
+                "bytes_per_flush": round(wb_sent / flushes),
+            },
+            "scan": {
+                "scan_bytes_received": scan_rx,
+                "chunks": chunks,
+                "bytes_per_cell": round(scan_rx / n, 1),
+                "bytes_per_chunk": round(scan_rx / chunks),
+            },
+        }
+        with capsys.disabled():
+            print(f"wire bytes: ingest sent {wb_sent:,} "
+                  f"({wb_sent / N_CELLS:.1f}/cell), scan received "
+                  f"{scan_rx:,} over {chunks} chunks "
+                  f"({scan_rx / n:.1f}/cell)")
 
 
 class TestIngestUnderFaults:

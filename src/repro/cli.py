@@ -14,8 +14,10 @@ Subcommands::
     python -m repro jaccard   graph.tsv --top 10
     python -m repro topics    --docs 2000 --k 5
     python -m repro stats     graph.tsv [--json] [--prom] [--connect H:P]
-    python -m repro analyze   trace.jsonl [--top N] [--flamegraph out.folded]
+    python -m repro analyze   trace.jsonl [--top N] [--trace-id HEX]
+    python -m repro stitch    trace.*.jsonl --out stitched.jsonl
     python -m repro monitor   --metrics-json snapshot.json
+    python -m repro top       --connect H:P [--interval 2]
     python -m repro serve     [--port 41100] [--fault SPEC ...]
     python -m repro cluster   --servers 3 [--fault SPEC ...] [--smoke]
 
@@ -379,7 +381,8 @@ def cmd_serve(args) -> int:
     cluster = LocalCluster(
         n_servers=args.servers, fault_specs=args.fault or (),
         fault_seed=args.fault_seed, trace_dir=args.trace_dir,
-        processes=False, host=args.host, manager_port=args.port).start()
+        processes=False, host=args.host, manager_port=args.port,
+        telemetry_interval=args.telemetry_interval).start()
     try:
         _cluster_banner(cluster, args)
         print(f"serving until Ctrl-C; try: repro stats graph.tsv "
@@ -402,7 +405,8 @@ def cmd_cluster(args) -> int:
         n_servers=args.servers, fault_specs=args.fault or (),
         fault_seed=args.fault_seed, trace_dir=args.trace_dir,
         processes=not args.threads, host=args.host,
-        manager_port=args.port).start()
+        manager_port=args.port,
+        telemetry_interval=args.telemetry_interval).start()
     try:
         _cluster_banner(cluster, args)
         if args.smoke:
@@ -444,18 +448,39 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3) -> int:
         assoc_to_table(conn, a, "A", n_splits=4)
         got_bfs = table_bfs(conn, "A", [source], hops)
         got_cells = list(conn.scanner("A"))
+        server_metrics = conn.instance.cluster_metrics()
     finally:
         conn.close()
 
+    export = registry.export()
     counters = {k[len("net.client."):]: v
-                for k, v in sorted(registry.export().items())
+                for k, v in sorted(export.items())
                 if k.startswith("net.client.")
                 and not isinstance(v, dict) and v}
     print("client counters: "
           + " ".join(f"{k}={v}" for k, v in counters.items()))
+
+    # wire accounting must have moved: the client counted bytes both
+    # ways, and every tablet server counted bytes it sent back
+    client_sent = sum(v for k, v in export.items()
+                      if k.startswith("net.client.op.")
+                      and k.endswith(".bytes_sent"))
+    client_received = sum(v for k, v in export.items()
+                          if k.startswith("net.client.op.")
+                          and k.endswith(".bytes_received"))
+    servers_sent = {
+        name: metrics.get("net.server.bytes_sent", 0)
+        for name, metrics in server_metrics.get("servers", {}).items()}
+    print(f"wire bytes: client sent {client_sent} / received "
+          f"{client_received}; server sent "
+          + " ".join(f"{n}={v}" for n, v in sorted(servers_sent.items())))
+
     ok_bfs = got_bfs == want_bfs
     ok_cells = got_cells == want_cells
-    if ok_bfs and ok_cells:
+    ok_bytes = (client_sent > 0 and client_received > 0
+                and servers_sent and all(v > 0
+                                         for v in servers_sent.values()))
+    if ok_bfs and ok_cells and ok_bytes:
         print(f"smoke OK: remote BFS from {source} "
               f"({hops} hops over {g.nrows} vertices) and the "
               f"{len(want_cells)}-cell table snapshot are bit-identical "
@@ -467,6 +492,11 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3) -> int:
     if not ok_cells:
         problems.append(f"table snapshot mismatch "
                         f"({len(got_cells)} cells vs {len(want_cells)})")
+    if not ok_bytes:
+        problems.append("wire byte accounting did not move "
+                        f"(client sent={client_sent} "
+                        f"received={client_received} "
+                        f"servers={servers_sent})")
     print(f"smoke FAILED: {'; '.join(problems)}", file=sys.stderr)
     return 1
 
@@ -477,16 +507,24 @@ def _fmt_ms(seconds: float) -> str:
 
 def cmd_analyze(args) -> int:
     """Roll a JSONL trace up into per-span-name statistics, print the
-    critical path of the longest root span, and optionally export a
-    folded-stack flamegraph."""
-    from repro.obs.analyze import TraceAnalysis
+    critical path of the longest root span, the per-RPC client/network/
+    queue/service breakdown (when the trace has rpc.client spans), and
+    optionally export a folded-stack flamegraph."""
+    from repro.obs.analyze import (TraceAnalysis, filter_by_trace,
+                                   read_records)
 
     try:
-        ta = TraceAnalysis.load(args.path)
+        records = read_records(args.path)
     except FileNotFoundError:
         raise CliError(f"no such file: {args.path}") from None
     except (OSError, UnicodeError, ValueError) as exc:
         raise CliError(str(exc)) from exc
+    if args.trace_id:
+        records = filter_by_trace(records, args.trace_id)
+        if not records:
+            raise CliError(f"{args.path} has no spans with trace_id "
+                           f"{args.trace_id}")
+    ta = TraceAnalysis(records)
     if ta.n_spans == 0:
         raise CliError(f"{args.path} holds no spans "
                        f"({ta.n_records} records)")
@@ -515,6 +553,20 @@ def cmd_analyze(args) -> int:
             print(f"  {'  ' * i}{node.name}  "
                   f"{_fmt_ms(node.duration_s)} ms total / "
                   f"{_fmt_ms(node.self_s)} ms self ({pct:.0f}%)")
+        rpc = ta.rpc_breakdown()
+        if rpc:
+            print(f"\nRPC time breakdown (client ms = network + "
+                  f"server queue + server service):")
+            print(f"{'op':<14} {'calls':>6} {'srv':>5} {'client_ms':>10} "
+                  f"{'network_ms':>11} {'queue_ms':>9} {'service_ms':>11}")
+            for op in sorted(rpc):
+                r = rpc[op]
+                print(f"{r['op']:<14} {r['count']:>6} "
+                      f"{r['server_spans']:>5} "
+                      f"{_fmt_ms(r['client_s']):>10} "
+                      f"{_fmt_ms(r['network_s']):>11} "
+                      f"{_fmt_ms(r['server_queue_s']):>9} "
+                      f"{_fmt_ms(r['server_service_s']):>11}")
     if args.flamegraph:
         lines = ta.folded_stacks()
         with open(args.flamegraph, "w", encoding="utf-8") as fh:
@@ -522,6 +574,93 @@ def cmd_analyze(args) -> int:
         print(f"wrote {len(lines)} folded stacks to {args.flamegraph}",
               file=sys.stderr if args.json else sys.stdout)
     return 0
+
+
+def cmd_stitch(args) -> int:
+    """Merge per-process JSONL traces (client + manager + each tablet
+    server) into one cross-process trace file whose parent/child links
+    resolve across process boundaries.  With ``--check-cross-process``
+    the command exits 1 unless at least one cross-process parent→child
+    edge was stitched and no span is orphaned — the CI tracing gate."""
+    from repro.obs.stitch import stitch_files
+
+    try:
+        st = stitch_files(args.paths)
+    except FileNotFoundError as exc:
+        raise CliError(f"no such file: {exc.filename}") from None
+    except (OSError, UnicodeError, ValueError) as exc:
+        raise CliError(str(exc)) from exc
+    if not st.records:
+        raise CliError("no spans found in "
+                       + ", ".join(map(str, args.paths)))
+    if args.out:
+        st.write(args.out)
+    summary = st.as_dict()
+    print(f"stitched {len(args.paths)} file(s): {summary['spans']} spans, "
+          f"{summary['traces']} trace(s), processes: "
+          f"{', '.join(summary['processes'])}")
+    edges = st.edge_summary()
+    if edges:
+        print(f"{summary['cross_process_edges']} cross-process edge(s):")
+        for line in edges:
+            print(f"  {line}")
+    else:
+        print("no cross-process edges (single-process trace, or the "
+              "server trace files are missing)")
+    orphans = st.orphan_spans()
+    if orphans:
+        names = sorted({r.get("name", "?") for r in orphans})
+        print(f"warning: {len(orphans)} orphaned span(s) "
+              f"(parent not in any input file): {', '.join(names)}",
+              file=sys.stderr)
+    if args.out:
+        print(f"wrote stitched trace to {args.out}")
+    if args.check_cross_process and (not edges or orphans):
+        problems = []
+        if not edges:
+            problems.append("no cross-process edges")
+        if orphans:
+            problems.append(f"{len(orphans)} orphaned spans")
+        print(f"stitch check FAILED: {'; '.join(problems)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live per-server cluster view over RPC: poll the manager's
+    telemetry ring (``TELEMETRY`` op) and render QPS, bytes/s in and
+    out, in-flight requests, error rate, and the hottest tables per
+    tablet server."""
+    import time as _time
+
+    from repro.net.client import RemoteConnector
+    from repro.net.telemetry import ClusterTelemetry, render_top
+    from repro.net.wire import RpcError
+
+    conn = RemoteConnector(args.connect)
+    shown = 0
+    try:
+        while True:
+            try:
+                data = conn.instance.telemetry(sample=True)
+            except (RpcError, OSError) as exc:
+                raise CliError(f"cluster at {args.connect} "
+                               f"unreachable: {exc}") from exc
+            tel = ClusterTelemetry.from_dict(data)
+            clock = _time.strftime("%H:%M:%S")
+            print(render_top(tel.summary(hot_tables=args.hot_tables),
+                             clock=clock))
+            shown += 1
+            if args.iterations and shown >= args.iterations:
+                return 0
+            print()
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    finally:
+        conn.close()
 
 
 def cmd_monitor(args) -> int:
@@ -567,7 +706,9 @@ def cmd_monitor(args) -> int:
                         for name, d in moved.items():
                             rate = (f"  ({rates[name]:,.0f}/s)"
                                     if name in rates else "")
-                            print(f"  {name:<52} {d:+}{rate}")
+                            reset = (" (reset)" if name in delta.resets
+                                     else "")
+                            print(f"  {name:<52} {d:+}{rate}{reset}")
                     else:
                         print(f"[monitor {stamp}] idle")
                 prev = snap
@@ -685,6 +826,11 @@ def build_parser() -> argparse.ArgumentParser:
         s.add_argument("--fault-seed", type=int, default=0)
         s.add_argument("--trace-dir", metavar="DIR",
                        help="write per-process rpc.* span traces under DIR")
+        s.add_argument("--telemetry-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="manager samples cluster metrics into the "
+                            "telemetry ring every N seconds (default 0: "
+                            "sample only when `repro top` polls)")
         s.add_argument("--duration", type=float, default=0.0,
                        help="serve for N seconds then exit "
                             "(default: until ^C)")
@@ -720,9 +866,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show the N heaviest span names (default 20)")
     s.add_argument("--flamegraph", metavar="PATH",
                    help="write folded stacks (name;child self-µs) to PATH")
+    s.add_argument("--trace-id", metavar="HEX",
+                   help="only analyze spans of one distributed trace")
     s.add_argument("--json", action="store_true",
                    help="emit the full analysis as JSON")
     s.set_defaults(fn=cmd_analyze)
+
+    s = add_parser("stitch",
+                   help="merge per-process JSONL traces into one "
+                        "cross-process trace (by trace/span identity)")
+    s.add_argument("paths", nargs="+",
+                   help="per-process trace files (client + manager + "
+                        "tablet servers, e.g. traces/trace.*.jsonl)")
+    s.add_argument("--out", metavar="PATH",
+                   help="write the stitched trace (JSONL, analyzable "
+                        "with `repro analyze`)")
+    s.add_argument("--check-cross-process", action="store_true",
+                   help="exit 1 unless the stitched trace has "
+                        "cross-process parent->child edges and no "
+                        "orphaned spans (CI gate)")
+    s.set_defaults(fn=cmd_stitch)
+
+    s = add_parser("top",
+                   help="live per-server cluster telemetry over RPC "
+                        "(QPS, bytes/s, in-flight, hot tables)")
+    s.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="manager address of a live `repro serve` / "
+                        "`repro cluster`")
+    s.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2)")
+    s.add_argument("--iterations", type=int, default=0,
+                   help="stop after N refreshes (default: run until ^C)")
+    s.add_argument("--hot-tables", type=int, default=3,
+                   help="hottest tables shown per server (default 3)")
+    s.set_defaults(fn=cmd_top)
 
     s = add_parser("monitor",
                    help="live counter deltas from a metrics snapshot file")
@@ -751,7 +928,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       file=sys.stderr)
                 return 2
     if trace_path:
-        _trace.enable(JSONLSink(trace_path))
+        # the header names this process "client" so stitched traces
+        # attribute our spans correctly
+        _trace.enable(JSONLSink(trace_path, process="client"))
     if slow_path:
         from repro.obs.slowlog import SlowLog
 

@@ -138,6 +138,7 @@ class RpcCore:
         self._pool = _ConnPool()
         self._seq = 0
         self._lock = threading.Lock()
+        self._addr_strs: Dict[Addr, str] = {}
         # pre-register the health counters so a metrics export always
         # shows them (at 0), not only after the first retry/timeout
         for name in ("requests", "retries", "timeouts", "relocates",
@@ -184,15 +185,23 @@ class RpcCore:
     def call(self, addr: Addr, op: int, payload: dict) -> dict:
         if not _trace.ENABLED:
             return self._call(addr, op, payload)
+        addr_str = self._addr_strs.get(addr)
+        if addr_str is None:
+            addr_str = self._addr_strs[addr] = format_addr(addr)
         with _trace.span("rpc.client.call", op=wire.OP_NAMES.get(op, op),
-                         server=format_addr(addr)) as sp:
-            result = self._call(addr, op, payload)
-            sp.set(session=self.session)
+                         server=addr_str) as sp:
+            # every attempt (retries included) carries this span's
+            # identity, so even a server span reached on the Nth try
+            # parents under the one client call
+            result = self._call(addr, op, payload, tc=sp.context)
+            sp.attrs["session"] = self.session
             return result
 
-    def _call(self, addr: Addr, op: int, payload: dict) -> dict:
+    def _call(self, addr: Addr, op: int, payload: dict,
+              tc: Optional[_trace.TraceContext] = None) -> dict:
         counters = self.metrics.counter
         hist = self.metrics.histogram("net.client.rpc_seconds")
+        opname = wire.OP_NAMES.get(op, hex(op))
         sleep: Optional[float] = None
         last_exc: Optional[BaseException] = None
         for attempt in range(self.retry.attempts):
@@ -206,10 +215,12 @@ class RpcCore:
             try:
                 sock = self.checkout(addr)
                 sock.settimeout(self.retry.deadline)
-                counters("net.client.bytes_sent").inc(
-                    wire.send_frame(sock, op, payload))
-                code, resp, nread = wire.recv_frame(sock)
+                nsent = wire.send_frame(sock, op, payload, tc=tc)
+                counters("net.client.bytes_sent").inc(nsent)
+                counters(f"net.client.op.{opname}.bytes_sent").inc(nsent)
+                code, resp, nread, _ = wire.recv_frame(sock)
                 counters("net.client.bytes_received").inc(nread)
+                counters(f"net.client.op.{opname}.bytes_received").inc(nread)
             except wire.FrameCorruptError as exc:
                 self._scrap(sock)
                 last_exc = exc
@@ -305,6 +316,7 @@ class _RemoteScanIterator(SortedKVIterator):
         self._resume: Optional[list] = None
         self._finished = True
         self._sock: Optional[socket.socket] = None
+        self._span = None  # detached rpc.client.scan span per open stream
 
     # -- iterator contract ------------------------------------------------
 
@@ -350,9 +362,19 @@ class _RemoteScanIterator(SortedKVIterator):
                         if self._columns else None),
             "resume": self._resume,
         }
+        tc = None
+        if _trace.ENABLED:
+            # detached: a scan stream stays open across iterator pulls,
+            # so its span cannot be lexically scoped.  _close() finishes
+            # it; a resume/re-plan opens a fresh one.
+            self._span = _trace.start_span(
+                "rpc.client.scan", op="scan", table=self._table,
+                server=format_addr(seg.addr))
+            tc = self._span.context
         core.metrics.counter("net.client.requests").inc()
-        core.metrics.counter("net.client.bytes_sent").inc(
-            wire.send_frame(sock, wire.SCAN, payload))
+        nsent = wire.send_frame(sock, wire.SCAN, payload, tc=tc)
+        core.metrics.counter("net.client.bytes_sent").inc(nsent)
+        core.metrics.counter("net.client.op.scan.bytes_sent").inc(nsent)
         self._sock = sock
 
     def _pump(self) -> None:
@@ -373,8 +395,9 @@ class _RemoteScanIterator(SortedKVIterator):
                         counters("net.client.scan_resumes").inc()
                     attempts += 1
                     self._open()
-                code, payload, nread = wire.recv_frame(self._sock)
+                code, payload, nread, _ = wire.recv_frame(self._sock)
                 counters("net.client.bytes_received").inc(nread)
+                counters("net.client.op.scan.bytes_received").inc(nread)
             except wire.FrameCorruptError:
                 self._bail(counters, attempts)
                 continue
@@ -392,6 +415,10 @@ class _RemoteScanIterator(SortedKVIterator):
                 attempts = 0  # progress: reset the retry budget
                 self._buffer.extend(wire.wire_to_cell(c) for c in payload)
                 counters("net.client.scan_chunks").inc()
+                if self._span is not None:
+                    attrs = self._span.attrs
+                    attrs["chunks"] = attrs.get("chunks", 0) + 1
+                    attrs["bytes"] = attrs.get("bytes", 0) + nread
             elif code == wire.DONE:
                 self._close(reusable=True)
                 self._segments.pop(0)
@@ -441,6 +468,9 @@ class _RemoteScanIterator(SortedKVIterator):
             self._finished = True
 
     def _close(self, reusable: bool) -> None:
+        span, self._span = self._span, None
+        if span is not None:
+            span.finish()
         sock, self._sock = self._sock, None
         if sock is None:
             return
@@ -707,6 +737,14 @@ class RemoteInstance:
         """Per-process metric exports: ``{"manager": {...},
         "servers": {name: {...}}}``."""
         return self.core.call(self.manager_addr, wire.METRICS, {})
+
+    def telemetry(self, sample: bool = True) -> dict:
+        """The manager's ring-buffered telemetry history (wire form of
+        :class:`~repro.net.telemetry.ClusterTelemetry`).  ``sample=True``
+        asks the manager to take a fresh cluster sample first, so
+        polling works even with the background sampler off."""
+        return self.core.call(self.manager_addr, wire.TELEMETRY,
+                              {"sample": sample})
 
     def shutdown_cluster(self) -> None:
         self.core.call(self.manager_addr, wire.SHUTDOWN, {})

@@ -52,7 +52,8 @@ class LocalCluster:
                  fault_specs: Sequence[str] = (), fault_seed: int = 0,
                  trace_dir: Optional[str] = None,
                  processes: bool = True,
-                 host: str = "127.0.0.1", manager_port: int = 0):
+                 host: str = "127.0.0.1", manager_port: int = 0,
+                 telemetry_interval: float = 0.0):
         if n_servers < 1:
             raise ValueError(f"need at least one tablet server, "
                              f"got {n_servers}")
@@ -63,6 +64,7 @@ class LocalCluster:
         self.fault_seed = fault_seed
         self.trace_dir = trace_dir
         self.processes = processes
+        self.telemetry_interval = telemetry_interval
         self.server_names = [f"tserver{i}" for i in range(n_servers)]
         self._servers: List = []          # process handles or services
         self._manager = None
@@ -102,7 +104,8 @@ class LocalCluster:
         self._manager = ManagerProcess(
             list(zip(self.server_names, self.server_addrs)),
             trace_path=self._trace_path("manager"),
-            host=self.host, port=self.manager_port)
+            host=self.host, port=self.manager_port,
+            telemetry_interval=self.telemetry_interval)
         self.manager_addr = self._manager.start()
 
     def _start_threads(self) -> None:
@@ -110,7 +113,8 @@ class LocalCluster:
         # trace file (each child process gets its own in process mode);
         # never stomp a tracer the caller already enabled (CLI --trace)
         if self.trace_dir and not _trace.is_enabled():
-            _trace.enable(_trace.JSONLSink(self._trace_path("cluster")))
+            _trace.enable(_trace.JSONLSink(self._trace_path("cluster"),
+                                           process="cluster"))
             self._owns_trace = True
         for i, name in enumerate(self.server_names):
             faults = (FaultPlan.from_specs(self.fault_specs,
@@ -120,7 +124,8 @@ class LocalCluster:
             self.server_addrs.append(service.start(host=self.host))
             self._servers.append(service)
         self._manager = ManagerService(
-            list(zip(self.server_names, self.server_addrs)))
+            list(zip(self.server_names, self.server_addrs)),
+            telemetry_interval=self.telemetry_interval)
         self.manager_addr = self._manager.start(host=self.host,
                                                 port=self.manager_port)
 

@@ -120,13 +120,14 @@ class FaultPlan:
 
 
 def corrupt_frame(frame: bytes) -> bytes:
-    """Flip one bit in the payload region so CRC verification fails
-    (never the length prefix — the stream must stay parseable)."""
-    header = 4 + 6  # length prefix + body header
-    if len(frame) <= header:  # no payload bytes; flip the CRC instead
-        idx = header - 1
-    else:
-        idx = header
+    """Flip one bit in the CRC-covered region (trace-context block or
+    payload) so verification fails — never the length prefix, because
+    the stream must stay parseable."""
+    from repro.net import wire
+    if len(frame) > wire.FRAME_OVERHEAD:  # damage the first payload byte
+        idx = wire.FRAME_OVERHEAD
+    else:  # no payload bytes; damage the trace-context block instead
+        idx = wire.FRAME_OVERHEAD - 1
     return frame[:idx] + bytes([frame[idx] ^ 0x01]) + frame[idx + 1:]
 
 

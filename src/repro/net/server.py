@@ -41,6 +41,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import socket
 import threading
+import time
+import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dbsim.errors import NotHostedError
@@ -58,11 +60,17 @@ from repro.net.client import (
     parse_addr,
 )
 from repro.net.faults import FaultPlan, apply_fault
+from repro.net.telemetry import ClusterTelemetry
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 
 #: cells per CHUNK frame on a streamed scan
 SCAN_CHUNK_CELLS = 128
+
+#: handler span names, precomputed per op-code (per-request f-strings
+#: are measurable on the traced RPC hot path)
+_SERVER_SPAN_NAMES = {code: f"rpc.server.{name}"
+                      for code, name in wire.OP_NAMES.items()}
 
 
 class _BaseService:
@@ -127,10 +135,11 @@ class _BaseService:
 
     def _conn_loop(self, conn: socket.socket) -> None:
         counters = self.metrics.counter
+        inflight = self.metrics.gauge("net.server.inflight")
         try:
             while not self._stopped.is_set():
                 try:
-                    code, payload, nread = wire.recv_frame(conn)
+                    code, payload, nread, tc = wire.recv_frame(conn)
                 except (wire.ConnectionClosedError, OSError):
                     return
                 except wire.ProtocolError as exc:
@@ -140,9 +149,17 @@ class _BaseService:
                                   payload=wire.error_payload(exc),
                                   request_op=0)
                     return
+                arrived = time.perf_counter()
+                opname = wire.OP_NAMES.get(code, hex(code))
                 counters("net.server.requests").inc()
                 counters("net.server.bytes_received").inc(nread)
-                if not self._serve_one(conn, code, payload):
+                counters(f"net.server.op.{opname}.bytes_received").inc(nread)
+                inflight.add(1)
+                try:
+                    keep = self._serve_one(conn, code, payload, tc, arrived)
+                finally:
+                    inflight.add(-1)
+                if not keep:
                     return
         finally:
             try:
@@ -150,31 +167,42 @@ class _BaseService:
             except OSError:
                 pass
 
-    def _serve_one(self, conn: socket.socket, code: int,
-                   payload: dict) -> bool:
-        """Handle one request; False ends the connection."""
+    def _serve_one(self, conn: socket.socket, code: int, payload: dict,
+                   tc, arrived: float) -> bool:
+        """Handle one request; False ends the connection.  ``tc`` is the
+        frame's trace context: activating it makes the handler span a
+        child of the originating client span, even across processes."""
         if not _trace.ENABLED:
-            return self._serve_inner(conn, code, payload)
-        with _trace.span(
-                f"rpc.server.{wire.OP_NAMES.get(code, hex(code))}",
-                server=self.name):
-            return self._serve_inner(conn, code, payload)
+            return self._serve_inner(conn, code, payload, arrived)
+        ctx = _trace.TraceContext(*tc) if tc else None
+        name = _SERVER_SPAN_NAMES.get(code) or \
+            f"rpc.server.{wire.OP_NAMES.get(code, hex(code))}"
+        with _trace.span(name, parent_ctx=ctx, server=self.name):
+            return self._serve_inner(conn, code, payload, arrived)
 
-    def _serve_inner(self, conn: socket.socket, code: int,
-                     payload: dict) -> bool:
+    def _serve_inner(self, conn: socket.socket, code: int, payload: dict,
+                     arrived: float) -> bool:
         stream = self._stream_handler(code)
         if stream is not None:
-            return stream(conn, payload)
+            dispatched = time.perf_counter()
+            keep = stream(conn, payload)
+            self._observe_times(arrived, dispatched)
+            return keep
         session = payload.get("session") if isinstance(payload, dict) else None
         seq = payload.get("seq") if isinstance(payload, dict) else None
         with self._lock:
+            # dispatch = the service lock is ours; everything before
+            # this was queueing behind other requests
+            dispatched = time.perf_counter()
             if session is not None:
                 cached = self._dedup.get(session)
                 if cached is not None and cached[0] == seq:
                     # a retry of an already-processed mutation: replay
                     # the recorded ack, do not re-apply
                     self.metrics.counter("net.server.dedup_hits").inc()
-                    return self._respond(conn, cached[1], cached[2], code)
+                    keep = self._respond(conn, cached[1], cached[2], code)
+                    self._observe_times(arrived, dispatched)
+                    return bool(keep)
             handler = self._handlers().get(code)
             try:
                 if handler is None:
@@ -192,27 +220,47 @@ class _BaseService:
                 # failure at the client forever
                 self._dedup[session] = (seq, out_code, out_payload)
         keep = self._respond(conn, out_code, out_payload, code)
+        self._observe_times(arrived, dispatched)
         if code == wire.SHUTDOWN and out_code == wire.OK:
             self.stop()
             return False
-        return keep
+        return bool(keep)
+
+    def _observe_times(self, arrived: float, dispatched: float) -> None:
+        """Record queue (arrival → dispatch) and service (dispatch →
+        reply) time, and mirror them onto the open handler span so the
+        stitched-trace breakdown can separate wait from work."""
+        done = time.perf_counter()
+        queue_s = max(dispatched - arrived, 0.0)
+        service_s = max(done - dispatched, 0.0)
+        self.metrics.histogram("net.server.queue_seconds").observe(queue_s)
+        self.metrics.histogram("net.server.service_seconds").observe(
+            service_s)
+        sp = _trace.current_span()
+        if sp is not None:
+            sp.attrs["queue_s"] = queue_s
+            sp.attrs["service_s"] = service_s
 
     def _respond(self, conn: socket.socket, code: int, payload,
-                 request_op: int) -> bool:
+                 request_op: int) -> int:
         """Send one response frame, with fault injection in the path.
-        False means the fault destroyed the connection."""
+        Returns the frame's byte length, or 0 (falsy) when a fault
+        destroyed the connection."""
         frame = wire.encode_frame(code, payload)
         rule = self.faults.draw(request_op) if self.faults else None
         try:
             if rule is not None:
                 if not apply_fault(rule, conn, frame, self.metrics):
-                    return False
+                    return 0
             else:
                 conn.sendall(frame)
         except OSError:
-            return False
+            return 0
+        opname = wire.OP_NAMES.get(request_op, hex(request_op))
         self.metrics.counter("net.server.bytes_sent").inc(len(frame))
-        return True
+        self.metrics.counter(
+            f"net.server.op.{opname}.bytes_sent").inc(len(frame))
+        return len(frame)
 
     # -- subclass hooks ---------------------------------------------------
 
@@ -386,19 +434,25 @@ class TabletServerService(_BaseService):
                     continue  # already delivered before the resume
                 chunk.append(wire.cell_to_wire(cell))
                 if len(chunk) >= SCAN_CHUNK_CELLS:
-                    if not self._respond(conn, wire.CHUNK, chunk, wire.SCAN):
+                    nsent = self._respond(conn, wire.CHUNK, chunk, wire.SCAN)
+                    if not nsent:
                         return False
                     counters("net.server.scan_chunks").inc()
+                    counters(f"net.server.table.{table}.scan_bytes").inc(
+                        nsent - wire.FRAME_OVERHEAD)
                     chunk = []
             if chunk:
-                if not self._respond(conn, wire.CHUNK, chunk, wire.SCAN):
+                nsent = self._respond(conn, wire.CHUNK, chunk, wire.SCAN)
+                if not nsent:
                     return False
                 counters("net.server.scan_chunks").inc()
-            return self._respond(conn, wire.DONE, None, wire.SCAN)
+                counters(f"net.server.table.{table}.scan_bytes").inc(
+                    nsent - wire.FRAME_OVERHEAD)
+            return bool(self._respond(conn, wire.DONE, None, wire.SCAN))
         except Exception as exc:  # noqa: BLE001 - wire boundary
             counters("net.server.errors").inc()
-            return self._respond(conn, wire.ERROR, wire.error_payload(exc),
-                                 wire.SCAN)
+            return bool(self._respond(conn, wire.ERROR,
+                                      wire.error_payload(exc), wire.SCAN))
 
     # -- maintenance / failure sim ----------------------------------------
 
@@ -468,7 +522,8 @@ class ManagerService(_BaseService):
     def __init__(self, servers: Sequence[Tuple[str, Addr]],
                  faults: Optional[FaultPlan] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 name: str = "manager"):
+                 name: str = "manager", telemetry_interval: float = 0.0,
+                 telemetry_window: int = 120):
         super().__init__(name, faults, metrics)
         if not servers:
             raise ValueError("manager needs at least one tablet server")
@@ -484,6 +539,13 @@ class ManagerService(_BaseService):
         self._versions: Dict[str, int] = {}
         self._rr = 0
         self._next_id = 0
+        #: ring-buffered per-server metric history; the TELEMETRY op
+        #: serves it, and a background sampler feeds it when
+        #: ``telemetry_interval`` > 0 (off by default: deterministic
+        #: tests must not see surprise fan-out RPCs)
+        self.telemetry = ClusterTelemetry(self._sample_cluster,
+                                          window=telemetry_window)
+        self.telemetry_interval = telemetry_interval
 
     def _handlers(self):
         return {
@@ -502,8 +564,26 @@ class ManagerService(_BaseService):
             wire.CRASH: self._crash_server,
             wire.RECOVER: self._recover_server,
             wire.STATUS: self._status,
+            wire.TELEMETRY: self._telemetry,
             wire.SHUTDOWN: self._shutdown_cluster,
         }
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> Addr:
+        addr = super().start(host=host, port=port)
+        if self.telemetry_interval > 0:
+            thread = threading.Thread(target=self._telemetry_loop,
+                                      name=f"{self.name}-telemetry",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return addr
+
+    def _telemetry_loop(self) -> None:
+        while not self._stopped.wait(self.telemetry_interval):
+            try:
+                self.telemetry.sample()
+            except Exception:  # noqa: BLE001 - sampling is best-effort
+                pass
 
     # -- assignment helpers -----------------------------------------------
 
@@ -655,6 +735,24 @@ class ManagerService(_BaseService):
                         for sname, addr in self.servers},
         }
 
+    def _sample_cluster(self) -> Dict[str, dict]:
+        """One telemetry tick: every reachable registry, by component
+        name (a down server is skipped, not fatal)."""
+        out: Dict[str, dict] = {"manager": self.metrics.export()}
+        for sname, addr in self.servers:
+            try:
+                out[sname] = self.core.call(addr, wire.METRICS, {})
+            except Exception:  # noqa: BLE001 - down server: skip tick
+                continue
+        return out
+
+    def _telemetry(self, p: dict) -> dict:
+        # take a fresh sample on demand so `repro top` works (and tests
+        # are deterministic) even with the background sampler off
+        if p.get("sample", True):
+            self.telemetry.sample()
+        return self.telemetry.as_dict()
+
     def _server_addr(self, name: str) -> Addr:
         for sname, addr in self.servers:
             if sname == name:
@@ -696,7 +794,11 @@ class ManagerService(_BaseService):
 def _run_service(service: _BaseService, queue, trace_path: Optional[str],
                  host: str, port: int) -> None:
     if trace_path:
-        _trace.enable(_trace.JSONLSink(trace_path))
+        # distinct per-process seeds (derived from the service name)
+        # keep seeded runs reproducible without id collisions between
+        # cooperating processes
+        _trace.seed_ids(zlib.crc32(service.name.encode("utf-8")))
+        _trace.enable(_trace.JSONLSink(trace_path, process=service.name))
     addr = service.start(host=host, port=port)
     queue.put(addr)
     service.wait()
@@ -715,12 +817,14 @@ def _tablet_server_main(name: str, queue, fault_specs: Sequence[str],
 
 def _manager_main(queue, servers: List[Tuple[str, Tuple[str, int]]],
                   fault_specs: Sequence[str], fault_seed: int,
-                  trace_path: Optional[str], host: str, port: int) -> None:
+                  trace_path: Optional[str], host: str, port: int,
+                  telemetry_interval: float = 0.0) -> None:
     faults = (FaultPlan.from_specs(fault_specs, seed=fault_seed)
               if fault_specs else None)
     servers = [(n, (a[0], a[1])) for n, a in servers]
-    _run_service(ManagerService(servers, faults=faults), queue,
-                 trace_path, host, port)
+    _run_service(ManagerService(servers, faults=faults,
+                                telemetry_interval=telemetry_interval),
+                 queue, trace_path, host, port)
 
 
 class _ServiceProcess:
@@ -775,19 +879,22 @@ class ManagerProcess(_ServiceProcess):
     def __init__(self, servers: Sequence[Tuple[str, Addr]],
                  fault_specs: Sequence[str] = (), fault_seed: int = 0,
                  trace_path: Optional[str] = None,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 telemetry_interval: float = 0.0):
         super().__init__()
         self._args = ([(n, tuple(a)) for n, a in servers],
-                      list(fault_specs), fault_seed, trace_path, host, port)
+                      list(fault_specs), fault_seed, trace_path, host, port,
+                      telemetry_interval)
 
     def start(self, start_timeout: float = 30.0) -> Addr:
         ctx = mp.get_context("spawn")
         queue = ctx.Queue()
-        servers, fault_specs, fault_seed, trace_path, host, port = self._args
+        (servers, fault_specs, fault_seed, trace_path, host, port,
+         telemetry_interval) = self._args
         self.process = ctx.Process(
             target=_manager_main,
             args=(queue, servers, fault_specs, fault_seed, trace_path,
-                  host, port),
+                  host, port, telemetry_interval),
             name="repro-manager", daemon=True)
         self.process.start()
         self.addr = tuple(queue.get(timeout=start_timeout))

@@ -2,15 +2,25 @@
 
 Every message is one *frame*::
 
-    !I  body_length          (frame header, 4 bytes, network order)
-    !B  wire version         (body starts here)
-    !B  op-code
-    !I  CRC-32 of payload
-    ...  payload             (UTF-8 JSON)
+    !I   body_length          (frame header, 4 bytes, network order)
+    !B   wire version         (body starts here)
+    !B   op-code
+    !I   CRC-32 of trace context + payload
+    !16s trace id             (trace context block, 24 bytes;
+    !8s  span id               all zeros = no context attached)
+    ...  payload              (UTF-8 JSON)
 
-The CRC turns the fault injector's corrupt-frame fault (and any real
-transport corruption) into a typed :class:`FrameCorruptError` the
-client retries, instead of a JSON parse error deep in a handler.
+Wire version 2 added the fixed 24-byte trace-context block: the raw
+bytes of the sender's :class:`~repro.obs.trace.TraceContext`, so a
+server can parent its handler spans under the originating client span
+(``repro.obs.stitch`` later merges the per-process trace files by
+``trace_id``).  An all-zero block means "no context" — tracing off
+costs no branches on the framing path, only 24 constant bytes.
+
+The CRC covers the trace-context block *and* the payload, and turns
+the fault injector's corrupt-frame fault (and any real transport
+corruption) into a typed :class:`FrameCorruptError` the client
+retries, instead of a JSON parse error deep in a handler.
 Payloads are JSON because every value crossing this wire (cells as
 7-lists, ranges as 2-lists, configs as named-iterator dicts) is
 strings and numbers; the length prefix, not the payload encoding, is
@@ -46,12 +56,19 @@ from repro.dbsim.iterators import MaxCombiner, MinCombiner, SummingCombiner
 from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.server import TableConfig
 
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 #: frame header: body length
 _LEN = struct.Struct("!I")
-#: body header: version, op-code, payload CRC-32
+#: body header: version, op-code, CRC-32 of (trace context + payload)
 _BODY = struct.Struct("!BBI")
+#: trace-context block: 16-byte trace id + 8-byte span id (zeros = none)
+_TC = struct.Struct("!16s8s")
+_TC_NONE = _TC.pack(b"\x00" * 16, b"\x00" * 8)
+
+#: bytes a frame spends on framing (length prefix + body header +
+#: trace-context block); ``frame_len - FRAME_OVERHEAD`` is payload bytes
+FRAME_OVERHEAD = _LEN.size + _BODY.size + _TC.size
 
 #: refuse to allocate for absurd lengths (garbage or version skew)
 MAX_FRAME_BYTES = 64 << 20
@@ -83,6 +100,7 @@ RECOVER = 0x15
 TABLET_INFO = 0x16
 STATUS = 0x17
 SHUTDOWN = 0x18
+TELEMETRY = 0x19
 
 # responses (server → client)
 OK = 0x40
@@ -100,6 +118,7 @@ OP_NAMES = {
     SPLIT_TABLET: "split_tablet", MIGRATE_OUT: "migrate_out",
     MIGRATE_IN: "migrate_in", CRASH: "crash", RECOVER: "recover",
     TABLET_INFO: "tablet_info", STATUS: "status", SHUTDOWN: "shutdown",
+    TELEMETRY: "telemetry",
     OK: "ok", ERROR: "error", CHUNK: "chunk", DONE: "done",
 }
 
@@ -129,32 +148,50 @@ class RpcError(RuntimeError):
 # -- frame I/O --------------------------------------------------------------
 
 
-def encode_frame(code: int, payload: Any) -> bytes:
-    """One wire frame for ``payload`` (any JSON-serializable value)."""
+def encode_frame(code: int, payload: Any,
+                 tc: Optional[Tuple[str, str]] = None) -> bytes:
+    """One wire frame for ``payload`` (any JSON-serializable value).
+
+    ``tc`` is an optional ``(trace_id, span_id)`` hex pair (e.g. a
+    :class:`~repro.obs.trace.TraceContext`) packed into the frame's
+    trace-context block; ``None`` sends the all-zero block."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    return (_LEN.pack(_BODY.size + len(body))
-            + _BODY.pack(WIRE_VERSION, code, zlib.crc32(body)) + body)
+    if tc is None:
+        tcb = _TC_NONE
+    else:
+        tcb = _TC.pack(bytes.fromhex(tc[0]), bytes.fromhex(tc[1]))
+    crc = zlib.crc32(body, zlib.crc32(tcb))
+    return (_LEN.pack(_BODY.size + _TC.size + len(body))
+            + _BODY.pack(WIRE_VERSION, code, crc) + tcb + body)
 
 
-def decode_body(body: bytes) -> Tuple[int, Any]:
+def decode_body(body: bytes) -> Tuple[int, Any, Optional[Tuple[str, str]]]:
     """Parse a frame body (everything after the length prefix) into
-    ``(op_code, payload)``, verifying version and CRC."""
-    if len(body) < _BODY.size:
+    ``(op_code, payload, trace_context)``, verifying version and CRC.
+    ``trace_context`` is ``(trace_id, span_id)`` hex or ``None`` when
+    the sender attached no context."""
+    if len(body) < _BODY.size + _TC.size:
         raise ProtocolError(f"frame body too short: {len(body)} bytes")
     version, code, crc = _BODY.unpack_from(body)
     if version != WIRE_VERSION:
         raise ProtocolError(
             f"wire version {version} != supported {WIRE_VERSION}")
-    payload_bytes = body[_BODY.size:]
-    if zlib.crc32(payload_bytes) != crc:
+    tcb = body[_BODY.size:_BODY.size + _TC.size]
+    payload_bytes = body[_BODY.size + _TC.size:]
+    if zlib.crc32(payload_bytes, zlib.crc32(tcb)) != crc:
         raise FrameCorruptError(
             f"payload CRC mismatch on {OP_NAMES.get(code, hex(code))} frame")
+    if tcb == _TC_NONE:
+        tc: Optional[Tuple[str, str]] = None
+    else:
+        trace_raw, span_raw = _TC.unpack(tcb)
+        tc = (trace_raw.hex(), span_raw.hex())
     try:
         payload = json.loads(payload_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         # CRC passed but JSON didn't: the *sender* framed garbage
         raise ProtocolError(f"undecodable payload: {exc}") from exc
-    return code, payload
+    return code, payload, tc
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -170,23 +207,26 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, code: int, payload: Any) -> int:
+def send_frame(sock: socket.socket, code: int, payload: Any,
+               tc: Optional[Tuple[str, str]] = None) -> int:
     """Write one frame; returns bytes put on the wire."""
-    data = encode_frame(code, payload)
+    data = encode_frame(code, payload, tc=tc)
     sock.sendall(data)
     return len(data)
 
 
-def recv_frame(sock: socket.socket) -> Tuple[int, Any, int]:
-    """Read one frame; returns ``(op_code, payload, bytes_read)``."""
+def recv_frame(sock: socket.socket
+               ) -> Tuple[int, Any, int, Optional[Tuple[str, str]]]:
+    """Read one frame; returns ``(op_code, payload, bytes_read,
+    trace_context)``."""
     header = _recv_exact(sock, _LEN.size)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds "
                             f"{MAX_FRAME_BYTES} byte cap")
     body = _recv_exact(sock, length)
-    code, payload = decode_body(body)
-    return code, payload, _LEN.size + length
+    code, payload, tc = decode_body(body)
+    return code, payload, _LEN.size + length, tc
 
 
 # -- error frames -----------------------------------------------------------

@@ -22,7 +22,9 @@ And the *read* side, consuming what the above produce:
   budgets for dbsim spans);
 * :mod:`repro.obs.expose` — Prometheus text exposition of any
   registry, atomic snapshot files, and :class:`SnapshotDelta` rate
-  computation (``repro monitor``).
+  computation (``repro monitor``);
+* :mod:`repro.obs.stitch` — merge per-process JSONL traces into one
+  cross-process span forest by trace/span identity (``repro stitch``).
 
 See ``docs/OBSERVABILITY.md`` for the span schema, metric naming
 scheme, and the JSONL trace format.
@@ -46,22 +48,33 @@ from repro.obs.metrics import (
     global_registry,
 )
 from repro.obs.slowlog import SlowLog
+from repro.obs.stitch import StitchedTrace, stitch_files, stitch_records
 from repro.obs.trace import (
     InMemorySink,
     JSONLSink,
     NullSink,
     Sink,
     Span,
+    TraceContext,
+    activate,
+    current_context,
     disable,
     enable,
     is_enabled,
+    seed_ids,
     span,
+    start_span,
 )
 
 __all__ = [
     "trace",
     "span",
+    "start_span",
     "Span",
+    "TraceContext",
+    "activate",
+    "current_context",
+    "seed_ids",
     "enable",
     "disable",
     "is_enabled",
@@ -77,6 +90,9 @@ __all__ = [
     "ConvergenceLog",
     "ConvergenceRecord",
     "TraceAnalysis",
+    "StitchedTrace",
+    "stitch_files",
+    "stitch_records",
     "SlowLog",
     "SnapshotDelta",
     "to_prometheus",

@@ -85,7 +85,8 @@ class SpanNode:
     """One span in the reconstructed tree."""
 
     __slots__ = ("name", "start_s", "duration_s", "depth", "parent_name",
-                 "attrs", "opstats", "error", "children")
+                 "attrs", "opstats", "error", "children", "trace_id",
+                 "span_id", "parent_id", "process")
 
     def __init__(self, record: Record):
         self.name = record.get("name", "?")
@@ -96,7 +97,17 @@ class SpanNode:
         self.attrs = record.get("attrs") or {}
         self.opstats = record.get("opstats") or {}
         self.error = record.get("error")
+        self.trace_id = record.get("trace_id") or ""
+        self.span_id = record.get("span_id") or ""
+        self.parent_id = record.get("parent_id")
+        self.process = record.get("process")
         self.children: List["SpanNode"] = []
+
+    @property
+    def label(self) -> str:
+        """Display name, process-qualified for stitched traces so
+        multi-process stacks don't collapse into one another."""
+        return f"{self.process}:{self.name}" if self.process else self.name
 
     @property
     def end_s(self) -> float:
@@ -120,17 +131,32 @@ class SpanNode:
 
 
 def build_tree(records: Iterable[Record]) -> List[SpanNode]:
-    """Reconstruct span trees from emission-ordered records.
+    """Reconstruct span trees from trace records.
 
-    Returns the root spans (depth 0) in emission order; spans whose
-    parent never closed (interrupted runs) are appended as extra roots
-    so no span is silently dropped."""
-    pending: List[SpanNode] = []
-    roots: List[SpanNode] = []
+    Spans carrying ``span_id`` identity (anything traced since ids
+    landed, including stitched multi-process traces) link exactly by
+    ``parent_id``; legacy id-less spans fall back to the name/depth
+    post-order heuristic.  Either way the root spans come back in
+    emission order, with spans whose parent never closed (interrupted
+    runs, cross-file orphans) appended as extra roots so no span is
+    silently dropped."""
+    id_nodes: List[SpanNode] = []
+    legacy: List[SpanNode] = []
     for record in records:
         if record.get("kind") != "span":
             continue
         node = SpanNode(record)
+        (id_nodes if node.span_id else legacy).append(node)
+    roots = _build_tree_legacy(legacy) if legacy else []
+    if id_nodes:
+        roots.extend(_build_tree_ids(id_nodes))
+    return roots
+
+
+def _build_tree_legacy(nodes: List[SpanNode]) -> List[SpanNode]:
+    pending: List[SpanNode] = []
+    roots: List[SpanNode] = []
+    for node in nodes:
         # post-order contract: this span's children are already emitted
         # and still unclaimed — one level deeper, naming this span
         claimed, rest = [], []
@@ -147,6 +173,24 @@ def build_tree(records: Iterable[Record]) -> List[SpanNode]:
         else:
             pending.append(node)
     roots.extend(sorted(pending, key=lambda c: c.start_s))  # orphans
+    return roots
+
+
+def _build_tree_ids(nodes: List[SpanNode]) -> List[SpanNode]:
+    by_id = {node.span_id: node for node in nodes}
+    roots: List[SpanNode] = []
+    orphans: List[SpanNode] = []
+    for node in nodes:  # emission order
+        parent = by_id.get(node.parent_id) if node.parent_id else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        elif node.parent_id:
+            orphans.append(node)  # parent in another (unstitched) file
+        else:
+            roots.append(node)
+    for node in nodes:
+        node.children.sort(key=lambda c: (c.start_s, c.span_id))
+    roots.extend(sorted(orphans, key=lambda c: (c.start_s, c.span_id)))
     return roots
 
 
@@ -226,7 +270,7 @@ def folded_stacks(roots: Iterable[SpanNode],
     weights: Dict[str, int] = {}
 
     def visit(node: SpanNode, prefix: str) -> None:
-        stack = f"{prefix};{node.name}" if prefix else node.name
+        stack = f"{prefix};{node.label}" if prefix else node.label
         value = int(round(node.self_s * scale))
         weights[stack] = weights.get(stack, 0) + value
         for child in node.children:
@@ -235,6 +279,62 @@ def folded_stacks(roots: Iterable[SpanNode],
     for root in roots:
         visit(root, "")
     return [f"{stack} {value}" for stack, value in sorted(weights.items())]
+
+
+def filter_by_trace(records: Iterable[Record],
+                    trace_id: str) -> List[Record]:
+    """Only the span records belonging to one trace (non-span records
+    are dropped — they carry no trace identity)."""
+    return [r for r in records if r.get("trace_id") == trace_id]
+
+
+#: span names the RPC breakdown is anchored on (client-side RPC spans)
+_RPC_CLIENT_NAMES = ("rpc.client.call", "rpc.client.scan")
+
+
+def rpc_breakdown(roots: Iterable[SpanNode]) -> Dict[str, Dict[str, Any]]:
+    """Per-op client/network/queue/service decomposition of RPC time.
+
+    For every client RPC span the wall time splits into:
+
+    * ``server_queue_s`` — the server-side wait between frame arrival
+      and dispatch (from the handler span's ``queue_s`` attribute);
+    * ``server_service_s`` — handler execution until the reply was
+      written (``service_s``);
+    * ``network_s`` — whatever remains of the client span after its
+      server children: wire time, connect time, client retries/backoff;
+    * ``client_s`` — the full client-observed duration.
+
+    Only a *stitched* trace has the server children attached; on a
+    client-only trace everything lands in ``network_s``.  Each row also
+    counts ``server_spans`` (one per attempt that reached a server —
+    more than ``count`` means retries/dedup replays)."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for root in roots:
+        for node in root.walk():
+            if node.name not in _RPC_CLIENT_NAMES:
+                continue
+            op = str(node.attrs.get("op", "?"))
+            servers = [c for c in node.children
+                       if c.name.startswith("rpc.server.")]
+            row = out.get(op)
+            if row is None:
+                row = out[op] = {
+                    "op": op, "count": 0, "server_spans": 0,
+                    "client_s": 0.0, "network_s": 0.0,
+                    "server_queue_s": 0.0, "server_service_s": 0.0,
+                }
+            row["count"] += 1
+            row["server_spans"] += len(servers)
+            row["client_s"] += node.duration_s
+            row["network_s"] += max(
+                node.duration_s - sum(c.duration_s for c in servers), 0.0)
+            row["server_queue_s"] += sum(
+                float(c.attrs.get("queue_s", 0.0)) for c in servers)
+            row["server_service_s"] += sum(
+                float(c.attrs.get("service_s", c.duration_s))
+                for c in servers)
+    return out
 
 
 class TraceAnalysis:
@@ -277,10 +377,17 @@ class TraceAnalysis:
     def folded_stacks(self) -> List[str]:
         return folded_stacks(self.roots)
 
+    def rpc_breakdown(self) -> Dict[str, Dict[str, Any]]:
+        """Per-op client/network/queue/service split (see
+        :func:`rpc_breakdown`); empty for traces without RPC spans."""
+        return rpc_breakdown(self.roots)
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready report: rollups (sorted by total time), the
-        critical path of the longest root, and trace totals."""
-        return {
+        critical path of the longest root, and trace totals.  Traces
+        containing RPC spans gain an ``rpc`` breakdown section (absent
+        otherwise, keeping pre-RPC goldens bit-stable)."""
+        out = {
             "records": self.n_records,
             "spans": self.n_spans,
             "roots": len(self.roots),
@@ -289,3 +396,7 @@ class TraceAnalysis:
                 {"name": n.name, "duration_s": n.duration_s,
                  "self_s": n.self_s} for n in self.critical_path()],
         }
+        rpc = self.rpc_breakdown()
+        if rpc:
+            out["rpc"] = [rpc[op] for op in sorted(rpc)]
+        return out

@@ -40,6 +40,9 @@ from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
 _LABEL_SCHEMES: Tuple[Tuple[str, str], ...] = (
     ("dbsim.table.", "table"),
     ("dbsim.server.", "server"),
+    ("net.server.table.", "table"),
+    ("net.server.op.", "op"),
+    ("net.client.op.", "op"),
 )
 
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -237,28 +240,51 @@ class SnapshotDelta:
     ``before``/``after`` are ``MetricsRegistry.export()`` dicts (plain
     numbers for counters/gauges, dicts for histograms — histogram
     deltas diff ``count`` and ``sum``).  ``seconds`` enables
-    :meth:`rates`."""
+    :meth:`rates`.
+
+    A crash/recover (or plain restart) resets a process's counters, so
+    a raw ``after - before`` can go negative mid-monitor.  By default
+    (``clamp_resets=True``) a negative delta is clamped to zero and the
+    series name lands in :attr:`resets`, so pollers show a flagged
+    restart instead of a nonsense negative rate.  Pass
+    ``clamp_resets=False`` for raw arithmetic — note gauges can
+    legitimately decrease, which is why clamped series are *flagged*
+    rather than dropped."""
 
     def __init__(self, before: Mapping[str, Any],
                  after: Mapping[str, Any],
-                 seconds: Optional[float] = None):
+                 seconds: Optional[float] = None,
+                 clamp_resets: bool = True):
         self.before = dict(before)
         self.after = dict(after)
         self.seconds = seconds
+        self.clamp_resets = clamp_resets
+        #: series whose raw delta went negative (counter reset / series
+        #: vanished between snapshots)
+        self.resets = {name for name in set(self.before) | set(self.after)
+                       if self._raw_delta(name) < 0}
 
-    def delta(self, name: str) -> Number:
+    def _raw_delta(self, name: str) -> Number:
         b, a = self.before.get(name, 0), self.after.get(name, 0)
         if isinstance(a, Mapping) or isinstance(b, Mapping):
             a = a.get("count", 0) if isinstance(a, Mapping) else a
             b = b.get("count", 0) if isinstance(b, Mapping) else b
         return a - b
 
+    def delta(self, name: str) -> Number:
+        d = self._raw_delta(name)
+        if d < 0 and self.clamp_resets:
+            return 0
+        return d
+
     def deltas(self, nonzero: bool = True) -> Dict[str, Number]:
-        """Per-metric change across every name in either export."""
+        """Per-metric change across every name in either export.
+        Reset-flagged series are always included (their clamped delta
+        is 0, but hiding them would hide the restart)."""
         out = {}
         for name in sorted(set(self.before) | set(self.after)):
             d = self.delta(name)
-            if d or not nonzero:
+            if d or not nonzero or name in self.resets:
                 out[name] = d
         return out
 
@@ -274,4 +300,6 @@ class SnapshotDelta:
         if self.seconds:
             out["seconds"] = self.seconds
             out["rates"] = self.rates()
+        if self.resets and self.clamp_resets:
+            out["resets"] = sorted(self.resets)
         return out

@@ -22,6 +22,15 @@ fall through to the uninstrumented code otherwise.  :func:`span` itself
 also checks the flag and returns a shared no-op context, so opportunistic
 call sites need no guard.
 
+Every span carries W3C-trace-context-style identity: a ``trace_id``
+shared by all spans of one logical operation, its own ``span_id``, and
+the ``parent_id`` it hangs under.  The pair ``(trace_id, span_id)`` is
+a :class:`TraceContext` that can cross process boundaries (repro.net
+puts it in every wire frame); a server thread adopts a remote caller's
+context with :func:`activate`, making its handler spans children of the
+originating client span.  :func:`seed_ids` pins the id RNG for
+reproducible runs.
+
 Finished spans are emitted to the active sink as plain dicts
 (``kind="span"``); free-form records (e.g. convergence telemetry) go
 through :func:`emit`.  Three sinks ship: :class:`NullSink`,
@@ -32,9 +41,12 @@ line).  All sinks are thread-safe.
 from __future__ import annotations
 
 import json
+import os
+import random
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple,
+                    Union)
 
 #: Canonical OpStats counter fields (kept in sync with
 #: :class:`repro.dbsim.stats.OpStats`; duplicated here so the tracing
@@ -45,6 +57,64 @@ OPSTATS_FIELDS = ("seeks", "entries_read", "entries_written", "flushes",
 #: Master switch.  Hot paths read this attribute directly — the whole
 #: disabled-tracing overhead is one attribute load and one branch.
 ENABLED = False
+
+
+# -- span identity -----------------------------------------------------------
+#
+# W3C-trace-context-style identifiers: a 16-byte trace id shared by every
+# span in one logical operation (across processes) and an 8-byte span id
+# unique to each span, both lowercase hex.  Ids come from a module-level
+# RNG so tests can pin them with :func:`seed_ids`.
+
+class TraceContext(NamedTuple):
+    """The propagatable identity of a span: ``(trace_id, span_id)``."""
+
+    trace_id: str  # 32 hex chars
+    span_id: str   # 16 hex chars
+
+
+_id_rng = random.Random()
+_id_lock = threading.Lock()
+
+
+def seed_ids(seed: Optional[int] = None) -> None:
+    """Re-seed the id generator (``None`` = fresh OS entropy).  Seeded
+    runs produce reproducible trace/span ids — per process; cooperating
+    processes should use distinct seeds or ids may collide."""
+    with _id_lock:
+        _id_rng.seed(os.urandom(16) if seed is None else seed)
+
+
+def _new_id(nbytes: int) -> str:
+    _id_lock.acquire()
+    try:
+        value = _id_rng.getrandbits(nbytes * 8)
+    finally:
+        _id_lock.release()
+    if value == 0:  # all-zero ids mean "absent" on the wire
+        value = 1
+    return "%032x" % value if nbytes == 16 else "%016x" % value
+
+
+def new_trace_id() -> str:
+    return _new_id(16)
+
+
+def new_span_id() -> str:
+    return _new_id(8)
+
+
+def _new_root_ids() -> Tuple[str, str]:
+    """``(trace_id, span_id)`` for a root span from one lock trip —
+    the per-RPC hot path when no parent context is active."""
+    _id_lock.acquire()
+    try:
+        bits = _id_rng.getrandbits(192)
+    finally:
+        _id_lock.release()
+    trace_bits = bits >> 64
+    span_bits = bits & 0xFFFFFFFFFFFFFFFF
+    return ("%032x" % (trace_bits or 1), "%016x" % (span_bits or 1))
 
 
 # -- sinks -------------------------------------------------------------------
@@ -97,10 +167,16 @@ class JSONLSink(Sink):
 
     Every record is flushed as soon as it is written, so a trace file
     is complete up to the last finished span even when the process is
-    interrupted before ``close()``."""
+    interrupted before ``close()``.
 
-    def __init__(self, path: str):
+    With ``process=`` given, the first write is preceded by a one-line
+    ``kind="header"`` record carrying the process name and pid, so
+    :mod:`repro.obs.stitch` can attribute spans to their originating
+    process without relying on filenames."""
+
+    def __init__(self, path: str, process: Optional[str] = None):
         self.path = path
+        self.process = process
         self._lock = threading.Lock()
         self._fh = None
 
@@ -109,6 +185,10 @@ class JSONLSink(Sink):
         with self._lock:
             if self._fh is None:
                 self._fh = open(self.path, "a", encoding="utf-8")
+                if self.process is not None:
+                    header = {"kind": "header", "process": self.process,
+                              "pid": os.getpid(), "ts": time.time()}
+                    self._fh.write(json.dumps(header, sort_keys=True) + "\n")
             self._fh.write(line + "\n")
             self._fh.flush()
 
@@ -169,36 +249,107 @@ def emit(record: Dict[str, Any]) -> None:
 
 # -- spans -------------------------------------------------------------------
 
-#: per-thread stack of open spans (for parent/depth attribution)
+#: per-thread stack of open spans (for parent/depth attribution) and of
+#: activated remote trace contexts (for cross-process parenting)
 _stack = threading.local()
 
 StatsSource = Union[Any, Callable[[], Any]]
 
 
+def current_context() -> Optional[TraceContext]:
+    """The :class:`TraceContext` new spans on this thread will parent
+    to: the innermost open span, else the innermost :func:`activate`\\ d
+    remote context, else ``None`` (a new root)."""
+    stack = getattr(_stack, "spans", None)
+    if stack:
+        top = stack[-1]
+        return TraceContext(top.trace_id, top.span_id)
+    remote = getattr(_stack, "remote", None)
+    return remote[-1] if remote else None
+
+
+class _Activation:
+    """Context manager installing a remote parent context (see
+    :func:`activate`)."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: Optional[TraceContext]):
+        self.ctx = ctx
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self.ctx is not None:
+            remote = getattr(_stack, "remote", None)
+            if remote is None:
+                remote = _stack.remote = []
+            remote.append(self.ctx)
+        return self.ctx
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.ctx is not None:
+            remote = getattr(_stack, "remote", None)
+            if remote and remote[-1] is self.ctx:
+                remote.pop()
+        return False
+
+
+def activate(ctx: Optional[TraceContext]) -> _Activation:
+    """Make ``ctx`` (a remote caller's identity, e.g. decoded from a
+    wire frame) the parent of spans opened on this thread while the
+    returned context manager is held.  ``activate(None)`` is a no-op,
+    so servers can pass whatever the frame carried."""
+    return _Activation(ctx)
+
+
+_ZERO_OPSTATS = {f: 0 for f in OPSTATS_FIELDS}
+
+
 def _zero_opstats() -> Dict[str, int]:
-    return {f: 0 for f in OPSTATS_FIELDS}
+    return _ZERO_OPSTATS.copy()
 
 
 class Span:
     """One open span; use via :func:`span`, not directly."""
 
     __slots__ = ("name", "attrs", "parent", "depth", "start_s", "duration_s",
-                 "opstats", "error", "_stats_source", "_stats_before",
-                 "_t0")
+                 "opstats", "error", "trace_id", "span_id", "parent_id",
+                 "_stats_source", "_stats_before", "_t0", "_finished",
+                 "_parent_ctx")
 
     def __init__(self, name: str, stats: Optional[StatsSource] = None,
-                 attrs: Optional[Dict[str, Any]] = None):
+                 attrs: Optional[Dict[str, Any]] = None,
+                 parent_ctx: Optional[TraceContext] = None):
         self.name = name
-        self.attrs: Dict[str, Any] = dict(attrs or {})
+        # takes ownership of ``attrs`` — span() always passes a fresh
+        # kwargs dict, and this runs once per RPC on the traced path
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
         self.parent: Optional[str] = None
         self.depth = 0
         self.start_s = 0.0
         self.duration_s = 0.0
-        self.opstats: Dict[str, int] = _zero_opstats()
+        self.opstats: Optional[Dict[str, int]] = None
         self.error: Optional[str] = None
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
         self._stats_source = stats
         self._stats_before = None
         self._t0 = 0.0
+        self._finished = False
+        self._parent_ctx = parent_ctx
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity, suitable for wire propagation."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def _assign_ids(self, parent: Optional[TraceContext]) -> None:
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+            self.span_id = new_span_id()
+        else:
+            self.trace_id, self.span_id = _new_root_ids()
 
     def set(self, **attrs: Any) -> "Span":
         """Attach/overwrite custom attributes on the open span."""
@@ -212,13 +363,61 @@ class Span:
         return src() if callable(src) else src
 
     def __enter__(self) -> "Span":
+        # parent resolution (stack top > explicit parent_ctx > remote
+        # activation > new root) is inlined: this is the RPC hot path
         stack = getattr(_stack, "spans", None)
         if stack is None:
             stack = _stack.spans = []
         if stack:
-            self.parent = stack[-1].name
+            top = stack[-1]
+            self.parent = top.name
             self.depth = len(stack)
+            self.trace_id = top.trace_id
+            self.parent_id = top.span_id
+            self.span_id = new_span_id()
+        else:
+            ctx = self._parent_ctx
+            if ctx is None:
+                remote = getattr(_stack, "remote", None)
+                if remote:
+                    ctx = remote[-1]
+            if ctx is not None:
+                self.trace_id = ctx.trace_id
+                self.parent_id = ctx.span_id
+                self.span_id = new_span_id()
+            else:
+                self.trace_id, self.span_id = _new_root_ids()
         stack.append(self)
+        if self._stats_source is not None:
+            current = self._resolve_stats()
+            if current is not None:
+                self._stats_before = current.snapshot()
+        self.start_s = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if self._stats_before is not None:
+            current = self._resolve_stats()
+            if current is not None:
+                self.opstats = current.delta(self._stats_before).as_dict()
+        if exc is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        stack = getattr(_stack, "spans", None)
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._finished = True
+        # a bare NullSink discards the record anyway — skip building it
+        # (slowlog wraps the sink, so its records still flow)
+        if ENABLED and _sink.__class__ is not NullSink:
+            _sink.emit(self.as_dict())
+        return False  # never swallow exceptions
+
+    def _begin_detached(self, parent: Optional[TraceContext]) -> "Span":
+        """Start without joining this thread's span stack (see
+        :func:`start_span`)."""
+        self._assign_ids(parent)
         current = self._resolve_stats()
         if current is not None:
             self._stats_before = current.snapshot()
@@ -226,19 +425,20 @@ class Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def finish(self, error: Optional[str] = None) -> None:
+        """Close a detached span (idempotent) and emit it."""
+        if self._finished:
+            return
+        self._finished = True
         self.duration_s = time.perf_counter() - self._t0
-        current = self._resolve_stats()
-        if current is not None and self._stats_before is not None:
-            self.opstats = current.delta(self._stats_before).as_dict()
-        if exc is not None:
-            self.error = f"{exc_type.__name__}: {exc}"
-        stack = getattr(_stack, "spans", None)
-        if stack and stack[-1] is self:
-            stack.pop()
-        if ENABLED:
+        if self._stats_before is not None:
+            current = self._resolve_stats()
+            if current is not None:
+                self.opstats = current.delta(self._stats_before).as_dict()
+        if error is not None:
+            self.error = error
+        if ENABLED and _sink.__class__ is not NullSink:
             _sink.emit(self.as_dict())
-        return False  # never swallow exceptions
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -249,7 +449,11 @@ class Span:
             "parent": self.parent,
             "depth": self.depth,
             "attrs": self.attrs,
-            "opstats": self.opstats,
+            "opstats": self.opstats if self.opstats is not None
+            else _zero_opstats(),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
         if self.error is not None:
             out["error"] = self.error
@@ -270,22 +474,48 @@ class _NullSpan:
     def set(self, **attrs: Any) -> "_NullSpan":
         return self
 
+    def finish(self, error: Optional[str] = None) -> None:
+        pass
+
 
 _NULL_SPAN = _NullSpan()
 
 
-def span(name: str, stats: Optional[StatsSource] = None, **attrs: Any):
+def span(name: str, stats: Optional[StatsSource] = None,
+         parent_ctx: Optional[TraceContext] = None, **attrs: Any):
     """Open a nestable span (context manager).
 
     ``stats`` is an optional OpStats-like object (or zero-arg callable
     returning one) snapshotted on entry; the counter *delta* over the
     span's lifetime lands in the emitted record's ``opstats`` field.
+    ``parent_ctx`` explicitly parents the span to a remote caller's
+    identity when this thread has no open span — a cheaper single-span
+    alternative to wrapping in :func:`activate` (which still wins when
+    the thread has no open span *stack* but does have nested work).
     Remaining keyword arguments become span attributes.  When tracing
     is disabled this returns a shared no-op context.
     """
     if not ENABLED:
         return _NULL_SPAN
-    return Span(name, stats=stats, attrs=attrs)
+    return Span(name, stats=stats, attrs=attrs, parent_ctx=parent_ctx)
+
+
+def start_span(name: str, parent: Optional[TraceContext] = None,
+               stats: Optional[StatsSource] = None, **attrs: Any):
+    """Open a *detached* span: one that never joins this thread's span
+    stack and must be closed explicitly with :meth:`Span.finish`.
+
+    Detached spans are for work whose lifetime is not lexically scoped —
+    e.g. a streamed scan segment that stays open across many iterator
+    pulls.  ``parent`` overrides the implicit :func:`current_context`
+    parent.  When tracing is disabled the shared no-op span comes back
+    (its ``finish()`` does nothing).
+    """
+    if not ENABLED:
+        return _NULL_SPAN
+    sp = Span(name, stats=stats, attrs=attrs)
+    return sp._begin_detached(parent if parent is not None
+                              else current_context())
 
 
 def current_span() -> Optional[Span]:

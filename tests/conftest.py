@@ -10,6 +10,13 @@ from repro.schemas.incidence import incidence_unoriented
 from repro.sparse.construct import from_dense
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite golden fixture files from the current run "
+             "instead of comparing against them")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

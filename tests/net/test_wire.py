@@ -16,15 +16,30 @@ from repro.net import wire
 class TestFrames:
     def test_roundtrip(self):
         frame = wire.encode_frame(wire.SCAN, {"table": "t", "n": 3})
-        code, payload = wire.decode_body(frame[4:])
+        code, payload, tc = wire.decode_body(frame[4:])
         assert code == wire.SCAN
         assert payload == {"table": "t", "n": 3}
+        assert tc is None  # no trace context attached
 
     def test_payload_may_be_any_json_value(self):
         for payload in (None, 7, "x", [1, "a", None], {"k": [1, 2]}):
-            code, got = wire.decode_body(
+            code, got, _ = wire.decode_body(
                 wire.encode_frame(wire.OK, payload)[4:])
             assert got == payload
+
+    def test_trace_context_roundtrip(self):
+        tc = ("ab" * 16, "cd" * 8)
+        frame = wire.encode_frame(wire.PING, {"x": 1}, tc=tc)
+        code, payload, got = wire.decode_body(frame[4:])
+        assert (code, payload) == (wire.PING, {"x": 1})
+        assert got == tc
+
+    def test_corrupt_trace_context_detected(self):
+        frame = bytearray(wire.encode_frame(wire.PING, {},
+                                            tc=("ab" * 16, "cd" * 8)))
+        frame[12] ^= 0xFF  # damage the trace-context block
+        with pytest.raises(wire.FrameCorruptError):
+            wire.decode_body(bytes(frame[4:]))
 
     def test_corrupt_payload_detected(self):
         frame = bytearray(wire.encode_frame(wire.OK, {"rows": 10}))
@@ -56,7 +71,7 @@ class TestFrames:
         a, b = socket.socketpair()
         try:
             sent = wire.send_frame(a, wire.PING, {"hello": True})
-            code, payload, nbytes = wire.recv_frame(b)
+            code, payload, nbytes, _ = wire.recv_frame(b)
             assert (code, payload) == (wire.PING, {"hello": True})
             assert nbytes == sent
         finally:
@@ -87,7 +102,7 @@ class TestFrames:
             t.start()
             seen = []
             while True:
-                code, payload, _ = wire.recv_frame(b)
+                code, payload, _, _ = wire.recv_frame(b)
                 if code == wire.DONE:
                     break
                 seen.append(payload["i"])

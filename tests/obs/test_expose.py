@@ -165,10 +165,40 @@ class TestSnapshotDelta:
         before = {"a": 10, "b": 5, "gone": 1}
         after = {"a": 30, "b": 5, "new": 7}
         d = SnapshotDelta(before, after, seconds=2.0)
-        assert d.deltas() == {"a": 20, "gone": -1, "new": 7}
+        # the vanished series clamps to 0 but stays visible, flagged
+        assert d.deltas() == {"a": 20, "gone": 0, "new": 7}
+        assert d.resets == {"gone"}
         assert d.deltas(nonzero=False)["b"] == 0
         assert d.rates()["a"] == pytest.approx(10.0)
         assert d.as_dict()["seconds"] == 2.0
+        assert d.as_dict()["resets"] == ["gone"]
+
+    def test_clamping_can_be_disabled(self):
+        d = SnapshotDelta({"gone": 5}, {}, clamp_resets=False)
+        assert d.delta("gone") == -5
+        assert d.resets == {"gone"}  # still detected, just not clamped
+        assert "resets" not in d.as_dict()
+
+    def test_counter_reset_mid_monitor(self):
+        # a monitored process restarts between polls: counters drop back
+        # toward zero, then climb again.  The restart interval clamps to
+        # zero and is flagged; the next interval is normal arithmetic.
+        samples = [
+            {"net.server.requests": 900},
+            {"net.server.requests": 1000},
+            {"net.server.requests": 12},     # restarted, recounting
+            {"net.server.requests": 40},
+        ]
+        d01 = SnapshotDelta(samples[0], samples[1], seconds=1.0)
+        assert d01.delta("net.server.requests") == 100
+        assert not d01.resets
+        d12 = SnapshotDelta(samples[1], samples[2], seconds=1.0)
+        assert d12.delta("net.server.requests") == 0
+        assert d12.resets == {"net.server.requests"}
+        assert d12.rates()["net.server.requests"] == 0.0  # never negative
+        d23 = SnapshotDelta(samples[2], samples[3], seconds=1.0)
+        assert d23.delta("net.server.requests") == 28
+        assert not d23.resets
 
     def test_histogram_dicts_diff_counts(self):
         before = {"h": {"count": 2, "sum": 1.0}}

@@ -1,0 +1,142 @@
+"""Cross-process trace stitching: process attribution, edge digests,
+orphan detection, and the stitched-file round trip."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze import TraceAnalysis
+from repro.obs.stitch import (StitchedTrace, _process_from_path,
+                              stitch_files, stitch_records)
+
+T1 = "a" * 32
+
+
+def header(process, pid=100):
+    return {"kind": "header", "process": process, "pid": pid, "ts": 1.0}
+
+
+def span(name, span_id, parent_id=None, trace_id=T1, start=0.0, dur=0.01,
+         **attrs):
+    return {"kind": "span", "name": name, "start_s": start,
+            "duration_s": dur, "parent": None, "depth": 0,
+            "attrs": dict(attrs), "opstats": {},
+            "trace_id": trace_id, "span_id": span_id,
+            "parent_id": parent_id}
+
+
+def two_process_sources():
+    """A client call whose server handler span lives in another file."""
+    return {
+        "client": [header("client"),
+                   span("bfs", "c" * 16, start=0.0, dur=0.5),
+                   span("rpc.client.call", "a" * 16, "c" * 16,
+                        start=0.1, dur=0.2, op="scan")],
+        "tserver0": [header("tserver0"),
+                     span("rpc.server.scan", "b" * 16, "a" * 16,
+                          start=0.15, dur=0.1)],
+    }
+
+
+class TestProcessAttribution:
+    def test_header_names_the_process(self):
+        st = stitch_records({"fallback": [header("tserver7"),
+                                          span("x", "1" * 16)]})
+        assert st.processes() == ["tserver7"]
+
+    def test_filename_fallback_without_header(self):
+        st = stitch_records({"tserver0": [span("x", "1" * 16)]})
+        assert st.processes() == ["tserver0"]
+
+    def test_path_stem_parsing(self):
+        assert _process_from_path("/tmp/traces/trace.tserver0.jsonl") == \
+            "tserver0"
+        assert _process_from_path("trace.manager.jsonl") == "manager"
+        assert _process_from_path("weird.log") == "weird.log"
+
+    def test_headers_are_kept_but_not_spans(self):
+        st = stitch_records(two_process_sources())
+        assert len(st.headers) == 2
+        assert all(r["kind"] == "span" for r in st.records)
+
+
+class TestEdges:
+    def test_cross_process_edge_found(self):
+        st = stitch_records(two_process_sources())
+        assert st.cross_process_edges() == [
+            ("client", "rpc.client.call", "tserver0", "rpc.server.scan")]
+        assert st.edge_summary() == [
+            "client/rpc.client.call -> tserver0/rpc.server.scan x1"]
+
+    def test_same_process_edges_excluded(self):
+        st = stitch_records(two_process_sources())
+        # bfs -> rpc.client.call is client-internal, not cross-process
+        assert len(st.cross_process_edges()) == 1
+
+    def test_multiplicity_counted(self):
+        sources = two_process_sources()
+        sources["tserver0"].append(
+            span("rpc.server.scan", "d" * 16, "a" * 16, start=0.3))
+        st = stitch_records(sources)
+        assert st.edge_summary() == [
+            "client/rpc.client.call -> tserver0/rpc.server.scan x2"]
+
+    def test_forest_parents_across_processes(self):
+        st = stitch_records(two_process_sources())
+        [root] = st.forest()
+        assert root.name == "bfs"
+        [call] = root.children
+        [handler] = call.children
+        assert handler.process == "tserver0"
+        assert handler.label == "tserver0:rpc.server.scan"
+
+    def test_orphans_detected(self):
+        sources = two_process_sources()
+        del sources["client"]  # the parent's file went missing
+        st = stitch_records(sources)
+        assert [r["name"] for r in st.orphan_spans()] == \
+            ["rpc.server.scan"]
+        st_full = stitch_records(two_process_sources())
+        assert st_full.orphan_spans() == []
+
+
+class TestDeterminism:
+    def test_order_independent_of_source_order(self):
+        a = stitch_records(two_process_sources())
+        flipped = dict(reversed(list(two_process_sources().items())))
+        b = stitch_records(flipped)
+        assert a.records == b.records
+        assert a.edge_summary() == b.edge_summary()
+
+
+class TestRoundTrip:
+    def test_written_file_restitches_and_analyzes(self, tmp_path):
+        st = stitch_records(two_process_sources())
+        out = tmp_path / "stitched.jsonl"
+        st.write(str(out))
+        lines = [json.loads(line) for line in
+                 out.read_text(encoding="utf-8").splitlines()]
+        assert lines[0]["kind"] == "stitch_header"
+        assert lines[0]["cross_process_edges"] == 1
+
+        ta = TraceAnalysis.load(str(out))
+        assert ta.n_spans == 3
+        rpc = ta.rpc_breakdown()
+        assert rpc["scan"]["server_spans"] == 1
+        assert rpc["scan"]["client_s"] == pytest.approx(0.2)
+
+    def test_stitch_files_uses_filenames(self, tmp_path):
+        for who, records in two_process_sources().items():
+            path = tmp_path / f"trace.{who}.jsonl"
+            path.write_text("".join(json.dumps(r) + "\n" for r in records),
+                            encoding="utf-8")
+        st = stitch_files(sorted(str(p) for p in tmp_path.iterdir()))
+        assert st.processes() == ["client", "tserver0"]
+        assert len(st.cross_process_edges()) == 1
+
+    def test_summary_dict(self):
+        st = stitch_records(two_process_sources())
+        d = st.as_dict()
+        assert d == {"spans": 3, "traces": 1,
+                     "processes": ["client", "tserver0"],
+                     "cross_process_edges": 1, "orphans": 0}
