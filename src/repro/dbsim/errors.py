@@ -13,6 +13,9 @@ simulator (:mod:`repro.dbsim`) and the RPC fabric (:mod:`repro.net`):
   client's tablet-location cache is stale).  Remote clients re-locate
   through the manager and re-route; retrying the same server is
   pointless.
+* :class:`BusyError` — the server's per-connection admission queue is
+  full; the request was rejected *before* running, so a backoff retry
+  is always safe (no dedup interaction).
 """
 
 from __future__ import annotations
@@ -28,3 +31,8 @@ class ServerCrashedError(TabletServerError):
 
 class NotHostedError(TabletServerError):
     """The addressed server hosts no tablet covering the requested rows."""
+
+
+class BusyError(TabletServerError):
+    """The server shed this request at admission (bounded in-flight
+    queue full).  Never applied — retry after backoff."""

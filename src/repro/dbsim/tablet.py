@@ -112,6 +112,16 @@ class Tablet:
             self._sink = self._stats
             self._on_index_seek = None
 
+    def absorb_scan_stats(self, stats: OpStats) -> None:
+        """Fold one finished scan's private OpStats (built with the
+        ``sink=`` argument of :meth:`scan_iterator`) into the tablet's
+        shared block and its metered tee.  The caller serializes calls
+        (the net server holds its service lock)."""
+        if stats.seeks:
+            self._sink.seeks += stats.seeks
+        if stats.entries_read:
+            self._sink.entries_read += stats.entries_read
+
     def _bump_aux(self, name: str, amount: int = 1) -> None:
         """Count an I/O-path event that exists only in the registry
         (bloom/batching counters are not part of the OpStats cost
@@ -297,8 +307,11 @@ class Tablet:
 
     # -- reads ---------------------------------------------------------------
 
-    def _storage_iterator(self, rng: Range) -> SortedKVIterator:
-        children: List[SortedKVIterator] = [self.memtable.iterator(self._sink)]
+    def _storage_iterator(self, rng: Range,
+                          sink=None) -> SortedKVIterator:
+        if sink is None:
+            sink = self._sink
+        children: List[SortedKVIterator] = [self.memtable.iterator(sink)]
         point_row = rng.single_row()
         for run in self.sstables:
             if not run.overlaps(rng):
@@ -311,17 +324,24 @@ class Tablet:
                     self._bump_aux("bloom_hits")
                     continue
                 self._bump_aux("bloom_misses")
-            children.append(run.iterator(self._sink,
+            children.append(run.iterator(sink,
                                          on_index_seek=self._on_index_seek))
         return MergeIterator(children)
 
     def scan_iterator(self, rng: Range,
                       table_iterators: Sequence[IteratorFactory] = (),
-                      scan_iterators: Sequence[IteratorFactory] = ()) -> SortedKVIterator:
+                      scan_iterators: Sequence[IteratorFactory] = (),
+                      sink=None) -> SortedKVIterator:
         """Build the full stack, clipped to this tablet's extent.
 
         The returned iterator is *unseeked*; callers seek it (the
         clipped range is pre-applied by construction here).
+
+        ``sink`` redirects the stack's OpStats counting away from the
+        tablet's shared block: the shared sink's ``+=`` updates are not
+        atomic, so a server running scans concurrently hands each scan
+        a private :class:`OpStats` and folds it back with
+        :meth:`absorb_scan_stats` under its own serialization.
         """
         clipped = self.extent.clip(rng)
         if clipped is None:
@@ -329,7 +349,7 @@ class Tablet:
             from repro.dbsim.iterators import ListIterator
 
             return ListIterator([])
-        stack: SortedKVIterator = self._storage_iterator(clipped)
+        stack: SortedKVIterator = self._storage_iterator(clipped, sink)
         stack = DeleteFilterIterator(stack)
         stack = VersioningIterator(stack, self.max_versions)
         for factory in table_iterators:

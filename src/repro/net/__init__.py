@@ -5,22 +5,31 @@ multi-process client/server system with a real network boundary — the
 part of the Graphulo story (client ↔ tablet-server round trips,
 partial failure, retries) a single process cannot model:
 
-* :mod:`repro.net.wire` — length-prefixed framed protocol: versioned
-  op-codes, CRC-checked JSON payloads, streaming scan chunks, and
-  structured error frames that map server-side exceptions back to the
-  same typed errors the in-process backend raises;
+* :mod:`repro.net.wire` — length-prefixed framed protocol (v3):
+  versioned op-codes, CRC-checked payloads, an 8-byte request id for
+  multiplexing, binary cell-block payloads (:mod:`repro.net.cells`)
+  with optional per-frame zlib on the hot ops, streaming scan chunks,
+  and structured error frames that map server-side exceptions back to
+  the same typed errors the in-process backend raises;
+* :mod:`repro.net.aio` — the asyncio multiplexed core: one persistent
+  connection per server carrying every in-flight RPC, responses
+  routed by request id;
 * :mod:`repro.net.faults` — seeded in-path fault injector (drop /
-  delay / reset / corrupt-frame / slow-drip, per op-code) applied at
-  response time so retries and write dedup are genuinely exercised;
+  delay / reset / corrupt-frame / slow-drip / reorder, per op-code)
+  applied at response time so retries and write dedup are genuinely
+  exercised;
 * :mod:`repro.net.server` — ``TabletServerProcess`` wrapping the
   existing :class:`~repro.dbsim.server.TabletServer` machinery behind
-  a threaded socket listener, plus a manager process owning table
+  a socket listener (per-connection reader + FIFO unary worker +
+  capped scan threads, bounded-queue admission control with typed
+  ``BusyError`` shedding), plus a manager process owning table
   metadata and the locate index;
 * :mod:`repro.net.client` — ``RemoteConnector``: the same API surface
   as :class:`~repro.dbsim.client.Connector` (Scanner / BatchScanner /
-  BatchWriter drop in unchanged) over per-RPC deadlines, exponential
-  backoff with decorrelated jitter, connection pooling, exactly-once
-  write dedup, and automatic re-locate on ``NotHostedError``;
+  BatchWriter drop in unchanged) as a blocking facade over the async
+  core — per-RPC deadlines, exponential backoff with decorrelated
+  jitter, exactly-once write dedup, pipelined BatchWriter flushes,
+  and automatic re-locate on ``NotHostedError``;
 * :mod:`repro.net.cluster` — spawn / stop / crash / recover N server
   processes over localhost (``repro serve`` / ``repro cluster``).
 
@@ -30,11 +39,19 @@ analyze``, the slowlog, and Prometheus exposition work on distributed
 runs unchanged.  See ``docs/NET.md``.
 """
 
-from repro.net.client import RemoteConnector, RemoteInstance, RetryPolicy
+from repro.dbsim.errors import BusyError
+from repro.net.aio import AsyncRpcCore, StreamOverrunError
+from repro.net.client import (
+    RemoteConnector,
+    RemoteInstance,
+    RetryPolicy,
+    WritePipeline,
+)
 from repro.net.cluster import LocalCluster
 from repro.net.faults import FaultPlan, FaultRule
 from repro.net.server import ManagerProcess, TabletServerProcess
 from repro.net.wire import (
+    CellsPayload,
     FrameCorruptError,
     ProtocolError,
     RpcError,
@@ -42,9 +59,14 @@ from repro.net.wire import (
 )
 
 __all__ = [
+    "AsyncRpcCore",
+    "BusyError",
+    "CellsPayload",
     "RemoteConnector",
     "RemoteInstance",
     "RetryPolicy",
+    "StreamOverrunError",
+    "WritePipeline",
     "LocalCluster",
     "FaultPlan",
     "FaultRule",

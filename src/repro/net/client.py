@@ -9,20 +9,36 @@ they only ever touch ``conn.instance`` (the
 ``RemoteInstance`` hands them :class:`TabletProxy` objects wherever the
 local backend hands them :class:`~repro.dbsim.tablet.Tablet`\\ s.
 
+Transport: :class:`RpcCore` is a *blocking facade* over the
+:class:`~repro.net.aio.AsyncRpcCore` multiplexer — one persistent
+wire-v3 connection per server, every in-flight RPC interleaved on it
+by request id, driven by a private event-loop thread that starts
+lazily on first use.  Callers block exactly as before; under the hood
+a scan stream, a pipelined flush and a locate RPC share one socket.
+
 Reliability model:
 
-* every RPC has a socket deadline; transport failures (closed
-  connection, timeout, CRC-corrupt frame) and
-  :class:`~repro.dbsim.errors.ServerCrashedError` retry with
-  exponential backoff + decorrelated jitter (seeded);
-* mutating RPCs carry a ``(session, seq)`` pair the server deduplicates
-  on, so a retried ``write_batch`` whose ack was dropped is applied
-  exactly once;
+* every RPC has a response deadline; transport failures (closed
+  connection, timeout, CRC-corrupt frame),
+  :class:`~repro.dbsim.errors.ServerCrashedError` and
+  :class:`~repro.dbsim.errors.BusyError` (server admission control)
+  retry with exponential backoff + decorrelated jitter (seeded);
+* mutating RPCs carry a ``(session, seq)`` pair the server dedups on
+  over a bounded per-session window, so retried *and pipelined*
+  ``write_batch`` frames whose acks were lost are applied exactly
+  once;
 * :class:`~repro.dbsim.errors.NotHostedError` (a split migrated the
   tablet, or the location cache is stale) triggers a re-``locate``
   through the manager and re-routing — mid-batch for writes, mid-stream
   (with a resume key) for scans;
-* connections are pooled per server address and reused across RPCs.
+* write batches and scan chunks travel as packed binary cell blocks
+  (:mod:`repro.net.cells`), not JSON.
+
+:class:`WritePipeline` overlaps BatchWriter flushes: flush N+1 is
+serialized and sent while flush N's acks are still in flight, one
+flush deep — draining the previous flush before submitting the next
+preserves per-tablet apply order, which is what keeps server-stamped
+timestamps bit-identical to unpipelined writes.
 
 Everything counts into ``net.client.*`` metrics and (when tracing is
 enabled) emits ``rpc.client.*`` spans.
@@ -30,7 +46,9 @@ enabled) emits ``rpc.client.*`` spans.
 
 from __future__ import annotations
 
+import asyncio
 import bisect
+import concurrent.futures
 import os
 import random
 import socket
@@ -40,93 +58,100 @@ from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dbsim.client import Connector
-from repro.dbsim.errors import NotHostedError, ServerCrashedError
+from repro.dbsim.errors import BusyError, NotHostedError, ServerCrashedError
 from repro.dbsim.iterators import Columns, ListIterator, SortedKVIterator, drain
 from repro.dbsim.key import Cell, Range
 from repro.dbsim.server import TableConfig
 from repro.dbsim.stats import OpStats
+from repro.net import cells as _cells
 from repro.net import wire
+from repro.net.aio import (
+    Addr,
+    AsyncRpcCore,
+    RetryPolicy,
+    StreamOverrunError,
+    format_addr,
+    parse_addr,
+)
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry, global_registry
 
-Addr = Tuple[str, int]
+__all__ = [
+    "Addr", "RetryPolicy", "RpcCore", "RemoteInstance", "RemoteConnector",
+    "TabletProxy", "WritePipeline", "format_addr", "parse_addr",
+]
 
 
-def parse_addr(addr: Union[str, Addr]) -> Addr:
-    """``"host:port"`` → ``(host, port)`` (tuples pass through)."""
-    if isinstance(addr, tuple):
-        return addr
-    host, _, port = addr.rpartition(":")
-    if not host or not port.isdigit():
-        raise ValueError(f"bad address {addr!r}: want host:port")
-    return host, int(port)
+class _LoopRunner:
+    """A private asyncio event loop on a daemon thread.
 
-
-def format_addr(addr: Addr) -> str:
-    return f"{addr[0]}:{addr[1]}"
-
-
-class RetryPolicy:
-    """Deadline + backoff knobs for one client.
-
-    ``attempts`` bounds tries per RPC (and per scan-stream reopen);
-    ``deadline`` is the per-RPC socket timeout in seconds.  Backoff is
-    decorrelated jitter: ``sleep = min(cap, uniform(base, 3·prev))`` —
-    retries spread out instead of thundering in lockstep.
+    Started lazily on first use so constructing an ``RpcCore`` stays
+    free (the manager builds one inside every spawned child process);
+    ``run`` blocks the calling thread on a coroutine, ``submit``
+    returns a concurrent future (the write pipeline's overlap).
     """
 
-    def __init__(self, attempts: int = 8, base: float = 0.02,
-                 cap: float = 0.5, deadline: float = 5.0,
-                 connect_timeout: float = 5.0):
-        if attempts < 1:
-            raise ValueError(f"attempts must be >= 1, got {attempts}")
-        self.attempts = attempts
-        self.base = base
-        self.cap = cap
-        self.deadline = deadline
-        self.connect_timeout = connect_timeout
-
-    def next_sleep(self, prev: Optional[float], rng: random.Random) -> float:
-        if prev is None:
-            return self.base
-        return min(self.cap, rng.uniform(self.base, prev * 3))
-
-
-class _ConnPool:
-    """Idle sockets per server address (LIFO: reuse the warmest)."""
-
-    def __init__(self):
-        self._idle: Dict[Addr, List[socket.socket]] = {}
+    def __init__(self, name: str):
+        self._name = name
         self._lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
 
-    def get(self, addr: Addr) -> Optional[socket.socket]:
+    def loop(self) -> asyncio.AbstractEventLoop:
+        loop = self._loop
+        if loop is not None:
+            return loop
         with self._lock:
-            stack = self._idle.get(addr)
-            return stack.pop() if stack else None
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                started = threading.Event()
 
-    def put(self, addr: Addr, sock: socket.socket) -> None:
-        with self._lock:
-            self._idle.setdefault(addr, []).append(sock)
+                def _run() -> None:
+                    asyncio.set_event_loop(loop)
+                    loop.call_soon(started.set)
+                    loop.run_forever()
 
-    def close_all(self) -> None:
+                thread = threading.Thread(target=_run, name=self._name,
+                                          daemon=True)
+                thread.start()
+                started.wait()
+                self._thread = thread
+                self._loop = loop
+            return self._loop
+
+    def submit(self, coro) -> concurrent.futures.Future:
+        return asyncio.run_coroutine_threadsafe(coro, self.loop())
+
+    def run(self, coro):
+        return self.submit(coro).result()
+
+    def stop(self) -> None:
         with self._lock:
-            socks = [s for stack in self._idle.values() for s in stack]
-            self._idle.clear()
-        for sock in socks:
-            try:
-                sock.close()
-            except OSError:
-                pass
+            loop, self._loop = self._loop, None
+            thread, self._thread = self._thread, None
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if not loop.is_running():
+            loop.close()
 
 
 class RpcCore:
-    """Shared RPC machinery: pooling, deadlines, retries, write dedup.
+    """Blocking facade over the async multiplexed core.
 
     One core per :class:`RemoteInstance` (the manager process also owns
     one for server fan-out).  ``mutate`` stamps mutating requests with
     this core's session id and a monotonically increasing sequence
     number; a retry re-sends the *same* sequence number, which is what
     lets the server replay the cached ack instead of re-applying.
+    ``submit_mutate`` is the pipelined variant: the sequence number is
+    stamped at submission (not completion), so in-flight batches keep
+    their order identity.
+
+    Never call the blocking surface from the loop thread (it would
+    deadlock); native-async callers use :attr:`aio` directly.
     """
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
@@ -135,14 +160,16 @@ class RpcCore:
         self.retry = retry if retry is not None else RetryPolicy()
         self.session = os.urandom(8).hex()
         self._rng = random.Random(seed)
-        self._pool = _ConnPool()
         self._seq = 0
         self._lock = threading.Lock()
         self._addr_strs: Dict[Addr, str] = {}
+        self._runner = _LoopRunner("repro-net-loop")
+        self.aio = AsyncRpcCore(self.metrics, self.retry, seed=seed)
         # pre-register the health counters so a metrics export always
         # shows them (at 0), not only after the first retry/timeout
         for name in ("requests", "retries", "timeouts", "relocates",
-                     "errors"):
+                     "errors", "busy_retries", "pool_evictions",
+                     "stale_frames"):
             self.metrics.counter(f"net.client.{name}")
 
     # -- plumbing ---------------------------------------------------------
@@ -152,124 +179,117 @@ class RpcCore:
             self._seq += 1
             return self._seq
 
-    def _connect(self, addr: Addr) -> socket.socket:
-        sock = socket.create_connection(
-            addr, timeout=self.retry.connect_timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+    def _addr_str(self, addr: Addr) -> str:
+        s = self._addr_strs.get(addr)
+        if s is None:
+            s = self._addr_strs[addr] = format_addr(addr)
+        return s
 
-    def checkout(self, addr: Addr) -> socket.socket:
-        sock = self._pool.get(addr)
-        if sock is not None:
-            self.metrics.counter("net.client.pool_hits").inc()
-            return sock
-        self.metrics.counter("net.client.pool_misses").inc()
-        return self._connect(addr)
-
-    def checkin(self, addr: Addr, sock: socket.socket) -> None:
-        self._pool.put(addr, sock)
+    def run(self, coro):
+        """Run a coroutine on this core's loop thread and block."""
+        return self._runner.run(coro)
 
     def close(self) -> None:
-        self._pool.close_all()
+        if self._runner._loop is not None:
+            try:
+                self._runner.run(self.aio.aclose())
+            except Exception:  # noqa: BLE001 - teardown is best-effort
+                pass
+        self._runner.stop()
 
     # -- RPCs -------------------------------------------------------------
 
-    def mutate(self, addr: Addr, op: int, payload: dict) -> dict:
-        """A mutating RPC: stamped for exactly-once dedup, then sent
-        through the same retry loop as ``call``."""
+    def _stamp(self, payload):
+        """Copy ``payload`` with this core's session + a fresh seq (the
+        dedup identity), for dict and binary-cell payloads alike."""
+        if isinstance(payload, wire.CellsPayload):
+            meta = dict(payload.meta)
+            meta["session"] = self.session
+            meta["seq"] = self.next_seq()
+            return wire.CellsPayload(meta, payload.block)
         stamped = dict(payload)
         stamped["session"] = self.session
         stamped["seq"] = self.next_seq()
-        return self.call(addr, op, stamped)
+        return stamped
 
-    def call(self, addr: Addr, op: int, payload: dict) -> dict:
+    def mutate(self, addr: Addr, op: int, payload,
+               compress: bool = False) -> dict:
+        """A mutating RPC: stamped for exactly-once dedup, then sent
+        through the same retry loop as ``call``."""
+        return self.call(addr, op, self._stamp(payload), compress=compress)
+
+    def call(self, addr: Addr, op: int, payload,
+             compress: bool = False) -> dict:
         if not _trace.ENABLED:
-            return self._call(addr, op, payload)
-        addr_str = self._addr_strs.get(addr)
-        if addr_str is None:
-            addr_str = self._addr_strs[addr] = format_addr(addr)
+            return self._runner.run(
+                self.aio.call(addr, op, payload, compress=compress))
         with _trace.span("rpc.client.call", op=wire.OP_NAMES.get(op, op),
-                         server=addr_str) as sp:
+                         server=self._addr_str(addr)) as sp:
             # every attempt (retries included) carries this span's
             # identity, so even a server span reached on the Nth try
             # parents under the one client call
-            result = self._call(addr, op, payload, tc=sp.context)
+            result = self._runner.run(
+                self.aio.call(addr, op, payload, tc=sp.context,
+                              compress=compress))
             sp.attrs["session"] = self.session
             return result
 
-    def _call(self, addr: Addr, op: int, payload: dict,
-              tc: Optional[_trace.TraceContext] = None) -> dict:
-        counters = self.metrics.counter
-        hist = self.metrics.histogram("net.client.rpc_seconds")
-        opname = wire.OP_NAMES.get(op, hex(op))
-        sleep: Optional[float] = None
-        last_exc: Optional[BaseException] = None
-        for attempt in range(self.retry.attempts):
-            if attempt:
-                sleep = self.retry.next_sleep(sleep, self._rng)
-                time.sleep(sleep)
-                counters("net.client.retries").inc()
-            counters("net.client.requests").inc()
-            t0 = time.perf_counter()
-            sock: Optional[socket.socket] = None
-            try:
-                sock = self.checkout(addr)
-                sock.settimeout(self.retry.deadline)
-                nsent = wire.send_frame(sock, op, payload, tc=tc)
-                counters("net.client.bytes_sent").inc(nsent)
-                counters(f"net.client.op.{opname}.bytes_sent").inc(nsent)
-                code, resp, nread, _ = wire.recv_frame(sock)
-                counters("net.client.bytes_received").inc(nread)
-                counters(f"net.client.op.{opname}.bytes_received").inc(nread)
-            except wire.FrameCorruptError as exc:
-                self._scrap(sock)
-                last_exc = exc
-                continue
-            except (socket.timeout, TimeoutError) as exc:
-                counters("net.client.timeouts").inc()
-                self._scrap(sock)
-                last_exc = exc
-                continue
-            except (wire.ProtocolError, OSError) as exc:
-                # includes ConnectionClosedError / refused / reset
-                self._scrap(sock)
-                if isinstance(exc, wire.ProtocolError):
-                    raise  # version skew / garbage framing: not transient
-                last_exc = exc
-                continue
-            hist.observe(time.perf_counter() - t0)
-            if code == wire.OK:
-                self.checkin(addr, sock)
-                return resp
-            if code == wire.ERROR:
-                self.checkin(addr, sock)  # the connection itself is fine
-                try:
-                    wire.raise_error(resp)
-                except ServerCrashedError as exc:
-                    last_exc = exc  # server will come back: retry
-                    continue
-                except NotHostedError:
-                    counters("net.client.relocates").inc()
-                    raise  # caller re-locates and re-routes
-                except Exception:
-                    counters("net.client.errors").inc()
-                    raise
-            self._scrap(sock)
-            raise wire.ProtocolError(
-                f"unexpected response op-code {code:#x} to "
-                f"{wire.OP_NAMES.get(op, op)}")
-        counters("net.client.errors").inc()
-        raise wire.RpcError(
-            f"{wire.OP_NAMES.get(op, op)} to {format_addr(addr)} failed "
-            f"after {self.retry.attempts} attempts") from last_exc
+    def submit_mutate(self, addr: Addr, op: int, payload,
+                      compress: bool = False) -> concurrent.futures.Future:
+        """Pipelined ``mutate``: stamp now, send now, ack later.  The
+        returned future resolves to the response dict; the caller owns
+        draining (and thereby per-tablet ordering)."""
+        stamped = self._stamp(payload)
+        sp = None
+        tc = None
+        if _trace.ENABLED:
+            # detached span: the ack lands on the loop thread, not in
+            # this thread's span stack
+            sp = _trace.start_span(
+                "rpc.client.call", op=wire.OP_NAMES.get(op, op),
+                server=self._addr_str(addr), session=self.session)
+            tc = sp.context
+        fut = self._runner.submit(
+            self.aio.call(addr, op, stamped, tc=tc, compress=compress))
+        if sp is not None:
+            fut.add_done_callback(lambda _f: sp.finish())
+        return fut
 
-    @staticmethod
-    def _scrap(sock: Optional[socket.socket]) -> None:
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
+    # -- scan streams -----------------------------------------------------
+
+    def open_stream(self, addr: Addr, payload: dict, tc=None) -> "_SyncStream":
+        stream = self._runner.run(
+            self.aio.open_stream(addr, wire.SCAN, payload, tc=tc))
+        return _SyncStream(self, addr, stream)
+
+
+class _SyncStream:
+    """Blocking view of one multiplexed scan stream."""
+
+    __slots__ = ("_core", "_addr", "_stream")
+
+    def __init__(self, core: RpcCore, addr: Addr, stream):
+        self._core = core
+        self._addr = addr
+        self._stream = stream
+
+    def recv(self, timeout: float) -> Tuple[int, object, int]:
+        """Next ``(code, payload, nread)`` frame; raises the stream's
+        failure (overrun, corrupt, closed) or ``TimeoutError``."""
+        return self._core.run(self._core.aio.stream_get(
+            self._stream, timeout))
+
+    @property
+    def ended(self) -> bool:
+        return self._stream.ended
+
+    def cancel(self) -> None:
+        """Abandon the stream; tells the server to stop producing."""
+        try:
+            self._core.run(self._core.aio.cancel_stream(
+                self._addr, self._stream))
+        except Exception:  # noqa: BLE001 - cancellation is best-effort
+            pass
 
 
 # -- scan streaming ---------------------------------------------------------
@@ -290,13 +310,14 @@ class _RemoteScanIterator(SortedKVIterator):
     """The raw server-side cell stream behind a remote scan stack.
 
     Presents the standard seek/has_top/top/advance contract over a
-    sequence of CHUNK frames.  The stream is resumable: every consumed
-    cell updates the resume key, and any mid-stream failure (timeout,
-    reset, corrupt frame, server crash) reopens the stream asking the
-    server to skip everything at or before that key.  A
-    ``NotHostedError`` instead re-locates through the manager and
-    re-plans the remaining row-range over the new tablet layout — which
-    is how a scan survives a split or migration that happens under it.
+    sequence of binary CHUNK frames.  The stream is resumable: every
+    consumed cell updates the resume key, and any mid-stream failure
+    (timeout, reset, corrupt frame, server crash, local queue overrun)
+    reopens the stream asking the server to skip everything at or
+    before that key.  A ``NotHostedError`` instead re-locates through
+    the manager and re-plans the remaining row-range over the new
+    tablet layout — which is how a scan survives a split or migration
+    that happens under it.
 
     Client-side scan iterators (visibility filter, user iterators) are
     layered on top by :meth:`TabletProxy.scan_iterator`; the cells seen
@@ -315,15 +336,17 @@ class _RemoteScanIterator(SortedKVIterator):
         self._buffer: deque = deque()
         self._resume: Optional[list] = None
         self._finished = True
-        self._sock: Optional[socket.socket] = None
+        self._stream: Optional[_SyncStream] = None
+        self._opened = False  # has this iterator ever opened a stream?
         self._span = None  # detached rpc.client.scan span per open stream
 
     # -- iterator contract ------------------------------------------------
 
     def seek(self, rng: Range, columns: Columns = None) -> None:
-        self._close(reusable=False)
+        self._close()
         self._buffer.clear()
         self._resume = None
+        self._opened = False  # a fresh seek is not a resume
         self._columns = list(columns) if columns else None
         self._effective = self._clip.clip(rng)
         self._finished = self._effective is None
@@ -352,8 +375,6 @@ class _RemoteScanIterator(SortedKVIterator):
     def _open(self) -> None:
         seg = self._segments[0]
         core = self._inst.core
-        sock = core.checkout(seg.addr)
-        sock.settimeout(core.retry.deadline)
         payload = {
             "table": self._table,
             "tablet_id": seg.tablet_id,
@@ -361,6 +382,7 @@ class _RemoteScanIterator(SortedKVIterator):
             "columns": ([list(c) for c in self._columns]
                         if self._columns else None),
             "resume": self._resume,
+            "compress": self._inst.compress,
         }
         tc = None
         if _trace.ENABLED:
@@ -371,11 +393,8 @@ class _RemoteScanIterator(SortedKVIterator):
                 "rpc.client.scan", op="scan", table=self._table,
                 server=format_addr(seg.addr))
             tc = self._span.context
-        core.metrics.counter("net.client.requests").inc()
-        nsent = wire.send_frame(sock, wire.SCAN, payload, tc=tc)
-        core.metrics.counter("net.client.bytes_sent").inc(nsent)
-        core.metrics.counter("net.client.op.scan.bytes_sent").inc(nsent)
-        self._sock = sock
+        self._stream = core.open_stream(seg.addr, payload, tc=tc)
+        self._opened = True
 
     def _pump(self) -> None:
         """Receive frames until the buffer has cells, the current
@@ -387,61 +406,72 @@ class _RemoteScanIterator(SortedKVIterator):
         while not self._buffer and not self._finished:
             seg = self._segments[0]
             try:
-                if self._sock is None:
+                if self._stream is None:
                     if attempts:
                         sleep = core.retry.next_sleep(sleep, core._rng)
                         time.sleep(sleep)
                         counters("net.client.retries").inc()
+                    if self._opened:
+                        # any reopen mid-scan is a resume, even when
+                        # chunk progress reset the attempt budget
                         counters("net.client.scan_resumes").inc()
                     attempts += 1
                     self._open()
-                code, payload, nread, _ = wire.recv_frame(self._sock)
-                counters("net.client.bytes_received").inc(nread)
-                counters("net.client.op.scan.bytes_received").inc(nread)
+                code, payload, nread = self._stream.recv(core.retry.deadline)
+            except StreamOverrunError:
+                # the reader shed this stream rather than stall the
+                # connection; everything delivered so far is good —
+                # resume just past it
+                counters("net.client.stream_overruns").inc()
+                self._bail(counters, attempts)
+                continue
             except wire.FrameCorruptError:
                 self._bail(counters, attempts)
                 continue
-            except (socket.timeout, TimeoutError):
+            except (asyncio.TimeoutError, socket.timeout, TimeoutError):
                 counters("net.client.timeouts").inc()
                 self._bail(counters, attempts)
                 continue
             except (wire.ProtocolError, OSError) as exc:
-                self._close(reusable=False)
+                self._close()
                 if isinstance(exc, wire.ProtocolError):
                     raise
                 self._check_budget(counters, attempts, exc)
                 continue
             if code == wire.CHUNK:
                 attempts = 0  # progress: reset the retry budget
-                self._buffer.extend(wire.wire_to_cell(c) for c in payload)
+                self._buffer.extend(_cells.block_to_cells(payload.block))
                 counters("net.client.scan_chunks").inc()
                 if self._span is not None:
                     attrs = self._span.attrs
                     attrs["chunks"] = attrs.get("chunks", 0) + 1
                     attrs["bytes"] = attrs.get("bytes", 0) + nread
             elif code == wire.DONE:
-                self._close(reusable=True)
+                self._close()
                 self._segments.pop(0)
                 if not self._segments:
                     self._finished = True
                 attempts = 0
             elif code == wire.ERROR:
-                self._close(reusable=False)
+                self._close()
                 try:
                     wire.raise_error(payload)
                 except ServerCrashedError as exc:
+                    self._check_budget(counters, attempts, exc)
+                except BusyError as exc:
+                    counters("net.client.busy_retries").inc()
                     self._check_budget(counters, attempts, exc)
                 except NotHostedError:
                     counters("net.client.relocates").inc()
                     self._replan(seg)
                     attempts = 0
             else:
-                self._close(reusable=False)
+                self._close()
                 raise wire.ProtocolError(
                     f"unexpected frame {code:#x} in scan stream")
 
     def _bail(self, counters, attempts: int) -> None:
-        self._close(reusable=False)
+        self._close()
         self._check_budget(counters, attempts,
                            wire.RpcError("scan stream interrupted"))
 
@@ -467,24 +497,17 @@ class _RemoteScanIterator(SortedKVIterator):
         if not self._segments:
             self._finished = True
 
-    def _close(self, reusable: bool) -> None:
+    def _close(self) -> None:
         span, self._span = self._span, None
         if span is not None:
             span.finish()
-        sock, self._sock = self._sock, None
-        if sock is None:
-            return
-        if reusable and self._segments:
-            self._inst.core.checkin(self._segments[0].addr, sock)
-        else:
-            try:
-                sock.close()
-            except OSError:
-                pass
+        stream, self._stream = self._stream, None
+        if stream is not None and not stream.ended:
+            stream.cancel()
 
-    def __del__(self):  # abandoned mid-stream: don't leak the socket
+    def __del__(self):  # abandoned mid-stream: stop the server's work
         try:
-            self._close(reusable=False)
+            self._close()
         except Exception:
             pass
 
@@ -538,26 +561,42 @@ class TabletProxy:
 
     # -- writes -----------------------------------------------------------
 
+    def _batch_payload(self, muts: List[tuple]) -> wire.CellsPayload:
+        return wire.CellsPayload(
+            {"table": self._table, "tablet_id": self.tablet_id},
+            _cells.encode_block(muts))
+
     def write_raw_batch(self, mutations) -> int:
-        muts = [list(m) for m in mutations]
+        muts = [tuple(m) for m in mutations]
         if not muts:
             return 0
         try:
-            resp = self._inst.core.mutate(self.addr, wire.WRITE_BATCH, {
-                "table": self._table, "tablet_id": self.tablet_id,
-                "mutations": muts})
+            resp = self._inst.core.mutate(
+                self.addr, wire.WRITE_BATCH, self._batch_payload(muts),
+                compress=self._inst.compress)
             return resp["applied"]
         except NotHostedError:
             return self._rebin(muts)
 
-    def _rebin(self, muts: List[list]) -> int:
+    def submit_raw_batch(self, mutations) -> Tuple[
+            concurrent.futures.Future, List[tuple]]:
+        """Pipelined ``write_raw_batch``: the batch is stamped and sent
+        now; the returned future resolves to the ack.  The caller must
+        drain it (``WritePipeline`` owns the ordering discipline)."""
+        muts = [tuple(m) for m in mutations]
+        fut = self._inst.core.submit_mutate(
+            self.addr, wire.WRITE_BATCH, self._batch_payload(muts),
+            compress=self._inst.compress)
+        return fut, muts
+
+    def _rebin(self, muts: List[tuple]) -> int:
         """This tablet split (or migrated) under the writer: re-route
         its share of the batch through a fresh locate index, preserving
         mutation order per new owner (timestamps stay bit-identical —
         order within each owning tablet is what the clock stamps)."""
         self._inst.invalidate(self._table)
         starts, tablets = self._inst.locate_index(self._table)
-        groups: List[Tuple[TabletProxy, List[list]]] = []
+        groups: List[Tuple[TabletProxy, List[tuple]]] = []
         by_tablet: dict = {}
         for mut in muts:
             idx = bisect.bisect_right(starts, mut[0]) - 1
@@ -582,6 +621,63 @@ class TabletProxy:
 
     def entry_estimate(self) -> int:
         return self.info()["entries"]
+
+
+class WritePipeline:
+    """One-flush-deep pipelined writes for a BatchWriter.
+
+    ``submit(groups)`` first drains the *previous* flush's in-flight
+    acks, then fires the new flush's per-tablet batches concurrently.
+    The one-deep discipline is the correctness lever: a tablet's batch
+    from flush N is acked before its batch from flush N+1 is sent, so
+    the server's per-tablet logical clock stamps timestamps in exactly
+    the order an unpipelined writer would (bit-identical scans).
+    Within one flush, batches go to *distinct* tablets, whose clocks
+    are independent — those overlap freely.
+
+    A batch that lands on a split tablet surfaces ``NotHostedError``
+    at drain time and is re-binned synchronously through a fresh
+    locate index, preserving exactly-once (the failed batch applied
+    nothing server-side).
+    """
+
+    def __init__(self, inst: "RemoteInstance"):
+        self._inst = inst
+        #: (proxy, muts, future) triples of the flush in flight
+        self._inflight: List[Tuple[TabletProxy, List[tuple],
+                                   concurrent.futures.Future]] = []
+
+    def submit(self, groups) -> None:
+        self.drain()
+        inflight = self._inflight
+        for proxy, muts in groups:
+            fut, kept = proxy.submit_raw_batch(muts)
+            inflight.append((proxy, kept, fut))
+
+    def drain(self) -> int:
+        """Block until every in-flight batch is acked (re-binning
+        relocated ones); raises the first hard failure."""
+        inflight, self._inflight = self._inflight, []
+        applied = 0
+        first_exc: Optional[BaseException] = None
+        for proxy, muts, fut in inflight:
+            try:
+                applied += fut.result()["applied"]
+            except NotHostedError:
+                try:
+                    applied += proxy._rebin(muts)
+                except Exception as exc:  # noqa: BLE001 - keep draining
+                    if first_exc is None:
+                        first_exc = exc
+            except Exception as exc:  # noqa: BLE001 - keep draining
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+        return applied
+
+    def close(self) -> None:
+        self.drain()
 
 
 class _RunInfo:
@@ -614,13 +710,19 @@ class RemoteInstance:
     """The :class:`~repro.dbsim.backend.ConnectorBackend` that speaks
     the wire protocol: table ops go to the manager; the data path goes
     straight to tablet servers through cached :class:`TabletProxy`
-    routing (one ``locate`` RPC per table until something moves)."""
+    routing (one ``locate`` RPC per table until something moves).
+
+    ``compress=True`` turns on per-frame zlib for cell payloads (scan
+    chunks and write batches) — worth it over real networks, usually
+    not over loopback."""
 
     def __init__(self, manager_addr: Union[str, Addr],
                  metrics: Optional[MetricsRegistry] = None,
-                 retry: Optional[RetryPolicy] = None, seed: int = 0):
+                 retry: Optional[RetryPolicy] = None, seed: int = 0,
+                 compress: bool = False):
         self.manager_addr = parse_addr(manager_addr)
         self.core = RpcCore(metrics=metrics, retry=retry, seed=seed)
+        self.compress = compress
         self._cache: Dict[str, _TableCache] = {}
 
     # -- locate cache -----------------------------------------------------
@@ -672,6 +774,14 @@ class RemoteInstance:
 
     def config(self, name: str) -> TableConfig:
         return self._table(name).config
+
+    # -- writes -----------------------------------------------------------
+
+    def write_pipeline(self) -> WritePipeline:
+        """A fresh pipelined-flush handle (BatchWriter plugs in here
+        via duck typing — the local backend has no such method, so
+        local writers stay sequential)."""
+        return WritePipeline(self)
 
     # -- tablet location --------------------------------------------------
 
@@ -773,12 +883,13 @@ class RemoteConnector(Connector):
 
     def __init__(self, manager_addr: Union[str, Addr, RemoteInstance],
                  metrics: Optional[MetricsRegistry] = None,
-                 retry: Optional[RetryPolicy] = None, seed: int = 0):
+                 retry: Optional[RetryPolicy] = None, seed: int = 0,
+                 compress: bool = False):
         if isinstance(manager_addr, RemoteInstance):
             inst = manager_addr
         else:
             inst = RemoteInstance(manager_addr, metrics=metrics,
-                                  retry=retry, seed=seed)
+                                  retry=retry, seed=seed, compress=compress)
         super().__init__(inst)
 
     def close(self) -> None:

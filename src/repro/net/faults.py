@@ -16,7 +16,18 @@ delay      sleep ``param`` seconds before responding (seconds)
 reset      close the connection abruptly before responding (—)
 corrupt    flip one payload byte so the client's CRC check fails (—)
 slowdrip   trickle the response ``param`` bytes at a time (chunk size)
+reorder    hold this response; deliver it *after* the connection's next
+           outbound response (—)
 ========== ==============================================================
+
+``reorder`` exists to attack the multiplexer: on a wire-v3 connection
+responses for different request ids may legally arrive in any order,
+so the client must route by id, never by arrival.  The server's send
+path applies it only to *unary* responses (``OK``/``ERROR``) — frames
+inside one scan's ``CHUNK`` stream are ordered by contract and are
+never swapped.  :func:`apply_fault` itself delivers a reorder frame
+normally (the swap needs a second frame and lives in the server's
+per-connection sender).
 
 Rules parse from compact spec strings (CLI ``--fault``, cluster
 configs)::
@@ -34,13 +45,14 @@ metrics registry.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.net import wire
 
-_KINDS = ("drop", "delay", "reset", "corrupt", "slowdrip")
+_KINDS = ("drop", "delay", "reset", "corrupt", "slowdrip", "reorder")
 #: kinds that replace the response entirely (vs. decorate its delivery)
 TERMINAL_KINDS = ("drop", "reset")
 
@@ -94,6 +106,9 @@ class FaultPlan:
         self.rules: Tuple[FaultRule, ...] = tuple(rules)
         self.seed = seed
         self._rng = random.Random(seed)
+        # concurrent responder threads share one plan; serialize draws
+        # so the RNG stream stays a function of the draw *sequence*
+        self._lock = threading.Lock()
 
     @classmethod
     def from_specs(cls, specs: Sequence[str], seed: int = 0) -> "FaultPlan":
@@ -110,12 +125,13 @@ class FaultPlan:
         sequence — not on which earlier faults happened to fire.
         """
         hit: Optional[FaultRule] = None
-        for rule in self.rules:
-            if rule.op is not None and rule.op != op:
-                continue
-            fired = self._rng.random() < rule.rate
-            if fired and hit is None:
-                hit = rule
+        with self._lock:
+            for rule in self.rules:
+                if rule.op is not None and rule.op != op:
+                    continue
+                fired = self._rng.random() < rule.rate
+                if fired and hit is None:
+                    hit = rule
         return hit
 
 
@@ -163,5 +179,11 @@ def apply_fault(rule: FaultRule, sock, frame: bytes,
         for i in range(0, len(frame), step):
             sock.sendall(frame[i:i + step])
             time.sleep(0.001)
+        return True
+    if rule.kind == "reorder":
+        # the swap itself lives in the server's per-connection sender
+        # (it needs a second frame to swap with); standalone delivery
+        # degrades to a normal send
+        sock.sendall(frame)
         return True
     raise AssertionError(f"unhandled fault kind {rule.kind!r}")

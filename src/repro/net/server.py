@@ -17,18 +17,32 @@ Two services, each a threaded TCP listener speaking
   to its round-robin home — which is what makes ``NotHostedError`` a
   real event remote clients must handle.
 
-Concurrency model: each connection gets a thread; every non-scan
-handler runs under one per-service lock (a crash can never interleave
-halfway through a write batch), while scan *streaming* happens outside
-the lock over the stack's immutable snapshots — a concurrent crash
-surfaces mid-stream as a typed error frame via the tablet's crash
-guard.
+Concurrency model (wire v3, multiplexed): each connection gets a
+*reader* thread that only parses frames and routes them — unary
+requests onto a bounded FIFO queue drained by one worker thread
+(arrival order preserved, which is what keeps per-tablet logical-clock
+timestamps deterministic under pipelined writes), streaming scans onto
+short-lived per-stream threads (capped per connection).  Admission
+control is the bound itself: a full unary queue or the scan cap
+rejects the request *before it runs* with a typed ``BusyError`` frame
+the client retries after backoff.  Every response carries the request
+id of the frame that opened it, so unary acks and several scans'
+``CHUNK`` streams interleave freely on one socket.
+
+Every non-scan handler still runs under one per-service lock (a crash
+can never interleave halfway through a write batch), while scan
+*streaming* happens outside the lock over the stack's immutable
+snapshots — a concurrent crash surfaces mid-stream as a typed error
+frame via the tablet's crash guard.
 
 Exactly-once writes: mutating requests carry ``(session, seq)``; the
-service keeps the last sequence number and cached response per session
-and replays the cached ack when a retry of the same sequence arrives
-(the dedup table survives a simulated crash, as a real server's would
-via its write-ahead log).
+service keeps a bounded per-session window of sequence number →
+cached response and replays the cached ack when a retry of an
+already-applied sequence arrives.  A *window* (not just the last seq)
+because a pipelining client has several sequence numbers in flight at
+once — any of them may need replay after a dropped ack.  The dedup
+table survives a simulated crash, as a real server's would via its
+write-ahead log.
 
 :class:`TabletServerProcess` / :class:`ManagerProcess` run a service in
 a child process via the multiprocessing ``spawn`` context (thread-safe,
@@ -39,18 +53,21 @@ queue.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue
 import socket
 import threading
 import time
 import zlib
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.dbsim.errors import NotHostedError
-from repro.dbsim.key import Key, Range
+from repro.dbsim.errors import BusyError, NotHostedError
+from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.server import TableConfig, TabletServer
 from repro.dbsim.sstable import SSTable
 from repro.dbsim.stats import OpStats
 from repro.dbsim.tablet import Tablet
+from repro.net import cells
 from repro.net import wire
 from repro.net.client import (
     Addr,
@@ -64,8 +81,20 @@ from repro.net.telemetry import ClusterTelemetry
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 
-#: cells per CHUNK frame on a streamed scan
-SCAN_CHUNK_CELLS = 128
+#: cells per CHUNK frame on a streamed scan (bigger frames amortize
+#: framing + syscalls now that chunks are packed binary, not JSON)
+SCAN_CHUNK_CELLS = 2048
+
+#: admission control: unary requests queued per connection before the
+#: server sheds with BusyError
+UNARY_QUEUE_DEPTH = 128
+
+#: admission control: concurrent scan streams per connection
+MAX_CONN_SCANS = 16
+
+#: (seq → cached ack) entries kept per client session for exactly-once
+#: replay; must exceed any client's in-flight mutation count
+DEDUP_WINDOW = 256
 
 #: handler span names, precomputed per op-code (per-request f-strings
 #: are measurable on the traced RPC hot path)
@@ -73,9 +102,32 @@ _SERVER_SPAN_NAMES = {code: f"rpc.server.{name}"
                       for code, name in wire.OP_NAMES.items()}
 
 
+class _ConnState:
+    """Shared per-connection state: the socket, its send lock (unary
+    worker and scan threads interleave whole frames, never bytes), the
+    admission bounds, and the reorder fault's held-frame slot."""
+
+    __slots__ = ("sock", "send_lock", "unary", "scans", "scan_lock",
+                 "cancelled", "held", "alive")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        #: bounded FIFO of unary requests → the connection's worker
+        self.unary: "queue.Queue" = queue.Queue(maxsize=UNARY_QUEUE_DEPTH)
+        self.scans = 0
+        self.scan_lock = threading.Lock()
+        #: request ids whose scans the client cancelled (CANCEL_SCAN)
+        self.cancelled: set = set()
+        #: reorder fault: one (frame, op) response awaiting the swap
+        self.held: Optional[Tuple[bytes, int]] = None
+        self.alive = True
+
+
 class _BaseService:
-    """Framed-RPC listener: accept loop, per-connection dispatch,
-    response-time fault injection, and session/seq write dedup."""
+    """Framed-RPC listener: accept loop, per-connection multiplexed
+    dispatch, admission control, response-time fault injection, and
+    windowed session/seq write dedup."""
 
     def __init__(self, name: str, faults: Optional[FaultPlan] = None,
                  metrics: Optional[MetricsRegistry] = None):
@@ -86,8 +138,9 @@ class _BaseService:
         self._listener: Optional[socket.socket] = None
         self._stopped = threading.Event()
         self._threads: List[threading.Thread] = []
-        #: session → (seq, response code, response payload)
-        self._dedup: Dict[str, Tuple[int, int, object]] = {}
+        #: session → OrderedDict of seq → (response code, payload),
+        #: FIFO-evicted past DEDUP_WINDOW entries
+        self._dedup: Dict[str, "OrderedDict"] = {}
         self.addr: Optional[Addr] = None
 
     # -- lifecycle --------------------------------------------------------
@@ -134,75 +187,151 @@ class _BaseService:
             thread.start()
 
     def _conn_loop(self, conn: socket.socket) -> None:
+        """The connection's reader: parse frames, admit or shed, route.
+        Never runs a handler itself — a slow request must not stop the
+        reader from seeing the requests multiplexed behind it."""
         counters = self.metrics.counter
         inflight = self.metrics.gauge("net.server.inflight")
+        state = _ConnState(conn)
+        worker = threading.Thread(target=self._unary_loop, args=(state,),
+                                  name=f"{self.name}-unary", daemon=True)
+        worker.start()
+        reader = wire.FrameReader(conn)
         try:
-            while not self._stopped.is_set():
+            while not self._stopped.is_set() and state.alive:
                 try:
-                    code, payload, nread, tc = wire.recv_frame(conn)
+                    code, payload, nread, tc, req = reader.read()
                 except (wire.ConnectionClosedError, OSError):
                     return
                 except wire.ProtocolError as exc:
                     # garbage in: answer with a typed error, then drop
                     # the connection (framing state is unrecoverable)
-                    self._respond(conn, code=wire.ERROR,
-                                  payload=wire.error_payload(exc),
-                                  request_op=0)
+                    self._respond(state, wire.ERROR,
+                                  wire.error_payload(exc), 0, 0)
                     return
                 arrived = time.perf_counter()
                 opname = wire.OP_NAMES.get(code, hex(code))
                 counters("net.server.requests").inc()
                 counters("net.server.bytes_received").inc(nread)
                 counters(f"net.server.op.{opname}.bytes_received").inc(nread)
-                inflight.add(1)
+                if code == wire.CANCEL_SCAN:
+                    # fire-and-forget: no response frame; the stream's
+                    # thread notices at its next chunk boundary
+                    if isinstance(payload, dict) and payload.get("req"):
+                        state.cancelled.add(payload["req"])
+                    continue
+                if self._stream_handler(code) is not None:
+                    with state.scan_lock:
+                        admitted = state.scans < MAX_CONN_SCANS
+                        if admitted:
+                            state.scans += 1
+                    if not admitted:
+                        counters("net.server.busy_rejects").inc()
+                        self._respond(state, wire.ERROR, wire.error_payload(
+                            BusyError(
+                                f"scan admission: {MAX_CONN_SCANS} streams "
+                                f"already active on this connection")),
+                            code, req)
+                        continue
+                    inflight.add(1)
+                    threading.Thread(
+                        target=self._scan_entry,
+                        args=(state, code, payload, tc, req, arrived),
+                        name=f"{self.name}-scan", daemon=True).start()
+                    continue
                 try:
-                    keep = self._serve_one(conn, code, payload, tc, arrived)
-                finally:
-                    inflight.add(-1)
-                if not keep:
-                    return
+                    state.unary.put_nowait((code, payload, tc, req, arrived))
+                except queue.Full:
+                    counters("net.server.busy_rejects").inc()
+                    self._respond(state, wire.ERROR, wire.error_payload(
+                        BusyError(
+                            f"admission queue of {UNARY_QUEUE_DEPTH} "
+                            f"requests is full")), code, req)
+                else:
+                    inflight.add(1)
         finally:
+            state.alive = False
+            worker.join(timeout=5.0)
             try:
                 conn.close()
             except OSError:
                 pass
 
-    def _serve_one(self, conn: socket.socket, code: int, payload: dict,
-                   tc, arrived: float) -> bool:
-        """Handle one request; False ends the connection.  ``tc`` is the
-        frame's trace context: activating it makes the handler span a
-        child of the originating client span, even across processes."""
+    def _unary_loop(self, state: _ConnState) -> None:
+        """One worker per connection drains the unary queue in FIFO
+        order — admitted requests execute in exactly the order they
+        arrived, which pipelined writers rely on for deterministic
+        timestamp stamping."""
+        inflight = self.metrics.gauge("net.server.inflight")
+        while True:
+            try:
+                item = state.unary.get(timeout=0.2)
+            except queue.Empty:
+                if not state.alive or self._stopped.is_set():
+                    return
+                continue
+            try:
+                self._serve_one(state, *item)
+            finally:
+                inflight.add(-1)
+
+    def _scan_entry(self, state: _ConnState, code: int, payload, tc,
+                    req: int, arrived: float) -> None:
+        try:
+            if not _trace.ENABLED:
+                self._run_stream(state, code, payload, req, arrived)
+            else:
+                ctx = _trace.TraceContext(*tc) if tc else None
+                name = _SERVER_SPAN_NAMES.get(code) or \
+                    f"rpc.server.{wire.OP_NAMES.get(code, hex(code))}"
+                with _trace.span(name, parent_ctx=ctx, server=self.name):
+                    self._run_stream(state, code, payload, req, arrived)
+        finally:
+            with state.scan_lock:
+                state.scans -= 1
+            state.cancelled.discard(req)
+            self.metrics.gauge("net.server.inflight").add(-1)
+
+    def _run_stream(self, state: _ConnState, code: int, payload,
+                    req: int, arrived: float) -> None:
+        dispatched = time.perf_counter()
+        self._stream_handler(code)(state, payload, req)
+        self._observe_times(arrived, dispatched)
+
+    def _serve_one(self, state: _ConnState, code: int, payload, tc,
+                   req: int, arrived: float) -> None:
+        """Handle one unary request.  ``tc`` is the frame's trace
+        context: activating it makes the handler span a child of the
+        originating client span, even across processes."""
         if not _trace.ENABLED:
-            return self._serve_inner(conn, code, payload, arrived)
+            self._serve_inner(state, code, payload, req, arrived)
+            return
         ctx = _trace.TraceContext(*tc) if tc else None
         name = _SERVER_SPAN_NAMES.get(code) or \
             f"rpc.server.{wire.OP_NAMES.get(code, hex(code))}"
         with _trace.span(name, parent_ctx=ctx, server=self.name):
-            return self._serve_inner(conn, code, payload, arrived)
+            self._serve_inner(state, code, payload, req, arrived)
 
-    def _serve_inner(self, conn: socket.socket, code: int, payload: dict,
-                     arrived: float) -> bool:
-        stream = self._stream_handler(code)
-        if stream is not None:
-            dispatched = time.perf_counter()
-            keep = stream(conn, payload)
-            self._observe_times(arrived, dispatched)
-            return keep
-        session = payload.get("session") if isinstance(payload, dict) else None
-        seq = payload.get("seq") if isinstance(payload, dict) else None
+    def _serve_inner(self, state: _ConnState, code: int, payload,
+                     req: int, arrived: float) -> None:
+        meta = payload.meta if isinstance(payload, wire.CellsPayload) \
+            else payload
+        session = meta.get("session") if isinstance(meta, dict) else None
+        seq = meta.get("seq") if isinstance(meta, dict) else None
         with self._lock:
             # dispatch = the service lock is ours; everything before
             # this was queueing behind other requests
             dispatched = time.perf_counter()
             if session is not None:
-                cached = self._dedup.get(session)
-                if cached is not None and cached[0] == seq:
+                window = self._dedup.get(session)
+                cached = window.get(seq) if window is not None else None
+                if cached is not None:
                     # a retry of an already-processed mutation: replay
                     # the recorded ack, do not re-apply
                     self.metrics.counter("net.server.dedup_hits").inc()
-                    keep = self._respond(conn, cached[1], cached[2], code)
+                    self._respond(state, cached[0], cached[1], code, req)
                     self._observe_times(arrived, dispatched)
-                    return bool(keep)
+                    return
             handler = self._handlers().get(code)
             try:
                 if handler is None:
@@ -218,13 +347,19 @@ class _BaseService:
                 # whole batch), and caching a transient error (e.g.
                 # ServerCrashedError before a recover) would replay the
                 # failure at the client forever
-                self._dedup[session] = (seq, out_code, out_payload)
-        keep = self._respond(conn, out_code, out_payload, code)
+                window = self._dedup.setdefault(session, OrderedDict())
+                window[seq] = (out_code, out_payload)
+                while len(window) > DEDUP_WINDOW:
+                    window.popitem(last=False)
+        self._respond(state, out_code, out_payload, code, req)
         self._observe_times(arrived, dispatched)
         if code == wire.SHUTDOWN and out_code == wire.OK:
             self.stop()
-            return False
-        return bool(keep)
+            state.alive = False
+            try:  # unblock the reader without killing in-flight sends
+                state.sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
 
     def _observe_times(self, arrived: float, dispatched: float) -> None:
         """Record queue (arrival → dispatch) and service (dispatch →
@@ -241,25 +376,65 @@ class _BaseService:
             sp.attrs["queue_s"] = queue_s
             sp.attrs["service_s"] = service_s
 
-    def _respond(self, conn: socket.socket, code: int, payload,
-                 request_op: int) -> int:
-        """Send one response frame, with fault injection in the path.
-        Returns the frame's byte length, or 0 (falsy) when a fault
-        destroyed the connection."""
-        frame = wire.encode_frame(code, payload)
-        rule = self.faults.draw(request_op) if self.faults else None
+    @staticmethod
+    def _kill(state: _ConnState) -> None:
+        """Tear the connection down *actively*: the reader thread is
+        blocked in recv, so a flag alone would leave the socket open
+        and the client waiting out its deadline instead of seeing the
+        close and retrying immediately."""
+        state.alive = False
         try:
-            if rule is not None:
-                if not apply_fault(rule, conn, frame, self.metrics):
-                    return 0
-            else:
-                conn.sendall(frame)
+            state.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
-            return 0
+            pass
+
+    def _count_sent(self, request_op: int, nbytes: int) -> None:
         opname = wire.OP_NAMES.get(request_op, hex(request_op))
-        self.metrics.counter("net.server.bytes_sent").inc(len(frame))
+        self.metrics.counter("net.server.bytes_sent").inc(nbytes)
         self.metrics.counter(
-            f"net.server.op.{opname}.bytes_sent").inc(len(frame))
+            f"net.server.op.{opname}.bytes_sent").inc(nbytes)
+
+    def _respond(self, state: _ConnState, code: int, payload,
+                 request_op: int, req: int, compress: bool = False) -> int:
+        """Send one response frame (tagged with its request id), with
+        fault injection in the path.  Returns the frame's byte length,
+        or 0 (falsy) when a fault destroyed the connection.
+
+        The reorder fault lives here: a fired reorder *holds* a unary
+        response in the connection's one-frame slot; whatever response
+        goes out next flushes it afterwards — so the client observes
+        two responses in swapped arrival order and must route by
+        request id.  Stream frames (CHUNK/DONE) are never held: order
+        within a stream is contractual.
+        """
+        frame = wire.encode_frame(code, payload, req=req, compress=compress)
+        rule = self.faults.draw(request_op) if self.faults else None
+        hold = (rule is not None and rule.kind == "reorder"
+                and code in (wire.OK, wire.ERROR) and state.held is None)
+        try:
+            with state.send_lock:
+                if hold:
+                    self.metrics.counter(
+                        "net.server.faults.reorder").inc()
+                    state.held = (frame, request_op)
+                else:
+                    if rule is not None:
+                        if not apply_fault(rule, state.sock, frame,
+                                           self.metrics):
+                            self._kill(state)
+                            return 0
+                    else:
+                        state.sock.sendall(frame)
+                    if state.held is not None:
+                        hframe, hop = state.held
+                        state.held = None
+                        state.sock.sendall(hframe)
+                        self._count_sent(hop, len(hframe))
+        except OSError:
+            self._kill(state)
+            return 0
+        if not hold:
+            self._count_sent(request_op, len(frame))
         return len(frame)
 
     # -- subclass hooks ---------------------------------------------------
@@ -395,10 +570,16 @@ class TabletServerService(_BaseService):
 
     # -- data path --------------------------------------------------------
 
-    def _write_batch(self, p: dict) -> dict:
-        table, tablet = self._get(p)
+    def _write_batch(self, p) -> dict:
+        if isinstance(p, wire.CellsPayload):
+            meta = p.meta
+            muts = cells.decode_mutations(p.block)
+        else:  # JSON fallback (hand-rolled clients / old tooling)
+            meta = p
+            muts = [tuple(m) for m in p["mutations"]]
+        table, tablet = self._get(meta)
         extent = tablet.extent
-        for mut in p["mutations"]:
+        for mut in muts:
             if not extent.contains_row(mut[0]):
                 # stale client routing (split landed between the
                 # client's bisect and this request): reject the WHOLE
@@ -406,14 +587,19 @@ class TabletServerService(_BaseService):
                 # retry is exactly-once
                 raise NotHostedError(
                     f"row {mut[0]!r} outside tablet "
-                    f"{p['tablet_id']!r} extent "
+                    f"{meta['tablet_id']!r} extent "
                     f"[{extent.start_row!r}, {extent.stop_row!r})")
-        applied = tablet.write_raw_batch(
-            tuple(m) for m in p["mutations"])
+        applied = tablet.write_raw_batch(muts)
         return {"applied": applied}
 
-    def _scan_stream(self, conn: socket.socket, p: dict) -> bool:
+    def _scan_stream(self, state: _ConnState, p: dict, req: int) -> None:
         counters = self.metrics.counter
+        compress = bool(p.get("compress"))
+        # scans run concurrently, and the tablet's shared OpStats sink
+        # updates with non-atomic += — each scan counts into a private
+        # block folded back under the service lock when it finishes
+        scan_stats = OpStats()
+        tablet = None
         try:
             with self._lock:
                 table, tablet = self._get(p)
@@ -421,38 +607,50 @@ class TabletServerService(_BaseService):
                 rng = wire.wire_to_range(p["range"])
                 columns = ([tuple(c) for c in p["columns"]]
                            if p.get("columns") else None)
-                stack = tablet.scan_iterator(rng, config.table_iterators, ())
+                stack = tablet.scan_iterator(rng, config.table_iterators,
+                                             (), sink=scan_stats)
                 stack.seek(rng, columns)
             resume = p.get("resume")
             skip_past = Key(*resume).sort_tuple() if resume else None
-            chunk: List[list] = []
-            while stack.has_top():  # crash guard may raise mid-stream
-                cell = stack.top()
-                stack.advance()
-                if skip_past is not None \
-                        and cell.key.sort_tuple() <= skip_past:
-                    continue  # already delivered before the resume
-                chunk.append(wire.cell_to_wire(cell))
-                if len(chunk) >= SCAN_CHUNK_CELLS:
-                    nsent = self._respond(conn, wire.CHUNK, chunk, wire.SCAN)
-                    if not nsent:
-                        return False
-                    counters("net.server.scan_chunks").inc()
-                    counters(f"net.server.table.{table}.scan_bytes").inc(
-                        nsent - wire.FRAME_OVERHEAD)
-                    chunk = []
-            if chunk:
-                nsent = self._respond(conn, wire.CHUNK, chunk, wire.SCAN)
+
+            def ship(batch: List[Cell]) -> bool:
+                nsent = self._respond(
+                    state, wire.CHUNK,
+                    wire.CellsPayload({}, cells.cells_to_block(batch)),
+                    wire.SCAN, req, compress=compress)
                 if not nsent:
                     return False
                 counters("net.server.scan_chunks").inc()
                 counters(f"net.server.table.{table}.scan_bytes").inc(
                     nsent - wire.FRAME_OVERHEAD)
-            return bool(self._respond(conn, wire.DONE, None, wire.SCAN))
+                return True
+
+            chunk: List[Cell] = []
+            while stack.has_top():  # crash guard may raise mid-stream
+                if req in state.cancelled or not state.alive:
+                    return  # client stopped listening: stop producing
+                cell = stack.top()
+                stack.advance()
+                if skip_past is not None \
+                        and cell.key.sort_tuple() <= skip_past:
+                    continue  # already delivered before the resume
+                chunk.append(cell)
+                if len(chunk) >= SCAN_CHUNK_CELLS:
+                    if not ship(chunk):
+                        return
+                    chunk = []
+            if chunk and not ship(chunk):
+                return
+            self._respond(state, wire.DONE, None, wire.SCAN, req)
         except Exception as exc:  # noqa: BLE001 - wire boundary
             counters("net.server.errors").inc()
-            return bool(self._respond(conn, wire.ERROR,
-                                      wire.error_payload(exc), wire.SCAN))
+            self._respond(state, wire.ERROR, wire.error_payload(exc),
+                          wire.SCAN, req)
+        finally:
+            if tablet is not None and (scan_stats.seeks
+                                       or scan_stats.entries_read):
+                with self._lock:
+                    tablet.absorb_scan_stats(scan_stats)
 
     # -- maintenance / failure sim ----------------------------------------
 

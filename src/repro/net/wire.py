@@ -5,38 +5,56 @@ Every message is one *frame*::
     !I   body_length          (frame header, 4 bytes, network order)
     !B   wire version         (body starts here)
     !B   op-code
-    !I   CRC-32 of trace context + payload
+    !B   flags                (payload encoding: bit0 cells, bit1 zlib)
+    !I   CRC-32 of trace context + request id + payload
     !16s trace id             (trace context block, 24 bytes;
     !8s  span id               all zeros = no context attached)
-    ...  payload              (UTF-8 JSON)
+    !Q   request id           (multiplexing tag; 0 = unmultiplexed)
+    ...  payload              (UTF-8 JSON, or binary — see flags)
 
-Wire version 2 added the fixed 24-byte trace-context block: the raw
-bytes of the sender's :class:`~repro.obs.trace.TraceContext`, so a
-server can parent its handler spans under the originating client span
-(``repro.obs.stitch`` later merges the per-process trace files by
-``trace_id``).  An all-zero block means "no context" — tracing off
-costs no branches on the framing path, only 24 constant bytes.
+Wire version 3 is the multiplexed protocol: every frame carries an
+8-byte request id inside the CRC-covered region, so one persistent
+socket can interleave hundreds of in-flight RPCs — responses route
+back to their callers by id instead of by socket ownership, and scan
+``CHUNK`` streams interleave with write acks on the same connection.
+Version 2 added the fixed 24-byte trace-context block (the raw bytes
+of the sender's :class:`~repro.obs.trace.TraceContext`) so a server
+can parent its handler spans under the originating client span;
+``repro.obs.stitch`` later merges per-process trace files by
+``trace_id``.  All-zero blocks mean "no context" — tracing off costs
+no branches on the framing path, only constant bytes.
 
-The CRC covers the trace-context block *and* the payload, and turns
-the fault injector's corrupt-frame fault (and any real transport
-corruption) into a typed :class:`FrameCorruptError` the client
-retries, instead of a JSON parse error deep in a handler.
-Payloads are JSON because every value crossing this wire (cells as
-7-lists, ranges as 2-lists, configs as named-iterator dicts) is
-strings and numbers; the length prefix, not the payload encoding, is
-what makes the protocol streamable.
+The flags byte selects the payload encoding.  ``0`` is UTF-8 JSON —
+control-plane ops are strings-and-numbers and stay readable.
+``FLAG_CELLS`` marks the packed binary cell-block payload of
+:mod:`repro.net.cells` (optionally prefixed by a JSON meta dict) used
+on the hot ops: scan ``CHUNK`` frames and ``WRITE_BATCH`` mutation
+batches, where JSON spends most of the frame on quoting.
+``FLAG_ZLIB`` means the payload bytes (after the meta split) are
+zlib-compressed; senders apply it per-frame when asked and the
+payload is big enough to win.
+
+The CRC covers trace context + request id + payload, and turns the
+fault injector's corrupt-frame fault (and any real transport
+corruption) into a typed :class:`FrameCorruptError`, instead of a
+parse error deep in a handler.  On a multiplexed connection a CRC
+failure is fatal to the *connection* (the request id itself is
+untrusted), so the client fails all pending requests and retries them
+on a fresh socket.
 
 Request op-codes occupy 1..0x3F; response codes 0x40..0x4F.  A normal
 RPC is one request frame → one ``OK`` (or ``ERROR``) frame; a scan is
 one request frame → N ``CHUNK`` frames → one ``DONE`` frame, any of
-which may be replaced by ``ERROR`` mid-stream.
+which may be replaced by ``ERROR`` mid-stream — all tagged with the
+request id of the frame that opened them.
 
 Error frames carry ``{"type", "message"}`` and are decoded back into
 the *same* exception types the in-process backend raises
 (``KeyError`` for a missing table, ``ValueError`` for a bad split,
-:class:`~repro.dbsim.errors.ServerCrashedError`, ...), which is what
-lets the existing client test suite pass unmodified against the
-remote backend.
+:class:`~repro.dbsim.errors.ServerCrashedError`,
+:class:`~repro.dbsim.errors.BusyError` for admission-control
+rejections, ...), which is what lets the existing client test suite
+pass unmodified against the remote backend.
 """
 
 from __future__ import annotations
@@ -45,9 +63,10 @@ import json
 import socket
 import struct
 import zlib
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.dbsim.errors import (
+    BusyError,
     NotHostedError,
     ServerCrashedError,
     TabletServerError,
@@ -56,22 +75,37 @@ from repro.dbsim.iterators import MaxCombiner, MinCombiner, SummingCombiner
 from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.server import TableConfig
 
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 #: frame header: body length
 _LEN = struct.Struct("!I")
-#: body header: version, op-code, CRC-32 of (trace context + payload)
-_BODY = struct.Struct("!BBI")
+#: body header: version, op-code, flags, CRC-32 of (tc + req id + payload)
+_BODY = struct.Struct("!BBBI")
 #: trace-context block: 16-byte trace id + 8-byte span id (zeros = none)
 _TC = struct.Struct("!16s8s")
 _TC_NONE = _TC.pack(b"\x00" * 16, b"\x00" * 8)
+#: request-id block: multiplexing tag (0 = unmultiplexed)
+_REQ = struct.Struct("!Q")
+_REQ_NONE = _REQ.pack(0)
+
+# payload-encoding flags
+FLAG_CELLS = 0x01  #: payload is a binary cell block (+ optional JSON meta)
+FLAG_ZLIB = 0x02   #: payload bytes are zlib-compressed
+_KNOWN_FLAGS = FLAG_CELLS | FLAG_ZLIB
 
 #: bytes a frame spends on framing (length prefix + body header +
-#: trace-context block); ``frame_len - FRAME_OVERHEAD`` is payload bytes
-FRAME_OVERHEAD = _LEN.size + _BODY.size + _TC.size
+#: trace-context block + request id); ``frame_len - FRAME_OVERHEAD``
+#: is payload bytes
+FRAME_OVERHEAD = _LEN.size + _BODY.size + _TC.size + _REQ.size
 
 #: refuse to allocate for absurd lengths (garbage or version skew)
 MAX_FRAME_BYTES = 64 << 20
+
+#: only compress payloads big enough for zlib to plausibly win
+COMPRESS_MIN_BYTES = 512
+
+#: cell-block payloads prefix the block with a JSON meta dict
+_META_LEN = struct.Struct("!I")
 
 # -- op-codes ---------------------------------------------------------------
 
@@ -101,6 +135,7 @@ TABLET_INFO = 0x16
 STATUS = 0x17
 SHUTDOWN = 0x18
 TELEMETRY = 0x19
+CANCEL_SCAN = 0x1A
 
 # responses (server → client)
 OK = 0x40
@@ -118,7 +153,7 @@ OP_NAMES = {
     SPLIT_TABLET: "split_tablet", MIGRATE_OUT: "migrate_out",
     MIGRATE_IN: "migrate_in", CRASH: "crash", RECOVER: "recover",
     TABLET_INFO: "tablet_info", STATUS: "status", SHUTDOWN: "shutdown",
-    TELEMETRY: "telemetry",
+    TELEMETRY: "telemetry", CANCEL_SCAN: "cancel_scan",
     OK: "ok", ERROR: "error", CHUNK: "chunk", DONE: "done",
 }
 
@@ -145,40 +180,116 @@ class RpcError(RuntimeError):
     """A server-side failure with no richer client-side type."""
 
 
+# -- binary payloads --------------------------------------------------------
+
+
+class CellsPayload:
+    """A frame payload carrying a packed binary cell block.
+
+    ``meta`` is a small JSON-serializable dict riding ahead of the
+    block (chunk resume keys, batch session/seq, ...); ``block`` is the
+    :mod:`repro.net.cells` bytes — kept opaque here so framing never
+    touches cell internals, and exposed as a ``memoryview``-sliceable
+    buffer on decode (zero-copy into the codec).
+    """
+
+    __slots__ = ("meta", "block")
+
+    def __init__(self, meta: dict, block) -> None:
+        self.meta = meta
+        self.block = block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellsPayload(meta={self.meta!r}, block={len(self.block)}B)"
+
+
+def _encode_payload(payload: Any, compress: bool) -> Tuple[bytes, int]:
+    """Serialize ``payload`` → (bytes, flags)."""
+    if isinstance(payload, CellsPayload):
+        meta = json.dumps(payload.meta, separators=(",", ":")).encode("utf-8")
+        body = _META_LEN.pack(len(meta)) + meta + bytes(payload.block)
+        flags = FLAG_CELLS
+    else:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        flags = 0
+    if compress and len(body) >= COMPRESS_MIN_BYTES:
+        packed = zlib.compress(body, 1)
+        if len(packed) < len(body):
+            return packed, flags | FLAG_ZLIB
+    return body, flags
+
+
+def _decode_payload(raw, flags: int) -> Any:
+    if flags & ~_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown payload flags 0x{flags:02x}")
+    if flags & FLAG_ZLIB:
+        try:
+            raw = zlib.decompress(bytes(raw))
+        except zlib.error as exc:
+            raise ProtocolError(f"undecompressable payload: {exc}") from exc
+    view = memoryview(raw)
+    try:
+        if flags & FLAG_CELLS:
+            if len(view) < _META_LEN.size:
+                raise ProtocolError(
+                    f"cell payload too short: {len(view)} bytes")
+            (meta_len,) = _META_LEN.unpack_from(view, 0)
+            end = _META_LEN.size + meta_len
+            if end > len(view):
+                raise ProtocolError(f"cell payload meta length {meta_len} "
+                                    f"overruns frame")
+            meta = json.loads(str(view[_META_LEN.size:end], "utf-8"))
+            return CellsPayload(meta, view[end:])
+        return json.loads(str(view, "utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # CRC passed but the encoding didn't: the *sender* framed garbage
+        raise ProtocolError(f"undecodable payload: {exc}") from exc
+
+
 # -- frame I/O --------------------------------------------------------------
 
 
 def encode_frame(code: int, payload: Any,
-                 tc: Optional[Tuple[str, str]] = None) -> bytes:
-    """One wire frame for ``payload`` (any JSON-serializable value).
+                 tc: Optional[Tuple[str, str]] = None,
+                 req: int = 0, compress: bool = False) -> bytes:
+    """One wire frame for ``payload`` (any JSON-serializable value, or
+    a :class:`CellsPayload` for the binary cell encoding).
 
     ``tc`` is an optional ``(trace_id, span_id)`` hex pair (e.g. a
     :class:`~repro.obs.trace.TraceContext`) packed into the frame's
-    trace-context block; ``None`` sends the all-zero block."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    trace-context block; ``None`` sends the all-zero block.  ``req``
+    is the multiplexing request id (0 = unmultiplexed).  ``compress``
+    permits per-frame zlib when the payload is large enough to win.
+    """
+    body, flags = _encode_payload(payload, compress)
     if tc is None:
         tcb = _TC_NONE
     else:
         tcb = _TC.pack(bytes.fromhex(tc[0]), bytes.fromhex(tc[1]))
-    crc = zlib.crc32(body, zlib.crc32(tcb))
-    return (_LEN.pack(_BODY.size + _TC.size + len(body))
-            + _BODY.pack(WIRE_VERSION, code, crc) + tcb + body)
+    reqb = _REQ_NONE if req == 0 else _REQ.pack(req)
+    crc = zlib.crc32(body, zlib.crc32(reqb, zlib.crc32(tcb)))
+    return (_LEN.pack(_BODY.size + _TC.size + _REQ.size + len(body))
+            + _BODY.pack(WIRE_VERSION, code, flags, crc) + tcb + reqb + body)
 
 
-def decode_body(body: bytes) -> Tuple[int, Any, Optional[Tuple[str, str]]]:
+def decode_body(body) -> Tuple[int, Any, Optional[Tuple[str, str]], int]:
     """Parse a frame body (everything after the length prefix) into
-    ``(op_code, payload, trace_context)``, verifying version and CRC.
-    ``trace_context`` is ``(trace_id, span_id)`` hex or ``None`` when
-    the sender attached no context."""
-    if len(body) < _BODY.size + _TC.size:
+    ``(op_code, payload, trace_context, request_id)``, verifying
+    version and CRC.  ``trace_context`` is ``(trace_id, span_id)`` hex
+    or ``None`` when the sender attached no context."""
+    fixed = _BODY.size + _TC.size + _REQ.size
+    if len(body) < fixed:
         raise ProtocolError(f"frame body too short: {len(body)} bytes")
-    version, code, crc = _BODY.unpack_from(body)
+    view = memoryview(body)
+    version, code, flags, crc = _BODY.unpack_from(view)
     if version != WIRE_VERSION:
         raise ProtocolError(
             f"wire version {version} != supported {WIRE_VERSION}")
-    tcb = body[_BODY.size:_BODY.size + _TC.size]
-    payload_bytes = body[_BODY.size + _TC.size:]
-    if zlib.crc32(payload_bytes, zlib.crc32(tcb)) != crc:
+    tcb = view[_BODY.size:_BODY.size + _TC.size]
+    reqb = view[_BODY.size + _TC.size:fixed]
+    payload_bytes = view[fixed:]
+    if zlib.crc32(payload_bytes,
+                  zlib.crc32(reqb, zlib.crc32(tcb))) != crc:
         raise FrameCorruptError(
             f"payload CRC mismatch on {OP_NAMES.get(code, hex(code))} frame")
     if tcb == _TC_NONE:
@@ -186,47 +297,67 @@ def decode_body(body: bytes) -> Tuple[int, Any, Optional[Tuple[str, str]]]:
     else:
         trace_raw, span_raw = _TC.unpack(tcb)
         tc = (trace_raw.hex(), span_raw.hex())
-    try:
-        payload = json.loads(payload_bytes.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        # CRC passed but JSON didn't: the *sender* framed garbage
-        raise ProtocolError(f"undecodable payload: {exc}") from exc
-    return code, payload, tc
+    (req,) = _REQ.unpack(reqb)
+    payload = _decode_payload(payload_bytes, flags)
+    return code, payload, tc, req
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise ConnectionClosedError(
-                f"peer closed connection ({n - remaining}/{n} bytes read)")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+class FrameReader:
+    """Reads frames off one socket with ``recv_into`` — no per-recv
+    ``bytes`` objects, no O(n²) concatenation on large chunks.
+
+    The 4-byte length header lands in a reused buffer; each body gets
+    a fresh ``bytearray`` sized exactly to the frame, because decoded
+    payloads (cell-block memoryviews) may outlive the next read on a
+    multiplexed connection.
+    """
+
+    __slots__ = ("_sock", "_hdr", "_hdr_view")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._hdr = bytearray(_LEN.size)
+        self._hdr_view = memoryview(self._hdr)
+
+    def _fill(self, view: memoryview, n: int) -> None:
+        got = 0
+        recv_into = self._sock.recv_into
+        while got < n:
+            k = recv_into(view[got:n])
+            if not k:
+                raise ConnectionClosedError(
+                    f"peer closed connection ({got}/{n} bytes read)")
+            got += k
+
+    def read(self) -> Tuple[int, Any, int, Optional[Tuple[str, str]], int]:
+        """Read one frame; returns ``(op_code, payload, bytes_read,
+        trace_context, request_id)``."""
+        self._fill(self._hdr_view, _LEN.size)
+        (length,) = _LEN.unpack(self._hdr)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame length {length} exceeds "
+                                f"{MAX_FRAME_BYTES} byte cap")
+        body = bytearray(length)
+        self._fill(memoryview(body), length)
+        code, payload, tc, req = decode_body(body)
+        return code, payload, _LEN.size + length, tc, req
 
 
 def send_frame(sock: socket.socket, code: int, payload: Any,
-               tc: Optional[Tuple[str, str]] = None) -> int:
+               tc: Optional[Tuple[str, str]] = None,
+               req: int = 0, compress: bool = False) -> int:
     """Write one frame; returns bytes put on the wire."""
-    data = encode_frame(code, payload, tc=tc)
+    data = encode_frame(code, payload, tc=tc, req=req, compress=compress)
     sock.sendall(data)
     return len(data)
 
 
 def recv_frame(sock: socket.socket
-               ) -> Tuple[int, Any, int, Optional[Tuple[str, str]]]:
+               ) -> Tuple[int, Any, int, Optional[Tuple[str, str]], int]:
     """Read one frame; returns ``(op_code, payload, bytes_read,
-    trace_context)``."""
-    header = _recv_exact(sock, _LEN.size)
-    (length,) = _LEN.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame length {length} exceeds "
-                            f"{MAX_FRAME_BYTES} byte cap")
-    body = _recv_exact(sock, length)
-    code, payload, tc = decode_body(body)
-    return code, payload, _LEN.size + length, tc
+    trace_context, request_id)``.  One-shot convenience over
+    :class:`FrameReader` — connection loops hold a reader instead."""
+    return FrameReader(sock).read()
 
 
 # -- error frames -----------------------------------------------------------
@@ -241,6 +372,7 @@ _ERROR_TYPES = {
     "TabletServerError": TabletServerError,
     "ServerCrashedError": ServerCrashedError,
     "NotHostedError": NotHostedError,
+    "BusyError": BusyError,
 }
 _ERROR_NAMES = {cls: name for name, cls in _ERROR_TYPES.items()}
 
@@ -266,6 +398,13 @@ def raise_error(payload: dict) -> None:
     """Re-raise the exception an ``ERROR`` frame describes."""
     cls = _ERROR_TYPES.get(payload.get("type", ""), RpcError)
     raise cls(payload.get("message", "remote error"))
+
+
+def error_from_payload(payload: dict) -> BaseException:
+    """The exception an ``ERROR`` frame describes, unraised (the async
+    core attaches it to the waiting future instead of raising)."""
+    cls = _ERROR_TYPES.get(payload.get("type", ""), RpcError)
+    return cls(payload.get("message", "remote error"))
 
 
 # -- value codecs -----------------------------------------------------------

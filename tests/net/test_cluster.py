@@ -17,6 +17,7 @@ from repro.dbsim.key import Range
 from repro.dbsim.server import Instance, TableConfig
 from repro.net.client import RemoteConnector, RetryPolicy
 from repro.net.cluster import LocalCluster
+from repro.net.server import SCAN_CHUNK_CELLS
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -113,14 +114,16 @@ class TestFaultedCluster:
             return registry.export()
 
     def test_scan_survives_corrupt_frames(self):
+        n = 2 * SCAN_CHUNK_CELLS + 100  # several chunk frames per scan
+
         def work(conn):
             conn.create_table("t")
             with conn.batch_writer("t") as w:
-                for i in range(1000):
-                    w.put(f"r{i:04d}", "", "c", i)
+                for i in range(n):
+                    w.put(f"r{i:05d}", "", "c", i)
             for _ in range(3):  # plenty of chunk frames for the RNG
                 rows = [c.key.row for c in conn.scanner("t")]
-                assert rows == [f"r{i:04d}" for i in range(1000)]
+                assert rows == [f"r{i:05d}" for i in range(n)]
 
         export = self._run(["scan:corrupt:0.4"], 5, work)
         assert export["net.client.scan_resumes"] > 0

@@ -1,43 +1,63 @@
-"""Framing, codecs and error mapping for the wire protocol."""
+"""Framing, codecs and error mapping for the wire protocol (v3)."""
 
 import socket
 import struct
 import threading
+import zlib
 
 import pytest
 
-from repro.dbsim.errors import NotHostedError, ServerCrashedError
+from repro.dbsim.errors import (
+    BusyError,
+    NotHostedError,
+    ServerCrashedError,
+)
 from repro.dbsim.iterators import SummingCombiner
 from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.server import TableConfig
-from repro.net import wire
+from repro.net import cells, wire
 
 
 class TestFrames:
     def test_roundtrip(self):
         frame = wire.encode_frame(wire.SCAN, {"table": "t", "n": 3})
-        code, payload, tc = wire.decode_body(frame[4:])
+        code, payload, tc, req = wire.decode_body(frame[4:])
         assert code == wire.SCAN
         assert payload == {"table": "t", "n": 3}
         assert tc is None  # no trace context attached
+        assert req == 0  # unmultiplexed
+
+    def test_request_id_roundtrip(self):
+        frame = wire.encode_frame(wire.OK, {"applied": 7},
+                                  req=0x1122334455667788)
+        code, payload, tc, req = wire.decode_body(frame[4:])
+        assert (code, payload) == (wire.OK, {"applied": 7})
+        assert req == 0x1122334455667788
 
     def test_payload_may_be_any_json_value(self):
         for payload in (None, 7, "x", [1, "a", None], {"k": [1, 2]}):
-            code, got, _ = wire.decode_body(
+            code, got, _, _ = wire.decode_body(
                 wire.encode_frame(wire.OK, payload)[4:])
             assert got == payload
 
     def test_trace_context_roundtrip(self):
         tc = ("ab" * 16, "cd" * 8)
-        frame = wire.encode_frame(wire.PING, {"x": 1}, tc=tc)
-        code, payload, got = wire.decode_body(frame[4:])
-        assert (code, payload) == (wire.PING, {"x": 1})
+        frame = wire.encode_frame(wire.PING, {"x": 1}, tc=tc, req=9)
+        code, payload, got, req = wire.decode_body(frame[4:])
+        assert (code, payload, req) == (wire.PING, {"x": 1}, 9)
         assert got == tc
 
     def test_corrupt_trace_context_detected(self):
         frame = bytearray(wire.encode_frame(wire.PING, {},
                                             tc=("ab" * 16, "cd" * 8)))
         frame[12] ^= 0xFF  # damage the trace-context block
+        with pytest.raises(wire.FrameCorruptError):
+            wire.decode_body(bytes(frame[4:]))
+
+    def test_corrupt_request_id_detected(self):
+        # the req id sits right before the payload, inside the CRC
+        frame = bytearray(wire.encode_frame(wire.OK, {"n": 1}, req=42))
+        frame[wire.FRAME_OVERHEAD - 1] ^= 0xFF
         with pytest.raises(wire.FrameCorruptError):
             wire.decode_body(bytes(frame[4:]))
 
@@ -52,6 +72,22 @@ class TestFrames:
         frame[4] = wire.WIRE_VERSION + 1
         with pytest.raises(wire.ProtocolError):
             wire.decode_body(bytes(frame[4:]))
+
+    def test_unknown_flags_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.OK, {"n": 1}))
+        # flip an undefined flag bit and re-CRC so only the flag is bad
+        frame[6] |= 0x80
+        body = bytes(frame[4:])
+        tc_req_payload = body[wire._BODY.size:]
+        crc = zlib.crc32(tc_req_payload[wire._TC.size + wire._REQ.size:],
+                         zlib.crc32(
+                             tc_req_payload[wire._TC.size:
+                                            wire._TC.size + wire._REQ.size],
+                             zlib.crc32(tc_req_payload[:wire._TC.size])))
+        body = wire._BODY.pack(wire.WIRE_VERSION, wire.OK, 0x80 | 0,
+                               crc) + tc_req_payload
+        with pytest.raises(wire.ProtocolError, match="flags"):
+            wire.decode_body(body)
 
     def test_truncated_body_rejected(self):
         with pytest.raises(wire.ProtocolError):
@@ -70,9 +106,9 @@ class TestFrames:
     def test_send_recv_over_socketpair(self):
         a, b = socket.socketpair()
         try:
-            sent = wire.send_frame(a, wire.PING, {"hello": True})
-            code, payload, nbytes, _ = wire.recv_frame(b)
-            assert (code, payload) == (wire.PING, {"hello": True})
+            sent = wire.send_frame(a, wire.PING, {"hello": True}, req=3)
+            code, payload, nbytes, _, req = wire.recv_frame(b)
+            assert (code, payload, req) == (wire.PING, {"hello": True}, 3)
             assert nbytes == sent
         finally:
             a.close()
@@ -90,19 +126,22 @@ class TestFrames:
             b.close()
 
     def test_streamed_frames_keep_boundaries(self):
-        # many frames written back to back parse one at a time
+        # many frames written back to back parse one at a time through
+        # one reused FrameReader (the recv_into path)
         a, b = socket.socketpair()
         try:
             def writer():
                 for i in range(20):
-                    wire.send_frame(a, wire.CHUNK, {"i": i})
-                wire.send_frame(a, wire.DONE, None)
+                    wire.send_frame(a, wire.CHUNK, {"i": i}, req=5)
+                wire.send_frame(a, wire.DONE, None, req=5)
 
             t = threading.Thread(target=writer)
             t.start()
+            reader = wire.FrameReader(b)
             seen = []
             while True:
-                code, payload, _, _ = wire.recv_frame(b)
+                code, payload, _, _, req = reader.read()
+                assert req == 5
                 if code == wire.DONE:
                     break
                 seen.append(payload["i"])
@@ -113,18 +152,113 @@ class TestFrames:
             b.close()
 
 
+class TestBinaryPayloads:
+    MUTS = [
+        ("r1", "f", "q", "", 11, False, "v1"),
+        ("r2", "", "", "a&b", 0, True, ""),
+        ("rösti", "fäm", "qüal", "", -3, False, "välue ☃"),
+    ]
+
+    def test_cells_payload_roundtrip(self):
+        payload = wire.CellsPayload({"table": "t", "seq": 4},
+                                    cells.encode_block(self.MUTS))
+        frame = wire.encode_frame(wire.WRITE_BATCH, payload, req=2)
+        code, got, _, req = wire.decode_body(frame[4:])
+        assert (code, req) == (wire.WRITE_BATCH, 2)
+        assert isinstance(got, wire.CellsPayload)
+        assert got.meta == {"table": "t", "seq": 4}
+        assert cells.decode_mutations(got.block) == self.MUTS
+
+    def test_compressed_payload_roundtrip(self):
+        muts = [(f"row{i:05d}", "fam", "qual", "", i, False, "v" * 40)
+                for i in range(200)]
+        payload = wire.CellsPayload({}, cells.encode_block(muts))
+        frame = wire.encode_frame(wire.CHUNK, payload, compress=True)
+        # big repetitive payload: zlib must have won
+        assert len(frame) < len(cells.encode_block(muts))
+        flags = frame[6]
+        assert flags & wire.FLAG_ZLIB
+        code, got, _, _ = wire.decode_body(frame[4:])
+        assert cells.decode_mutations(got.block) == muts
+
+    def test_small_payload_not_compressed(self):
+        frame = wire.encode_frame(wire.OK, {"applied": 1}, compress=True)
+        assert not frame[6] & wire.FLAG_ZLIB
+
+    def test_incompressible_payload_stays_raw(self):
+        import os
+        muts = [("r", "f", "q", "", 1, False,
+                 os.urandom(600).hex()[:600])]
+        # hex of urandom barely compresses; equality either way — the
+        # decoder must handle both flag states
+        payload = wire.CellsPayload({}, cells.encode_block(muts))
+        frame = wire.encode_frame(wire.CHUNK, payload, compress=True)
+        code, got, _, _ = wire.decode_body(frame[4:])
+        assert cells.decode_mutations(got.block) == muts
+
+    def test_corrupt_compressed_payload_is_typed(self):
+        muts = [("r" * 600, "f", "q", "", 1, False, "v")]
+        payload = wire.CellsPayload({}, cells.encode_block(muts))
+        frame = bytearray(wire.encode_frame(wire.CHUNK, payload,
+                                            compress=True))
+        frame[-1] ^= 0xFF
+        with pytest.raises(wire.FrameCorruptError):
+            wire.decode_body(bytes(frame[4:]))
+
+
+class TestCellBlocks:
+    def test_empty_block(self):
+        assert cells.decode_mutations(cells.encode_block([])) == []
+
+    def test_columns_zero_copy_views(self):
+        block = cells.encode_block([("r", "f", "q", "v1|v2", 9, False,
+                                     "val")])
+        rows, fams, quals, vis, ts, dels, vals = \
+            cells.decode_columns(block)
+        assert rows == ["r"] and vals == ["val"]
+        assert ts == [9] and dels == [False] and vis == ["v1|v2"]
+
+    def test_cells_roundtrip(self):
+        cs = [Cell(Key("r1", "f", "q", "", 4), "x"),
+              Cell(Key("r2", "f", "q", "a", 5, delete=True), "")]
+        assert cells.block_to_cells(cells.cells_to_block(cs)) == cs
+
+    def test_negative_and_large_timestamps(self):
+        muts = [("r", "f", "q", "", -(1 << 62), False, "v"),
+                ("r", "f", "q", "", (1 << 62), False, "v")]
+        assert cells.decode_mutations(cells.encode_block(muts)) == muts
+
+    def test_truncated_block_is_typed(self):
+        block = cells.encode_block([("r", "f", "q", "", 1, False, "v")])
+        with pytest.raises(cells.BlockFormatError):
+            cells.decode_mutations(block[:-3])
+
+    def test_bad_format_byte_is_typed(self):
+        block = bytearray(cells.encode_block([]))
+        block[0] = 99
+        with pytest.raises(cells.BlockFormatError):
+            cells.decode_mutations(bytes(block))
+
+
 class TestErrorFrames:
     @pytest.mark.parametrize("exc", [
         KeyError("no such table 'x'"),
         ValueError("bad split row"),
         ServerCrashedError("tserver0 is down"),
         NotHostedError("tablet t!0001 is not hosted here"),
+        BusyError("admission queue full"),
     ])
     def test_same_type_comes_back(self, exc):
         payload = wire.error_payload(exc)
         with pytest.raises(type(exc)) as ei:
             wire.raise_error(payload)
         assert str(exc.args[0]) in str(ei.value)
+
+    def test_error_from_payload_unraised(self):
+        exc = wire.error_from_payload(
+            wire.error_payload(BusyError("shed")))
+        assert isinstance(exc, BusyError)
+        assert "shed" in str(exc)
 
     def test_unknown_type_degrades_to_rpcerror(self):
         class Weird(Exception):
