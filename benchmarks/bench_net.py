@@ -99,16 +99,26 @@ class TestRpcRtt:
     def test_trace_propagation_overhead(self, cluster, capsys):
         """p50 ping RTT with full tracing on (client span + wire
         context + server span, records dropped in a NullSink) vs off.
-        The target is <5% added latency; the hard gate is lenient
-        because shared CI timing is noisy — the measured number lands
-        in BENCH.net.json either way."""
+
+        Honest accounting: both conditions sample a *warmed* connection
+        — every enable/disable toggle is followed by unmeasured pings so
+        neither side pays sink setup, code-path caches or connection
+        re-dial inside its samples.  On a shared single-CPU host the
+        span + context-propagation cost lands around 20-30% of a ~100us
+        localhost ping (it is a fixed per-RPC cost, huge relative to a
+        ping, negligible relative to a real scan chunk); the gate
+        reflects that, and the 5% aspiration is tracked as a ROADMAP
+        residual, not pretended here."""
         from repro.obs import trace as _trace
 
         conn = cluster.connect()
         try:
             core = conn.instance.core
             addr = cluster.server_addrs[0]
-            core.call(addr, wire.PING, {})  # warm the pooled connection
+
+            def warm(n=60):
+                for _ in range(n):
+                    core.call(addr, wire.PING, {})
 
             def p50(n=400):
                 samples = []
@@ -119,16 +129,21 @@ class TestRpcRtt:
                 samples.sort()
                 return samples[n // 2]
 
-            # interleave the conditions so clock drift hits both
+            # interleave the conditions so clock drift hits both; warm
+            # after every toggle so the first traced calls' one-time
+            # costs never land in a measured sample
             base_p50s, traced_p50s = [], []
             for _ in range(3):
+                warm()
                 base_p50s.append(p50())
                 _trace.enable(_trace.NullSink())
                 try:
+                    warm()
                     traced_p50s.append(p50())
                 finally:
                     _trace.disable()
                     _trace.set_sink(_trace.NullSink())
+            warm()
         finally:
             conn.close()
         base = statistics.median(base_p50s)
@@ -138,12 +153,14 @@ class TestRpcRtt:
             "untraced_p50_us": round(1e6 * base, 1),
             "traced_p50_us": round(1e6 * traced, 1),
             "overhead_pct": round(100 * overhead, 1),
-            "target_pct": 5.0,
+            "gate_pct": 40.0,
+            "target_pct": 20.0,
+            "aspiration_pct": 5.0,  # residual: tracked in ROADMAP
         }
         with capsys.disabled():
             print(f"\ntracing overhead: p50 {1e6 * base:.0f}us -> "
                   f"{1e6 * traced:.0f}us ({100 * overhead:+.1f}%)")
-        assert overhead < 0.5  # generous CI gate; target is 5%
+        assert overhead < 0.4  # realistic warmed-path gate (target 20%)
 
 
 class TestScanThroughput:
@@ -190,9 +207,10 @@ class TestScanThroughput:
             print(f"\nscan {n} cells: remote {t_remote:.3f}s "
                   f"({n / t_remote:,.0f}/s) vs in-process {t_local:.3f}s "
                   f"({n / t_local:,.0f}/s)")
-        # perf gate: binary cell blocks + mux keep the fabric tax on a
-        # streamed scan under 2x the in-process backend (target 1.8x)
-        assert t_remote / t_local < 2.0
+        # perf gate: the columnar CHUNK path (no server-side Cell
+        # objects, coalesced client wakeups) keeps the fabric tax on a
+        # per-cell streamed scan under 1.5x the in-process backend
+        assert t_remote / t_local < 1.5
 
         # wire-byte accounting: what the ingest cost per BatchWriter
         # flush and what the streamed scan cost per cell/chunk
@@ -226,6 +244,106 @@ class TestScanThroughput:
                   f"({wb_sent / N_CELLS:.1f}/cell), scan received "
                   f"{scan_rx:,} over {chunks} chunks "
                   f"({scan_rx / n:.1f}/cell)")
+
+    def test_bulk_scan_columnar(self, cluster, capsys):
+        """Zero-materialization gate: ``scan_columns`` (ColumnBatches
+        end to end, no ``Cell`` objects) must move cells at >= 2x the
+        per-cell remote scan measured above, and its batches must still
+        materialise to the bit-identical cell stream."""
+        per_cell = _RESULTS["streamed_scan"]  # set by the test above
+        remote = cluster.connect()
+        try:
+            _wipe(remote)
+            _ingest(remote)
+            t_cols = math.inf
+            for _ in range(5):  # best-of-5: the min is the honest
+                # figure on a shared host, and an extra two rounds
+                # keep one noisy run from deciding the 2x gate
+                t0 = time.perf_counter()
+                n = batches = 0
+                for batch in remote.scanner("A").scan_columns():
+                    n += len(batch)
+                    batches += 1
+                t_cols = min(t_cols, time.perf_counter() - t0)
+            flat = [c for b in remote.scanner("A").scan_columns()
+                    for c in b.cells()]
+            assert flat == list(remote.scanner("A"))  # incl. timestamps
+        finally:
+            _wipe(remote)
+            remote.close()
+        assert n == N_CELLS
+        cps = n / t_cols
+        ratio = cps / per_cell["remote_cells_per_s"]
+        _RESULTS["bulk_scan"] = {
+            "cells": n,
+            "batches": batches,
+            "columnar_s": round(t_cols, 4),
+            "columnar_cells_per_s": round(cps),
+            "per_cell_remote_cells_per_s":
+                per_cell["remote_cells_per_s"],
+            "speedup_vs_per_cell_x": round(ratio, 2),
+            "bit_identical": True,
+        }
+        with capsys.disabled():
+            print(f"\nbulk scan {n} cells in {batches} batches: "
+                  f"{t_cols:.3f}s ({cps:,.0f}/s columnar vs "
+                  f"{per_cell['remote_cells_per_s']:,}/s per-cell, "
+                  f"{ratio:.2f}x)")
+        assert ratio >= 2.0
+
+
+class TestEncodeBlock:
+    def test_single_pass_encode_vs_reference(self, capsys):
+        """Micro-bench of the CHUNK encoder: the single-pass
+        ``encode_block`` (one tuple-unpack loop, array+byteswap length
+        packing) against the pre-optimization shape (five separate
+        column passes, one ``struct.pack`` splat per array)."""
+        import struct as _struct
+
+        from repro.net import cells as _cells
+
+        muts = [(f"r{i:05d}", "f", "qual", "", 1_000_000 + i, False,
+                 str(i * 31)) for i in range(N_CELLS)]
+
+        def reference_encode(ms):
+            n = len(ms)
+            parts = [_cells._HDR.pack(_cells.BLOCK_FORMAT, n)]
+            for field in (0, 1, 2, 3, 6):
+                col = [m[field].encode("utf-8") for m in ms]
+                parts.append(_struct.pack(f"!{n}I", *map(len, col)))
+                parts.append(b"".join(col))
+            parts.append(_struct.pack(f"!{n}q", *(m[4] for m in ms)))
+            parts.append(bytes(1 if m[5] else 0 for m in ms))
+            return b"".join(parts)
+
+        block = _cells.encode_block(muts)
+        assert block == reference_encode(muts)  # same bytes out
+
+        def best_of(fn, rounds=5):
+            best = math.inf
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                fn(muts)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_ref = best_of(reference_encode)
+        t_new = best_of(_cells.encode_block)
+        _RESULTS.setdefault("wire_bytes", {})["encode_block"] = {
+            "cells": N_CELLS,
+            "block_bytes": len(block),
+            "five_pass_ms": round(1e3 * t_ref, 2),
+            "single_pass_ms": round(1e3 * t_new, 2),
+            "speedup_x": round(t_ref / t_new, 2),
+            "mb_per_s": round(len(block) / t_new / 1e6, 1),
+        }
+        with capsys.disabled():
+            print(f"\nencode_block {N_CELLS} cells: "
+                  f"{1e3 * t_ref:.2f}ms five-pass -> "
+                  f"{1e3 * t_new:.2f}ms single-pass "
+                  f"({t_ref / t_new:.2f}x, "
+                  f"{len(block) / t_new / 1e6:.0f} MB/s)")
+        assert t_new <= t_ref * 1.2  # never slower (noise allowance)
 
 
 MC_SESSIONS = 16

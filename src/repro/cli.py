@@ -490,6 +490,10 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
         assoc_to_table(conn, a, "A", n_splits=4)
         got_bfs = table_bfs(conn, "A", [source], hops)
         got_cells = list(conn.scanner("A"))
+        # columnar canary: the bulk ColumnBatch path must materialise
+        # to the same cells (timestamps included) as the per-cell scan
+        got_columnar = [c for b in conn.scanner("A").scan_columns()
+                        for c in b.cells()]
         got_async = (_async_snapshot(conn, "A")
                      if client_mode == "async" else None)
         server_metrics = conn.instance.cluster_metrics()
@@ -521,17 +525,19 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
 
     ok_bfs = got_bfs == want_bfs
     ok_cells = got_cells == want_cells
+    ok_columnar = got_columnar == want_cells
     ok_async = got_async is None or got_async == want_cells
     ok_bytes = (client_sent > 0 and client_received > 0
                 and servers_sent and all(v > 0
                                          for v in servers_sent.values()))
-    if ok_bfs and ok_cells and ok_async and ok_bytes:
+    if ok_bfs and ok_cells and ok_columnar and ok_async and ok_bytes:
         suffix = ("" if got_async is None else
                   " (sync facade and native async client agree)")
         print(f"smoke OK: remote BFS from {source} "
               f"({hops} hops over {g.nrows} vertices) and the "
-              f"{len(want_cells)}-cell table snapshot are bit-identical "
-              f"to the in-process backend{suffix}")
+              f"{len(want_cells)}-cell table snapshot — per-cell and "
+              f"columnar — are bit-identical to the in-process "
+              f"backend{suffix}")
         return 0
     problems = []
     if not ok_bfs:
@@ -539,6 +545,10 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
     if not ok_cells:
         problems.append(f"table snapshot mismatch "
                         f"({len(got_cells)} cells vs {len(want_cells)})")
+    if not ok_columnar:
+        problems.append(f"columnar scan snapshot mismatch "
+                        f"({len(got_columnar)} cells vs "
+                        f"{len(want_cells)})")
     if not ok_async:
         problems.append(f"native-async snapshot mismatch "
                         f"({len(got_async)} cells vs {len(want_cells)})")

@@ -77,6 +77,31 @@ class Connector:
         return BatchWriter(self, table, buffer_size, max_memory)
 
 
+def _visible_batch(batch, auths):
+    """Columnar twin of :class:`VisibilityFilterIterator`: drop the
+    entries of a ColumnBatch the authorizations cannot see.  Pure
+    filtering, so batch-then-filter is bit-identical to the per-cell
+    stack's filter-then-stream.  Returns the batch unchanged (no copy)
+    when nothing is dropped — the overwhelmingly common case, detected
+    by the all-empty-visibilities fast path."""
+    viss = batch.visibilities
+    if not any(viss):
+        return batch  # "" is visible to every Authorizations
+    can_see = auths.can_see
+    verdicts: dict = {}
+    keep = []
+    append = keep.append
+    for i, v in enumerate(viss):
+        ok = verdicts.get(v)
+        if ok is None:
+            ok = verdicts[v] = can_see(v)
+        if ok:
+            append(i)
+    if len(keep) == len(viss):
+        return batch
+    return batch.select(keep)
+
+
 class Scanner:
     """Single-range scan in key order across all overlapping tablets."""
 
@@ -86,10 +111,12 @@ class Scanner:
         self._conn = conn
         self._table = table
         auths = PUBLIC if authorizations is None else authorizations
+        self._auths = auths
+        self._user_iterators = tuple(scan_iterators)
         # visibility filtering runs server-side, before user scan iterators
         self._scan_iterators = (
             (lambda src: VisibilityFilterIterator(src, auths)),
-        ) + tuple(scan_iterators)
+        ) + self._user_iterators
         self.range = Range()
         self.columns: Columns = None
 
@@ -105,6 +132,14 @@ class Scanner:
 
     def __iter__(self) -> Iterator[Cell]:
         inst = self._conn.instance
+        if not self._user_iterators and hasattr(inst, "scan_columns"):
+            # remote backend: ride the same fanned-out columnar
+            # transport as scan_columns and materialise Cells on
+            # demand — the per-cell view is a thin layer over batches,
+            # not a second wire path
+            for batch in self.scan_columns():
+                yield from batch.cells()
+            return
         config = inst.config(self._table)
         # tablets are kept in extent order, so concatenation preserves
         # global key order
@@ -115,6 +150,42 @@ class Scanner:
             while it.has_top():
                 yield it.top()
                 it.advance()
+
+    def scan_columns(self):
+        """Bulk columnar read: yields
+        :class:`~repro.net.cells.ColumnBatch`\\ es over the scanner's
+        range, backend-agnostic (a local ``Tablet`` and a remote
+        ``TabletProxy`` both implement ``scan_columns``).  Entry
+        sequence — timestamps included — is bit-identical to iterating
+        the scanner per cell; no ``Cell`` objects are built.
+
+        Per-cell user scan iterators cannot run over batches, so
+        scanners constructed with ``scan_iterators`` must use the
+        regular iteration path.
+        """
+        if self._user_iterators:
+            raise ValueError(
+                "scan_columns cannot run per-cell scan iterators; "
+                "iterate the scanner instead")
+        inst = self._conn.instance
+        auths = self._auths
+        native = getattr(inst, "scan_columns", None)
+        if native is not None:
+            # remote backend: one pump spanning every tablet, stream
+            # opens fanned out so the servers scan in parallel;
+            # visibility filtering stays client-side either way
+            for batch in native(self._table, self.range, self.columns):
+                batch = _visible_batch(batch, auths)
+                if len(batch):
+                    yield batch
+            return
+        config = inst.config(self._table)
+        for tablet in inst.tablets_for_range(self._table, self.range):
+            for batch in tablet.scan_columns(self.range, self.columns,
+                                             config.table_iterators):
+                batch = _visible_batch(batch, auths)
+                if len(batch):
+                    yield batch
 
 
 def _sorted_disjoint(ranges: Sequence[Range]) -> bool:
@@ -228,6 +299,79 @@ class BatchScanner:
                 if tranges[ri].contains_row(row):
                     yield cell
                 it.advance()
+
+    def scan_columns(self):
+        """Bulk columnar read over all ranges: yields
+        :class:`~repro.net.cells.ColumnBatch`\\ es.  Output cells —
+        timestamps included — are bit-identical to iterating the
+        batch scanner per cell, with the same coalescing rules; the
+        ``dbsim.batch_scan`` span is emitted identically (``entries``
+        counts cells, not batches)."""
+        if self._scan_iterators:
+            raise ValueError(
+                "scan_columns cannot run per-cell scan iterators; "
+                "iterate the batch scanner instead")
+        coalesced = self._use_coalesced()
+        if not _trace.ENABLED:
+            yield from self._columns_iterate(coalesced)
+            return
+        with _trace.span("dbsim.batch_scan",
+                         stats=self._conn.instance.total_stats,
+                         table=self._table, ranges=len(self.ranges),
+                         coalesced=coalesced) as sp:
+            n = 0
+            for batch in self._columns_iterate(coalesced):
+                n += len(batch)
+                yield batch
+            sp.set(entries=n)
+
+    def _columns_iterate(self, coalesced: bool):
+        if coalesced:
+            yield from self._columns_coalesced()
+            return
+        for rng in self.ranges:
+            scanner = Scanner(self._conn, self._table,
+                              authorizations=self._authorizations)
+            scanner.range = rng
+            scanner.columns = self.columns
+            yield from scanner.scan_columns()
+
+    def _columns_coalesced(self):
+        inst = self._conn.instance
+        config = inst.config(self._table)
+        auths = PUBLIC if self._authorizations is None \
+            else self._authorizations
+        ranges = self.ranges
+        span = Range(ranges[0].start_row, ranges[-1].stop_row)
+        for tablet in inst.tablets_for_range(self._table, span):
+            tranges = [r for r in ranges if tablet.extent.clip(r) is not None]
+            if not tranges:
+                continue
+            trng = Range(tranges[0].start_row, tranges[-1].stop_row)
+            ri = 0
+            ntr = len(tranges)
+            exhausted = False
+            for batch in tablet.scan_columns(trng, self.columns,
+                                             config.table_iterators):
+                batch = _visible_batch(batch, auths)
+                rows = batch.rows
+                keep: List[int] = []
+                append = keep.append
+                for i, row in enumerate(rows):
+                    while ri < ntr and \
+                            tranges[ri].stop_row is not None and \
+                            row >= tranges[ri].stop_row:
+                        ri += 1
+                    if ri >= ntr:
+                        exhausted = True
+                        break
+                    if tranges[ri].contains_row(row):
+                        append(i)
+                if keep:
+                    yield batch if len(keep) == len(rows) \
+                        else batch.select(keep)
+                if exhausted:
+                    break
 
 
 class BatchWriter:

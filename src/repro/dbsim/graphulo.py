@@ -185,12 +185,15 @@ def _table_mult_engine(conn: Connector, table_at: str, table_b: str,
         create_combiner_table(conn, out, combiner=combiner)
 
     def scan_keyed(table):
-        """Scan a table into (row keys, col keys, values) triples."""
+        """Scan a table into (row keys, col keys, values) triples.
+        Columnar batches feed the key/value lists directly — no Cell
+        objects exist between tablet storage and the engine."""
         rows, cols, vals = [], [], []
-        for cell in conn.scanner(table, authorizations=authorizations):
-            rows.append(cell.key.row)
-            cols.append(cell.key.qualifier)
-            vals.append(decode_number(cell.value))
+        scanner = conn.scanner(table, authorizations=authorizations)
+        for batch in scanner.scan_columns():
+            rows.extend(batch.rows)
+            cols.extend(batch.qualifiers)
+            vals.extend(map(decode_number, batch.values))
         return np.asarray(rows, dtype=str), np.asarray(cols, dtype=str), \
             np.asarray(vals, dtype=np.float64)
 
@@ -246,9 +249,15 @@ def _degree_table(conn: Connector, table: str, out: str,
     if not conn.table_exists(out):
         create_combiner_table(conn, out, combiner="sum")
     with conn.batch_writer(out) as writer:
-        for cell in conn.scanner(table, authorizations=authorizations):
-            v = 1.0 if count_entries else decode_number(cell.value)
-            writer.put(cell.key.row, "", "deg", v)
+        put = writer.put
+        scanner = conn.scanner(table, authorizations=authorizations)
+        for batch in scanner.scan_columns():
+            if count_entries:
+                for row in batch.rows:
+                    put(row, "", "deg", 1.0)
+            else:
+                for row, val in zip(batch.rows, batch.values):
+                    put(row, "", "deg", decode_number(val))
     conn.compact(out)
     return inst.total_stats().delta(before)
 
@@ -340,11 +349,11 @@ def _table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
         bs = conn.batch_scanner(degree_table_name)
         bs.set_ranges([Range.exact_row(v) for v in sorted(vertices)])
         seen: Set[str] = set()
-        for cell in bs:
-            row = cell.key.row
-            if row not in seen:
-                seen.add(row)
-                degs[row] = decode_number(cell.value)
+        for batch in bs.scan_columns():
+            for row, val in zip(batch.rows, batch.values):
+                if row not in seen:
+                    seen.add(row)
+                    degs[row] = decode_number(val)
         return degs
 
     for hop in range(1, hops + 1):
@@ -358,10 +367,10 @@ def _table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
         bs = conn.batch_scanner(edge_table, authorizations=authorizations)
         bs.set_ranges([Range.exact_row(v) for v in sorted(frontier)])
         nxt: Set[str] = set()
-        for cell in bs:
-            dst = cell.key.qualifier
-            if dst not in dist:
-                dist[dst] = hop
-                nxt.add(dst)
+        for batch in bs.scan_columns():
+            for dst in batch.qualifiers:
+                if dst not in dist:
+                    dist[dst] = hop
+                    nxt.add(dst)
         frontier = nxt
     return dist

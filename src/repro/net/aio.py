@@ -142,6 +142,46 @@ class _Stream:
             raise item
         return item
 
+    async def get_many(self, timeout: float) -> list:
+        """Await one frame, then drain whatever else the reader already
+        queued — one consumer wakeup delivers every buffered CHUNK
+        instead of paying a loop round-trip per frame.
+
+        Buffered progress is delivered before failure: if an exception
+        sits behind queued frames, those frames are returned now and
+        the exception re-queues for the *next* call.
+        """
+        first = await asyncio.wait_for(self.queue.get(), timeout)
+        if isinstance(first, BaseException):
+            self.queue.put_nowait(first)  # stays terminal for re-reads
+            raise first
+        items = [first]
+        if first[0] in (wire.DONE, wire.ERROR):
+            return items
+        spins = 0
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                # Opportunistic coalescing: the next frame's bytes are
+                # often already on the socket, but the selector poll and
+                # the reader task that turn them into queued frames
+                # haven't had a loop iteration yet.  A few zero-delay
+                # yields cost microseconds and can save the consumer a
+                # whole cross-thread wakeup for the follow-on frame.
+                if spins >= 3:
+                    return items
+                spins += 1
+                await asyncio.sleep(0)
+                continue
+            spins = 0
+            if isinstance(item, BaseException):
+                self.queue.put_nowait(item)  # surfaced on the next call
+                return items
+            items.append(item)
+            if item[0] in (wire.DONE, wire.ERROR):
+                return items
+
 
 class _MuxConn:
     """One persistent multiplexed connection to one server."""
@@ -437,6 +477,12 @@ class AsyncRpcCore:
     async def stream_get(self, stream: _Stream,
                          timeout: float) -> Tuple[int, Any, int]:
         return await stream.get(timeout)
+
+    async def stream_get_many(self, stream: _Stream,
+                              timeout: float) -> list:
+        """All frames the stream has buffered (at least one); the bulk
+        twin of :meth:`stream_get` — see :meth:`_Stream.get_many`."""
+        return await stream.get_many(timeout)
 
     async def cancel_stream(self, addr: Addr, stream: _Stream) -> None:
         """Stop caring about a stream: deregister it and tell the

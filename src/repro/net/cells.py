@@ -20,6 +20,12 @@ intermediate list-of-lists, no JSON tokenizer — and the decoder returns
 (``AssocArray.from_triples``, ``write_raw_batch``) want.  Encoding a
 10k-cell chunk is one ``b"".join`` of precomputed parts.
 
+The columnar shape now has a first-class carrier: :class:`ColumnBatch`
+holds the seven parallel columns (timestamps as ``array('q')``) and is
+what the scan pipeline moves end to end — tablet drain, CHUNK encode,
+client decode, engine consumption — materialising ``Cell`` objects only
+when a caller actually iterates per cell (:meth:`ColumnBatch.cells`).
+
 The encoded block is a frame *payload*; :mod:`repro.net.wire` marks it
 with ``FLAG_CELLS`` (and optionally ``FLAG_ZLIB`` for per-chunk
 compression) so the receiving side never guesses at the format.
@@ -33,6 +39,9 @@ server may restamp), so one codec serves both directions.
 from __future__ import annotations
 
 import struct
+import sys
+from array import array
+from itertools import accumulate
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.dbsim.key import Cell, Key
@@ -49,36 +58,116 @@ MutTuple = Tuple[str, str, str, str, int, bool, str]
 #: block order (timestamps and delete flags are packed separately)
 _STR_FIELDS = (0, 1, 2, 3, 6)
 
+_LITTLE = sys.byteorder == "little"
+#: array typecodes are only usable as wire codecs when their itemsize
+#: matches the block layout exactly (4-byte lengths, 8-byte timestamps)
+_ARR_I4 = array("I").itemsize == 4
+_ARR_Q8 = array("q").itemsize == 8
+#: below this count a ``struct.pack`` splat beats array+byteswap setup
+_SPLAT_CUTOFF = 64
+
 
 class BlockFormatError(ValueError):
     """The block bytes do not parse as a known cell-block layout."""
 
 
+def _pack_u32(values, n: int) -> bytes:
+    """Big-endian uint32 array; ``values`` may be any iterable of n
+    ints.  Large columns go through ``array`` + ``byteswap`` (both C
+    loops) instead of splatting n arguments into ``struct.pack``."""
+    if n >= _SPLAT_CUTOFF and _ARR_I4:
+        arr = array("I", values)
+        if _LITTLE:
+            arr.byteswap()
+        return arr.tobytes()
+    return struct.pack("!%dI" % n, *values)
+
+
+def _pack_i64(values, n: int) -> bytes:
+    """Big-endian int64 array (copies, so a caller's ``array('q')`` is
+    never byteswapped in place)."""
+    if n >= _SPLAT_CUTOFF and _ARR_Q8:
+        arr = array("q", values)
+        if _LITTLE:
+            arr.byteswap()
+        return arr.tobytes()
+    return struct.pack("!%dq" % n, *values)
+
+
 def encode_block(muts: Sequence[MutTuple]) -> bytes:
-    """Pack mutation/cell 7-tuples into one binary block."""
+    """Pack mutation/cell 7-tuples into one binary block.
+
+    One pass over ``muts`` fills the five per-column byte lists, the
+    timestamp list and the delete bitmap together; each column is then
+    one length-array pack plus one ``b"".join``.
+    """
     n = len(muts)
+    if not n:
+        return _HDR.pack(BLOCK_FORMAT, 0)
+    rows: List[bytes] = []
+    fams: List[bytes] = []
+    quals: List[bytes] = []
+    viss: List[bytes] = []
+    vals: List[bytes] = []
+    ts: List[int] = []
+    flags = bytearray(n)
+    i = 0
+    for row, fam, qual, vis, t, d, val in muts:
+        rows.append(row.encode("utf-8"))
+        fams.append(fam.encode("utf-8"))
+        quals.append(qual.encode("utf-8"))
+        viss.append(vis.encode("utf-8"))
+        vals.append(val.encode("utf-8"))
+        ts.append(t)
+        if d:
+            flags[i] = 1
+        i += 1
     parts: List[bytes] = [_HDR.pack(BLOCK_FORMAT, n)]
-    if n:
-        lens_fmt = f"!{n}I"
-        for field in _STR_FIELDS:
-            encoded = [m[field].encode("utf-8") for m in muts]
-            parts.append(struct.pack(lens_fmt, *map(len, encoded)))
-            parts.extend(encoded)
-        parts.append(struct.pack(f"!{n}q", *(m[4] for m in muts)))
-        parts.append(bytes(1 if m[5] else 0 for m in muts))
+    for col in (rows, fams, quals, viss, vals):
+        parts.append(_pack_u32(map(len, col), n))
+        parts.append(b"".join(col))
+    parts.append(_pack_i64(ts, n))
+    parts.append(bytes(flags))
     return b"".join(parts)
 
 
-def decode_columns(buf) -> Tuple[List[str], List[str], List[str],
-                                 List[str], List[int], List[bool],
-                                 List[str]]:
-    """Unpack a block into parallel columns ``(rows, families,
-    qualifiers, visibilities, timestamps, deletes, values)``.
+def encode_columns(rows: Sequence[str], families: Sequence[str],
+                   qualifiers: Sequence[str], visibilities: Sequence[str],
+                   timestamps, deletes, values: Sequence[str]) -> bytes:
+    """Pack seven parallel columns into one binary block — the columnar
+    twin of :func:`encode_block` (no per-cell tuples anywhere).
 
-    ``buf`` may be ``bytes``, ``bytearray`` or ``memoryview``; string
-    bytes are sliced out of a single memoryview (no per-column copy of
-    the blob) and decoded straight to ``str``.
+    ``timestamps`` may be any int sequence (``array('q')`` included);
+    ``deletes`` may be a bool sequence or a ``bytes``/``bytearray``
+    bitmap.
     """
+    n = len(rows)
+    if not n:
+        return _HDR.pack(BLOCK_FORMAT, 0)
+    parts: List[bytes] = [_HDR.pack(BLOCK_FORMAT, n)]
+    for col in (rows, families, qualifiers, visibilities, values):
+        blob = "".join(col)
+        data = blob.encode("utf-8")
+        if len(data) == len(blob):
+            # pure ASCII: byte lengths == str lengths, so the column
+            # encodes with ONE join + ONE encode instead of n encodes
+            parts.append(_pack_u32(map(len, col), n))
+        else:
+            enc = [s.encode("utf-8") for s in col]
+            parts.append(_pack_u32(map(len, enc), n))
+            data = b"".join(enc)
+        parts.append(data)
+    parts.append(_pack_i64(timestamps, n))
+    if isinstance(deletes, (bytes, bytearray)):
+        parts.append(bytes(deletes))
+    else:
+        parts.append(bytes(1 if d else 0 for d in deletes))
+    return b"".join(parts)
+
+
+def _parse(buf) -> Tuple[List[str], List[str], List[str], List[str],
+                         array, List[bool], List[str]]:
+    """Shared block parser: columns out, timestamps as ``array('q')``."""
     view = memoryview(buf)
     if len(view) < _HDR.size:
         raise BlockFormatError(f"cell block too short: {len(view)} bytes")
@@ -101,38 +190,200 @@ def decode_columns(buf) -> Tuple[List[str], List[str], List[str],
                 col = [""] * n
             else:
                 blob = str(view[off:off + total], "utf-8")
-                col = []
-                append = col.append
-                pos = 0
                 if len(blob) == total:
                     # pure ASCII: char offsets == byte offsets, so the
-                    # column decodes with ONE utf-8 pass + str slices
-                    for ln in lens:
-                        append(blob[pos:pos + ln])
-                        pos += ln
+                    # column decodes with ONE utf-8 pass + str slices;
+                    # map(getitem, map(slice, ...)) keeps the per-entry
+                    # work in C instead of interpreter dispatch
+                    if total == n and max(lens) == 1:
+                        # every entry is one char (family/qualifier
+                        # columns usually are): list() splits in C
+                        col = list(blob)
+                    else:
+                        bounds = list(accumulate(lens, initial=0))
+                        col = list(map(blob.__getitem__,
+                                       map(slice, bounds, bounds[1:])))
                 else:
                     raw = view[off:off + total]
+                    col = []
+                    append = col.append
+                    pos = 0
                     for ln in lens:
                         append(str(raw[pos:pos + ln], "utf-8"))
                         pos += ln
             off += total
             str_cols.append(col)
-        timestamps = list(struct.unpack_from(f"!{n}q", view, off))
+        if len(view) - off < 8 * n:
+            raise struct.error("truncated timestamps")
+        if _ARR_Q8:
+            timestamps = array("q")
+            timestamps.frombytes(view[off:off + 8 * n])
+            if _LITTLE:
+                timestamps.byteswap()
+        else:  # pragma: no cover - exotic ABI
+            timestamps = array("q", struct.unpack_from(f"!{n}q", view,
+                                                       off))
         off += 8 * n
         flags = view[off:off + n]
         if len(flags) != n:
             raise struct.error("truncated delete flags")
-        deletes = [b != 0 for b in flags]
+        # scans carry no deletes (versioning eats them server-side), so
+        # the all-zero bitmap short-circuits in C via any()
+        deletes = [b != 0 for b in flags] if any(flags) else [False] * n
     except (struct.error, ValueError, UnicodeDecodeError) as exc:
         raise BlockFormatError(f"undecodable cell block: {exc}") from exc
     rows, fams, quals, vis, vals = str_cols
     return rows, fams, quals, vis, timestamps, deletes, vals
 
 
+class ColumnBatch:
+    """A batch of cells kept as seven parallel columns.
+
+    This is the unit the zero-materialization scan path moves: the
+    tablet drains its merge iterator into one, the server encodes the
+    CHUNK block straight from it, the client decodes the block back
+    into one, and the engine's bulk consumers (``from_triples``,
+    ``degree_table``, BFS frontiers) read the columns directly.
+    ``Cell``/``Key`` dataclasses exist only if someone calls
+    :meth:`cells`.
+    """
+
+    __slots__ = ("rows", "families", "qualifiers", "visibilities",
+                 "timestamps", "deletes", "values")
+
+    def __init__(self, rows: List[str], families: List[str],
+                 qualifiers: List[str], visibilities: List[str],
+                 timestamps: array, deletes: List[bool],
+                 values: List[str]):
+        self.rows = rows
+        self.families = families
+        self.qualifiers = qualifiers
+        self.visibilities = visibilities
+        self.timestamps = timestamps
+        self.deletes = deletes
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ColumnBatch):
+            return NotImplemented
+        return (self.rows == other.rows
+                and self.families == other.families
+                and self.qualifiers == other.qualifiers
+                and self.visibilities == other.visibilities
+                and list(self.timestamps) == list(other.timestamps)
+                and self.deletes == other.deletes
+                and self.values == other.values)
+
+    @classmethod
+    def empty(cls) -> "ColumnBatch":
+        return cls([], [], [], [], array("q"), [], [])
+
+    @classmethod
+    def from_cells(cls, cells: Iterable[Cell]) -> "ColumnBatch":
+        rows: List[str] = []
+        fams: List[str] = []
+        quals: List[str] = []
+        viss: List[str] = []
+        ts: List[int] = []
+        dels: List[bool] = []
+        vals: List[str] = []
+        for c in cells:
+            k = c.key
+            rows.append(k.row)
+            fams.append(k.family)
+            quals.append(k.qualifier)
+            viss.append(k.visibility)
+            ts.append(k.timestamp)
+            dels.append(k.delete)
+            vals.append(c.value)
+        return cls(rows, fams, quals, viss, array("q", ts), dels, vals)
+
+    def cells(self) -> List[Cell]:
+        """Materialise per-cell objects — the lazy escape hatch.
+
+        Same pickle-style ``__new__`` + ``__dict__`` construction as
+        :func:`block_to_cells` (and bit-identical to it)."""
+        key_new, cell_new = Key.__new__, Cell.__new__
+        out: List[Cell] = []
+        append = out.append
+        for r, f, q, v, t, d, val in zip(self.rows, self.families,
+                                         self.qualifiers,
+                                         self.visibilities,
+                                         self.timestamps, self.deletes,
+                                         self.values):
+            key = key_new(Key)
+            key.__dict__.update(row=r, family=f, qualifier=q,
+                                visibility=v, timestamp=t, delete=d)
+            cell = cell_new(Cell)
+            cell.__dict__.update(key=key, value=val)
+            append(cell)
+        return out
+
+    def to_block(self) -> bytes:
+        return encode_columns(self.rows, self.families, self.qualifiers,
+                              self.visibilities, self.timestamps,
+                              self.deletes, self.values)
+
+    def last_key(self) -> List:
+        """Resume token ``[row, family, qualifier, visibility,
+        timestamp, delete]`` of the final entry."""
+        i = len(self.rows) - 1
+        return [self.rows[i], self.families[i], self.qualifiers[i],
+                self.visibilities[i], self.timestamps[i],
+                self.deletes[i]]
+
+    def select(self, indices: Sequence[int]) -> "ColumnBatch":
+        """A new batch holding only the entries at ``indices``."""
+        rows, fams = self.rows, self.families
+        quals, viss = self.qualifiers, self.visibilities
+        ts, dels, vals = self.timestamps, self.deletes, self.values
+        return ColumnBatch([rows[i] for i in indices],
+                           [fams[i] for i in indices],
+                           [quals[i] for i in indices],
+                           [viss[i] for i in indices],
+                           array("q", (ts[i] for i in indices)),
+                           [dels[i] for i in indices],
+                           [vals[i] for i in indices])
+
+    def extend(self, other: "ColumnBatch") -> None:
+        """Append ``other``'s entries in place (chunk coalescing)."""
+        self.rows.extend(other.rows)
+        self.families.extend(other.families)
+        self.qualifiers.extend(other.qualifiers)
+        self.visibilities.extend(other.visibilities)
+        self.timestamps.extend(other.timestamps)
+        self.deletes.extend(other.deletes)
+        self.values.extend(other.values)
+
+
+def decode_batch(buf) -> ColumnBatch:
+    """Unpack a block into a :class:`ColumnBatch` (no ``Cell``\\ s)."""
+    return ColumnBatch(*_parse(buf))
+
+
+def decode_columns(buf) -> Tuple[List[str], List[str], List[str],
+                                 List[str], List[int], List[bool],
+                                 List[str]]:
+    """Unpack a block into parallel columns ``(rows, families,
+    qualifiers, visibilities, timestamps, deletes, values)``.
+
+    ``buf`` may be ``bytes``, ``bytearray`` or ``memoryview``; string
+    bytes are sliced out of a single memoryview (no per-column copy of
+    the blob) and decoded straight to ``str``.  Timestamps come back as
+    a plain ``List[int]``; bulk callers that can use ``array('q')``
+    directly should prefer :func:`decode_batch`.
+    """
+    rows, fams, quals, vis, ts, dels, vals = _parse(buf)
+    return rows, fams, quals, vis, ts.tolist(), dels, vals
+
+
 def decode_mutations(buf) -> List[MutTuple]:
     """Unpack a block into the row-major 7-tuples the tablet write
     path applies."""
-    rows, fams, quals, vis, ts, dels, vals = decode_columns(buf)
+    rows, fams, quals, vis, ts, dels, vals = _parse(buf)
     return list(zip(rows, fams, quals, vis, ts, dels, vals))
 
 
@@ -153,16 +404,4 @@ def block_to_cells(buf) -> List[Cell]:
     which at tens of thousands of cells per scan chunk is the single
     hottest line of the client decode path.
     """
-    rows, fams, quals, vis, ts, dels, vals = decode_columns(buf)
-    key_new, cell_new = Key.__new__, Cell.__new__
-    out: List[Cell] = []
-    append = out.append
-    for r, f, q, v, t, d, val in zip(rows, fams, quals, vis, ts, dels,
-                                     vals):
-        key = key_new(Key)
-        key.__dict__.update(row=r, family=f, qualifier=q, visibility=v,
-                            timestamp=t, delete=d)
-        cell = cell_new(Cell)
-        cell.__dict__.update(key=key, value=val)
-        append(cell)
-    return out
+    return ColumnBatch(*_parse(buf)).cells()

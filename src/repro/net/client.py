@@ -54,7 +54,6 @@ import random
 import socket
 import threading
 import time
-from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dbsim.client import Connector
@@ -279,9 +278,24 @@ class _SyncStream:
         return self._core.run(self._core.aio.stream_get(
             self._stream, timeout))
 
+    def recv_many(self, timeout: float) -> list:
+        """Every frame the stream has buffered (at least one) in a
+        single loop round-trip — with chunks arriving faster than the
+        consumer drains them, one blocking hop delivers a whole run of
+        CHUNKs instead of paying a loop wakeup per frame."""
+        return self._core.run(self._core.aio.stream_get_many(
+            self._stream, timeout))
+
     @property
     def ended(self) -> bool:
         return self._stream.ended
+
+    def mark_ended(self) -> None:
+        """The consumer learned out-of-band (a ``last``-marked CHUNK)
+        that no more data is coming: flag the stream terminal so close
+        skips the cancel round-trip and the reader drops the trailing
+        DONE frame as it arrives."""
+        self._stream.ended = True
 
     def cancel(self) -> None:
         """Abandon the stream; tells the server to stop producing."""
@@ -295,85 +309,111 @@ class _SyncStream:
 # -- scan streaming ---------------------------------------------------------
 
 
-class _Segment:
-    """One (server, tablet) leg of a possibly re-planned scan."""
+#: how many segments the pump keeps open ahead of the consumer — their
+#: servers scan in parallel while the head segment's batches are being
+#: decoded, so crossing a tablet boundary rarely waits on the network
+_SCAN_FANOUT = 3
 
-    __slots__ = ("addr", "tablet_id", "extent")
+#: how long a round waits for a follow-on segment's frames before
+#: handing back what it has — long enough to catch a segment that has
+#: been producing in parallel and is a hair behind the head, short
+#: enough that one slow server cannot stall delivery of ready batches
+_SPLICE_WAIT = 0.01
+
+
+class _Segment:
+    """One (server, tablet) leg of a possibly re-planned scan.
+
+    ``stream``/``span`` are the leg's live transport attachments: the
+    pump fans out opens ahead of consumption, so a segment can hold an
+    open (buffering) stream long before it becomes the head.
+    """
+
+    __slots__ = ("addr", "tablet_id", "extent", "stream", "span")
 
     def __init__(self, addr: Addr, tablet_id: str, extent: Range):
         self.addr = addr
         self.tablet_id = tablet_id
         self.extent = extent
+        self.stream: Optional[_SyncStream] = None
+        self.span = None
 
 
-class _RemoteScanIterator(SortedKVIterator):
-    """The raw server-side cell stream behind a remote scan stack.
+def _seg_run_complete(frames: list) -> bool:
+    """Did this frame run *cleanly* finish its segment?  True on a
+    trailing DONE or ``last``-marked CHUNK.  An ERROR ends the stream
+    but not the segment (it will be resumed), so it is not complete —
+    and the round must not splice a later segment's frames after it."""
+    if not frames:
+        return False
+    code, payload, _ = frames[-1]
+    if code == wire.DONE:
+        return True
+    return code == wire.CHUNK and bool(payload.meta.get("last"))
 
-    Presents the standard seek/has_top/top/advance contract over a
-    sequence of binary CHUNK frames.  The stream is resumable: every
-    consumed cell updates the resume key, and any mid-stream failure
-    (timeout, reset, corrupt frame, server crash, local queue overrun)
-    reopens the stream asking the server to skip everything at or
-    before that key.  A ``NotHostedError`` instead re-locates through
-    the manager and re-plans the remaining row-range over the new
-    tablet layout — which is how a scan survives a split or migration
-    that happens under it.
 
-    Client-side scan iterators (visibility filter, user iterators) are
-    layered on top by :meth:`TabletProxy.scan_iterator`; the cells seen
-    here are post-versioning server output.
+class _RemoteScanStream:
+    """The resumable ColumnBatch pump behind every remote scan.
+
+    Owns the whole stream lifecycle over a sequence of binary CHUNK
+    frames: open/retry/backoff, mid-stream resume, split re-planning,
+    spans and counters.  :meth:`next_batch` returns decoded
+    :class:`~repro.net.cells.ColumnBatch`\\ es — one per consumer
+    wakeup, coalescing every CHUNK the connection reader had already
+    buffered — and never materialises a ``Cell``.
+
+    A pump may span many segments (one per tablet).  It fans out: the
+    next :data:`_SCAN_FANOUT` segments' streams are opened ahead of
+    consumption so their servers scan in parallel, and one event-loop
+    round delivers as many consecutive completed segments as have
+    arrived.  Delivery order is strictly segment order — fan-out
+    changes when servers *produce*, never when the consumer *sees*.
+
+    The stream is resumable at batch granularity: the resume key
+    advances to the last entry of each CHUNK as it is decoded, and any
+    mid-stream failure (timeout, reset, corrupt frame, server crash,
+    local queue overrun) reopens the stream asking the server to skip
+    everything at or before that key.  Batch granularity is exactly as
+    correct as the old per-cell resume because a reopen only ever
+    happens while pulling the *next* batch — everything in already
+    returned batches has been handed to the caller.  A
+    ``NotHostedError`` instead re-locates through the manager and
+    re-plans the remaining row-range over the new tablet layout — which
+    is how a scan survives a split or migration that happens under it.
     """
 
     def __init__(self, inst: "RemoteInstance", table: str, clip: Range,
-                 segment: _Segment):
+                 segments: Sequence[_Segment]):
         self._inst = inst
         self._table = table
-        self._clip = clip  # construction range ∩ proxy extent
-        self._home = segment
+        self._clip = clip  # construction range (∩ proxy extent if per-tablet)
+        self._home = list(segments)  # the layout the pump was planned on
         self._segments: List[_Segment] = []
         self._effective: Optional[Range] = None
         self._columns: Columns = None
-        self._buffer: deque = deque()
         self._resume: Optional[list] = None
         self._finished = True
-        self._stream: Optional[_SyncStream] = None
-        self._opened = False  # has this iterator ever opened a stream?
-        self._span = None  # detached rpc.client.scan span per open stream
+        self._opened = False  # has this pump ever opened a stream?
 
-    # -- iterator contract ------------------------------------------------
-
-    def seek(self, rng: Range, columns: Columns = None) -> None:
+    def reset(self, rng: Range, columns: Columns = None) -> None:
         self._close()
-        self._buffer.clear()
         self._resume = None
         self._opened = False  # a fresh seek is not a resume
         self._columns = list(columns) if columns else None
         self._effective = self._clip.clip(rng)
-        self._finished = self._effective is None
-        self._segments = [] if self._finished else [self._home]
-
-    def has_top(self) -> bool:
-        while not self._buffer and not self._finished:
-            self._pump()
-        return bool(self._buffer)
-
-    def top(self) -> Cell:
-        if not self.has_top():
-            raise StopIteration("iterator exhausted")
-        return self._buffer[0]
-
-    def advance(self) -> None:
-        if not self.has_top():
-            return
-        cell = self._buffer.popleft()
-        k = cell.key
-        self._resume = [k.row, k.family, k.qualifier, k.visibility,
-                        k.timestamp, k.delete]
+        self._segments = []
+        if self._effective is not None:
+            for seg in self._home:
+                if seg.extent.clip(self._effective) is not None:
+                    seg.stream = None
+                    seg.span = None
+                    self._segments.append(seg)
+        self._finished = not self._segments
 
     # -- streaming --------------------------------------------------------
 
-    def _open(self) -> None:
-        seg = self._segments[0]
+    async def _aopen(self, seg: _Segment, parent_ctx) -> None:
+        """Open ``seg``'s stream (loop side; no waiting for frames)."""
         core = self._inst.core
         payload = {
             "table": self._table,
@@ -387,26 +427,80 @@ class _RemoteScanIterator(SortedKVIterator):
         tc = None
         if _trace.ENABLED:
             # detached: a scan stream stays open across iterator pulls,
-            # so its span cannot be lexically scoped.  _close() finishes
-            # it; a resume/re-plan opens a fresh one.
-            self._span = _trace.start_span(
-                "rpc.client.scan", op="scan", table=self._table,
-                server=format_addr(seg.addr))
-            tc = self._span.context
-        self._stream = core.open_stream(seg.addr, payload, tc=tc)
+            # so its span cannot be lexically scoped.  ``parent_ctx``
+            # carries the consumer thread's span stack across into the
+            # loop thread.  Closed by _close_segment on completion,
+            # resume, or re-plan.
+            seg.span = _trace.start_span(
+                "rpc.client.scan", parent=parent_ctx, op="scan",
+                table=self._table, server=format_addr(seg.addr))
+            tc = seg.span.context
+        stream = await core.aio.open_stream(seg.addr, wire.SCAN, payload,
+                                            tc=tc)
+        seg.stream = _SyncStream(core, seg.addr, stream)
         self._opened = True
 
-    def _pump(self) -> None:
-        """Receive frames until the buffer has cells, the current
-        segment completes, or the scan is re-planned."""
+    async def _fanout(self, base: int, parent_ctx) -> None:
+        """Open any unopened streams among segments ``base`` through
+        ``base + _SCAN_FANOUT - 1``.  Only a head (``base == 0``) open
+        failure propagates — an eager open that fails will fail again,
+        visibly, once that segment becomes the head."""
+        for i, seg in enumerate(self._segments[base:base + _SCAN_FANOUT]):
+            if seg.stream is not None:
+                continue
+            if base == 0 and i == 0:
+                await self._aopen(seg, parent_ctx)
+            else:
+                try:
+                    await self._aopen(seg, parent_ctx)
+                except Exception:  # noqa: BLE001 - surfaces once it is head
+                    if seg.span is not None:
+                        seg.span.finish()
+                        seg.span = None
+                    break
+
+    async def _round(self, parent_ctx) -> list:
+        """One event-loop submission: fan out opens for the next few
+        segments (their servers scan in parallel), await the head
+        segment's frame run, then — while each run *cleanly* completes
+        its segment — splice on the follow-on segments' runs, waiting
+        at most :data:`_SPLICE_WAIT` each since they have been
+        producing concurrently the whole time.  The consumer gets a
+        whole multi-segment run per cross-thread wakeup instead of
+        paying a GIL-contended loop round trip per tablet boundary.
+
+        A run ending in ERROR (or a splice-side failure) stops the
+        splice: later segments' frames must never be delivered before
+        an earlier segment has resumed and finished."""
+        core = self._inst.core
+        await self._fanout(0, parent_ctx)
+        frames = await self._segments[0].stream._stream.get_many(
+            core.retry.deadline)
+        run, k = frames, 1
+        while k < len(self._segments) and _seg_run_complete(run):
+            await self._fanout(k, parent_ctx)  # slide the open-ahead window
+            nxt = self._segments[k].stream
+            if nxt is None:
+                break
+            try:
+                run = await nxt._stream.get_many(_SPLICE_WAIT)
+            except Exception:  # noqa: BLE001 - requeued; raised once head
+                break
+            frames.extend(run)
+            k += 1
+        return frames
+
+    def next_batch(self) -> Optional[_cells.ColumnBatch]:
+        """The next non-empty batch (every buffered CHUNK merged), or
+        ``None`` once the scan is exhausted."""
         core = self._inst.core
         counters = core.metrics.counter
         sleep: Optional[float] = None
         attempts = 0
-        while not self._buffer and not self._finished:
-            seg = self._segments[0]
+        while not self._finished:
+            parent_ctx = _trace.current_context() if _trace.ENABLED else None
             try:
-                if self._stream is None:
+                if self._segments[0].stream is None:
                     if attempts:
                         sleep = core.retry.next_sleep(sleep, core._rng)
                         time.sleep(sleep)
@@ -416,8 +510,7 @@ class _RemoteScanIterator(SortedKVIterator):
                         # chunk progress reset the attempt budget
                         counters("net.client.scan_resumes").inc()
                     attempts += 1
-                    self._open()
-                code, payload, nread = self._stream.recv(core.retry.deadline)
+                frames = core.run(self._round(parent_ctx))
             except StreamOverrunError:
                 # the reader shed this stream rather than stall the
                 # connection; everything delivered so far is good —
@@ -433,45 +526,78 @@ class _RemoteScanIterator(SortedKVIterator):
                 self._bail(counters, attempts)
                 continue
             except (wire.ProtocolError, OSError) as exc:
-                self._close()
                 if isinstance(exc, wire.ProtocolError):
+                    self._close()
                     raise
+                self._close_head()
                 self._check_budget(counters, attempts, exc)
                 continue
-            if code == wire.CHUNK:
-                attempts = 0  # progress: reset the retry budget
-                self._buffer.extend(_cells.block_to_cells(payload.block))
-                counters("net.client.scan_chunks").inc()
-                if self._span is not None:
-                    attrs = self._span.attrs
-                    attrs["chunks"] = attrs.get("chunks", 0) + 1
-                    attrs["bytes"] = attrs.get("bytes", 0) + nread
-            elif code == wire.DONE:
-                self._close()
-                self._segments.pop(0)
-                if not self._segments:
-                    self._finished = True
-                attempts = 0
-            elif code == wire.ERROR:
-                self._close()
-                try:
-                    wire.raise_error(payload)
-                except ServerCrashedError as exc:
-                    self._check_budget(counters, attempts, exc)
-                except BusyError as exc:
-                    counters("net.client.busy_retries").inc()
-                    self._check_budget(counters, attempts, exc)
-                except NotHostedError:
-                    counters("net.client.relocates").inc()
-                    self._replan(seg)
+            batch: Optional[_cells.ColumnBatch] = None
+            seg_done = False
+            for code, payload, nread in frames:
+                if code == wire.CHUNK:
+                    attempts = 0  # progress: reset the retry budget
+                    seg_done = False
+                    decoded = _cells.decode_batch(payload.block)
+                    counters("net.client.scan_chunks").inc()
+                    if len(decoded):
+                        # the resume key advances per decoded chunk so
+                        # an error later in this same frame run reopens
+                        # past everything about to be returned
+                        self._resume = decoded.last_key()
+                        if batch is None:
+                            batch = decoded
+                        else:
+                            batch.extend(decoded)
+                    head = self._segments[0]
+                    if head.span is not None:
+                        attrs = head.span.attrs
+                        attrs["chunks"] = attrs.get("chunks", 0) + 1
+                        attrs["bytes"] = attrs.get("bytes", 0) + nread
+                    if payload.meta.get("last"):
+                        # server marked its final chunk: complete the
+                        # segment now instead of paying another wakeup
+                        # for the DONE frame (which the ended stream
+                        # drops on arrival)
+                        if head.stream is not None:
+                            head.stream.mark_ended()
+                        seg_done = True
+                        self._complete_segment()
+                elif code == wire.DONE:
+                    if seg_done:
+                        seg_done = False  # already completed via "last"
+                    else:
+                        self._complete_segment()
                     attempts = 0
-            else:
-                self._close()
-                raise wire.ProtocolError(
-                    f"unexpected frame {code:#x} in scan stream")
+                elif code == wire.ERROR:
+                    self._close_head()
+                    try:
+                        wire.raise_error(payload)
+                    except ServerCrashedError as exc:
+                        self._check_budget(counters, attempts, exc)
+                    except BusyError as exc:
+                        counters("net.client.busy_retries").inc()
+                        self._check_budget(counters, attempts, exc)
+                    except NotHostedError:
+                        counters("net.client.relocates").inc()
+                        self._replan()
+                        attempts = 0
+                else:
+                    self._close()
+                    raise wire.ProtocolError(
+                        f"unexpected frame {code:#x} in scan stream")
+            if batch is not None:
+                return batch
+        return None
+
+    def _complete_segment(self) -> None:
+        self._close_head()
+        self._segments.pop(0)
+        if not self._segments:
+            self._finished = True
 
     def _bail(self, counters, attempts: int) -> None:
-        self._close()
+        self._close_head()
         self._check_budget(counters, attempts,
                            wire.RpcError("scan stream interrupted"))
 
@@ -483,9 +609,10 @@ class _RemoteScanIterator(SortedKVIterator):
                 f"scan of {self._table!r} failed after {attempts} "
                 f"attempts") from exc
 
-    def _replan(self, failed: _Segment) -> None:
+    def _replan(self) -> None:
         """The tablet moved (split/migration): rebuild the remaining
         segments from a fresh locate index."""
+        self._close()  # fanned-out streams were planned on the old layout
         self._inst.invalidate(self._table)
         remaining = Range(
             self._resume[0] if self._resume else self._effective.start_row,
@@ -497,19 +624,72 @@ class _RemoteScanIterator(SortedKVIterator):
         if not self._segments:
             self._finished = True
 
-    def _close(self) -> None:
-        span, self._span = self._span, None
+    @staticmethod
+    def _close_segment(seg: _Segment) -> None:
+        span, seg.span = seg.span, None
         if span is not None:
             span.finish()
-        stream, self._stream = self._stream, None
+        stream, seg.stream = seg.stream, None
         if stream is not None and not stream.ended:
             stream.cancel()
+
+    def _close_head(self) -> None:
+        if self._segments:
+            self._close_segment(self._segments[0])
+
+    def _close(self) -> None:
+        for seg in self._segments:
+            self._close_segment(seg)
 
     def __del__(self):  # abandoned mid-stream: stop the server's work
         try:
             self._close()
         except Exception:
             pass
+
+
+class _RemoteScanIterator(SortedKVIterator):
+    """Per-cell seek/has_top/top/advance view over the batch pump.
+
+    This is now a *thin materializing layer*: the pump moves
+    ColumnBatches; cells are built lazily one batch at a time, only
+    because this consumer genuinely wants ``Cell`` objects.  Bulk
+    consumers skip this class entirely via
+    :meth:`TabletProxy.scan_columns`.
+
+    Client-side scan iterators (visibility filter, user iterators) are
+    layered on top by :meth:`TabletProxy.scan_iterator`; the cells seen
+    here are post-versioning server output.
+    """
+
+    def __init__(self, inst: "RemoteInstance", table: str, clip: Range,
+                 segments: Sequence[_Segment]):
+        self._pump = _RemoteScanStream(inst, table, clip, segments)
+        self._cells: List[Cell] = []
+        self._pos = 0
+
+    def seek(self, rng: Range, columns: Columns = None) -> None:
+        self._pump.reset(rng, columns)
+        self._cells = []
+        self._pos = 0
+
+    def has_top(self) -> bool:
+        while self._pos >= len(self._cells):
+            batch = self._pump.next_batch()
+            if batch is None:
+                return False
+            self._cells = batch.cells()
+            self._pos = 0
+        return True
+
+    def top(self) -> Cell:
+        if not self.has_top():
+            raise StopIteration("iterator exhausted")
+        return self._cells[self._pos]
+
+    def advance(self) -> None:
+        if self.has_top():
+            self._pos += 1
 
 
 # -- the backend ------------------------------------------------------------
@@ -548,10 +728,43 @@ class TabletProxy:
             return ListIterator([])
         stack: SortedKVIterator = _RemoteScanIterator(
             self._inst, self._table, clip,
-            _Segment(self.addr, self.tablet_id, self.extent))
+            [_Segment(self.addr, self.tablet_id, self.extent)])
         for factory in scan_iterators:
             stack = factory(stack)
         return stack
+
+    def scan_columns(self, rng: Range = Range(), columns: Columns = None,
+                     table_iterators: Sequence = (),
+                     scan_iterators: Sequence = ()):
+        """Bulk columnar read: a generator of
+        :class:`~repro.net.cells.ColumnBatch` straight off the CHUNK
+        stream — no per-cell objects anywhere on the client.
+
+        ``table_iterators`` are ignored for the same reason as in
+        :meth:`scan_iterator` (the server applies the authoritative
+        table stack); scan-time iterators are per-cell by contract and
+        therefore unsupported on the bulk path.
+        """
+        if scan_iterators:
+            raise ValueError(
+                "scan_columns cannot run client-side scan iterators; "
+                "use scan_iterator() for per-cell stacks")
+        clip = self.extent.clip(rng)
+        if clip is None:
+            return iter(())
+        pump = _RemoteScanStream(
+            self._inst, self._table, clip,
+            [_Segment(self.addr, self.tablet_id, self.extent)])
+        pump.reset(rng, columns)
+
+        def batches():
+            while True:
+                batch = pump.next_batch()
+                if batch is None:
+                    return
+                yield batch
+
+        return batches()
 
     def scan(self, rng: Range = Range(), columns: Columns = None,
              table_iterators: Sequence = (),
@@ -820,6 +1033,32 @@ class RemoteInstance:
             if proxy.extent.clip(rng) is not None:
                 out.append(proxy)
         return out
+
+    def scan_columns(self, table: str, rng: Range = Range(),
+                     columns: Columns = None):
+        """Native bulk columnar scan: ONE pump spanning every tablet
+        overlapping ``rng``, yielding
+        :class:`~repro.net.cells.ColumnBatch`\\ es in global key order.
+
+        This is the fabric's preferred bulk read path — the pump fans
+        out stream opens across the tablets' servers so they scan in
+        parallel, where the per-tablet ``TabletProxy.scan_columns``
+        necessarily pays a serial open-and-drain round per tablet.
+        ``Scanner.scan_columns`` dispatches here when the backend
+        offers it (client-side visibility filtering stays with the
+        caller)."""
+        proxies = self.tablets_for_range(table, rng)
+        if not proxies:
+            return
+        pump = _RemoteScanStream(
+            self, table, rng,
+            [_Segment(p.addr, p.tablet_id, p.extent) for p in proxies])
+        pump.reset(rng, columns)
+        while True:
+            batch = pump.next_batch()
+            if batch is None:
+                return
+            yield batch
 
     # -- maintenance ------------------------------------------------------
 

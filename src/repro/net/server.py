@@ -62,7 +62,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dbsim.errors import BusyError, NotHostedError
-from repro.dbsim.key import Cell, Key, Range
+from repro.dbsim.key import Key, Range
 from repro.dbsim.server import TableConfig, TabletServer
 from repro.dbsim.sstable import SSTable
 from repro.dbsim.stats import OpStats
@@ -84,6 +84,15 @@ from repro.obs.metrics import MetricsRegistry
 #: cells per CHUNK frame on a streamed scan (bigger frames amortize
 #: framing + syscalls now that chunks are packed binary, not JSON)
 SCAN_CHUNK_CELLS = 2048
+
+#: adaptive scan compression: CHUNK blocks below this size skip zlib
+#: outright (a compressed tiny frame saves no meaningful wire bytes but
+#: still costs a deflate pass on the scan hot path)
+SCAN_COMPRESS_MIN_BYTES = 1024
+
+#: ...and a stream only keeps compressing if a trial pass over its
+#: first eligible chunk shrinks it by at least this fraction
+SCAN_COMPRESS_MIN_SAVINGS = 0.10
 
 #: admission control: unary requests queued per connection before the
 #: server sheds with BusyError
@@ -595,6 +604,9 @@ class TabletServerService(_BaseService):
     def _scan_stream(self, state: _ConnState, p: dict, req: int) -> None:
         counters = self.metrics.counter
         compress = bool(p.get("compress"))
+        #: trial verdict for this stream: None until the first chunk
+        #: big enough to be worth testing, then sticky True/False
+        trial: Optional[bool] = None
         # scans run concurrently, and the tablet's shared OpStats sink
         # updates with non-atomic += — each scan counts into a private
         # block folded back under the service lock when it finishes
@@ -607,40 +619,73 @@ class TabletServerService(_BaseService):
                 rng = wire.wire_to_range(p["range"])
                 columns = ([tuple(c) for c in p["columns"]]
                            if p.get("columns") else None)
-                stack = tablet.scan_iterator(rng, config.table_iterators,
-                                             (), sink=scan_stats)
-                stack.seek(rng, columns)
+                # columnar drain: the merged stack's cells go straight
+                # into ColumnBatch columns, and the CHUNK block is
+                # encoded from those columns — no List[Cell] staging,
+                # no cells_to_block re-walk
+                batches = tablet.scan_columns(
+                    rng, columns, config.table_iterators,
+                    batch_cells=SCAN_CHUNK_CELLS, sink=scan_stats)
             resume = p.get("resume")
             skip_past = Key(*resume).sort_tuple() if resume else None
+            scan_bytes = counters(f"net.server.table.{table}.scan_bytes")
+            scan_chunks = counters("net.server.scan_chunks")
 
-            def ship(batch: List[Cell]) -> bool:
-                nsent = self._respond(
-                    state, wire.CHUNK,
-                    wire.CellsPayload({}, cells.cells_to_block(batch)),
-                    wire.SCAN, req, compress=compress)
-                if not nsent:
-                    return False
-                counters("net.server.scan_chunks").inc()
-                counters(f"net.server.table.{table}.scan_bytes").inc(
-                    nsent - wire.FRAME_OVERHEAD)
-                return True
-
-            chunk: List[Cell] = []
-            while stack.has_top():  # crash guard may raise mid-stream
+            # one-batch lookahead so the final CHUNK can carry a "last"
+            # marker: the client completes the segment on that chunk
+            # and never pays a wakeup for the DONE frame (still sent —
+            # it remains the protocol's source of truth)
+            batch_iter = iter(batches)  # crash check raises on next()
+            pending = next(batch_iter, None)
+            while pending is not None:
+                batch, pending = pending, next(batch_iter, None)
+                last = pending is None
                 if req in state.cancelled or not state.alive:
                     return  # client stopped listening: stop producing
-                cell = stack.top()
-                stack.advance()
-                if skip_past is not None \
-                        and cell.key.sort_tuple() <= skip_past:
-                    continue  # already delivered before the resume
-                chunk.append(cell)
-                if len(chunk) >= SCAN_CHUNK_CELLS:
-                    if not ship(chunk):
-                        return
-                    chunk = []
-            if chunk and not ship(chunk):
-                return
+                if skip_past is not None:
+                    # the stream is sorted, so everything already
+                    # delivered before the resume is a prefix
+                    rows, fams = batch.rows, batch.families
+                    quals, viss = batch.qualifiers, batch.visibilities
+                    ts, dels = batch.timestamps, batch.deletes
+                    n = len(rows)
+                    i = 0
+                    while i < n and (rows[i], fams[i], quals[i], viss[i],
+                                     -ts[i],
+                                     0 if dels[i] else 1) <= skip_past:
+                        i += 1
+                    if i == n:
+                        continue
+                    if i:
+                        batch = batch.select(range(i, n))
+                    skip_past = None
+                block = batch.to_block()
+                do_comp = False
+                if compress:
+                    if len(block) < SCAN_COMPRESS_MIN_BYTES:
+                        counters(
+                            "net.server.scan_compress.skipped_small").inc()
+                    else:
+                        if trial is None:
+                            trial = (len(zlib.compress(block, 1))
+                                     <= (1.0 - SCAN_COMPRESS_MIN_SAVINGS)
+                                     * len(block))
+                        if trial:
+                            do_comp = True
+                            counters(
+                                "net.server.scan_compress.compressed").inc()
+                        else:
+                            counters(
+                                "net.server.scan_compress.skipped_trial"
+                            ).inc()
+                meta = {"last": True} if last else {}
+                nsent = self._respond(state, wire.CHUNK,
+                                      wire.CellsPayload(meta, block),
+                                      wire.SCAN, req, compress=do_comp)
+                if not nsent:
+                    return
+                scan_chunks.inc()
+                scan_bytes.inc(nsent - wire.FRAME_OVERHEAD)
             self._respond(state, wire.DONE, None, wire.SCAN, req)
         except Exception as exc:  # noqa: BLE001 - wire boundary
             counters("net.server.errors").inc()

@@ -29,6 +29,12 @@ _BYTES_RECEIVED = "net.server.bytes_received"
 _INFLIGHT = "net.server.inflight"
 _ERRORS = "net.server.errors"
 
+#: adaptive scan-compression decision counters (``repro top`` SCAN-ZIP
+#: column: compressed / skipped-small / skipped-by-trial)
+_SCAN_COMPRESS = ("net.server.scan_compress.compressed",
+                  "net.server.scan_compress.skipped_small",
+                  "net.server.scan_compress.skipped_trial")
+
 #: per-table activity sources mined for the "hot tables" column:
 #: (prefix, suffixes) — names look like ``<prefix><table>.<suffix>``
 _TABLE_SOURCES = (
@@ -160,6 +166,8 @@ class ClusterTelemetry:
                 "err_ps": None,
                 "reset": False,
                 "hot_tables": [],
+                "scan_compress": [export.get(name, 0)
+                                  for name in _SCAN_COMPRESS],
             }
             if d is not None:
                 rates = d.rates(nonzero=False)
@@ -199,7 +207,8 @@ def render_top(summary: Dict[str, Dict[str, Any]],
     """Render a :meth:`ClusterTelemetry.summary` as the fixed-width
     table ``repro top`` prints (one row per component)."""
     header = (f"{'SERVER':<12} {'QPS':>8} {'TX/s':>9} {'RX/s':>9} "
-              f"{'INFLIGHT':>8} {'ERR/s':>7} {'REQS':>9}  HOT TABLES")
+              f"{'INFLIGHT':>8} {'ERR/s':>7} {'REQS':>9} "
+              f"{'SCAN-ZIP':>10}  HOT TABLES")
     lines = []
     if clock:
         lines.append(f"-- repro top @ {clock} --")
@@ -214,11 +223,14 @@ def render_top(summary: Dict[str, Dict[str, Any]],
         rx = ("-" if row.get("rx_bps") is None
               else format_bytes(row["rx_bps"]))
         hot = ",".join(row.get("hot_tables") or []) or "-"
+        zc = row.get("scan_compress") or [0, 0, 0]
+        # compressed/skipped-small/skipped-by-trial scan chunks
+        zip_col = "/".join(str(v) for v in zc) if any(zc) else "-"
         name = component + ("*" if row.get("reset") else "")
         lines.append(
             f"{name:<12} {rate('qps'):>8} {tx:>9} {rx:>9} "
             f"{row.get('inflight', 0):>8} {rate('err_ps'):>7} "
-            f"{row.get('requests', 0):>9}  {hot}")
+            f"{row.get('requests', 0):>9} {zip_col:>10}  {hot}")
     if any(row.get("reset") for row in summary.values()):
         lines.append("(* counters reset since last sample)")
     return "\n".join(lines)

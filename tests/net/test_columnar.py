@@ -1,0 +1,152 @@
+"""The zero-materialization columnar scan pipeline, end to end.
+
+Bit-identity is the contract: every batch yielded by ``scan_columns``
+must materialise to exactly the cells — order and timestamps included —
+that the per-cell iterator path produces, on the in-process backend and
+on a faulted remote cluster alike, and the Graphulo kernels must emit
+bit-identical result tables when fed through the columnar path.
+"""
+
+import pytest
+
+from repro.dbsim.client import Connector
+from repro.dbsim.graphulo import degree_table, table_bfs, table_mult
+from repro.dbsim.server import Instance
+from repro.net.cluster import LocalCluster
+from repro.net.server import SCAN_CHUNK_CELLS
+from repro.obs.metrics import MetricsRegistry
+
+#: seeded drop + delay (+ corrupt, to force scan resumes) fault plan
+SPECS = ["write_batch:drop:0.1", "scan:corrupt:0.25", "*:delay:0.05:0.002"]
+SEED = 42
+
+
+def _local_conn(n_servers=3):
+    return Connector(Instance(n_servers=n_servers,
+                              metrics=MetricsRegistry()))
+
+
+def _ingest_graph(conn):
+    """Deterministic small graph + TableMult operands (same write order
+    everywhere so logical timestamps line up bit-for-bit)."""
+    conn.create_table("E", splits=["v3", "v6"])
+    with conn.batch_writer("E", buffer_size=16) as w:
+        for i in range(9):
+            for j in range(1, 4):
+                w.put(f"v{i}", "", f"v{(i * j + 1) % 9}", 1 + (i + j) % 3)
+    conn.create_table("AT", splits=["t3"])
+    conn.create_table("B", splits=["t3"])
+    with conn.batch_writer("AT", buffer_size=16) as w:
+        for t in range(6):
+            for u in range(4):
+                if (t + u) % 3:
+                    w.put(f"t{t}", "", f"u{u}", t + u)
+    with conn.batch_writer("B", buffer_size=16) as w:
+        for t in range(6):
+            for v in range(5):
+                if (t * v) % 4 != 1:
+                    w.put(f"t{t}", "", f"w{v}", t - v)
+
+
+def _run_kernels(conn):
+    """Run the three columnar-consuming kernels; return everything an
+    equality check needs (result cells include timestamps)."""
+    table_mult(conn, "AT", "B", "C", via="engine")
+    degree_table(conn, "E", "Edeg")
+    bfs = table_bfs(conn, "E", ["v0"], hops=3)
+    bfs_deg = table_bfs(conn, "E", ["v0", "v4"], hops=2,
+                        min_degree=4.0, degree_table_name="Edeg")
+    return (list(conn.scanner("C")), list(conn.scanner("Edeg")),
+            bfs, bfs_deg)
+
+
+class TestScanColumnsEquivalence:
+    def test_local_scanner_columnar_equals_per_cell(self):
+        conn = _local_conn()
+        _ingest_graph(conn)
+        for table in ("E", "AT", "B"):
+            want = list(conn.scanner(table))
+            got = [c for b in conn.scanner(table).scan_columns()
+                   for c in b.cells()]
+            assert got == want  # order + timestamps
+
+    def test_local_batch_scanner_columnar_equals_per_cell(self):
+        from repro.dbsim.key import Range
+        conn = _local_conn()
+        _ingest_graph(conn)
+        ranges = [Range.exact_row(f"v{i}") for i in range(0, 9, 2)]
+        for coalesce in (True, False):
+            bs = conn.batch_scanner("E", coalesce=coalesce)
+            bs.set_ranges(ranges)
+            want = list(bs)
+            bs = conn.batch_scanner("E", coalesce=coalesce)
+            bs.set_ranges(ranges)
+            got = [c for b in bs.scan_columns() for c in b.cells()]
+            assert got == want
+
+    def test_per_cell_scan_iterators_rejected(self):
+        conn = _local_conn()
+        conn.create_table("t")
+        noop = lambda src: src
+        with pytest.raises(ValueError, match="scan iterators"):
+            list(conn.scanner("t", scan_iterators=(noop,)).scan_columns())
+        bs = conn.batch_scanner("t", scan_iterators=(noop,))
+        from repro.dbsim.key import Range
+        bs.set_ranges([Range()])
+        with pytest.raises(ValueError, match="scan iterators"):
+            list(bs.scan_columns())
+
+    def test_remote_columnar_equals_per_cell_under_faults(self):
+        n = 2 * SCAN_CHUNK_CELLS + 101  # several CHUNK frames per scan
+        with LocalCluster(n_servers=3, processes=False,
+                          fault_specs=SPECS, fault_seed=SEED) as c:
+            registry = MetricsRegistry()
+            conn = c.connect(metrics=registry)
+            try:
+                conn.create_table("t", splits=["r2", "r4", "r6", "r8"])
+                with conn.batch_writer("t") as w:
+                    for i in range(n):
+                        w.put(f"r{i % 10}x{i:05d}", "f", "qé", i)
+                want = list(conn.scanner("t"))
+                got = [cell for b in conn.scanner("t").scan_columns()
+                       for cell in b.cells()]
+                assert got == want  # bit-identical incl. timestamps
+            finally:
+                conn.close()
+            export = registry.export()
+            assert export["net.client.scan_chunks"] > 0
+            assert export["net.client.scan_resumes"] > 0  # faults hit
+
+
+class TestGraphuloColumnarBitIdentity:
+    def test_kernels_thread_cluster_vs_in_process(self):
+        local = _local_conn(n_servers=3)
+        _ingest_graph(local)
+        want = _run_kernels(local)
+
+        with LocalCluster(n_servers=3, processes=False,
+                          fault_specs=SPECS, fault_seed=SEED) as c:
+            registry = MetricsRegistry()
+            conn = c.connect(metrics=registry)
+            try:
+                _ingest_graph(conn)
+                got = _run_kernels(conn)
+            finally:
+                conn.close()
+        assert got == want  # result cells (ts incl.) + both BFS dicts
+        assert registry.export()["net.client.scan_chunks"] > 0
+
+    def test_kernels_process_cluster_vs_in_process(self):
+        local = _local_conn(n_servers=2)
+        _ingest_graph(local)
+        want = _run_kernels(local)
+
+        with LocalCluster(n_servers=2, processes=True,
+                          fault_specs=SPECS, fault_seed=SEED) as c:
+            conn = c.connect()
+            try:
+                _ingest_graph(conn)
+                got = _run_kernels(conn)
+            finally:
+                conn.close()
+        assert got == want
