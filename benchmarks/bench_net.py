@@ -96,31 +96,49 @@ class TestRpcRtt:
                   f"p50 {1e6 * p50:.0f}us p99 {1e6 * p99:.0f}us")
         assert p50 < 0.05  # localhost ping must be well under 50ms
 
-    def test_trace_propagation_overhead(self, cluster, capsys):
-        """p50 ping RTT with full tracing on (client span + wire
-        context + server span, records dropped in a NullSink) vs off.
+    def test_trace_propagation_overhead(self, cluster, tmp_path,
+                                        capsys):
+        """p50 ping RTT under four conditions:
 
-        Honest accounting: both conditions sample a *warmed* connection
-        — every enable/disable toggle is followed by unmeasured pings so
-        neither side pays sink setup, code-path caches or connection
-        re-dial inside its samples.  On a shared single-CPU host the
-        span + context-propagation cost lands around 20-30% of a ~100us
-        localhost ping (it is a fixed per-RPC cost, huge relative to a
-        ping, negligible relative to a real scan chunk); the gate
-        reflects that, and the 5% aspiration is tracked as a ROADMAP
-        residual, not pretended here."""
+        * ``base``     — tracing off
+        * ``traced``   — full tracing, records dropped in a NullSink
+          (isolates span + wire-context propagation cost)
+        * ``jsonl``    — full tracing into a real batched JSONL sink
+          (what always-on tracing would actually cost)
+        * ``sampled``  — rate 0.1 head sampling + tail ring into the
+          same JSONL sink (the always-on production posture: 90% of
+          traces skip serialization and IO, errored/slow ones are
+          still promoted)
+
+        An empty-payload localhost ping (~150-200us) is the *worst
+        case*: the span cost is fixed per RPC, so this is the largest
+        overhead_pct the fabric can show (see the scan-workload test
+        below for the realistic-rate figure).  Honest measurement on a
+        noisy shared host: every condition samples a warmed connection
+        (each toggle is followed by unmeasured pings), the condition
+        order is rotated across rounds (later-in-round conditions
+        systematically measure slower), and the estimator is the
+        *median of per-round paired overheads* — each round's
+        conditions share that round's scheduling weather, so pairing
+        against the same round's base cancels drift that independent
+        mins/medians cannot.  The 20% propagation gate prices the
+        preallocated-id / interned-name fast path (the seed gated this
+        at 40%); the sampled condition must beat always-on JSONL in
+        the same round — that relative gate is what sampling buys."""
+        from repro.obs import sampling as _sampling
         from repro.obs import trace as _trace
 
         conn = cluster.connect()
+        state = {"seq": 0}
         try:
             core = conn.instance.core
             addr = cluster.server_addrs[0]
 
-            def warm(n=60):
+            def warm(n=50):
                 for _ in range(n):
                     core.call(addr, wire.PING, {})
 
-            def p50(n=400):
+            def p50(n=300):
                 samples = []
                 for _ in range(n):
                     t0 = time.perf_counter()
@@ -129,38 +147,166 @@ class TestRpcRtt:
                 samples.sort()
                 return samples[n // 2]
 
-            # interleave the conditions so clock drift hits both; warm
-            # after every toggle so the first traced calls' one-time
-            # costs never land in a measured sample
-            base_p50s, traced_p50s = [], []
-            for _ in range(3):
-                warm()
-                base_p50s.append(p50())
+            def fresh_jsonl():
+                state["seq"] += 1
+                return _trace.JSONLSink(
+                    str(tmp_path / f"bench{state['seq']}.jsonl"))
+
+            def run_base():
+                return p50()
+
+            def run_traced():
                 _trace.enable(_trace.NullSink())
                 try:
                     warm()
-                    traced_p50s.append(p50())
+                    return p50()
                 finally:
                     _trace.disable()
                     _trace.set_sink(_trace.NullSink())
-            warm()
+
+            def run_jsonl():
+                _trace.enable(fresh_jsonl())
+                try:
+                    warm()
+                    return p50()
+                finally:
+                    _trace.disable(close=True)
+                    _trace.set_sink(_trace.NullSink())
+
+            def run_sampled():
+                _trace.enable(fresh_jsonl())
+                _sampling.configure(0.1, registry=MetricsRegistry())
+                try:
+                    warm()
+                    return p50()
+                finally:
+                    _sampling.unconfigure()
+                    _trace.disable(close=True)
+                    _trace.set_sink(_trace.NullSink())
+
+            conditions = [("base", run_base), ("traced", run_traced),
+                          ("jsonl", run_jsonl),
+                          ("sampled", run_sampled)]
+            rounds = []
+            for round_i in range(6):
+                rotated = (conditions[round_i % 4:]
+                           + conditions[:round_i % 4])
+                row = {}
+                for name, run in rotated:
+                    warm()
+                    row[name] = run()
+                rounds.append(row)
         finally:
             conn.close()
-        base = statistics.median(base_p50s)
-        traced = statistics.median(traced_p50s)
-        overhead = (traced - base) / base
+
+        def paired(name):
+            """Median across rounds of (condition - base) / base."""
+            return statistics.median(
+                (row[name] - row["base"]) / row["base"]
+                for row in rounds)
+
+        base = statistics.median(row["base"] for row in rounds)
+        overhead = paired("traced")
+        jsonl_overhead = paired("jsonl")
+        sampled_overhead = paired("sampled")
+        # the relative gate pairs within rounds too: in each round,
+        # how much of the JSONL cost did sampling remove?
+        sampling_win = statistics.median(
+            (row["jsonl"] - row["sampled"]) / row["base"]
+            for row in rounds)
         _RESULTS["trace_overhead"] = {
             "untraced_p50_us": round(1e6 * base, 1),
-            "traced_p50_us": round(1e6 * traced, 1),
             "overhead_pct": round(100 * overhead, 1),
-            "gate_pct": 40.0,
-            "target_pct": 20.0,
-            "aspiration_pct": 5.0,  # residual: tracked in ROADMAP
+            "jsonl_pct": round(100 * jsonl_overhead, 1),
+            "sampled_pct": round(100 * sampled_overhead, 1),
+            "sampling_win_pct": round(100 * sampling_win, 1),
+            "sample_rate": 0.1,
+            "gate_pct": 20.0,
         }
         with capsys.disabled():
-            print(f"\ntracing overhead: p50 {1e6 * base:.0f}us -> "
-                  f"{1e6 * traced:.0f}us ({100 * overhead:+.1f}%)")
-        assert overhead < 0.4  # realistic warmed-path gate (target 20%)
+            print(f"\ntracing overhead (p50 ping {1e6 * base:.0f}us, "
+                  f"worst case): propagation {100 * overhead:+.1f}%, "
+                  f"jsonl {100 * jsonl_overhead:+.1f}%, sampled@0.1 "
+                  f"{100 * sampled_overhead:+.1f}% "
+                  f"(win {100 * sampling_win:+.1f}pp)")
+        assert overhead < 0.2  # propagation gate (was 40% pre-sampling)
+        # sampling must beat always-on JSONL tracing: 90% of traces
+        # skip record serialization and sink IO entirely
+        assert sampled_overhead < jsonl_overhead
+
+    def test_trace_overhead_at_realistic_rate(self, cluster, tmp_path,
+                                              capsys):
+        """Sampled-tracing overhead on a real workload: full-table
+        scans of 10k cells (~tens of ms per op), tracing off vs head
+        sampling at rate 0.1 into a batched JSONL sink.  The span cost
+        is fixed per RPC, so at realistic op sizes it amortizes to
+        low single digits — this is the series the 5% target applies
+        to (the ping test above is the deliberate worst case).  On
+        this shared host the true figure is below measurement noise,
+        so the hard gate is 20% (same bar as the ping series) with
+        the 5% target recorded alongside the honest number."""
+        from repro.obs import sampling as _sampling
+        from repro.obs import trace as _trace
+
+        conn = cluster.connect()
+        try:
+            _wipe(conn)
+            _ingest(conn)
+
+            def scan_p50(n=5):
+                samples = []
+                for _ in range(n):
+                    t0 = time.perf_counter()
+                    for _ in conn.scanner("A"):
+                        pass
+                    samples.append(time.perf_counter() - t0)
+                samples.sort()
+                return samples[n // 2]
+
+            def run_base():
+                return scan_p50()
+
+            def run_sampled():
+                state = len(list(tmp_path.iterdir()))
+                _trace.enable(_trace.JSONLSink(
+                    str(tmp_path / f"scan{state}.jsonl")))
+                _sampling.configure(0.1, registry=MetricsRegistry())
+                try:
+                    return scan_p50()
+                finally:
+                    _sampling.unconfigure()
+                    _trace.disable(close=True)
+                    _trace.set_sink(_trace.NullSink())
+
+            conditions = [("base", run_base), ("sampled", run_sampled)]
+            rounds = []
+            for round_i in range(6):
+                rotated = (conditions[round_i % 2:]
+                           + conditions[:round_i % 2])
+                row = {}
+                for name, run in rotated:
+                    row[name] = run()
+                rounds.append(row)
+        finally:
+            _wipe(conn)
+            conn.close()
+        base = statistics.median(row["base"] for row in rounds)
+        sampled_overhead = statistics.median(
+            (row["sampled"] - row["base"]) / row["base"]
+            for row in rounds)
+        _RESULTS.setdefault("trace_overhead", {})["scan"] = {
+            "cells": N_CELLS,
+            "base_scan_p50_ms": round(1e3 * base, 1),
+            "sampled_pct": round(100 * sampled_overhead, 1),
+            "sample_rate": 0.1,
+            "target_pct": 5.0,
+            "gate_pct": 20.0,
+        }
+        with capsys.disabled():
+            print(f"\nsampled tracing @ realistic rate: {N_CELLS} cell "
+                  f"scan p50 {1e3 * base:.1f}ms, overhead "
+                  f"{100 * sampled_overhead:+.1f}% (target 5%)")
+        assert sampled_overhead < 0.2
 
 
 class TestScanThroughput:

@@ -18,18 +18,24 @@ Subcommands::
     python -m repro stitch    trace.*.jsonl --out stitched.jsonl
     python -m repro monitor   --metrics-json snapshot.json
     python -m repro top       --connect H:P [--interval 2]
+    python -m repro health    --connect H:P [--window 2] [--json]
     python -m repro serve     [--port 41100] [--fault SPEC ...]
     python -m repro cluster   --servers 3 [--fault SPEC ...] [--smoke]
 
 Every subcommand accepts ``--trace out.jsonl`` (spans with OpStats
-deltas plus convergence records, one JSON object per line) and
+deltas plus convergence records, one JSON object per line),
 ``--slowlog slow.jsonl`` (only the spans that blow a wall-clock
-threshold or OpStats budget — see docs/OBSERVABILITY.md).  The trace
-sink is flushed per record and closed on every exit path, so an
+threshold or OpStats budget — see docs/OBSERVABILITY.md), and
+``--sample-rate R`` (deterministic head sampling: record 1 in 1/R
+traces, retain the rest in a tail ring that promotes errored/slow
+traces — see docs/OBSERVABILITY.md).  The trace sink buffers a bounded
+batch of records but is flushed and closed on every exit path, so an
 interrupted run still leaves a readable trace.  ``analyze`` rolls a
 trace up into per-span-name percentiles, a critical path and an
 optional flamegraph; ``monitor`` tails a metrics snapshot file a
-workload writes and prints counter deltas as they move.
+workload writes and prints counter deltas as they move; ``health``
+evaluates the cluster's SLOs (p99 latency targets, error budgets) and
+exits nonzero on breach.
 Input-loading failures exit with status 2 and a one-line ``error:``
 message, never a traceback.
 """
@@ -355,6 +361,9 @@ def _cluster_banner(cluster, args) -> None:
               f"(seed {args.fault_seed})")
     if args.trace_dir:
         print(f"rpc traces under {args.trace_dir}/")
+    if getattr(args, "sample_rate", 1.0) < 1.0:
+        print(f"trace sampling: rate {args.sample_rate} with tail "
+              f"retention (errored/slow traces always promoted)")
     sys.stdout.flush()
 
 
@@ -382,7 +391,8 @@ def cmd_serve(args) -> int:
         n_servers=args.servers, fault_specs=args.fault or (),
         fault_seed=args.fault_seed, trace_dir=args.trace_dir,
         processes=False, host=args.host, manager_port=args.port,
-        telemetry_interval=args.telemetry_interval).start()
+        telemetry_interval=args.telemetry_interval,
+        sample_rate=args.sample_rate).start()
     try:
         _cluster_banner(cluster, args)
         print(f"serving until Ctrl-C; try: repro stats graph.tsv "
@@ -406,7 +416,8 @@ def cmd_cluster(args) -> int:
         fault_seed=args.fault_seed, trace_dir=args.trace_dir,
         processes=not args.threads, host=args.host,
         manager_port=args.port,
-        telemetry_interval=args.telemetry_interval).start()
+        telemetry_interval=args.telemetry_interval,
+        sample_rate=args.sample_rate).start()
     try:
         _cluster_banner(cluster, args)
         if args.smoke:
@@ -667,6 +678,12 @@ def cmd_stitch(args) -> int:
     else:
         print("no cross-process edges (single-process trace, or the "
               "server trace files are missing)")
+    sampled_out = st.sampled_out_parents()
+    if sampled_out:
+        # tail-promoted spans whose parent was head-sampled away in
+        # another process: expected under --sample-rate < 1, not a loss
+        print(f"{len(sampled_out)} tail-promoted span(s) with "
+              f"sampled-out parents (expected under partial sampling)")
     orphans = st.orphan_spans()
     if orphans:
         names = sorted({r.get("name", "?") for r in orphans})
@@ -721,6 +738,51 @@ def cmd_top(args) -> int:
         return 0
     finally:
         conn.close()
+
+
+def cmd_health(args) -> int:
+    """Evaluate the cluster's SLOs from two metric snapshots taken
+    ``--window`` seconds apart: p99 latency targets straight from the
+    server histograms, error budgets as windowed burn rates over the
+    interval.  Exits 1 when any objective is breached — the CI health
+    gate.  ``--out`` writes the full report JSON (the CI artifact)."""
+    import time as _time
+
+    from repro.net.client import RemoteConnector
+    from repro.net.wire import RpcError
+    from repro.obs import health as _health
+
+    try:
+        slos = _health.load_slos(args.slos) if args.slos else None
+    except FileNotFoundError:
+        raise CliError(f"no such file: {args.slos}") from None
+    except (OSError, ValueError, TypeError) as exc:
+        raise CliError(f"bad SLO spec file {args.slos}: {exc}") from exc
+    conn = RemoteConnector(args.connect)
+    try:
+        before = conn.instance.cluster_metrics()
+        _time.sleep(args.window)
+        after = conn.instance.cluster_metrics()
+    except (RpcError, OSError) as exc:
+        raise CliError(f"cluster at {args.connect} "
+                       f"unreachable: {exc}") from exc
+    finally:
+        conn.close()
+    report = _health.evaluate(after, slos=slos, before=before,
+                              seconds=max(args.window, 1e-9))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if not report.ok:
+        print(f"health check FAILED: {len(report.breaches())} "
+              f"SLO breach(es)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_monitor(args) -> int:
@@ -793,6 +855,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--slowlog", metavar="PATH", default=None,
         help="append spans exceeding the default wall-clock thresholds "
              "/ OpStats budgets to PATH as JSON lines")
+    common.add_argument(
+        "--sample-rate", type=float, default=1.0, metavar="R",
+        dest="sample_rate",
+        help="head-sample traces at rate R in [0,1] (deterministic per "
+             "trace id; errored/slow traces are always promoted from "
+             "the tail ring; default 1.0 = record everything)")
     sub = p.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kw):
@@ -966,6 +1034,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hottest tables shown per server (default 3)")
     s.set_defaults(fn=cmd_top)
 
+    s = add_parser("health",
+                   help="evaluate cluster SLOs (p99 targets, error "
+                        "budgets) and exit nonzero on breach")
+    s.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="manager address of a live `repro serve` / "
+                        "`repro cluster`")
+    s.add_argument("--window", type=float, default=2.0,
+                   help="seconds between the two metric snapshots the "
+                        "error burn rates are computed over (default 2)")
+    s.add_argument("--slos", metavar="PATH",
+                   help="JSON file with a list of SLO spec objects "
+                        "(default: the built-in RPC-plane SLOs)")
+    s.add_argument("--json", action="store_true",
+                   help="emit the full health report as JSON")
+    s.add_argument("--out", metavar="PATH",
+                   help="also write the report JSON to PATH "
+                        "(the CI health artifact)")
+    s.set_defaults(fn=cmd_health)
+
     s = add_parser("monitor",
                    help="live counter deltas from a metrics snapshot file")
     s.add_argument("--metrics-json", required=True, metavar="PATH",
@@ -1003,12 +1090,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # no full trace requested: record only the slow spans
             _trace.enable(_trace.NullSink())
         slowlog = SlowLog(path=slow_path).attach()
+    sample_rate = getattr(args, "sample_rate", 1.0)
+    sampling_on = sample_rate < 1.0
+    if sampling_on:
+        # this process is the trace's client half; server processes get
+        # the same rate via LocalCluster(sample_rate=...) and agree on
+        # every decision because sampling is a pure function of trace id
+        from repro.obs import sampling as _sampling
+
+        _sampling.configure(sample_rate)
     try:
         return args.fn(args)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if sampling_on:
+            from repro.obs import sampling as _sampling
+
+            _sampling.unconfigure()
         if slowlog is not None:
             slowlog.detach()
             print(f"slow-op log: {slowlog.caught}/{slowlog.checked} "

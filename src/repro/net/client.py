@@ -168,8 +168,10 @@ class RpcCore:
         # shows them (at 0), not only after the first retry/timeout
         for name in ("requests", "retries", "timeouts", "relocates",
                      "errors", "busy_retries", "pool_evictions",
-                     "stale_frames"):
+                     "stale_frames", "sampled_out"):
             self.metrics.counter(f"net.client.{name}")
+        # cached: bumped per unsampled call span on the hot path
+        self._sampled_out = self.metrics.counter("net.client.sampled_out")
 
     # -- plumbing ---------------------------------------------------------
 
@@ -226,7 +228,10 @@ class RpcCore:
                          server=self._addr_str(addr)) as sp:
             # every attempt (retries included) carries this span's
             # identity, so even a server span reached on the Nth try
-            # parents under the one client call
+            # parents under the one client call; the context's sampled
+            # bit tells the server whether to record its half
+            if not sp.sampled:
+                self._sampled_out.inc()
             result = self._runner.run(
                 self.aio.call(addr, op, payload, tc=sp.context,
                               compress=compress))
@@ -248,6 +253,8 @@ class RpcCore:
                 "rpc.client.call", op=wire.OP_NAMES.get(op, op),
                 server=self._addr_str(addr), session=self.session)
             tc = sp.context
+            if not sp.sampled:
+                self._sampled_out.inc()
         fut = self._runner.submit(
             self.aio.call(addr, op, stamped, tc=tc, compress=compress))
         if sp is not None:

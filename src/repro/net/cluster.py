@@ -35,6 +35,7 @@ from repro.net.server import (
     TabletServerService,
 )
 from repro.net.faults import FaultPlan
+from repro.obs import sampling as _sampling
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 
@@ -53,7 +54,8 @@ class LocalCluster:
                  trace_dir: Optional[str] = None,
                  processes: bool = True,
                  host: str = "127.0.0.1", manager_port: int = 0,
-                 telemetry_interval: float = 0.0):
+                 telemetry_interval: float = 0.0,
+                 sample_rate: float = 1.0):
         if n_servers < 1:
             raise ValueError(f"need at least one tablet server, "
                              f"got {n_servers}")
@@ -65,6 +67,7 @@ class LocalCluster:
         self.trace_dir = trace_dir
         self.processes = processes
         self.telemetry_interval = telemetry_interval
+        self.sample_rate = sample_rate
         self.server_names = [f"tserver{i}" for i in range(n_servers)]
         self._servers: List = []          # process handles or services
         self._manager = None
@@ -72,6 +75,7 @@ class LocalCluster:
         self.manager_addr: Optional[Addr] = None
         self._started = False
         self._owns_trace = False
+        self._owns_sampling = False
 
     # -- lifecycle --------------------------------------------------------
 
@@ -98,14 +102,16 @@ class LocalCluster:
                 # salt per server: same seed on every server would make
                 # the fault streams fire in lockstep
                 fault_seed=self.fault_seed + i,
-                trace_path=self._trace_path(name), host=self.host)
+                trace_path=self._trace_path(name), host=self.host,
+                sample_rate=self.sample_rate)
             self.server_addrs.append(proc.start())
             self._servers.append(proc)
         self._manager = ManagerProcess(
             list(zip(self.server_names, self.server_addrs)),
             trace_path=self._trace_path("manager"),
             host=self.host, port=self.manager_port,
-            telemetry_interval=self.telemetry_interval)
+            telemetry_interval=self.telemetry_interval,
+            sample_rate=self.sample_rate)
         self.manager_addr = self._manager.start()
 
     def _start_threads(self) -> None:
@@ -116,6 +122,11 @@ class LocalCluster:
             _trace.enable(_trace.JSONLSink(self._trace_path("cluster"),
                                            process="cluster"))
             self._owns_trace = True
+        # one process -> one sampling config; only install it if the
+        # caller (CLI / test) hasn't already
+        if self.sample_rate < 1.0 and _sampling.active_tail() is None:
+            _sampling.configure(self.sample_rate)
+            self._owns_sampling = True
         for i, name in enumerate(self.server_names):
             faults = (FaultPlan.from_specs(self.fault_specs,
                                            seed=self.fault_seed + i)
@@ -154,6 +165,9 @@ class LocalCluster:
         if self._owns_trace:
             _trace.disable(close=True)
             self._owns_trace = False
+        if self._owns_sampling:
+            _sampling.unconfigure()
+            self._owns_sampling = False
         self._started = False
 
     def __enter__(self) -> "LocalCluster":

@@ -78,6 +78,7 @@ from repro.net.client import (
 )
 from repro.net.faults import FaultPlan, apply_fault
 from repro.net.telemetry import ClusterTelemetry
+from repro.obs import sampling as _sampling
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 
@@ -994,7 +995,11 @@ class ManagerService(_BaseService):
         # are deterministic) even with the background sampler off
         if p.get("sample", True):
             self.telemetry.sample()
-        return self.telemetry.as_dict()
+        out = self.telemetry.as_dict()
+        # SLO evaluation over the freshest samples rides along so `repro
+        # top` and dashboards get per-server health without a second op
+        out["health"] = self.telemetry.health()
+        return out
 
     def _server_addr(self, name: str) -> Addr:
         for sname, addr in self.servers:
@@ -1035,7 +1040,12 @@ class ManagerService(_BaseService):
 
 
 def _run_service(service: _BaseService, queue, trace_path: Optional[str],
-                 host: str, port: int) -> None:
+                 host: str, port: int, sample_rate: float = 1.0) -> None:
+    if sample_rate < 1.0:
+        # head sampling + tail retention for this server process; the
+        # counters land on the service registry so cluster metric
+        # fan-outs report per-server sampling activity
+        _sampling.configure(sample_rate, registry=service.metrics)
     if trace_path:
         # distinct per-process seeds (derived from the service name)
         # keep seeded runs reproducible without id collisions between
@@ -1051,23 +1061,25 @@ def _run_service(service: _BaseService, queue, trace_path: Optional[str],
 
 def _tablet_server_main(name: str, queue, fault_specs: Sequence[str],
                         fault_seed: int, trace_path: Optional[str],
-                        host: str, port: int) -> None:
+                        host: str, port: int,
+                        sample_rate: float = 1.0) -> None:
     faults = (FaultPlan.from_specs(fault_specs, seed=fault_seed)
               if fault_specs else None)
     _run_service(TabletServerService(name, faults=faults), queue,
-                 trace_path, host, port)
+                 trace_path, host, port, sample_rate=sample_rate)
 
 
 def _manager_main(queue, servers: List[Tuple[str, Tuple[str, int]]],
                   fault_specs: Sequence[str], fault_seed: int,
                   trace_path: Optional[str], host: str, port: int,
-                  telemetry_interval: float = 0.0) -> None:
+                  telemetry_interval: float = 0.0,
+                  sample_rate: float = 1.0) -> None:
     faults = (FaultPlan.from_specs(fault_specs, seed=fault_seed)
               if fault_specs else None)
     servers = [(n, (a[0], a[1])) for n, a in servers]
     _run_service(ManagerService(servers, faults=faults,
                                 telemetry_interval=telemetry_interval),
-                 queue, trace_path, host, port)
+                 queue, trace_path, host, port, sample_rate=sample_rate)
 
 
 class _ServiceProcess:
@@ -1096,20 +1108,22 @@ class TabletServerProcess(_ServiceProcess):
 
     def __init__(self, name: str, fault_specs: Sequence[str] = (),
                  fault_seed: int = 0, trace_path: Optional[str] = None,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 sample_rate: float = 1.0):
         super().__init__()
         self.name = name
         self._args = (name, list(fault_specs), fault_seed, trace_path,
-                      host, port)
+                      host, port, sample_rate)
 
     def start(self, start_timeout: float = 30.0) -> Addr:
         ctx = mp.get_context("spawn")
         queue = ctx.Queue()
-        name, fault_specs, fault_seed, trace_path, host, port = self._args
+        (name, fault_specs, fault_seed, trace_path, host, port,
+         sample_rate) = self._args
         self.process = ctx.Process(
             target=_tablet_server_main,
             args=(name, queue, fault_specs, fault_seed, trace_path,
-                  host, port),
+                  host, port, sample_rate),
             name=f"repro-tserver-{name}", daemon=True)
         self.process.start()
         self.addr = tuple(queue.get(timeout=start_timeout))
@@ -1123,21 +1137,22 @@ class ManagerProcess(_ServiceProcess):
                  fault_specs: Sequence[str] = (), fault_seed: int = 0,
                  trace_path: Optional[str] = None,
                  host: str = "127.0.0.1", port: int = 0,
-                 telemetry_interval: float = 0.0):
+                 telemetry_interval: float = 0.0,
+                 sample_rate: float = 1.0):
         super().__init__()
         self._args = ([(n, tuple(a)) for n, a in servers],
                       list(fault_specs), fault_seed, trace_path, host, port,
-                      telemetry_interval)
+                      telemetry_interval, sample_rate)
 
     def start(self, start_timeout: float = 30.0) -> Addr:
         ctx = mp.get_context("spawn")
         queue = ctx.Queue()
         (servers, fault_specs, fault_seed, trace_path, host, port,
-         telemetry_interval) = self._args
+         telemetry_interval, sample_rate) = self._args
         self.process = ctx.Process(
             target=_manager_main,
             args=(queue, servers, fault_specs, fault_seed, trace_path,
-                  host, port, telemetry_interval),
+                  host, port, telemetry_interval, sample_rate),
             name="repro-manager", daemon=True)
         self.process.start()
         self.addr = tuple(queue.get(timeout=start_timeout))

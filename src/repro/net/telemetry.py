@@ -20,6 +20,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs import health as _health
 from repro.obs.expose import SnapshotDelta
 
 #: metric names the summary rows are built from
@@ -165,6 +166,7 @@ class ClusterTelemetry:
                 "rx_bps": None,
                 "err_ps": None,
                 "reset": False,
+                "health": None,
                 "hot_tables": [],
                 "scan_compress": [export.get(name, 0)
                                   for name in _SCAN_COMPRESS],
@@ -176,11 +178,29 @@ class ClusterTelemetry:
                 row["rx_bps"] = rates.get(_BYTES_RECEIVED, 0.0)
                 row["err_ps"] = rates.get(_ERRORS, 0.0)
                 row["reset"] = bool(d.resets)
+                row["health"] = _health.breaches_for(export, delta=d)
                 activity = _table_activity(d)
                 row["hot_tables"] = sorted(
                     activity, key=lambda t: (-activity[t], t))[:hot_tables]
             out[component] = row
         return out
+
+    def health(self, slos=None) -> Dict[str, Any]:
+        """SLO evaluation of each component's latest sample (windowed
+        error burn rates when >= 2 samples exist), in the
+        :meth:`~repro.obs.health.HealthReport.as_dict` shape.  This is
+        the ``health`` block of the ``TELEMETRY`` op response."""
+        checks = []
+        for component in self.components():
+            latest = self.latest(component)
+            if latest is None:
+                continue
+            _, export = latest
+            checks.extend(_health.check_component(
+                component, export,
+                slos=_health.DEFAULT_SLOS if slos is None else slos,
+                delta=self.delta(component)))
+        return _health.HealthReport(checks).as_dict()
 
     # -- wire form --------------------------------------------------------
 
@@ -208,7 +228,7 @@ def render_top(summary: Dict[str, Dict[str, Any]],
     table ``repro top`` prints (one row per component)."""
     header = (f"{'SERVER':<12} {'QPS':>8} {'TX/s':>9} {'RX/s':>9} "
               f"{'INFLIGHT':>8} {'ERR/s':>7} {'REQS':>9} "
-              f"{'SCAN-ZIP':>10}  HOT TABLES")
+              f"{'SCAN-ZIP':>10} {'HEALTH':>7}  HOT TABLES")
     lines = []
     if clock:
         lines.append(f"-- repro top @ {clock} --")
@@ -226,11 +246,17 @@ def render_top(summary: Dict[str, Dict[str, Any]],
         zc = row.get("scan_compress") or [0, 0, 0]
         # compressed/skipped-small/skipped-by-trial scan chunks
         zip_col = "/".join(str(v) for v in zc) if any(zc) else "-"
+        breaches = row.get("health")
+        # "-" until two samples exist, "ok" when every SLO holds,
+        # "SLO!n" counting distinct breached objectives otherwise
+        health_col = ("-" if breaches is None
+                      else f"SLO!{len(breaches)}" if breaches else "ok")
         name = component + ("*" if row.get("reset") else "")
         lines.append(
             f"{name:<12} {rate('qps'):>8} {tx:>9} {rx:>9} "
             f"{row.get('inflight', 0):>8} {rate('err_ps'):>7} "
-            f"{row.get('requests', 0):>9} {zip_col:>10}  {hot}")
+            f"{row.get('requests', 0):>9} {zip_col:>10} "
+            f"{health_col:>7}  {hot}")
     if any(row.get("reset") for row in summary.values()):
         lines.append("(* counters reset since last sample)")
     return "\n".join(lines)

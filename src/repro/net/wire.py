@@ -7,8 +7,9 @@ Every message is one *frame*::
     !B   op-code
     !B   flags                (payload encoding: bit0 cells, bit1 zlib)
     !I   CRC-32 of trace context + request id + payload
-    !16s trace id             (trace context block, 24 bytes;
+    !16s trace id             (trace context block, 25 bytes;
     !8s  span id               all zeros = no context attached)
+    !B   tc flags             (bit0: trace is head-sampled)
     !Q   request id           (multiplexing tag; 0 = unmultiplexed)
     ...  payload              (UTF-8 JSON, or binary — see flags)
 
@@ -17,12 +18,16 @@ Wire version 3 is the multiplexed protocol: every frame carries an
 socket can interleave hundreds of in-flight RPCs — responses route
 back to their callers by id instead of by socket ownership, and scan
 ``CHUNK`` streams interleave with write acks on the same connection.
-Version 2 added the fixed 24-byte trace-context block (the raw bytes
-of the sender's :class:`~repro.obs.trace.TraceContext`) so a server
-can parent its handler spans under the originating client span;
+Version 2 added the fixed trace-context block (the raw bytes of the
+sender's :class:`~repro.obs.trace.TraceContext`) so a server can
+parent its handler spans under the originating client span;
 ``repro.obs.stitch`` later merges per-process trace files by
-``trace_id``.  All-zero blocks mean "no context" — tracing off costs
-no branches on the framing path, only constant bytes.
+``trace_id``.  The block's trailing flags byte carries the head-
+sampling decision (``TC_SAMPLED``), CRC-covered like the ids, so every
+process in a request's path records — or skips recording — the same
+trace without re-deciding.  All-zero blocks mean "no context" (real
+contexts always have nonzero ids) — tracing off costs no branches on
+the framing path, only constant bytes.
 
 The flags byte selects the payload encoding.  ``0`` is UTF-8 JSON —
 control-plane ops are strings-and-numbers and stay readable.
@@ -81,9 +86,12 @@ WIRE_VERSION = 3
 _LEN = struct.Struct("!I")
 #: body header: version, op-code, flags, CRC-32 of (tc + req id + payload)
 _BODY = struct.Struct("!BBBI")
-#: trace-context block: 16-byte trace id + 8-byte span id (zeros = none)
-_TC = struct.Struct("!16s8s")
-_TC_NONE = _TC.pack(b"\x00" * 16, b"\x00" * 8)
+#: trace-context block: 16-byte trace id + 8-byte span id + flags byte
+#: (all zeros = none)
+_TC = struct.Struct("!16s8sB")
+_TC_NONE = _TC.pack(b"\x00" * 16, b"\x00" * 8, 0)
+#: trace-context flag bit: the sender head-sampled this trace (record it)
+TC_SAMPLED = 0x01
 #: request-id block: multiplexing tag (0 = unmultiplexed)
 _REQ = struct.Struct("!Q")
 _REQ_NONE = _REQ.pack(0)
@@ -250,33 +258,37 @@ def _decode_payload(raw, flags: int) -> Any:
 
 
 def encode_frame(code: int, payload: Any,
-                 tc: Optional[Tuple[str, str]] = None,
+                 tc: Optional[Tuple[str, ...]] = None,
                  req: int = 0, compress: bool = False) -> bytes:
     """One wire frame for ``payload`` (any JSON-serializable value, or
     a :class:`CellsPayload` for the binary cell encoding).
 
-    ``tc`` is an optional ``(trace_id, span_id)`` hex pair (e.g. a
-    :class:`~repro.obs.trace.TraceContext`) packed into the frame's
-    trace-context block; ``None`` sends the all-zero block.  ``req``
-    is the multiplexing request id (0 = unmultiplexed).  ``compress``
-    permits per-frame zlib when the payload is large enough to win.
+    ``tc`` is an optional ``(trace_id, span_id[, sampled])`` hex tuple
+    (e.g. a :class:`~repro.obs.trace.TraceContext`) packed into the
+    frame's trace-context block — the sampled flag defaults to True
+    for bare pairs; ``None`` sends the all-zero block.  ``req`` is the
+    multiplexing request id (0 = unmultiplexed).  ``compress`` permits
+    per-frame zlib when the payload is large enough to win.
     """
     body, flags = _encode_payload(payload, compress)
     if tc is None:
         tcb = _TC_NONE
     else:
-        tcb = _TC.pack(bytes.fromhex(tc[0]), bytes.fromhex(tc[1]))
+        sampled = tc[2] if len(tc) > 2 else True
+        tcb = _TC.pack(bytes.fromhex(tc[0]), bytes.fromhex(tc[1]),
+                       TC_SAMPLED if sampled else 0)
     reqb = _REQ_NONE if req == 0 else _REQ.pack(req)
     crc = zlib.crc32(body, zlib.crc32(reqb, zlib.crc32(tcb)))
     return (_LEN.pack(_BODY.size + _TC.size + _REQ.size + len(body))
             + _BODY.pack(WIRE_VERSION, code, flags, crc) + tcb + reqb + body)
 
 
-def decode_body(body) -> Tuple[int, Any, Optional[Tuple[str, str]], int]:
+def decode_body(body) -> Tuple[int, Any,
+                               Optional[Tuple[str, str, bool]], int]:
     """Parse a frame body (everything after the length prefix) into
     ``(op_code, payload, trace_context, request_id)``, verifying
-    version and CRC.  ``trace_context`` is ``(trace_id, span_id)`` hex
-    or ``None`` when the sender attached no context."""
+    version and CRC.  ``trace_context`` is ``(trace_id, span_id,
+    sampled)`` or ``None`` when the sender attached no context."""
     fixed = _BODY.size + _TC.size + _REQ.size
     if len(body) < fixed:
         raise ProtocolError(f"frame body too short: {len(body)} bytes")
@@ -293,10 +305,11 @@ def decode_body(body) -> Tuple[int, Any, Optional[Tuple[str, str]], int]:
         raise FrameCorruptError(
             f"payload CRC mismatch on {OP_NAMES.get(code, hex(code))} frame")
     if tcb == _TC_NONE:
-        tc: Optional[Tuple[str, str]] = None
+        tc: Optional[Tuple[str, str, bool]] = None
     else:
-        trace_raw, span_raw = _TC.unpack(tcb)
-        tc = (trace_raw.hex(), span_raw.hex())
+        trace_raw, span_raw, tc_flags = _TC.unpack(tcb)
+        tc = (trace_raw.hex(), span_raw.hex(),
+              bool(tc_flags & TC_SAMPLED))
     (req,) = _REQ.unpack(reqb)
     payload = _decode_payload(payload_bytes, flags)
     return code, payload, tc, req
@@ -329,7 +342,8 @@ class FrameReader:
                     f"peer closed connection ({got}/{n} bytes read)")
             got += k
 
-    def read(self) -> Tuple[int, Any, int, Optional[Tuple[str, str]], int]:
+    def read(self) -> Tuple[int, Any, int,
+                            Optional[Tuple[str, str, bool]], int]:
         """Read one frame; returns ``(op_code, payload, bytes_read,
         trace_context, request_id)``."""
         self._fill(self._hdr_view, _LEN.size)
@@ -344,7 +358,7 @@ class FrameReader:
 
 
 def send_frame(sock: socket.socket, code: int, payload: Any,
-               tc: Optional[Tuple[str, str]] = None,
+               tc: Optional[Tuple[str, ...]] = None,
                req: int = 0, compress: bool = False) -> int:
     """Write one frame; returns bytes put on the wire."""
     data = encode_frame(code, payload, tc=tc, req=req, compress=compress)
@@ -353,7 +367,8 @@ def send_frame(sock: socket.socket, code: int, payload: Any,
 
 
 def recv_frame(sock: socket.socket
-               ) -> Tuple[int, Any, int, Optional[Tuple[str, str]], int]:
+               ) -> Tuple[int, Any, int,
+                          Optional[Tuple[str, str, bool]], int]:
     """Read one frame; returns ``(op_code, payload, bytes_read,
     trace_context, request_id)``.  One-shot convenience over
     :class:`FrameReader` — connection loops hold a reader instead."""

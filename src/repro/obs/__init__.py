@@ -24,14 +24,27 @@ And the *read* side, consuming what the above produce:
   registry, atomic snapshot files, and :class:`SnapshotDelta` rate
   computation (``repro monitor``);
 * :mod:`repro.obs.stitch` — merge per-process JSONL traces into one
-  cross-process span forest by trace/span identity (``repro stitch``).
+  cross-process span forest by trace/span identity (``repro stitch``);
+* :mod:`repro.obs.sampling` — deterministic head sampling with a tail
+  ring that promotes errored/slow traces to the sink, keeping tracing
+  always-on at low overhead (``--sample-rate``);
+* :mod:`repro.obs.health` — declarative SLO specs evaluated against
+  registry exports: p99 latency targets and error budgets with
+  windowed burn rates (``repro health``).
 
 See ``docs/OBSERVABILITY.md`` for the span schema, metric naming
 scheme, and the JSONL trace format.
 """
 
-from repro.obs import trace
+from repro.obs import health, sampling, trace
 from repro.obs.analyze import TraceAnalysis
+from repro.obs.health import (
+    DEFAULT_SLOS,
+    HealthCheck,
+    HealthReport,
+    SLOSpec,
+)
+from repro.obs.sampling import TailBuffer
 from repro.obs.convergence import ConvergenceLog, ConvergenceRecord
 from repro.obs.expose import (
     SnapshotDelta,
@@ -68,6 +81,13 @@ from repro.obs.trace import (
 
 __all__ = [
     "trace",
+    "sampling",
+    "health",
+    "TailBuffer",
+    "SLOSpec",
+    "HealthCheck",
+    "HealthReport",
+    "DEFAULT_SLOS",
     "span",
     "start_span",
     "Span",

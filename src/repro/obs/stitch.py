@@ -111,9 +111,25 @@ class StitchedTrace:
     def orphan_spans(self) -> List[Record]:
         """Spans naming a parent that no stitched file contains — a
         non-empty result means a process's trace file is missing (or a
-        span was lost)."""
+        span was lost).
+
+        Tail-promoted records (``"sampled": false``) whose parent is
+        missing are *not* orphans: head sampling is deterministic per
+        trace id, so the parent's process made the same drop decision
+        and simply never promoted its half.  Those are reported
+        separately by :meth:`sampled_out_parents`."""
         return [r for r in self.records
-                if r.get("parent_id") and r["parent_id"] not in self._by_id]
+                if r.get("parent_id") and r["parent_id"] not in self._by_id
+                and r.get("sampled") is not False]
+
+    def sampled_out_parents(self) -> List[Record]:
+        """Tail-promoted spans whose parent was head-sampled away in
+        another process — expected under partial sampling, and distinct
+        from :meth:`orphan_spans` so ``repro stitch
+        --check-cross-process`` doesn't misread sampling as data loss."""
+        return [r for r in self.records
+                if r.get("parent_id") and r["parent_id"] not in self._by_id
+                and r.get("sampled") is False]
 
     # -- trees ------------------------------------------------------------
 
@@ -161,6 +177,7 @@ class StitchedTrace:
             "processes": self.processes(),
             "cross_process_edges": len(self.cross_process_edges()),
             "orphans": len(self.orphan_spans()),
+            "sampled_out_parents": len(self.sampled_out_parents()),
         }
 
     def write(self, path: str) -> None:

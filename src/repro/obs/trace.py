@@ -35,7 +35,16 @@ Finished spans are emitted to the active sink as plain dicts
 (``kind="span"``); free-form records (e.g. convergence telemetry) go
 through :func:`emit`.  Three sinks ship: :class:`NullSink`,
 :class:`InMemorySink` and :class:`JSONLSink` (one JSON object per
-line).  All sinks are thread-safe.
+line, buffered and flushed in batches).  All sinks are thread-safe.
+
+Head sampling rides on the trace id: :func:`set_sample_rate` installs a
+deterministic per-root decision (the low 64 bits of the trace id
+against a precomputed threshold), every child inherits its root's
+``sampled`` flag — including across processes, via the flag bit
+:class:`TraceContext` carries — and unsampled spans skip the sink
+entirely.  :mod:`repro.obs.sampling` layers tail retention on top via
+:func:`set_tail_hook`, so errored/slow unsampled traces are still
+promoted to the sink instead of lost.
 """
 
 from __future__ import annotations
@@ -67,33 +76,56 @@ ENABLED = False
 # RNG so tests can pin them with :func:`seed_ids`.
 
 class TraceContext(NamedTuple):
-    """The propagatable identity of a span: ``(trace_id, span_id)``."""
+    """The propagatable identity of a span: ``(trace_id, span_id,
+    sampled)``.  The ``sampled`` flag defaults to True so two-field
+    construction keeps meaning "record me"."""
 
     trace_id: str  # 32 hex chars
     span_id: str   # 16 hex chars
+    sampled: bool = True
 
 
 _id_rng = random.Random()
 _id_lock = threading.Lock()
 
+#: Preallocated 64-bit id chunks: one lock trip refills a whole block,
+#: after which id minting is a GIL-atomic ``list.pop()``.  Roots burn
+#: three chunks (128-bit trace id + 64-bit span id), children one.
+_ID_BLOCK = 64
+_U64 = (1 << 64) - 1
+_id_pool: List[int] = []
+
 
 def seed_ids(seed: Optional[int] = None) -> None:
     """Re-seed the id generator (``None`` = fresh OS entropy).  Seeded
     runs produce reproducible trace/span ids — per process; cooperating
-    processes should use distinct seeds or ids may collide."""
+    processes should use distinct seeds or ids may collide.  Drops any
+    preallocated id block so the seeded sequence starts immediately."""
     with _id_lock:
         _id_rng.seed(os.urandom(16) if seed is None else seed)
+        del _id_pool[:]
+
+
+def _next_chunk() -> int:
+    """One 64-bit id chunk from the preallocated pool (refilled in a
+    single lock trip when dry)."""
+    try:
+        return _id_pool.pop()
+    except IndexError:
+        pass
+    with _id_lock:
+        bits = _id_rng.getrandbits(64 * _ID_BLOCK)
+    chunks = [(bits >> (64 * i)) & _U64 for i in range(_ID_BLOCK)]
+    first = chunks.pop()
+    _id_pool.extend(chunks)
+    return first
 
 
 def _new_id(nbytes: int) -> str:
-    _id_lock.acquire()
-    try:
-        value = _id_rng.getrandbits(nbytes * 8)
-    finally:
-        _id_lock.release()
-    if value == 0:  # all-zero ids mean "absent" on the wire
-        value = 1
-    return "%032x" % value if nbytes == 16 else "%016x" % value
+    if nbytes == 16:
+        value = (_next_chunk() << 64) | _next_chunk()
+        return "%032x" % (value or 1)  # all-zero ids mean "absent"
+    return "%016x" % (_next_chunk() or 1)
 
 
 def new_trace_id() -> str:
@@ -105,16 +137,69 @@ def new_span_id() -> str:
 
 
 def _new_root_ids() -> Tuple[str, str]:
-    """``(trace_id, span_id)`` for a root span from one lock trip —
-    the per-RPC hot path when no parent context is active."""
-    _id_lock.acquire()
-    try:
-        bits = _id_rng.getrandbits(192)
-    finally:
-        _id_lock.release()
-    trace_bits = bits >> 64
-    span_bits = bits & 0xFFFFFFFFFFFFFFFF
+    """``(trace_id, span_id)`` for a root span — the per-RPC hot path
+    when no parent context is active; at most one lock trip per
+    :data:`_ID_BLOCK` chunks."""
+    trace_bits = (_next_chunk() << 64) | _next_chunk()
+    span_bits = _next_chunk()
     return ("%032x" % (trace_bits or 1), "%016x" % (span_bits or 1))
+
+
+# -- head sampling -----------------------------------------------------------
+#
+# The sampling decision is a pure function of the trace id, so every
+# process that sees the id agrees without coordination, and seeded runs
+# make the same decisions every time.  Children never re-decide: they
+# inherit the root's flag (locally via the span stack, across processes
+# via the TraceContext flag bit repro.net carries in the frame header).
+
+_sample_rate = 1.0
+_sample_scaled = 1 << 64  # threshold over the low 64 bits of the trace id
+_sample_hook: Optional[Callable[[bool], None]] = None
+_tail_hook: Optional[Callable[["Span"], None]] = None
+
+
+def set_sample_rate(rate: float) -> float:
+    """Install the head-sampling rate (clamped to [0, 1]; 1.0 = record
+    everything, the default).  Returns the clamped rate."""
+    global _sample_rate, _sample_scaled
+    rate = min(max(float(rate), 0.0), 1.0)
+    _sample_rate = rate
+    _sample_scaled = int(rate * (1 << 64))
+    return rate
+
+
+def get_sample_rate() -> float:
+    return _sample_rate
+
+
+def set_sample_hook(hook: Optional[Callable[[bool], None]]) -> None:
+    """Observe every root sampling decision (True = sampled) — used by
+    :mod:`repro.obs.sampling` to count decisions without this module
+    importing the metrics layer."""
+    global _sample_hook
+    _sample_hook = hook
+
+
+def set_tail_hook(hook: Optional[Callable[["Span"], None]]) -> None:
+    """Receive every finished *unsampled* span.  With no hook installed
+    unsampled spans are simply dropped; :class:`repro.obs.sampling.
+    TailBuffer` installs one to retain them for error/slowlog-triggered
+    promotion."""
+    global _tail_hook
+    _tail_hook = hook
+
+
+def _sample_root(trace_id: str) -> bool:
+    """Deterministic head-sampling decision for a freshly minted root."""
+    if _sample_rate >= 1.0 and _sample_hook is None:
+        return True
+    decision = (_sample_rate >= 1.0
+                or int(trace_id[16:], 16) < _sample_scaled)
+    hook = _sample_hook
+    if hook is not None:
+        hook(decision)
+    return decision
 
 
 # -- sinks -------------------------------------------------------------------
@@ -165,35 +250,58 @@ class InMemorySink(Sink):
 class JSONLSink(Sink):
     """Appends one JSON object per line to ``path`` (opened lazily).
 
-    Every record is flushed as soon as it is written, so a trace file
-    is complete up to the last finished span even when the process is
-    interrupted before ``close()``.
+    Records are buffered and written/flushed in batches of
+    ``flush_every`` (bounded: the buffer never exceeds one batch), on
+    :meth:`flush`, and on :meth:`close` — one serialized line per
+    record either way.  The per-record-flush days are over: a batch is
+    a single ``write`` + ``flush`` syscall pair, which is what lets a
+    trace stay cheap enough to leave on.  Call :meth:`flush` (or
+    ``trace.disable(close=True)``) before reading the file back.
 
     With ``process=`` given, the first write is preceded by a one-line
     ``kind="header"`` record carrying the process name and pid, so
     :mod:`repro.obs.stitch` can attribute spans to their originating
     process without relying on filenames."""
 
-    def __init__(self, path: str, process: Optional[str] = None):
+    def __init__(self, path: str, process: Optional[str] = None,
+                 flush_every: int = 64):
         self.path = path
         self.process = process
+        self.flush_every = max(1, int(flush_every))
         self._lock = threading.Lock()
         self._fh = None
+        self._buf: List[str] = []
 
     def emit(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
-            if self._fh is None:
-                self._fh = open(self.path, "a", encoding="utf-8")
-                if self.process is not None:
-                    header = {"kind": "header", "process": self.process,
-                              "pid": os.getpid(), "ts": time.time()}
-                    self._fh.write(json.dumps(header, sort_keys=True) + "\n")
-            self._fh.write(line + "\n")
-            self._fh.flush()
+            self._buf.append(line)
+            if len(self._buf) >= self.flush_every:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if self.process is not None:
+                header = {"kind": "header", "process": self.process,
+                          "pid": os.getpid(), "ts": time.time()}
+                self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        if self._buf:
+            self._fh.write("\n".join(self._buf) + "\n")
+            del self._buf[:]
+        self._fh.flush()
+
+    def flush(self) -> None:
+        """Write out any buffered records now (no-op before the first
+        record, preserving the lazy open)."""
+        with self._lock:
+            if self._buf or self._fh is not None:
+                self._flush_locked()
 
     def close(self) -> None:
         with self._lock:
+            if self._buf or self._fh is not None:
+                self._flush_locked()
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
@@ -263,7 +371,7 @@ def current_context() -> Optional[TraceContext]:
     stack = getattr(_stack, "spans", None)
     if stack:
         top = stack[-1]
-        return TraceContext(top.trace_id, top.span_id)
+        return TraceContext(top.trace_id, top.span_id, top.sampled)
     remote = getattr(_stack, "remote", None)
     return remote[-1] if remote else None
 
@@ -308,18 +416,31 @@ def _zero_opstats() -> Dict[str, int]:
     return _ZERO_OPSTATS.copy()
 
 
+#: Span-name intern cache: call sites that build names dynamically
+#: (f-strings per request) collapse to one shared string object, so
+#: repeated spans neither hold N copies in tail ring buffers nor
+#: re-serialize distinct objects.  Bounded by the number of distinct
+#: span names, which is small and static in practice.
+_NAME_INTERN: Dict[str, str] = {}
+
+
+def intern_name(name: str) -> str:
+    """Canonical shared instance of a span name."""
+    return _NAME_INTERN.setdefault(name, name)
+
+
 class Span:
     """One open span; use via :func:`span`, not directly."""
 
     __slots__ = ("name", "attrs", "parent", "depth", "start_s", "duration_s",
                  "opstats", "error", "trace_id", "span_id", "parent_id",
-                 "_stats_source", "_stats_before", "_t0", "_finished",
-                 "_parent_ctx")
+                 "sampled", "_stats_source", "_stats_before", "_t0",
+                 "_finished", "_parent_ctx")
 
     def __init__(self, name: str, stats: Optional[StatsSource] = None,
                  attrs: Optional[Dict[str, Any]] = None,
                  parent_ctx: Optional[TraceContext] = None):
-        self.name = name
+        self.name = _NAME_INTERN.setdefault(name, name)
         # takes ownership of ``attrs`` — span() always passes a fresh
         # kwargs dict, and this runs once per RPC on the traced path
         self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
@@ -332,6 +453,7 @@ class Span:
         self.trace_id = ""
         self.span_id = ""
         self.parent_id: Optional[str] = None
+        self.sampled = True
         self._stats_source = stats
         self._stats_before = None
         self._t0 = 0.0
@@ -341,15 +463,17 @@ class Span:
     @property
     def context(self) -> TraceContext:
         """This span's identity, suitable for wire propagation."""
-        return TraceContext(self.trace_id, self.span_id)
+        return TraceContext(self.trace_id, self.span_id, self.sampled)
 
     def _assign_ids(self, parent: Optional[TraceContext]) -> None:
         if parent is not None:
             self.trace_id = parent.trace_id
             self.parent_id = parent.span_id
             self.span_id = new_span_id()
+            self.sampled = parent.sampled
         else:
             self.trace_id, self.span_id = _new_root_ids()
+            self.sampled = _sample_root(self.trace_id)
 
     def set(self, **attrs: Any) -> "Span":
         """Attach/overwrite custom attributes on the open span."""
@@ -375,6 +499,7 @@ class Span:
             self.trace_id = top.trace_id
             self.parent_id = top.span_id
             self.span_id = new_span_id()
+            self.sampled = top.sampled
         else:
             ctx = self._parent_ctx
             if ctx is None:
@@ -385,8 +510,10 @@ class Span:
                 self.trace_id = ctx.trace_id
                 self.parent_id = ctx.span_id
                 self.span_id = new_span_id()
+                self.sampled = ctx.sampled
             else:
                 self.trace_id, self.span_id = _new_root_ids()
+                self.sampled = _sample_root(self.trace_id)
         stack.append(self)
         if self._stats_source is not None:
             current = self._resolve_stats()
@@ -408,6 +535,13 @@ class Span:
         if stack and stack[-1] is self:
             stack.pop()
         self._finished = True
+        if not self.sampled:
+            # unsampled spans never touch the sink; the tail hook (if
+            # any) keeps them for error/slowlog-triggered promotion
+            tail = _tail_hook
+            if tail is not None:
+                tail(self)
+            return False
         # a bare NullSink discards the record anyway — skip building it
         # (slowlog wraps the sink, so its records still flow)
         if ENABLED and _sink.__class__ is not NullSink:
@@ -437,6 +571,11 @@ class Span:
                 self.opstats = current.delta(self._stats_before).as_dict()
         if error is not None:
             self.error = error
+        if not self.sampled:
+            tail = _tail_hook
+            if tail is not None:
+                tail(self)
+            return
         if ENABLED and _sink.__class__ is not NullSink:
             _sink.emit(self.as_dict())
 
@@ -455,6 +594,11 @@ class Span:
             "span_id": self.span_id,
             "parent_id": self.parent_id,
         }
+        if not self.sampled:
+            # present only on sampled-out records (tail promotions), so
+            # the sampled/always-on record shape is byte-identical to
+            # the pre-sampling format
+            out["sampled"] = False
         if self.error is not None:
             out["error"] = self.error
         return out
@@ -464,6 +608,8 @@ class _NullSpan:
     """Shared do-nothing context returned when tracing is disabled."""
 
     __slots__ = ()
+
+    sampled = True  # call sites may branch on sp.sampled unguarded
 
     def __enter__(self) -> "_NullSpan":
         return self

@@ -242,6 +242,61 @@ class TestAcceptance:
             assert "repro_net_client_requests" in out
 
 
+class TestHealthCli:
+    """`repro health` evaluates cluster SLOs over RPC and exits
+    nonzero on breach — the CI health gate."""
+
+    def test_healthy_cluster_exits_zero(self, cluster, tmp_path,
+                                        capsys):
+        conn = _fresh(cluster)
+        try:
+            conn.create_table("h")
+            with conn.batch_writer("h") as w:
+                for i in range(20):
+                    w.put(f"r{i:02d}", "f", "q", i)
+            assert sum(1 for _ in conn.scanner("h")) == 20
+        finally:
+            conn.close()
+        out = tmp_path / "health.json"
+        rc = cli_main(["health", "--connect", cluster.manager_addr_str,
+                       "--window", "0.1", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "rpc.queue.p99" in text and "BREACH" not in text
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert {"manager", "tserver0", "tserver1"} <= \
+            set(report["components"])
+
+    def test_breached_slo_exits_nonzero(self, cluster, tmp_path,
+                                        capsys):
+        # a deliberately impossible objective: any observed latency
+        # breaches a 0-second p99 target
+        slos = tmp_path / "slos.json"
+        import json
+
+        slos.write_text(json.dumps([
+            {"name": "impossible.p99",
+             "histogram": "net.server.service_seconds",
+             "p99_target_s": 0.0}]))
+        rc = cli_main(["health", "--connect", cluster.manager_addr_str,
+                       "--window", "0.1", "--slos", str(slos)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "BREACH" in captured.out
+        assert "FAILED" in captured.err
+
+    def test_unreachable_cluster_is_a_cli_error(self, capsys):
+        c = LocalCluster(n_servers=1, processes=False).start()
+        addr = c.manager_addr_str
+        c.stop()
+        rc = cli_main(["health", "--connect", addr, "--window", "0.0"])
+        assert rc == 2
+        assert "unreachable" in capsys.readouterr().err
+
+
 class TestLifecycle:
     def test_connect_before_start_rejected(self):
         c = LocalCluster(n_servers=1, processes=False)

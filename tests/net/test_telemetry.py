@@ -157,6 +157,50 @@ class TestTelemetryOp:
             # the rendering accepts the live summary end to end
             assert "manager" in render_top(summary)
 
+    def test_telemetry_op_carries_health_block(self):
+        with LocalCluster(n_servers=1, processes=False) as c:
+            conn = c.connect()
+            try:
+                conn.create_table("t")
+                conn.instance.telemetry(sample=True)
+                data = conn.instance.telemetry(sample=True)
+            finally:
+                conn.close()
+        health = data["health"]
+        assert health["ok"] is True
+        assert set(health["components"]) == {"manager", "tserver0"}
+        slos = {c["slo"] for c in health["checks"]}
+        assert {"rpc.queue.p99", "rpc.service.p99", "rpc.errors"} <= slos
+        # from_dict tolerates (and drops) the extra key
+        tel = ClusterTelemetry.from_dict(data)
+        summary = tel.summary()
+        assert summary["tserver0"]["health"] == []  # no breaches
+        rendered = render_top(summary)
+        assert "HEALTH" in rendered.splitlines()[0]
+        assert " ok " in rendered
+
+    def test_health_column_flags_breaches(self):
+        summary = {
+            "ok-server": {"requests": 10, "qps": 1.0, "tx_bps": 0.0,
+                          "rx_bps": 0.0, "err_ps": 0.0, "inflight": 0,
+                          "reset": False, "health": [],
+                          "hot_tables": []},
+            "sick-server": {"requests": 10, "qps": 1.0, "tx_bps": 0.0,
+                            "rx_bps": 0.0, "err_ps": 5.0, "inflight": 0,
+                            "reset": False,
+                            "health": ["rpc.errors", "rpc.queue.p99"],
+                            "hot_tables": []},
+            "new-server": {"requests": 0, "qps": None, "tx_bps": None,
+                           "rx_bps": None, "err_ps": None, "inflight": 0,
+                           "reset": False, "health": None,
+                           "hot_tables": []},
+        }
+        lines = render_top(summary).splitlines()
+        by_name = {line.split()[0]: line for line in lines[1:]}
+        assert " ok " in by_name["ok-server"]
+        assert "SLO!2" in by_name["sick-server"]
+        assert " ok " not in by_name["new-server"]  # unknown -> "-"
+
     def test_background_sampler_fills_ring(self):
         import time
 

@@ -20,6 +20,7 @@ from repro.dbsim.graphulo import create_combiner_table, table_bfs
 from repro.dbsim import assoc_to_table
 from repro.generators import rmat_graph
 from repro.net.cluster import LocalCluster
+from repro.obs import sampling as _sampling
 from repro.obs import trace as _trace
 from repro.obs.stitch import stitch_files
 from repro.obs.trace import JSONLSink, NullSink
@@ -30,9 +31,11 @@ GOLDEN = os.path.join(os.path.dirname(__file__), "data",
 
 @pytest.fixture(autouse=True)
 def _clean_tracing():
+    _sampling.unconfigure()
     _trace.disable()
     _trace.set_sink(NullSink())
     yield
+    _sampling.unconfigure()
     _trace.disable()
     _trace.set_sink(NullSink())
 
@@ -155,6 +158,142 @@ def _edge_summary_for_trace(st, trace_id):
         counts[edge] = counts.get(edge, 0) + 1
     return [f"{pp}/{pn} -> {cp}/{cn} x{n}"
             for (pp, pn, cp, cn), n in sorted(counts.items())]
+
+
+class TestSampledPropagation:
+    """Head sampling across the wire: the decision rides the TC flag
+    byte of every frame, every process agrees without coordination, and
+    seeded runs are reproducible.  Seed 42 head-samples the workload
+    trace at rate 0.3; seed 1234 drops it (pinned by the assertions)."""
+
+    RATE = 0.3
+
+    @staticmethod
+    def _decision(trace_id, rate=0.3):
+        # the deterministic head-sampling function, restated
+        return int(trace_id[16:], 16) < int(rate * (1 << 64))
+
+    def _run_sampled(self, trace_dir, seed, processes=True):
+        os.makedirs(trace_dir, exist_ok=True)
+        _trace.seed_ids(seed)
+        _sampling.configure(self.RATE)
+        _trace.enable(JSONLSink(
+            os.path.join(trace_dir, "trace.client.jsonl"),
+            process="client"))
+        a = _small_graph()
+        source = str(min(a.row_keys))
+        try:
+            with LocalCluster(n_servers=2, processes=processes,
+                              trace_dir=trace_dir,
+                              sample_rate=self.RATE) as cluster:
+                conn = cluster.connect()
+                try:
+                    with _trace.span("workload") as sp:
+                        trace_id, sampled = sp.trace_id, sp.sampled
+                        assoc_to_table(conn, a, "A", n_splits=3)
+                        result = table_bfs(conn, "A", [source], 2)
+                finally:
+                    conn.close()
+        finally:
+            _sampling.unconfigure()
+            _trace.disable(close=True)
+        assert result
+        return trace_id, sampled
+
+    def test_flag_preserved_end_to_end(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        trace_id, sampled = self._run_sampled(trace_dir, seed=42)
+        assert sampled is True  # pinned: seed 42 samples the workload
+
+        st = _stitched(trace_dir)
+        workload = [r for r in st.records if r["trace_id"] == trace_id]
+        # the sampled trace crossed process boundaries intact: server
+        # handler spans exist and stitch under their client calls
+        assert any(r["name"].startswith("rpc.server.")
+                   and r["process"].startswith("tserver")
+                   for r in workload)
+        assert st.orphan_spans() == []
+        assert st.cross_process_edges()
+        # every recorded trace was genuinely head-sampled (or promoted
+        # and marked); sampling never leaks silently
+        for rec in st.records:
+            if rec.get("sampled") is False:
+                continue
+            assert self._decision(rec["trace_id"]), \
+                f"unsampled trace leaked: {rec['name']}"
+
+    def test_dropped_trace_records_nothing(self, tmp_path):
+        trace_dir = str(tmp_path / "traces")
+        trace_id, sampled = self._run_sampled(trace_dir, seed=1234,
+                                              processes=False)
+        assert sampled is False  # pinned: seed 1234 drops the workload
+        st = _stitched(trace_dir)
+        assert [r for r in st.records
+                if r["trace_id"] == trace_id] == []
+
+    def test_seeded_sampled_run_is_reproducible(self, tmp_path):
+        """Same seed, same rate -> same trace ids, same decisions, same
+        stitched structure, run to run."""
+        runs = []
+        for name in ("a", "b"):
+            trace_dir = str(tmp_path / name)
+            trace_id, sampled = self._run_sampled(trace_dir, seed=42)
+            st = _stitched(trace_dir)
+            runs.append({
+                "workload": (trace_id, sampled),
+                "traces": sorted({r["trace_id"] for r in st.records}),
+                "shape": sorted((r["trace_id"], r["process"], r["name"])
+                                for r in st.records),
+                "edges": st.edge_summary(),
+            })
+        assert runs[0] == runs[1]
+
+    def test_slow_spans_promoted_despite_rate_zero(self, tmp_path):
+        """Tail retention end to end: at sample rate 0 nothing is
+        head-sampled, but a delay fault pushes the client's rpc spans
+        over the 0.25s threshold, so the whole client-side trace is
+        promoted and lands in the file marked ``"sampled": false``.
+        (The server's handler span stays fast — the delay is injected
+        at response-send time — so its half is legitimately dropped,
+        which is exactly the sampled-out-parent shape stitch must not
+        call an orphan.)"""
+        trace_dir = str(tmp_path / "traces")
+        os.makedirs(trace_dir)
+        _trace.seed_ids(7)
+        _sampling.configure(0.0)
+        _trace.enable(JSONLSink(
+            os.path.join(trace_dir, "trace.client.jsonl"),
+            process="client"))
+        try:
+            with LocalCluster(n_servers=1, processes=True,
+                              fault_specs=["scan:delay:1.0:0.4"],
+                              fault_seed=3, trace_dir=trace_dir,
+                              sample_rate=0.0) as cluster:
+                conn = cluster.connect()
+                try:
+                    with _trace.span("workload"):
+                        conn.create_table("t")
+                        with conn.batch_writer("t") as w:
+                            for i in range(30):
+                                w.put(f"r{i:02d}", "", "c", i)
+                        assert sum(1 for _ in conn.scanner("t")) == 30
+                finally:
+                    conn.close()
+        finally:
+            _sampling.unconfigure()
+            _trace.disable(close=True)
+
+        st = _stitched(trace_dir)
+        promoted = [r for r in st.records if r.get("sampled") is False]
+        assert promoted and all(r.get("sampled") is False
+                                for r in st.records)
+        # the slow client scan breached the rpc.* threshold and dragged
+        # its whole local trace out of the ring, enclosing span included
+        slow = [r for r in promoted if r["name"] == "rpc.client.scan"]
+        assert slow and any(r["duration_s"] > 0.25 for r in slow)
+        assert any(r["name"] == "workload" for r in promoted)
+        # no phantom orphans from the legitimately-dropped server half
+        assert st.orphan_spans() == []
 
 
 class TestPropagationUnderFaults:

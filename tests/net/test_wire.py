@@ -41,11 +41,20 @@ class TestFrames:
             assert got == payload
 
     def test_trace_context_roundtrip(self):
-        tc = ("ab" * 16, "cd" * 8)
-        frame = wire.encode_frame(wire.PING, {"x": 1}, tc=tc, req=9)
+        # a 2-tuple means "sampled" (the pre-sampling sender shape);
+        # the decoder always yields the explicit 3-tuple
+        frame = wire.encode_frame(wire.PING, {"x": 1},
+                                  tc=("ab" * 16, "cd" * 8), req=9)
         code, payload, got, req = wire.decode_body(frame[4:])
         assert (code, payload, req) == (wire.PING, {"x": 1}, 9)
-        assert got == tc
+        assert got == ("ab" * 16, "cd" * 8, True)
+
+    def test_trace_context_sampled_flag_roundtrip(self):
+        for sampled in (True, False):
+            tc = ("12" * 16, "34" * 8, sampled)
+            frame = wire.encode_frame(wire.PING, None, tc=tc)
+            _, _, got, _ = wire.decode_body(frame[4:])
+            assert got == tc
 
     def test_corrupt_trace_context_detected(self):
         frame = bytearray(wire.encode_frame(wire.PING, {},

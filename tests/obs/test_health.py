@@ -1,0 +1,150 @@
+"""SLO health plane: spec validation, p99/error-budget evaluation,
+windowed burn rates, report rendering, and spec-file loading."""
+
+import json
+
+import pytest
+
+from repro.obs.expose import SnapshotDelta
+from repro.obs.health import (DEFAULT_SLOS, HealthReport, SLOSpec,
+                              breaches_for, check_component, evaluate,
+                              load_slos)
+
+
+def export(p99_queue=0.01, p99_service=0.02, requests=100, errors=0):
+    return {
+        "net.server.requests": requests,
+        "net.server.errors": errors,
+        "net.server.queue_seconds": {"count": 10, "p99": p99_queue},
+        "net.server.service_seconds": {"count": 10, "p99": p99_service},
+    }
+
+
+class TestSLOSpec:
+    def test_from_dict_round_trip(self):
+        spec = SLOSpec.from_dict({"name": "x", "histogram": "h",
+                                  "p99_target_s": 0.1})
+        assert spec.name == "x" and spec.p99_target_s == 0.1
+        assert spec.as_dict() == {"name": "x", "histogram": "h",
+                                  "p99_target_s": 0.1}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SLOSpec.from_dict({"name": "x", "p99": 0.1})
+
+    def test_objective_required(self):
+        with pytest.raises(ValueError, match="no objective"):
+            SLOSpec.from_dict({"name": "x"})
+
+    def test_p99_needs_histogram(self):
+        with pytest.raises(ValueError, match="histogram"):
+            SLOSpec.from_dict({"name": "x", "p99_target_s": 0.1})
+
+
+class TestEvaluate:
+    def test_healthy_cluster_is_ok(self):
+        report = evaluate({"manager": export(),
+                           "servers": {"ts0": export()}})
+        assert report.ok and report.breaches() == []
+        assert report.component_status() == {"manager": "ok", "ts0": "ok"}
+
+    def test_p99_breach_detected(self):
+        report = evaluate({"servers": {"ts0": export(p99_queue=5.0)}})
+        [breach] = report.breaches()
+        assert breach.slo == "rpc.queue.p99" and breach.component == "ts0"
+        assert report.component_status()["ts0"] == "breach"
+
+    def test_error_budget_breach_detected(self):
+        report = evaluate({"servers": {"ts0": export(requests=100,
+                                                     errors=50)}})
+        [breach] = report.breaches()
+        assert breach.slo == "rpc.errors"
+        assert breach.value == pytest.approx(0.5)
+
+    def test_flat_shape_accepted(self):
+        # _sample_cluster() returns {component: export} with no nesting
+        report = evaluate({"manager": export(), "tserver0": export()})
+        assert sorted(report.component_status()) == ["manager", "tserver0"]
+
+    def test_windowed_burn_rate_forgives_old_errors(self):
+        # cumulatively over budget, but clean in the window -> ok
+        before = {"ts0": export(requests=100, errors=50)}
+        after = {"ts0": export(requests=300, errors=50)}
+        report = evaluate(after, before=before, seconds=2.0)
+        errs = [c for c in report.checks if c.kind == "error_rate"]
+        assert all(c.ok for c in errs)
+        assert "windowed" in errs[0].detail
+        # and the reverse: clean history, error storm in the window
+        report = evaluate({"ts0": export(requests=300, errors=40)},
+                          before={"ts0": export(requests=290, errors=0)},
+                          seconds=2.0)
+        assert not report.ok
+
+    def test_no_data_is_vacuously_ok(self):
+        report = evaluate({"ts0": {}})
+        assert report.ok
+        assert report.component_status()["ts0"] == "no-data"
+        assert all(c.value is None for c in report.checks)
+
+    def test_glob_histogram_matches_families(self):
+        slos = [SLOSpec(name="per-op", histogram="net.server.op.*_seconds",
+                        p99_target_s=0.1)]
+        exp = {"net.server.op.scan_seconds": {"count": 5, "p99": 0.5},
+               "net.server.op.ping_seconds": {"count": 5, "p99": 0.01}}
+        checks = check_component("ts0", exp, slos)
+        assert [(c.metric, c.ok) for c in checks] == [
+            ("net.server.op.ping_seconds", True),
+            ("net.server.op.scan_seconds", False)]
+
+    def test_breaches_for_names_only(self):
+        assert breaches_for(export(p99_queue=5.0, errors=50)) == \
+            ["rpc.errors", "rpc.queue.p99"]
+        assert breaches_for(export()) == []
+        delta = SnapshotDelta(export(requests=100, errors=50),
+                              export(requests=200, errors=50))
+        assert breaches_for(export(requests=200, errors=50),
+                            delta=delta) == []
+
+
+class TestReport:
+    def test_render_and_dict(self):
+        report = evaluate({"ts0": export(p99_service=9.0)})
+        text = report.render()
+        assert "BREACH" in text and "rpc.service.p99" in text
+        assert "1 breach(es)" in text
+        d = report.as_dict()
+        assert d["ok"] is False and len(d["breaches"]) == 1
+        json.dumps(d)  # the CI artifact must serialize
+
+    def test_all_ok_footer(self):
+        assert evaluate({"ts0": export()}).render().endswith("all SLOs met")
+
+
+class TestLoadSlos:
+    def test_load_and_validate(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps([
+            {"name": "q", "histogram": "net.server.queue_seconds",
+             "p99_target_s": 0.5},
+            {"name": "e", "error_budget": 0.1},
+        ]))
+        specs = load_slos(str(path))
+        assert [s.name for s in specs] == ["q", "e"]
+
+    def test_empty_or_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="non-empty"):
+            load_slos(str(path))
+        path.write_text(json.dumps([{"name": "x"}]))
+        with pytest.raises(ValueError, match="no objective"):
+            load_slos(str(path))
+
+
+class TestDefaults:
+    def test_default_slos_cover_queue_service_errors(self):
+        names = {s.name for s in DEFAULT_SLOS}
+        assert names == {"rpc.queue.p99", "rpc.service.p99", "rpc.errors"}
+
+    def test_defaults_pass_on_a_quiet_export(self):
+        assert HealthReport(check_component("s", export())).ok

@@ -100,6 +100,49 @@ class TestEdges:
         assert st_full.orphan_spans() == []
 
 
+class TestPartialSampling:
+    """Under head sampling, a tail-promoted server span whose client
+    half was sampled away is *expected*, not an orphan."""
+
+    def promoted_sources(self):
+        sources = two_process_sources()
+        del sources["client"]  # client half head-sampled away
+        for record in sources["tserver0"]:
+            if record["kind"] == "span":
+                record["sampled"] = False  # tail-promoted on the server
+        return sources
+
+    def test_sampled_out_parent_is_not_an_orphan(self):
+        st = stitch_records(self.promoted_sources())
+        assert st.orphan_spans() == []
+        assert [r["name"] for r in st.sampled_out_parents()] == \
+            ["rpc.server.scan"]
+        d = st.as_dict()
+        assert d["orphans"] == 0 and d["sampled_out_parents"] == 1
+
+    def test_missing_sampled_parent_is_still_an_orphan(self):
+        # the record was head-sampled (no "sampled": false marker), so
+        # its parent's process made the same decision: a missing parent
+        # here means a file or span was genuinely lost
+        sources = two_process_sources()
+        del sources["client"]
+        st = stitch_records(sources)
+        assert len(st.orphan_spans()) == 1
+        assert st.sampled_out_parents() == []
+
+    def test_resolved_promoted_spans_are_neither(self):
+        # both halves promoted: parent resolves, no special category
+        sources = two_process_sources()
+        for records in sources.values():
+            for record in records:
+                if record["kind"] == "span":
+                    record["sampled"] = False
+        st = stitch_records(sources)
+        assert st.orphan_spans() == []
+        assert st.sampled_out_parents() == []
+        assert len(st.cross_process_edges()) == 1
+
+
 class TestDeterminism:
     def test_order_independent_of_source_order(self):
         a = stitch_records(two_process_sources())
@@ -139,4 +182,5 @@ class TestRoundTrip:
         d = st.as_dict()
         assert d == {"spans": 3, "traces": 1,
                      "processes": ["client", "tserver0"],
-                     "cross_process_edges": 1, "orphans": 0}
+                     "cross_process_edges": 1, "orphans": 0,
+                     "sampled_out_parents": 0}

@@ -175,17 +175,41 @@ class TestSinks:
         sink.close()  # no emit -> file never created
         assert not path.exists()
 
-    def test_jsonl_flushes_every_record(self, tmp_path):
-        """Records are readable before close, so an interrupted run
-        still leaves a complete trace behind."""
+    def test_jsonl_batches_until_flush_every(self, tmp_path):
+        """Records buffer in memory until the batch bound, then land on
+        disk in one write — the per-record open/flush is gone."""
         path = tmp_path / "t.jsonl"
-        sink = JSONLSink(str(path))
+        sink = JSONLSink(str(path), flush_every=3)
         sink.emit({"kind": "span", "name": "a"})
         sink.emit({"kind": "span", "name": "b"})
-        # deliberately NOT closed
+        assert not path.exists()  # still buffered
+        sink.emit({"kind": "span", "name": "c"})  # hits the bound
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b", "c"]
+        sink.close()
+
+    def test_jsonl_explicit_flush(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JSONLSink(str(path), flush_every=64)
+        sink.flush()  # nothing emitted yet: stays lazy, no file
+        assert not path.exists()
+        sink.emit({"kind": "span", "name": "a"})
+        assert not path.exists()
+        sink.flush()
+        assert [json.loads(l)["name"]
+                for l in path.read_text().splitlines()] == ["a"]
+        sink.close()
+
+    def test_jsonl_close_flushes_partial_batch(self, tmp_path):
+        """An interrupted run still leaves a complete trace: every exit
+        path closes the sink, and close drains the buffer."""
+        path = tmp_path / "t.jsonl"
+        sink = JSONLSink(str(path), flush_every=64)
+        sink.emit({"kind": "span", "name": "a"})
+        sink.emit({"kind": "span", "name": "b"})
+        sink.close()
         lines = path.read_text().splitlines()
         assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
-        sink.close()
 
 
 class TestInstrumentedCallSites:
