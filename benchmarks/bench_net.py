@@ -23,10 +23,11 @@ import time
 import pytest
 
 from benchmarks._benchjson import write_bench_json
-from repro.dbsim import Connector
+from repro.dbsim import Connector, decode_number
 from repro.dbsim.server import Instance
 from repro.net import wire
 from repro.net.cluster import LocalCluster
+from repro.net.iterspec import IterSpec
 from repro.obs.metrics import MetricsRegistry
 
 N_CELLS = 10_000
@@ -436,6 +437,73 @@ class TestScanThroughput:
                   f"{per_cell['remote_cells_per_s']:,}/s per-cell, "
                   f"{ratio:.2f}x)")
         assert ratio >= 2.0
+
+
+class TestPushdown:
+    def test_filtered_fetch_wire_reduction(self, cluster, capsys):
+        """Iterator push-down gate: a frontier-style filtered fetch
+        with the predicate running inside the tablet servers
+        (``iterspec``) must ship >= 5x fewer scan bytes than fetching
+        everything and filtering client-side — while staying
+        bit-identical to both the client-side filter and the
+        in-process backend."""
+        threshold = float(N_CELLS - N_CELLS // 10)  # keeps 10% of cells
+        spec = IterSpec().value_ge(threshold)
+        registry = MetricsRegistry()
+        remote = cluster.connect(metrics=registry)
+        try:
+            _wipe(remote)
+            _ingest(remote)
+
+            def scan_rx():
+                return registry.export().get(
+                    "net.client.op.scan.bytes_received", 0)
+
+            r0 = scan_rx()
+            client_side = [c for c in remote.scanner("A")
+                           if decode_number(c.value) >= threshold]
+            r1 = scan_rx()
+            pushed = list(remote.scanner("A", iterspec=spec))
+            r2 = scan_rx()
+            servers = remote.instance.cluster_metrics()["servers"]
+        finally:
+            _wipe(remote)
+            remote.close()
+
+        local = Connector(Instance(n_servers=3,
+                                   metrics=MetricsRegistry()))
+        _ingest(local)
+        want = list(local.scanner("A", iterspec=spec))
+        assert pushed == client_side  # incl. timestamps
+        assert pushed == want         # local/remote bit-identity
+        assert len(pushed) == N_CELLS // 10
+
+        full_rx, pushed_rx = r1 - r0, r2 - r1
+        assert full_rx > 0 and pushed_rx > 0
+        reduction = full_rx / pushed_rx
+        stacks = sum(m.get("net.server.pushdown.stacks", 0)
+                     for m in servers.values())
+        folded = sum(m.get("net.server.pushdown.cells_folded", 0)
+                     for m in servers.values())
+        _RESULTS["pushdown"] = {
+            "cells": N_CELLS,
+            "kept_cells": len(pushed),
+            "client_filter_bytes_received": full_rx,
+            "pushdown_bytes_received": pushed_rx,
+            "wire_reduction_x": round(reduction, 2),
+            "gate_x": 5.0,
+            "server_stacks": stacks,
+            "server_cells_folded": folded,
+            "bit_identical": True,
+        }
+        with capsys.disabled():
+            print(f"\npush-down filtered fetch: {pushed_rx:,} bytes vs "
+                  f"{full_rx:,} client-side ({reduction:.1f}x fewer); "
+                  f"{stacks} server stacks folded {folded:,} cells")
+        assert stacks > 0 and folded > 0
+        # the CI gate: filtered frontier fetches must ship >= 5x fewer
+        # wire bytes than client-side filtering
+        assert reduction >= 5.0
 
 
 class TestEncodeBlock:

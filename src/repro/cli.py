@@ -476,9 +476,11 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
     the response path.  ``client_mode="async"`` additionally drains the
     table through the native async client and requires the same
     snapshot."""
-    from repro.dbsim import Connector, assoc_to_table, table_bfs
+    from repro.dbsim import (Connector, assoc_to_table, decode_number,
+                             degree_table, table_bfs)
     from repro.dbsim.server import Instance
     from repro.generators import rmat_graph
+    from repro.net.iterspec import IterSpec
     from repro.obs.metrics import MetricsRegistry
 
     g = rmat_graph(scale, edge_factor=4, seed=7)
@@ -507,6 +509,36 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
                         for c in b.cells()]
         got_async = (_async_snapshot(conn, "A")
                      if client_mode == "async" else None)
+        # push-down leg: degree maintenance (a server-side Reduce) and
+        # a degree-filtered BFS through repro.net.iterspec must stay
+        # bit-identical to the in-process backend, and a filtered scan
+        # whose predicate runs inside the tablet servers must ship
+        # fewer scan bytes than the same scan filtered client-side
+        degree_table(local, "A", "Adeg", count_entries=True)
+        degree_table(conn, "A", "Adeg", count_entries=True)
+        want_deg = list(local.scanner("Adeg"))
+        got_deg = list(conn.scanner("Adeg"))
+        degs = sorted(decode_number(c.value) for c in want_deg)
+        min_deg = degs[len(degs) // 2]  # median keeps the BFS alive
+        want_fbfs = table_bfs(local, "A", [source], hops,
+                              min_degree=min_deg, degree_table_name="Adeg")
+        got_fbfs = table_bfs(conn, "A", [source], hops,
+                             min_degree=min_deg, degree_table_name="Adeg")
+        spec = IterSpec().value_ge(2.0)
+        want_filtered = [c for c in list(local.scanner("A"))
+                         if decode_number(c.value) >= 2.0]
+
+        def scan_rx() -> float:
+            return registry.export().get(
+                "net.client.op.scan.bytes_received", 0)
+
+        r0 = scan_rx()
+        client_filtered = [c for c in list(conn.scanner("A"))
+                           if decode_number(c.value) >= 2.0]
+        r1 = scan_rx()
+        got_filtered = list(conn.scanner("A", iterspec=spec))
+        r2 = scan_rx()
+        full_rx, pushed_rx = r1 - r0, r2 - r1
         server_metrics = conn.instance.cluster_metrics()
     finally:
         conn.close()
@@ -534,6 +566,12 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
           f"{client_received}; server sent "
           + " ".join(f"{n}={v}" for n, v in sorted(servers_sent.items())))
 
+    reduction = (full_rx / pushed_rx) if pushed_rx else float("inf")
+    print(f"push-down: filtered scan shipped {pushed_rx} bytes vs "
+          f"{full_rx} client-side ({reduction:.1f}x fewer); "
+          f"degree-filtered BFS (min_degree={min_deg:g}) reached "
+          f"{len(got_fbfs)} vertices")
+
     ok_bfs = got_bfs == want_bfs
     ok_cells = got_cells == want_cells
     ok_columnar = got_columnar == want_cells
@@ -541,14 +579,20 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
     ok_bytes = (client_sent > 0 and client_received > 0
                 and servers_sent and all(v > 0
                                          for v in servers_sent.values()))
-    if ok_bfs and ok_cells and ok_columnar and ok_async and ok_bytes:
+    ok_pushdown = (got_deg == want_deg and got_fbfs == want_fbfs
+                   and got_filtered == want_filtered
+                   and got_filtered == client_filtered
+                   and pushed_rx < full_rx)
+    if (ok_bfs and ok_cells and ok_columnar and ok_async and ok_bytes
+            and ok_pushdown):
         suffix = ("" if got_async is None else
                   " (sync facade and native async client agree)")
         print(f"smoke OK: remote BFS from {source} "
-              f"({hops} hops over {g.nrows} vertices) and the "
+              f"({hops} hops over {g.nrows} vertices), the "
               f"{len(want_cells)}-cell table snapshot — per-cell and "
-              f"columnar — are bit-identical to the in-process "
-              f"backend{suffix}")
+              f"columnar — and the server-side push-down leg (degree "
+              f"Reduce + filtered BFS) are bit-identical to the "
+              f"in-process backend{suffix}")
         return 0
     problems = []
     if not ok_bfs:
@@ -568,6 +612,18 @@ def _net_smoke(cluster, scale: int = 6, hops: int = 3,
                         f"(client sent={client_sent} "
                         f"received={client_received} "
                         f"servers={servers_sent})")
+    if not ok_pushdown:
+        detail = []
+        if got_deg != want_deg:
+            detail.append("degree table mismatch")
+        if got_fbfs != want_fbfs:
+            detail.append("filtered BFS mismatch")
+        if got_filtered != want_filtered or got_filtered != client_filtered:
+            detail.append("filtered scan mismatch")
+        if pushed_rx >= full_rx:
+            detail.append(f"no wire saving (pushed={pushed_rx} "
+                          f"full={full_rx})")
+        problems.append("push-down leg failed: " + ", ".join(detail))
     print(f"smoke FAILED: {'; '.join(problems)}", file=sys.stderr)
     return 1
 

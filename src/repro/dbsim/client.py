@@ -61,20 +61,46 @@ class Connector:
 
     def scanner(self, table: str,
                 scan_iterators: Sequence[IteratorFactory] = (),
-                authorizations: Authorizations = None) -> "Scanner":
+                authorizations: Authorizations = None,
+                iterspec=None) -> "Scanner":
         return Scanner(self, table, scan_iterators,
-                       authorizations=authorizations)
+                       authorizations=authorizations, iterspec=iterspec)
 
     def batch_scanner(self, table: str,
                       scan_iterators: Sequence[IteratorFactory] = (),
                       authorizations: Authorizations = None,
-                      coalesce: Optional[bool] = None) -> "BatchScanner":
+                      coalesce: Optional[bool] = None,
+                      iterspec=None) -> "BatchScanner":
         return BatchScanner(self, table, scan_iterators,
-                            authorizations=authorizations, coalesce=coalesce)
+                            authorizations=authorizations, coalesce=coalesce,
+                            iterspec=iterspec)
 
     def batch_writer(self, table: str, buffer_size: int = 10_000,
                      max_memory: int = 4 << 20) -> "BatchWriter":
         return BatchWriter(self, table, buffer_size, max_memory)
+
+
+def _bind_iterspec(inst, iterspec):
+    """Resolve a push-down spec against a backend.
+
+    The local backend gets the spec's factory chain — installed *above*
+    the visibility filter, exactly where a tablet server runs it (the
+    Accumulo ordering: system visibility filter below user iterators) —
+    as ``(factories, None)``; the remote backend gets the validated
+    wire form to ship with every SCAN as ``((), wire_form)``.  Building
+    from the same spec on both sides is what keeps local and remote
+    results bit-identical."""
+    if iterspec is None:
+        return (), None
+    # lazy: dbsim must not import repro.net at module scope (net
+    # imports dbsim); only spec-using scanners pay the import
+    from repro.net import iterspec as _iterspec
+    spec = _iterspec.coerce(iterspec)
+    if not spec:
+        return (), None
+    if hasattr(inst, "scan_columns"):  # remote backend: ship the spec
+        return (), spec.to_wire()
+    return spec.build_factories(), None
 
 
 def _visible_batch(batch, auths):
@@ -107,16 +133,20 @@ class Scanner:
 
     def __init__(self, conn: Connector, table: str,
                  scan_iterators: Sequence[IteratorFactory] = (),
-                 authorizations: Authorizations = None):
+                 authorizations: Authorizations = None,
+                 iterspec=None):
         self._conn = conn
         self._table = table
         auths = PUBLIC if authorizations is None else authorizations
         self._auths = auths
         self._user_iterators = tuple(scan_iterators)
         # visibility filtering runs server-side, before user scan iterators
-        self._scan_iterators = (
-            (lambda src: VisibilityFilterIterator(src, auths)),
-        ) + self._user_iterators
+        self._vis_factory = (
+            lambda src: VisibilityFilterIterator(src, auths))
+        self._scan_iterators = (self._vis_factory,) + self._user_iterators
+        self._iterspec = iterspec
+        self._spec_factories, self._spec_wire = _bind_iterspec(
+            conn.instance, iterspec)
         self.range = Range()
         self.columns: Columns = None
 
@@ -141,11 +171,20 @@ class Scanner:
                 yield from batch.cells()
             return
         config = inst.config(self._table)
+        # a pushed-down spec runs *above* the visibility filter and
+        # below user iterators (its factories locally, the shipped wire
+        # form remotely) — the same position a tablet server installs
+        # it at, so a combiner/reduce never folds unauthorized cells
+        scan_its = ((self._vis_factory,) + self._spec_factories
+                    + self._user_iterators)
+        kw = ({"iterspec": self._spec_wire,
+               "auths": sorted(self._auths.tokens)}
+              if self._spec_wire else {})
         # tablets are kept in extent order, so concatenation preserves
         # global key order
         for tablet in inst.tablets_for_range(self._table, self.range):
             it = tablet.scan_iterator(self.range, config.table_iterators,
-                                      self._scan_iterators)
+                                      scan_its, **kw)
             it.seek(self.range, self.columns)
             while it.has_top():
                 yield it.top()
@@ -172,17 +211,31 @@ class Scanner:
         native = getattr(inst, "scan_columns", None)
         if native is not None:
             # remote backend: one pump spanning every tablet, stream
-            # opens fanned out so the servers scan in parallel;
-            # visibility filtering stays client-side either way
-            for batch in native(self._table, self.range, self.columns):
+            # opens fanned out so the servers scan in parallel.  A
+            # push-down spec rides the SCAN payload into each server
+            # together with the scan's authorizations (the server must
+            # visibility-filter *under* the spec); without a spec,
+            # visibility filtering stays client-side
+            if self._spec_wire:
+                batches = native(self._table, self.range, self.columns,
+                                 iterspec=self._spec_wire,
+                                 auths=sorted(auths.tokens))
+            else:
+                batches = native(self._table, self.range, self.columns)
+            for batch in batches:
                 batch = _visible_batch(batch, auths)
                 if len(batch):
                     yield batch
             return
         config = inst.config(self._table)
+        # with a spec installed the scan runs a per-cell stack anyway,
+        # so visibility filtering joins it *below* the spec factories
+        scan_its = ((self._vis_factory,) + self._spec_factories
+                    if self._spec_factories else ())
         for tablet in inst.tablets_for_range(self._table, self.range):
             for batch in tablet.scan_columns(self.range, self.columns,
-                                             config.table_iterators):
+                                             config.table_iterators,
+                                             scan_its):
                 batch = _visible_batch(batch, auths)
                 if len(batch):
                     yield batch
@@ -218,12 +271,16 @@ class BatchScanner:
     def __init__(self, conn: Connector, table: str,
                  scan_iterators: Sequence[IteratorFactory] = (),
                  authorizations: Authorizations = None,
-                 coalesce: Optional[bool] = None):
+                 coalesce: Optional[bool] = None,
+                 iterspec=None):
         self._conn = conn
         self._table = table
         self._scan_iterators = tuple(scan_iterators)
         self._authorizations = authorizations
         self._coalesce = coalesce
+        self._iterspec = iterspec
+        self._spec_factories, self._spec_wire = _bind_iterspec(
+            conn.instance, iterspec)
         self.ranges: List[Range] = []
         self.columns: Columns = None
 
@@ -262,7 +319,8 @@ class BatchScanner:
             return
         for rng in self.ranges:
             scanner = Scanner(self._conn, self._table, self._scan_iterators,
-                              authorizations=self._authorizations)
+                              authorizations=self._authorizations,
+                              iterspec=self._iterspec)
             scanner.range = rng
             scanner.columns = self.columns
             yield from scanner
@@ -273,7 +331,11 @@ class BatchScanner:
         auths = PUBLIC if self._authorizations is None \
             else self._authorizations
         scan_its = ((lambda src: VisibilityFilterIterator(src, auths),)
+                    + self._spec_factories
                     + self._scan_iterators)
+        kw = ({"iterspec": self._spec_wire,
+               "auths": sorted(auths.tokens)}
+              if self._spec_wire else {})
         ranges = self.ranges
         span = Range(ranges[0].start_row, ranges[-1].stop_row)
         for tablet in inst.tablets_for_range(self._table, span):
@@ -284,7 +346,8 @@ class BatchScanner:
             # requested ranges; the gap cells between ranges are
             # filtered below (ranges sorted ⇒ a single forward pass)
             trng = Range(tranges[0].start_row, tranges[-1].stop_row)
-            it = tablet.scan_iterator(trng, config.table_iterators, scan_its)
+            it = tablet.scan_iterator(trng, config.table_iterators, scan_its,
+                                      **kw)
             it.seek(trng, self.columns)
             ri = 0
             while it.has_top():
@@ -308,9 +371,12 @@ class BatchScanner:
         ``dbsim.batch_scan`` span is emitted identically (``entries``
         counts cells, not batches)."""
         if self._scan_iterators:
-            raise ValueError(
-                "scan_columns cannot run per-cell scan iterators; "
-                "iterate the batch scanner instead")
+            from repro.net.iterspec import NonSerializableIteratorError
+            raise NonSerializableIteratorError(
+                "scan_columns cannot run per-cell (local-callable) scan "
+                "iterators — they cannot cross the wire; pass iterspec= "
+                "to push the stack server-side, or iterate the batch "
+                "scanner instead")
         coalesced = self._use_coalesced()
         if not _trace.ENABLED:
             yield from self._columns_iterate(coalesced)
@@ -331,7 +397,8 @@ class BatchScanner:
             return
         for rng in self.ranges:
             scanner = Scanner(self._conn, self._table,
-                              authorizations=self._authorizations)
+                              authorizations=self._authorizations,
+                              iterspec=self._iterspec)
             scanner.range = rng
             scanner.columns = self.columns
             yield from scanner.scan_columns()
@@ -341,6 +408,12 @@ class BatchScanner:
         config = inst.config(self._table)
         auths = PUBLIC if self._authorizations is None \
             else self._authorizations
+        scan_its = ((lambda src: VisibilityFilterIterator(src, auths),)
+                    + self._spec_factories
+                    if self._spec_factories else ())
+        kw = ({"iterspec": self._spec_wire,
+               "auths": sorted(auths.tokens)}
+              if self._spec_wire else {})
         ranges = self.ranges
         span = Range(ranges[0].start_row, ranges[-1].stop_row)
         for tablet in inst.tablets_for_range(self._table, span):
@@ -352,7 +425,8 @@ class BatchScanner:
             ntr = len(tranges)
             exhausted = False
             for batch in tablet.scan_columns(trng, self.columns,
-                                             config.table_iterators):
+                                             config.table_iterators,
+                                             scan_its, **kw):
                 batch = _visible_batch(batch, auths)
                 rows = batch.rows
                 keep: List[int] = []

@@ -60,6 +60,13 @@ def create_combiner_table(conn: Connector, name: str, combiner: str = "sum",
     conn.create_table(name, config, splits=splits)
 
 
+def _spec():
+    """Fresh empty iterator-stack spec.  Imported lazily: dbsim modules
+    must not import :mod:`repro.net` at module scope (net imports dbsim)."""
+    from repro.net.iterspec import IterSpec
+    return IterSpec()
+
+
 def _default_mul(a: float, b: float) -> float:
     """Default ⊗ for TableMult (arithmetic multiply).  Kept as a named
     module-level function so the engine path can recognise it and use
@@ -248,16 +255,18 @@ def _degree_table(conn: Connector, table: str, out: str,
     before = inst.total_stats().snapshot()
     if not conn.table_exists(out):
         create_combiner_table(conn, out, combiner="sum")
+    # The Reduce runs inside the tablet server: a pushed-down
+    # RowReduceIterator folds each row's cells into one ("", "deg")
+    # cell, so exactly one cell per row crosses the wire and the out
+    # table's SummingCombiner performs the final ⊕ across tablets.
+    spec = _spec().reduce("sum", qualifier="deg", count=count_entries)
+    scanner = conn.scanner(table, authorizations=authorizations,
+                           iterspec=spec)
     with conn.batch_writer(out) as writer:
         put = writer.put
-        scanner = conn.scanner(table, authorizations=authorizations)
         for batch in scanner.scan_columns():
-            if count_entries:
-                for row in batch.rows:
-                    put(row, "", "deg", 1.0)
-            else:
-                for row, val in zip(batch.rows, batch.values):
-                    put(row, "", "deg", decode_number(val))
+            for row, val in zip(batch.rows, batch.values):
+                put(row, "", "deg", decode_number(val))
     conn.compact(out)
     return inst.total_stats().delta(before)
 
@@ -342,24 +351,22 @@ def _table_bfs(conn: Connector, edge_table: str, seeds: Iterable[str],
     if not frontier:
         raise ValueError("need at least one seed vertex")
 
-    def degrees_of(vertices: Set[str]) -> Dict[str, float]:
-        """One coalesced BatchScanner fetch for the whole frontier's
-        degree rows (first cell per row wins, matching a point scan)."""
-        degs = {v: 0.0 for v in vertices}
-        bs = conn.batch_scanner(degree_table_name)
+    def frontier_above(vertices: Set[str]) -> Set[str]:
+        """One coalesced BatchScanner fetch of the frontier's degree
+        rows with a ``value >= min_degree`` filter pushed down the
+        iterator stack — sub-threshold rows are dropped inside the
+        tablet server and never cross the wire."""
+        bs = conn.batch_scanner(degree_table_name,
+                                iterspec=_spec().value_ge(min_degree))
         bs.set_ranges([Range.exact_row(v) for v in sorted(vertices)])
-        seen: Set[str] = set()
+        keep: Set[str] = set()
         for batch in bs.scan_columns():
-            for row, val in zip(batch.rows, batch.values):
-                if row not in seen:
-                    seen.add(row)
-                    degs[row] = decode_number(val)
-        return degs
+            keep.update(batch.rows)
+        return keep & vertices
 
     for hop in range(1, hops + 1):
         if min_degree is not None:
-            degs = degrees_of(frontier)
-            frontier = {v for v in frontier if degs[v] >= min_degree}
+            frontier = frontier_above(frontier)
         if not frontier:
             break
         # sorted disjoint exact-row ranges: the BatchScanner coalesces

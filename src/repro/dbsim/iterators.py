@@ -369,6 +369,54 @@ class AgeOffIterator(PredicateFilterIterator):
         super().__init__(source, lambda c: c.key.timestamp > cutoff)
 
 
+class RowReduceIterator(_WrappingIterator):
+    """Fold every cell of a row into ONE output cell — the Reduce/fold
+    terminal of an iterator stack (Graphulo's server-side aggregation,
+    e.g. degree computation: one ``deg`` cell per vertex row).
+
+    ``op`` is a monoid name ("sum" | "min" | "max"); ``count=True``
+    folds cell *counts* instead of decoded values (out-degree vs
+    weighted degree).  The output key is deterministic so local and
+    remote stacks stay bit-identical: the source row, the configured
+    output family/qualifier, empty visibility, and the *maximum*
+    timestamp seen in the row group.
+    """
+
+    _OPS = {"sum": lambda a, b: a + b, "min": min, "max": max}
+
+    def __init__(self, source: SortedKVIterator, op: str = "sum",
+                 family: str = "", qualifier: str = "deg",
+                 count: bool = False):
+        if op not in self._OPS:
+            raise ValueError(
+                f"unknown reduce op {op!r}; known: {sorted(self._OPS)}")
+        self._op = self._OPS[op]
+        self._family = family
+        self._qualifier = qualifier
+        self._count = count
+        super().__init__(source)
+
+    def _advance_to_top(self) -> None:
+        src = self._source
+        if not src.has_top():
+            self._top = None
+            return
+        first = src.top()
+        src.advance()
+        row = first.key.row
+        acc = 1.0 if self._count else decode_number(first.value)
+        max_ts = first.key.timestamp
+        while src.has_top() and src.top().key.row == row:
+            cell = src.top()
+            src.advance()
+            nxt = 1.0 if self._count else decode_number(cell.value)
+            acc = self._op(acc, nxt)
+            if cell.key.timestamp > max_ts:
+                max_ts = cell.key.timestamp
+        self._top = Cell(Key(row, self._family, self._qualifier, "",
+                             max_ts), encode_number(acc))
+
+
 class ApplyIterator(_WrappingIterator):
     """Transform each cell's numeric value with a unary function — the
     GraphBLAS Apply kernel executed server-side (Graphulo ApplyIterator)."""

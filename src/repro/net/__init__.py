@@ -31,7 +31,12 @@ partial failure, retries) a single process cannot model:
   jitter, exactly-once write dedup, pipelined BatchWriter flushes,
   and automatic re-locate on ``NotHostedError``;
 * :mod:`repro.net.cluster` — spawn / stop / crash / recover N server
-  processes over localhost (``repro serve`` / ``repro cluster``).
+  processes over localhost (``repro serve`` / ``repro cluster``);
+* :mod:`repro.net.iterspec` — declarative, wire-serializable iterator
+  stacks (``IterSpec``): filters, combiners, named Apply ops and row
+  reduces validated against a whitelist and executed inside the
+  tablet server's iterator stack, so filtered and folded scans ship
+  only the surviving cells.
 
 Everything emits ``rpc.*`` spans and ``net.client.*`` /
 ``net.server.*`` counters through :mod:`repro.obs`, so ``repro
@@ -49,6 +54,11 @@ from repro.net.client import (
 )
 from repro.net.cluster import LocalCluster
 from repro.net.faults import FaultPlan, FaultRule
+from repro.net.iterspec import (
+    IterSpec,
+    IterSpecError,
+    NonSerializableIteratorError,
+)
 from repro.net.server import ManagerProcess, TabletServerProcess
 from repro.net.wire import (
     CellsPayload,
@@ -70,6 +80,9 @@ __all__ = [
     "LocalCluster",
     "FaultPlan",
     "FaultRule",
+    "IterSpec",
+    "IterSpecError",
+    "NonSerializableIteratorError",
     "ManagerProcess",
     "TabletServerProcess",
     "FrameCorruptError",

@@ -63,6 +63,7 @@ from repro.dbsim.key import Cell, Range
 from repro.dbsim.server import TableConfig
 from repro.dbsim.stats import OpStats
 from repro.net import cells as _cells
+from repro.net import iterspec as _iterspec
 from repro.net import wire
 from repro.net.aio import (
     Addr,
@@ -390,10 +391,17 @@ class _RemoteScanStream:
     """
 
     def __init__(self, inst: "RemoteInstance", table: str, clip: Range,
-                 segments: Sequence[_Segment]):
+                 segments: Sequence[_Segment], iterspec=None, auths=None):
         self._inst = inst
         self._table = table
         self._clip = clip  # construction range (∩ proxy extent if per-tablet)
+        #: wire-form push-down spec attached to every segment open
+        #: (validated client-side up front — a bad spec fails here, not
+        #: as an ERROR frame N segments into the scan)
+        self._iterspec = _iterspec.as_wire(iterspec)
+        #: scan authorizations shipped with the spec so the server can
+        #: run its visibility filter *under* the pushed-down chain
+        self._auths = list(auths) if auths is not None else None
         self._home = list(segments)  # the layout the pump was planned on
         self._segments: List[_Segment] = []
         self._effective: Optional[Range] = None
@@ -431,6 +439,10 @@ class _RemoteScanStream:
             "resume": self._resume,
             "compress": self._inst.compress,
         }
+        if self._iterspec is not None:
+            payload["iterspec"] = self._iterspec
+            if self._auths is not None:
+                payload["auths"] = self._auths
         tc = None
         if _trace.ENABLED:
             # detached: a scan stream stays open across iterator pulls,
@@ -670,8 +682,9 @@ class _RemoteScanIterator(SortedKVIterator):
     """
 
     def __init__(self, inst: "RemoteInstance", table: str, clip: Range,
-                 segments: Sequence[_Segment]):
-        self._pump = _RemoteScanStream(inst, table, clip, segments)
+                 segments: Sequence[_Segment], iterspec=None, auths=None):
+        self._pump = _RemoteScanStream(inst, table, clip, segments,
+                                       iterspec=iterspec, auths=auths)
         self._cells: List[Cell] = []
         self._pos = 0
 
@@ -726,23 +739,28 @@ class TabletProxy:
 
     def scan_iterator(self, rng: Range,
                       table_iterators: Sequence = (),
-                      scan_iterators: Sequence = ()) -> SortedKVIterator:
+                      scan_iterators: Sequence = (),
+                      iterspec=None, auths=None) -> SortedKVIterator:
         # table_iterators are deliberately ignored: the server applies
         # the table's configured stack (it owns the authoritative
-        # config); scan-time iterators run client-side over the stream.
+        # config); scan-time iterators run client-side over the stream,
+        # while ``iterspec`` ships to the server and runs inside the
+        # tablet's SortedKVIterator stack (push-down).
         clip = self.extent.clip(rng)
         if clip is None:
             return ListIterator([])
         stack: SortedKVIterator = _RemoteScanIterator(
             self._inst, self._table, clip,
-            [_Segment(self.addr, self.tablet_id, self.extent)])
+            [_Segment(self.addr, self.tablet_id, self.extent)],
+            iterspec=iterspec, auths=auths)
         for factory in scan_iterators:
             stack = factory(stack)
         return stack
 
     def scan_columns(self, rng: Range = Range(), columns: Columns = None,
                      table_iterators: Sequence = (),
-                     scan_iterators: Sequence = ()):
+                     scan_iterators: Sequence = (), iterspec=None,
+                     auths=None):
         """Bulk columnar read: a generator of
         :class:`~repro.net.cells.ColumnBatch` straight off the CHUNK
         stream — no per-cell objects anywhere on the client.
@@ -750,18 +768,22 @@ class TabletProxy:
         ``table_iterators`` are ignored for the same reason as in
         :meth:`scan_iterator` (the server applies the authoritative
         table stack); scan-time iterators are per-cell by contract and
-        therefore unsupported on the bulk path.
+        therefore unsupported on the bulk path — push a spec down via
+        ``iterspec`` instead (the server folds its stream before the
+        bytes hit the socket, framing stays columnar).
         """
         if scan_iterators:
-            raise ValueError(
-                "scan_columns cannot run client-side scan iterators; "
+            raise _iterspec.NonSerializableIteratorError(
+                "scan_columns cannot run client-side (local-callable) "
+                "scan iterators; pass a wire-serializable iterspec, or "
                 "use scan_iterator() for per-cell stacks")
         clip = self.extent.clip(rng)
         if clip is None:
             return iter(())
         pump = _RemoteScanStream(
             self._inst, self._table, clip,
-            [_Segment(self.addr, self.tablet_id, self.extent)])
+            [_Segment(self.addr, self.tablet_id, self.extent)],
+            iterspec=iterspec, auths=auths)
         pump.reset(rng, columns)
 
         def batches():
@@ -775,8 +797,10 @@ class TabletProxy:
 
     def scan(self, rng: Range = Range(), columns: Columns = None,
              table_iterators: Sequence = (),
-             scan_iterators: Sequence = ()) -> List[Cell]:
-        it = self.scan_iterator(rng, table_iterators, scan_iterators)
+             scan_iterators: Sequence = (), iterspec=None,
+             auths=None) -> List[Cell]:
+        it = self.scan_iterator(rng, table_iterators, scan_iterators,
+                                iterspec=iterspec, auths=auths)
         return drain(it, rng, columns)
 
     # -- writes -----------------------------------------------------------
@@ -1042,7 +1066,7 @@ class RemoteInstance:
         return out
 
     def scan_columns(self, table: str, rng: Range = Range(),
-                     columns: Columns = None):
+                     columns: Columns = None, iterspec=None, auths=None):
         """Native bulk columnar scan: ONE pump spanning every tablet
         overlapping ``rng``, yielding
         :class:`~repro.net.cells.ColumnBatch`\\ es in global key order.
@@ -1053,13 +1077,16 @@ class RemoteInstance:
         necessarily pays a serial open-and-drain round per tablet.
         ``Scanner.scan_columns`` dispatches here when the backend
         offers it (client-side visibility filtering stays with the
-        caller)."""
+        caller).  ``iterspec`` pushes a validated iterator stack into
+        every tablet server the pump touches — each server filters and
+        folds its own merged stream before bytes hit the socket."""
         proxies = self.tablets_for_range(table, rng)
         if not proxies:
             return
         pump = _RemoteScanStream(
             self, table, rng,
-            [_Segment(p.addr, p.tablet_id, p.extent) for p in proxies])
+            [_Segment(p.addr, p.tablet_id, p.extent) for p in proxies],
+            iterspec=iterspec, auths=auths)
         pump.reset(rng, columns)
         while True:
             batch = pump.next_batch()

@@ -1,0 +1,451 @@
+"""Wire-serializable iterator-stack specs — server-side push-down.
+
+The paper's central mechanism is that graph kernels run *inside* the
+tablet servers' iterator stacks, not client-side over raw cells.  This
+module is the spec language that makes that safe over RPC: a scan
+request may attach a declarative, validated description of an iterator
+chain — column projection, regex / numeric-predicate / age-off
+filters, versioning limits, the Summing/Min/Max combiners, named Apply
+ops, and a Reduce/fold terminal — and the server constructs the
+matching :mod:`repro.dbsim.iterators` chain from a whitelist of op
+names.  **No code ever crosses the wire**: the spec is plain JSON
+(a list of ``{"op": name, ...}`` dicts), every name and argument is
+validated on both ends, and anything outside the whitelist is rejected
+with a typed :class:`IterSpecError` before a stack is built.
+
+Because both backends build the chain from the *same* factories, a
+spec executed server-side is bit-identical (timestamps included) to
+the client-side execution of the equivalent iterators — the contract
+the test suite enforces under fault injection.
+
+Spec grammar (wire form — ``IterSpec.to_wire()`` / ``from_wire()``)::
+
+    [{"op": "column",       "qualifiers": ["q1", ...]},
+     {"op": "regex",        "row": R?, "qualifier": Q?, "value": V?},
+     {"op": "value_filter", "cmp": "gt|ge|lt|le|eq|ne", "threshold": x},
+     {"op": "age_off",      "cutoff": ts},
+     {"op": "versions",     "max_versions": n},
+     {"op": "combiner",     "fn": "sum|min|max"},
+     {"op": "apply",        "name": N, "args": [...], "drop_zero": b},
+     {"op": "reduce",       "fn": "sum|min|max", "family": f,
+                            "qualifier": q, "count": b}]
+
+Ops apply top-to-bottom in list order; ``reduce`` (one output cell per
+row — Graphulo's fold terminal, ``fn`` naming the semiring ⊕) must be
+the last op.  Apply ops come from the :data:`APPLY_OPS` registry of
+named unary numeric functions.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dbsim.iterators import (
+    AgeOffIterator,
+    ApplyIterator,
+    ColumnFilterIterator,
+    MaxCombiner,
+    MinCombiner,
+    PredicateFilterIterator,
+    RegexFilterIterator,
+    RowReduceIterator,
+    SortedKVIterator,
+    VersioningIterator,
+    SummingCombiner,
+)
+
+IteratorFactory = Callable[[SortedKVIterator], SortedKVIterator]
+
+
+class IterSpecError(ValueError):
+    """An iterator spec failed validation: unknown op or apply name,
+    missing / mistyped argument, or a misplaced ``reduce`` terminal.
+    Raised client-side at build time and server-side before a stack is
+    installed — the server never executes an unvalidated spec."""
+
+
+class NonSerializableIteratorError(ValueError):
+    """A user-supplied scan iterator (arbitrary local callable) cannot
+    run server-side: only whitelisted iterspec op names cross the wire.
+    Run the callable client-side via ``Scanner`` iteration, or express
+    the stack as an :class:`IterSpec`."""
+
+
+# -- named Apply ops --------------------------------------------------------
+
+#: name → (arity, maker(*args) → unary fn).  The only value transforms
+#: a spec may name; arbitrary callables never cross the wire.
+APPLY_OPS: Dict[str, Tuple[int, Callable[..., Callable[[float], float]]]] = {
+    "abs": (0, lambda: abs),
+    "negate": (0, lambda: lambda v: -v),
+    "sign": (0, lambda: lambda v: (v > 0) - (v < 0)),
+    "square": (0, lambda: lambda v: v * v),
+    "invert": (0, lambda: lambda v: 1.0 / v if v else 0.0),
+    "scale": (1, lambda k: lambda v: v * k),
+    "add": (1, lambda k: lambda v: v + k),
+    "pow": (1, lambda k: lambda v: v ** k),
+    "clip": (2, lambda lo, hi: lambda v: min(max(v, lo), hi)),
+}
+
+_CMPS = {"gt": operator.gt, "ge": operator.ge, "lt": operator.lt,
+         "le": operator.le, "eq": operator.eq, "ne": operator.ne}
+
+_MONOIDS = ("sum", "min", "max")
+
+_COMBINERS = {"sum": SummingCombiner, "min": MinCombiner, "max": MaxCombiner}
+
+
+# -- validation -------------------------------------------------------------
+
+
+def _want(op: dict, field: str, kinds, what: str):
+    if field not in op:
+        raise IterSpecError(f"op {op.get('op')!r} missing field {field!r}")
+    val = op[field]
+    if not isinstance(val, kinds) or isinstance(val, bool) and bool not in (
+            kinds if isinstance(kinds, tuple) else (kinds,)):
+        raise IterSpecError(
+            f"op {op.get('op')!r} field {field!r} must be {what}, "
+            f"got {val!r}")
+    return val
+
+
+def _check_column(op: dict) -> dict:
+    quals = _want(op, "qualifiers", (list, tuple), "a list of strings")
+    if not quals or not all(isinstance(q, str) for q in quals):
+        raise IterSpecError(
+            f"column op needs a non-empty list of string qualifiers, "
+            f"got {quals!r}")
+    return {"op": "column", "qualifiers": [str(q) for q in quals]}
+
+
+def _check_regex(op: dict) -> dict:
+    out: dict = {"op": "regex"}
+    any_set = False
+    for field in ("row", "qualifier", "value"):
+        pat = op.get(field)
+        if pat is None:
+            out[field] = None
+            continue
+        if not isinstance(pat, str):
+            raise IterSpecError(
+                f"regex op field {field!r} must be a string pattern, "
+                f"got {pat!r}")
+        try:
+            re.compile(pat)
+        except re.error as exc:
+            raise IterSpecError(
+                f"regex op field {field!r} does not compile: {exc}")
+        out[field] = pat
+        any_set = True
+    if not any_set:
+        raise IterSpecError("regex op needs at least one of "
+                            "row/qualifier/value")
+    return out
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _check_value_filter(op: dict) -> dict:
+    cmp = _want(op, "cmp", str, "a comparison name")
+    if cmp not in _CMPS:
+        raise IterSpecError(f"unknown value_filter cmp {cmp!r}; "
+                            f"known: {sorted(_CMPS)}")
+    threshold = op.get("threshold")
+    if not _is_num(threshold):
+        raise IterSpecError(f"value_filter threshold must be a number, "
+                            f"got {threshold!r}")
+    return {"op": "value_filter", "cmp": cmp, "threshold": threshold}
+
+
+def _check_age_off(op: dict) -> dict:
+    cutoff = op.get("cutoff")
+    if not isinstance(cutoff, int) or isinstance(cutoff, bool):
+        raise IterSpecError(f"age_off cutoff must be an integer "
+                            f"timestamp, got {cutoff!r}")
+    return {"op": "age_off", "cutoff": cutoff}
+
+
+def _check_versions(op: dict) -> dict:
+    mv = op.get("max_versions")
+    if not isinstance(mv, int) or isinstance(mv, bool) or mv < 1:
+        raise IterSpecError(f"versions max_versions must be an integer "
+                            f">= 1, got {mv!r}")
+    return {"op": "versions", "max_versions": mv}
+
+
+def _check_combiner(op: dict) -> dict:
+    fn = _want(op, "fn", str, "a combiner name")
+    if fn not in _COMBINERS:
+        raise IterSpecError(f"unknown combiner fn {fn!r}; "
+                            f"known: {sorted(_COMBINERS)}")
+    return {"op": "combiner", "fn": fn}
+
+
+def _check_apply(op: dict) -> dict:
+    name = _want(op, "name", str, "an apply-op name")
+    if name not in APPLY_OPS:
+        raise IterSpecError(f"unknown apply op {name!r}; "
+                            f"known: {sorted(APPLY_OPS)}")
+    arity, _ = APPLY_OPS[name]
+    args = op.get("args", [])
+    if not isinstance(args, (list, tuple)) or len(args) != arity \
+            or not all(_is_num(a) for a in args):
+        raise IterSpecError(
+            f"apply op {name!r} takes {arity} numeric arg(s), "
+            f"got {args!r}")
+    drop_zero = op.get("drop_zero", True)
+    if not isinstance(drop_zero, bool):
+        raise IterSpecError(f"apply drop_zero must be a bool, "
+                            f"got {drop_zero!r}")
+    return {"op": "apply", "name": name, "args": list(args),
+            "drop_zero": drop_zero}
+
+
+def _check_reduce(op: dict) -> dict:
+    fn = _want(op, "fn", str, "a monoid name")
+    if fn not in _MONOIDS:
+        raise IterSpecError(f"unknown reduce fn {fn!r}; "
+                            f"known: {sorted(_MONOIDS)}")
+    family = op.get("family", "")
+    qualifier = op.get("qualifier", "deg")
+    if not isinstance(family, str) or not isinstance(qualifier, str):
+        raise IterSpecError(f"reduce family/qualifier must be strings, "
+                            f"got {family!r}/{qualifier!r}")
+    count = op.get("count", False)
+    if not isinstance(count, bool):
+        raise IterSpecError(f"reduce count must be a bool, got {count!r}")
+    return {"op": "reduce", "fn": fn, "family": family,
+            "qualifier": qualifier, "count": count}
+
+
+_CHECKS = {
+    "column": _check_column,
+    "regex": _check_regex,
+    "value_filter": _check_value_filter,
+    "age_off": _check_age_off,
+    "versions": _check_versions,
+    "combiner": _check_combiner,
+    "apply": _check_apply,
+    "reduce": _check_reduce,
+}
+
+
+# -- factory builders -------------------------------------------------------
+
+
+def _numeric_pred(cmp: str, threshold: float) -> Callable:
+    fn = _CMPS[cmp]
+
+    def pred(cell) -> bool:
+        try:
+            val = float(cell.value)
+        except (TypeError, ValueError):
+            return False  # non-numeric cells never satisfy a value cmp
+        return fn(val, threshold)
+
+    return pred
+
+
+def _build(op: dict) -> IteratorFactory:
+    kind = op["op"]
+    if kind == "column":
+        quals = tuple(op["qualifiers"])
+        return lambda src: ColumnFilterIterator(src, quals)
+    if kind == "regex":
+        return lambda src: RegexFilterIterator(
+            src, row=op["row"], qualifier=op["qualifier"],
+            value=op["value"])
+    if kind == "value_filter":
+        pred = _numeric_pred(op["cmp"], op["threshold"])
+        return lambda src: PredicateFilterIterator(src, pred)
+    if kind == "age_off":
+        cutoff = op["cutoff"]
+        return lambda src: AgeOffIterator(src, cutoff)
+    if kind == "versions":
+        mv = op["max_versions"]
+        return lambda src: VersioningIterator(src, mv)
+    if kind == "combiner":
+        return _COMBINERS[op["fn"]]
+    if kind == "apply":
+        arity, maker = APPLY_OPS[op["name"]]
+        fn = maker(*op["args"])
+        drop_zero = op["drop_zero"]
+        return lambda src: ApplyIterator(src, fn, drop_zero=drop_zero)
+    if kind == "reduce":
+        return lambda src: RowReduceIterator(
+            src, op=op["fn"], family=op["family"],
+            qualifier=op["qualifier"], count=op["count"])
+    raise IterSpecError(f"unknown op {kind!r}")  # pragma: no cover
+
+
+# -- the spec ---------------------------------------------------------------
+
+
+class IterSpec:
+    """An immutable, validated iterator-stack spec.
+
+    Build fluently — each method returns a *new* spec with one more op
+    appended (validation runs on every append)::
+
+        spec = (IterSpec()
+                .column_filter(["w"])
+                .value_gt(2.0)
+                .reduce("sum", qualifier="deg", count=True))
+
+    ``to_wire()`` / ``from_wire()`` round-trip the JSON wire form;
+    ``build_factories()`` yields the ``scan_iterators`` factory tuple
+    both backends install — the same chain code either way, which is
+    what makes local and remote execution bit-identical.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Sequence[dict] = ()):
+        normalized: List[dict] = []
+        n = len(ops)
+        for i, op in enumerate(ops):
+            if not isinstance(op, dict):
+                raise IterSpecError(f"spec op #{i} must be a dict, "
+                                    f"got {op!r}")
+            kind = op.get("op")
+            check = _CHECKS.get(kind)
+            if check is None:
+                raise IterSpecError(f"unknown iterspec op {kind!r}; "
+                                    f"known: {sorted(_CHECKS)}")
+            if kind == "reduce" and i != n - 1:
+                raise IterSpecError("reduce must be the last op in a spec")
+            normalized.append(check(op))
+        object.__setattr__(self, "ops", tuple(normalized))
+
+    def __setattr__(self, name, value):  # immutable after __init__
+        raise AttributeError("IterSpec is immutable")
+
+    # -- fluent builders ----------------------------------------------------
+
+    def _with(self, op: dict) -> "IterSpec":
+        return IterSpec(self.ops + (op,))
+
+    def column_filter(self, qualifiers: Sequence[str]) -> "IterSpec":
+        return self._with({"op": "column", "qualifiers": list(qualifiers)})
+
+    def regex(self, row: Optional[str] = None,
+              qualifier: Optional[str] = None,
+              value: Optional[str] = None) -> "IterSpec":
+        return self._with({"op": "regex", "row": row,
+                           "qualifier": qualifier, "value": value})
+
+    def where_value(self, cmp: str, threshold: float) -> "IterSpec":
+        return self._with({"op": "value_filter", "cmp": cmp,
+                           "threshold": threshold})
+
+    def value_gt(self, t: float) -> "IterSpec":
+        return self.where_value("gt", t)
+
+    def value_ge(self, t: float) -> "IterSpec":
+        return self.where_value("ge", t)
+
+    def value_lt(self, t: float) -> "IterSpec":
+        return self.where_value("lt", t)
+
+    def value_le(self, t: float) -> "IterSpec":
+        return self.where_value("le", t)
+
+    def value_eq(self, t: float) -> "IterSpec":
+        return self.where_value("eq", t)
+
+    def value_ne(self, t: float) -> "IterSpec":
+        return self.where_value("ne", t)
+
+    def age_off(self, cutoff: int) -> "IterSpec":
+        return self._with({"op": "age_off", "cutoff": cutoff})
+
+    def versions(self, max_versions: int) -> "IterSpec":
+        return self._with({"op": "versions", "max_versions": max_versions})
+
+    def combiner(self, fn: str = "sum") -> "IterSpec":
+        return self._with({"op": "combiner", "fn": fn})
+
+    def apply(self, name: str, *args: float,
+              drop_zero: bool = True) -> "IterSpec":
+        return self._with({"op": "apply", "name": name,
+                           "args": list(args), "drop_zero": drop_zero})
+
+    def reduce(self, fn: str = "sum", family: str = "",
+               qualifier: str = "deg", count: bool = False) -> "IterSpec":
+        return self._with({"op": "reduce", "fn": fn, "family": family,
+                           "qualifier": qualifier, "count": count})
+
+    # -- wire + execution ---------------------------------------------------
+
+    def to_wire(self) -> List[dict]:
+        """The JSON-serializable wire form (a list of op dicts)."""
+        return [dict(op) for op in self.ops]
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> "IterSpec":
+        """Validate a wire form back into a spec (raises
+        :class:`IterSpecError` on anything outside the whitelist)."""
+        if not isinstance(obj, (list, tuple)):
+            raise IterSpecError(f"iterspec wire form must be a list of "
+                                f"op dicts, got {type(obj).__name__}")
+        return cls(obj)
+
+    def build_factories(self) -> Tuple[IteratorFactory, ...]:
+        """The ``scan_iterators`` factory tuple this spec describes."""
+        return tuple(_build(op) for op in self.ops)
+
+    # -- ergonomics ---------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, IterSpec) and self.ops == other.ops
+
+    def __hash__(self) -> int:
+        import json
+        return hash(json.dumps(self.to_wire(), sort_keys=True))
+
+    def __repr__(self) -> str:
+        return f"IterSpec({list(self.ops)!r})"
+
+
+# -- module helpers ---------------------------------------------------------
+
+
+def as_wire(spec: Optional[Any]) -> Optional[List[dict]]:
+    """Normalize ``spec`` (an :class:`IterSpec`, a wire-form list, or
+    ``None``) to the wire form carried in a SCAN payload."""
+    if spec is None:
+        return None
+    if isinstance(spec, IterSpec):
+        return spec.to_wire()
+    return IterSpec.from_wire(spec).to_wire()
+
+
+def coerce(spec: Optional[Any]) -> Optional[IterSpec]:
+    """Normalize ``spec`` to an :class:`IterSpec` (or ``None``)."""
+    if spec is None or isinstance(spec, IterSpec):
+        return spec
+    if callable(spec):
+        raise NonSerializableIteratorError(
+            f"scan iterators must be wire-serializable IterSpecs on the "
+            f"remote backend; got a local callable {spec!r} which cannot "
+            f"cross the wire")
+    return IterSpec.from_wire(spec)
+
+
+def build_scan_iterators(obj: Any) -> Tuple[IteratorFactory, ...]:
+    """Server-side entry point: validate a wire form and return the
+    factory tuple to install as ``scan_iterators`` (empty for None)."""
+    if obj is None:
+        return ()
+    return IterSpec.from_wire(obj).build_factories()

@@ -62,12 +62,15 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dbsim.errors import BusyError, NotHostedError
+from repro.dbsim.iterators import VisibilityFilterIterator
 from repro.dbsim.key import Key, Range
 from repro.dbsim.server import TableConfig, TabletServer
 from repro.dbsim.sstable import SSTable
 from repro.dbsim.stats import OpStats
 from repro.dbsim.tablet import Tablet
+from repro.dbsim.visibility import Authorizations
 from repro.net import cells
+from repro.net import iterspec as _iterspec
 from repro.net import wire
 from repro.net.client import (
     Addr,
@@ -110,6 +113,32 @@ DEDUP_WINDOW = 256
 #: are measurable on the traced RPC hot path)
 _SERVER_SPAN_NAMES = {code: f"rpc.server.{name}"
                       for code, name in wire.OP_NAMES.items()}
+
+
+class _CellCounter:
+    """Pass-through :class:`~repro.dbsim.iterators.SortedKVIterator`
+    installed *below* a pushed-down stack: counts every cell the chain
+    consumes, so ``cells_folded = consumed - emitted`` prices what the
+    push-down kept off the wire."""
+
+    __slots__ = ("_source", "count")
+
+    def __init__(self, source):
+        self._source = source
+        self.count = 0
+
+    def seek(self, rng, columns=None):
+        self._source.seek(rng, columns)
+
+    def has_top(self):
+        return self._source.has_top()
+
+    def top(self):
+        return self._source.top()
+
+    def advance(self):
+        self.count += 1
+        self._source.advance()
 
 
 class _ConnState:
@@ -613,7 +642,32 @@ class TabletServerService(_BaseService):
         # block folded back under the service lock when it finishes
         scan_stats = OpStats()
         tablet = None
+        cell_counter: Optional[_CellCounter] = None
+        emitted = 0
         try:
+            # validate the push-down spec BEFORE touching the tablet: a
+            # bad spec is a typed IterSpecError frame, never a stack
+            spec_factories = _iterspec.build_scan_iterators(
+                p.get("iterspec"))
+            push: Tuple = ()
+            if spec_factories:
+                holder: List[_CellCounter] = []
+
+                def _counted(src, _h=holder):
+                    c = _CellCounter(src)
+                    _h.append(c)
+                    return c
+
+                # the scan's authorizations ride the payload alongside
+                # the spec: visibility filtering moves server-side and
+                # runs *under* the pushed-down chain, the Accumulo
+                # ordering (system visibility filter below user
+                # iterators) — a combiner/reduce must never fold cells
+                # the scan is not authorized to see
+                auths = Authorizations(p.get("auths") or ())
+                push = (_counted,
+                        (lambda src: VisibilityFilterIterator(src, auths)),
+                        ) + spec_factories
             with self._lock:
                 table, tablet = self._get(p)
                 config = self._configs.get(table, TableConfig())
@@ -623,10 +677,19 @@ class TabletServerService(_BaseService):
                 # columnar drain: the merged stack's cells go straight
                 # into ColumnBatch columns, and the CHUNK block is
                 # encoded from those columns — no List[Cell] staging,
-                # no cells_to_block re-walk
+                # no cells_to_block re-walk.  A pushed-down stack makes
+                # the tablet fall back from the fused columnar runs to
+                # the per-cell iterator chain; framing stays columnar.
                 batches = tablet.scan_columns(
                     rng, columns, config.table_iterators,
+                    scan_iterators=push,
                     batch_cells=SCAN_CHUNK_CELLS, sink=scan_stats)
+            if spec_factories:
+                counters("net.server.pushdown.stacks").inc()
+                counters("net.server.pushdown.ops").inc(
+                    len(spec_factories))
+                if holder:
+                    cell_counter = holder[0]
             resume = p.get("resume")
             skip_past = Key(*resume).sort_tuple() if resume else None
             scan_bytes = counters(f"net.server.table.{table}.scan_bytes")
@@ -640,6 +703,7 @@ class TabletServerService(_BaseService):
             pending = next(batch_iter, None)
             while pending is not None:
                 batch, pending = pending, next(batch_iter, None)
+                emitted += len(batch)
                 last = pending is None
                 if req in state.cancelled or not state.alive:
                     return  # client stopped listening: stop producing
@@ -693,6 +757,9 @@ class TabletServerService(_BaseService):
             self._respond(state, wire.ERROR, wire.error_payload(exc),
                           wire.SCAN, req)
         finally:
+            if cell_counter is not None:
+                counters("net.server.pushdown.cells_folded").inc(
+                    max(0, cell_counter.count - emitted))
             if tablet is not None and (scan_stats.seeks
                                        or scan_stats.entries_read):
                 with self._lock:

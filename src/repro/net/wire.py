@@ -79,6 +79,7 @@ from repro.dbsim.errors import (
 from repro.dbsim.iterators import MaxCombiner, MinCombiner, SummingCombiner
 from repro.dbsim.key import Cell, Key, Range
 from repro.dbsim.server import TableConfig
+from repro.net.iterspec import IterSpecError, NonSerializableIteratorError
 
 WIRE_VERSION = 3
 
@@ -388,6 +389,8 @@ _ERROR_TYPES = {
     "ServerCrashedError": ServerCrashedError,
     "NotHostedError": NotHostedError,
     "BusyError": BusyError,
+    "IterSpecError": IterSpecError,
+    "NonSerializableIteratorError": NonSerializableIteratorError,
 }
 _ERROR_NAMES = {cls: name for name, cls in _ERROR_TYPES.items()}
 

@@ -1,0 +1,308 @@
+"""repro.net.iterspec: the wire-serializable push-down spec language.
+
+Three contracts: (1) specs round-trip through their JSON wire form
+losslessly; (2) anything outside the whitelist — unknown op or apply
+names, bad arguments, misplaced reduce, raw callables — is rejected
+with a typed error before any stack is built; (3) a spec executed
+server-side is bit-identical (timestamps included) to the same spec
+executed client-side, on thread and process clusters, under seeded
+drop/delay/corrupt faults.
+"""
+
+import json
+
+import pytest
+
+from repro.dbsim.client import Connector
+from repro.dbsim.key import Range
+from repro.dbsim.server import Instance, TableConfig
+from repro.net.cluster import LocalCluster
+from repro.net.iterspec import (
+    APPLY_OPS,
+    IterSpec,
+    IterSpecError,
+    NonSerializableIteratorError,
+    as_wire,
+    build_scan_iterators,
+    coerce,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: seeded drop + delay (+ corrupt, to force scan resumes) fault plan
+SPECS = ["write_batch:drop:0.1", "scan:corrupt:0.25", "*:delay:0.05:0.002"]
+SEED = 42
+
+#: one spec per op plus composites — the bit-identity catalog
+CATALOG = [
+    IterSpec().column_filter(["v1", "v4", "v7"]),
+    IterSpec().regex(row="v[0-4]$"),
+    IterSpec().regex(qualifier="v[02468]", value="^[23]"),
+    IterSpec().value_ge(2.0),
+    IterSpec().value_ne(1.0),
+    IterSpec().age_off(2),
+    IterSpec().versions(1),
+    IterSpec().combiner("sum"),
+    IterSpec().combiner("max"),
+    IterSpec().apply("scale", 2.0),
+    IterSpec().apply("clip", 1.0, 2.0),
+    IterSpec().apply("negate", drop_zero=False),
+    IterSpec().reduce("sum", qualifier="deg"),
+    IterSpec().reduce("max", family="f", qualifier="m"),
+    IterSpec().reduce("sum", count=True),
+    IterSpec().value_ge(2.0).apply("square").reduce("min"),
+    IterSpec().column_filter(["v1", "v2", "v3"]).combiner("sum"),
+]
+
+
+def _local_conn(n_servers=3):
+    return Connector(Instance(n_servers=n_servers,
+                              metrics=MetricsRegistry()))
+
+
+def _ingest(conn):
+    """Deterministic multi-version graph table (same write order
+    everywhere so logical timestamps line up bit-for-bit)."""
+    conn.create_table("E", TableConfig(max_versions=3),
+                      splits=["v3", "v6"])
+    with conn.batch_writer("E", buffer_size=16) as w:
+        for i in range(9):
+            for j in range(1, 4):
+                w.put(f"v{i}", "", f"v{(i * j + 1) % 9}", 1 + (i + j) % 3)
+    # second round over a subset: multi-version keys + a few deletes
+    with conn.batch_writer("E", buffer_size=16) as w:
+        for i in range(0, 9, 2):
+            w.put(f"v{i}", "", f"v{(i + 1) % 9}", 5.0)
+        w.delete("v1", "", "v2")
+        w.delete("v3", "", "v4")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", CATALOG, ids=repr)
+    def test_wire_round_trip_through_json(self, spec):
+        wired = json.loads(json.dumps(spec.to_wire()))
+        back = IterSpec.from_wire(wired)
+        assert back == spec
+        assert hash(back) == hash(spec)
+        assert back.to_wire() == spec.to_wire()
+
+    def test_empty_spec_is_falsy_and_round_trips(self):
+        spec = IterSpec()
+        assert not spec and len(spec) == 0
+        assert IterSpec.from_wire(spec.to_wire()) == spec
+        assert as_wire(None) is None
+        assert build_scan_iterators(None) == ()
+
+    def test_builders_return_new_specs(self):
+        base = IterSpec().value_gt(1.0)
+        grown = base.combiner("sum")
+        assert len(base) == 1 and len(grown) == 2
+        with pytest.raises(AttributeError):
+            base.ops = ()
+
+    def test_factories_match_op_count(self):
+        for spec in CATALOG:
+            assert len(spec.build_factories()) == len(spec)
+
+    def test_coerce_accepts_spec_wire_and_none(self):
+        spec = IterSpec().value_ge(2.0)
+        assert coerce(spec) is spec
+        assert coerce(spec.to_wire()) == spec
+        assert coerce(None) is None
+
+
+class TestRejection:
+    @pytest.mark.parametrize("bad", [
+        [{"op": "nope"}],
+        [{"qualifiers": ["q"]}],                          # missing op
+        ["not-a-dict"],
+        {"op": "regex", "row": "x"},                      # not a list
+        [{"op": "column", "qualifiers": []}],
+        [{"op": "column", "qualifiers": [1, 2]}],
+        [{"op": "regex"}],                                # no pattern
+        [{"op": "regex", "row": "("}],                    # bad regex
+        [{"op": "regex", "row": 3}],
+        [{"op": "value_filter", "cmp": "gte", "threshold": 1}],
+        [{"op": "value_filter", "cmp": "ge", "threshold": "x"}],
+        [{"op": "value_filter", "cmp": "ge", "threshold": True}],
+        [{"op": "age_off", "cutoff": 1.5}],
+        [{"op": "age_off"}],
+        [{"op": "versions", "max_versions": 0}],
+        [{"op": "versions", "max_versions": "1"}],
+        [{"op": "combiner", "fn": "avg"}],
+        [{"op": "apply", "name": "exec"}],                # not whitelisted
+        [{"op": "apply", "name": "scale", "args": []}],   # wrong arity
+        [{"op": "apply", "name": "abs", "args": ["x"]}],
+        [{"op": "apply", "name": "abs", "args": [], "drop_zero": 1}],
+        [{"op": "reduce", "fn": "prod"}],
+        [{"op": "reduce", "fn": "sum", "qualifier": 7}],
+        [{"op": "reduce", "fn": "sum"}, {"op": "combiner", "fn": "sum"}],
+    ], ids=lambda b: json.dumps(b)[:48])
+    def test_bad_wire_forms_rejected(self, bad):
+        with pytest.raises(IterSpecError):
+            IterSpec.from_wire(bad)
+        with pytest.raises(IterSpecError):
+            build_scan_iterators(bad)
+
+    def test_reduce_must_be_last_in_builder_chain(self):
+        with pytest.raises(IterSpecError, match="last"):
+            IterSpec().reduce("sum").value_ge(1.0)
+
+    def test_callable_iterspec_is_a_typed_error(self):
+        with pytest.raises(NonSerializableIteratorError):
+            coerce(lambda src: src)
+
+    def test_apply_registry_arities_are_honoured(self):
+        for name, (arity, maker) in APPLY_OPS.items():
+            fn = maker(*([2.0] * arity))
+            assert isinstance(fn(3.0), (int, float))
+
+
+class TestLocalExecution:
+    def test_reduce_spec_folds_rows(self):
+        conn = _local_conn()
+        _ingest(conn)
+        got = list(conn.scanner(
+            "E", iterspec=IterSpec().reduce("sum", count=True)))
+        assert [c.key.row for c in got] == [f"v{i}" for i in range(9)]
+        assert all(c.key.qualifier == "deg" for c in got)
+
+    def test_spec_equals_handwritten_factories(self):
+        conn = _local_conn()
+        _ingest(conn)
+        spec = IterSpec().value_ge(2.0).apply("scale", 2.0)
+        want = list(conn.scanner(
+            "E", scan_iterators=spec.build_factories()))
+        got = list(conn.scanner("E", iterspec=spec))
+        assert got == want  # order + timestamps
+
+    def test_scanner_rejects_callable_iterspec(self):
+        conn = _local_conn()
+        conn.create_table("t")
+        with pytest.raises(NonSerializableIteratorError):
+            conn.scanner("t", iterspec=lambda src: src)
+
+
+@pytest.mark.parametrize("processes", [False, True],
+                         ids=["threads", "procs"])
+class TestRemoteBitIdentity:
+    def test_specs_bit_identical_under_faults(self, processes):
+        local = _local_conn()
+        _ingest(local)
+        want = {i: list(local.scanner("E", iterspec=spec))
+                for i, spec in enumerate(CATALOG)}
+
+        with LocalCluster(n_servers=3, processes=processes,
+                          fault_specs=SPECS, fault_seed=SEED) as c:
+            registry = MetricsRegistry()
+            conn = c.connect(metrics=registry)
+            try:
+                _ingest(conn)
+                for i, spec in enumerate(CATALOG):
+                    per_cell = list(conn.scanner("E", iterspec=spec))
+                    columnar = [cl for b in conn.scanner(
+                        "E", iterspec=spec).scan_columns()
+                        for cl in b.cells()]
+                    assert per_cell == want[i], f"spec #{i}: {spec!r}"
+                    assert columnar == want[i], f"spec #{i}: {spec!r}"
+                servers = conn.instance.cluster_metrics()["servers"]
+            finally:
+                conn.close()
+        stacks = sum(m.get("net.server.pushdown.stacks", 0)
+                     for m in servers.values())
+        folded = sum(m.get("net.server.pushdown.cells_folded", 0)
+                     for m in servers.values())
+        assert stacks > 0 and folded > 0
+
+    def test_batch_scanner_spec_bit_identical(self, processes):
+        spec = IterSpec().value_ge(2.0).reduce("sum", count=True)
+        ranges = [Range.exact_row(f"v{i}") for i in range(0, 9, 2)]
+
+        local = _local_conn()
+        _ingest(local)
+        wants = {}
+        for coalesce in (True, False):
+            bs = local.batch_scanner("E", coalesce=coalesce, iterspec=spec)
+            bs.set_ranges(ranges)
+            wants[coalesce] = list(bs)
+        assert wants[True] == wants[False]
+
+        with LocalCluster(n_servers=3, processes=processes,
+                          fault_specs=SPECS, fault_seed=SEED) as c:
+            conn = c.connect()
+            try:
+                _ingest(conn)
+                for coalesce in (True, False):
+                    bs = conn.batch_scanner("E", coalesce=coalesce,
+                                            iterspec=spec)
+                    bs.set_ranges(ranges)
+                    assert list(bs) == wants[coalesce]
+                    bs = conn.batch_scanner("E", coalesce=coalesce,
+                                            iterspec=spec)
+                    bs.set_ranges(ranges)
+                    got = [cl for b in bs.scan_columns()
+                           for cl in b.cells()]
+                    assert got == wants[coalesce]
+            finally:
+                conn.close()
+
+
+class TestRemoteErrors:
+    def test_bad_spec_rejected_before_any_rpc(self):
+        with LocalCluster(n_servers=1, processes=False) as c:
+            conn = c.connect()
+            try:
+                conn.create_table("t")
+                with pytest.raises(IterSpecError):
+                    list(conn.scanner("t", iterspec=[{"op": "nope"}]))
+                with pytest.raises(NonSerializableIteratorError):
+                    conn.scanner("t", iterspec=lambda src: src)
+            finally:
+                conn.close()
+
+    def test_remote_batch_scanner_callables_typed_error(self):
+        with LocalCluster(n_servers=1, processes=False) as c:
+            conn = c.connect()
+            try:
+                conn.create_table("t")
+                with conn.batch_writer("t") as w:
+                    w.put("r", "", "q", 1.0)
+                bs = conn.batch_scanner(
+                    "t", scan_iterators=(lambda src: src,))
+                bs.set_ranges([Range()])
+                with pytest.raises(NonSerializableIteratorError,
+                                   match="scan iterators"):
+                    list(bs.scan_columns())
+            finally:
+                conn.close()
+
+    def test_server_rejects_unvalidated_wire_spec(self):
+        """A malicious client that skips client-side validation gets a
+        typed IterSpecError frame back, not a server stack."""
+        from repro.net import wire
+
+        with LocalCluster(n_servers=1, processes=False) as c:
+            conn = c.connect()
+            try:
+                conn.create_table("t")
+                with conn.batch_writer("t") as w:
+                    w.put("r", "", "q", 1.0)
+                inst = conn.instance
+                proxy = inst.tablets("t")[0]
+                core = inst.core
+
+                async def evil():
+                    stream = await core.aio.open_stream(
+                        proxy.addr, wire.SCAN, {
+                            "table": "t", "tablet_id": proxy.tablet_id,
+                            "range": [None, None], "columns": None,
+                            "resume": None,
+                            "iterspec": [{"op": "__import__"}]})
+                    code, pay, _ = await core.aio.stream_get(stream, 30.0)
+                    return code, pay
+
+                code, pay = core.run(evil())
+                assert code == wire.ERROR
+                with pytest.raises(IterSpecError):
+                    wire.raise_error(pay)
+            finally:
+                conn.close()
